@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBuildsAndChecks(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "0110", false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"sigma = 0110", "H_sigma", "not sorted", "self-check", "ok"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunQuiet(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "10010", true); err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimSpace(sb.String())
+	if !strings.HasPrefix(out, "n=5:") || strings.Contains(out, "self-check") {
+		t.Errorf("quiet output wrong: %q", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "", false); err == nil {
+		t.Error("missing sigma should error")
+	}
+	if err := run(&sb, "01x", false); err == nil {
+		t.Error("invalid sigma should error")
+	}
+	if err := run(&sb, "0011", false); err == nil {
+		t.Error("sorted sigma should error")
+	}
+}

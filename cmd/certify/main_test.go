@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunEmitAndCheck(t *testing.T) {
+	// Emitting writes to stdout; capture via a pipe-free path: emit by
+	// calling run with n (stdout noise is acceptable in tests), then
+	// round-trip through a file by constructing the JSON ourselves.
+	// Simplest honest check: emit to a temp file via os.Stdout swap.
+	tmp := filepath.Join(t.TempDir(), "cert.json")
+	f, err := os.Create(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = f
+	err = run(3, "")
+	os.Stdout = old
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(0, tmp); err != nil {
+		t.Fatalf("check of emitted certificate failed: %v", err)
+	}
+}
+
+func TestRunCheckRejectsGarbage(t *testing.T) {
+	tmp := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(tmp, []byte(`{"lines":3,"entries":[]}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(0, tmp); err == nil {
+		t.Error("empty certificate should be rejected")
+	}
+	if err := run(0, filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestRunRangeCheck(t *testing.T) {
+	old := os.Stdout
+	os.Stdout, _ = os.Open(os.DevNull)
+	defer func() { os.Stdout = old }()
+	if err := run(1, ""); err == nil {
+		t.Error("n=1 should error")
+	}
+	if err := run(17, ""); err == nil {
+		t.Error("n=17 should error")
+	}
+}

@@ -1,0 +1,99 @@
+// Command minsearch computes exact minimum test sets by exhausting the
+// behaviour space of comparator networks — the engine behind
+// experiments E10/E11/E14 and the tool for exploring the paper's
+// Section 3 open questions.
+//
+// Usage:
+//
+//	minsearch -n 4                      # sorter, unrestricted, 0/1 inputs
+//	minsearch -n 5 -height 2            # the paper's open question
+//	minsearch -n 4 -inputs perm         # permutation inputs
+//	minsearch -n 4 -prop selector -k 2
+//	minsearch -n 4 -prop merger -show   # print the witness test set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sortnets/internal/search"
+)
+
+func main() {
+	n := flag.Int("n", 4, "number of lines (binary: n ≤ 6; perm: n ≤ 6)")
+	height := flag.Int("height", 0, "comparator height bound (0 = unrestricted)")
+	prop := flag.String("prop", "sorter", "property: sorter | selector | merger")
+	k := flag.Int("k", 1, "selection arity (selector only)")
+	inputs := flag.String("inputs", "binary", "input model: binary | perm")
+	limit := flag.Int("limit", 20_000_000, "behaviour closure cap")
+	show := flag.Bool("show", false, "print the minimum test set itself")
+	flag.Parse()
+
+	if err := run(*n, *height, *prop, *k, *inputs, *limit, *show); err != nil {
+		fmt.Fprintln(os.Stderr, "minsearch:", err)
+		os.Exit(2)
+	}
+}
+
+func run(n, height int, prop string, k int, inputs string, limit int, show bool) error {
+	h := height
+	if h <= 0 {
+		h = n - 1
+	}
+	switch inputs {
+	case "binary":
+		var acc search.Acceptance
+		switch prop {
+		case "sorter":
+			acc = search.SorterAccepts
+		case "selector":
+			acc = search.SelectorAccepts(k)
+		case "merger":
+			if n%2 != 0 {
+				return fmt.Errorf("merger needs even n")
+			}
+			acc = search.MergerAccepts
+		default:
+			return fmt.Errorf("unknown property %q", prop)
+		}
+		r, err := search.MinimumTestSet(n, h, acc, limit)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		if show {
+			for _, v := range r.Tests {
+				fmt.Println(" ", v)
+			}
+		}
+	case "perm":
+		var acc search.PermAcceptance
+		switch prop {
+		case "sorter":
+			acc = search.PermSorterAccepts
+		case "selector":
+			acc = search.PermSelectorAccepts(k)
+		case "merger":
+			if n%2 != 0 {
+				return fmt.Errorf("merger needs even n")
+			}
+			acc = search.PermMergerAccepts
+		default:
+			return fmt.Errorf("unknown property %q", prop)
+		}
+		r, err := search.MinimumPermTestSet(n, h, acc, limit, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		if show {
+			for _, p := range r.Tests {
+				fmt.Println(" ", p)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown input model %q", inputs)
+	}
+	return nil
+}

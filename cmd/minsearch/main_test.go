@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestRunAllModes(t *testing.T) {
+	cases := []struct {
+		n, height int
+		prop      string
+		k         int
+		inputs    string
+	}{
+		{4, 0, "sorter", 1, "binary"},
+		{4, 1, "sorter", 1, "binary"},
+		{4, 2, "sorter", 1, "perm"},
+		{4, 0, "selector", 2, "binary"},
+		{4, 0, "selector", 2, "perm"},
+		{4, 0, "merger", 1, "binary"},
+		{4, 0, "merger", 1, "perm"},
+	}
+	for _, c := range cases {
+		if err := run(c.n, c.height, c.prop, c.k, c.inputs, 5_000_000, true); err != nil {
+			t.Errorf("%+v: %v", c, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(5, 0, "merger", 1, "binary", 1000, false); err == nil {
+		t.Error("odd merger should error")
+	}
+	if err := run(5, 0, "merger", 1, "perm", 1000, false); err == nil {
+		t.Error("odd perm merger should error")
+	}
+	if err := run(4, 0, "unknown", 1, "binary", 1000, false); err == nil {
+		t.Error("unknown property should error")
+	}
+	if err := run(4, 0, "unknown", 1, "perm", 1000, false); err == nil {
+		t.Error("unknown perm property should error")
+	}
+	if err := run(4, 0, "sorter", 1, "ternary", 1000, false); err == nil {
+		t.Error("unknown input model should error")
+	}
+	if err := run(4, 0, "sorter", 1, "binary", 10, false); err == nil {
+		t.Error("tiny closure limit should error")
+	}
+}

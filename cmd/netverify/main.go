@@ -1,0 +1,112 @@
+// Command netverify decides whether a comparator network has a
+// property, using the paper's minimal test sets, and reports a
+// counterexample on failure.
+//
+// The network is read from a file (or stdin with -net -) in the text
+// format "n=4: [1,3][2,4][1,2][3,4]" (1-based lines, as in the paper).
+//
+// Usage:
+//
+//	netverify -net fig1.txt -prop sorter
+//	netverify -net net.txt  -prop selector -k 2
+//	netverify -net net.txt  -prop merger -inputs perm
+//	echo 'n=2: [1,2]' | netverify -net - -prop sorter -diagram
+//
+// Exit status: 0 when the property holds, 1 when it fails, 2 on usage
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sortnets/internal/network"
+	"sortnets/internal/verify"
+)
+
+func main() {
+	netFile := flag.String("net", "", "network file, or '-' for stdin")
+	prop := flag.String("prop", "sorter", "property: sorter | selector | merger")
+	k := flag.Int("k", 1, "selection arity (selector only)")
+	inputs := flag.String("inputs", "binary", "input model: binary | perm")
+	workers := flag.Int("workers", 1, "parallel verification workers (binary only; 0 = GOMAXPROCS)")
+	diagram := flag.Bool("diagram", false, "print the network diagram first")
+	analyze := flag.Bool("analyze", false, "print structural statistics (size, depth, height, redundancy)")
+	flag.Parse()
+
+	code, err := run(os.Stdout, *netFile, *prop, *k, *inputs, *workers, *diagram, *analyze)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netverify:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(out io.Writer, netFile, prop string, k int, inputs string, workers int, diagram, analyze bool) (int, error) {
+	if netFile == "" {
+		return 0, fmt.Errorf("missing -net")
+	}
+	var data []byte
+	var err error
+	if netFile == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(netFile)
+	}
+	if err != nil {
+		return 0, err
+	}
+	w, err := network.Parse(string(data))
+	if err != nil {
+		return 0, err
+	}
+	if diagram {
+		fmt.Fprintf(out, "%s\n%s\n", w.Format(), w.Diagram())
+	}
+	if analyze {
+		if w.N > 24 {
+			return 0, fmt.Errorf("-analyze sweeps 2^n inputs; n=%d is too wide", w.N)
+		}
+		fmt.Fprintf(out, "analysis: %s\n", w.Analyze())
+	}
+
+	var p verify.Property
+	switch prop {
+	case "sorter":
+		p = verify.Sorter{N: w.N}
+	case "selector":
+		p = verify.Selector{N: w.N, K: k}
+	case "merger":
+		if w.N%2 != 0 {
+			return 0, fmt.Errorf("merger property needs an even line count, network has %d", w.N)
+		}
+		p = verify.Merger{N: w.N}
+	default:
+		return 0, fmt.Errorf("unknown property %q", prop)
+	}
+
+	switch inputs {
+	case "perm":
+		r := verify.VerdictPerms(w, p)
+		fmt.Fprintf(out, "%s: %s\n", p.Name(), r)
+		if !r.Holds {
+			return 1, nil
+		}
+	case "binary":
+		var r verify.Result
+		if workers == 1 {
+			r = verify.Verdict(w, p)
+		} else {
+			r = verify.VerdictParallel(w, p, workers)
+		}
+		fmt.Fprintf(out, "%s: %s\n", p.Name(), r)
+		if !r.Holds {
+			return 1, nil
+		}
+	default:
+		return 0, fmt.Errorf("unknown input model %q", inputs)
+	}
+	return 0, nil
+}

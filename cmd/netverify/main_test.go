@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeNet(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "net.txt")
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSorterPass(t *testing.T) {
+	path := writeNet(t, "n=4: [1,2][3,4][1,3][2,4][2,3]")
+	var sb strings.Builder
+	code, err := run(&sb, path, "sorter", 1, "binary", 1, true, true)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "holds (11 tests)") {
+		t.Errorf("missing verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "analysis:") || !strings.Contains(out, "depth 3") {
+		t.Errorf("missing analysis:\n%s", out)
+	}
+}
+
+func TestRunSorterFail(t *testing.T) {
+	path := writeNet(t, "n=4: [1,3][2,4][1,2][3,4]")
+	var sb strings.Builder
+	code, err := run(&sb, path, "sorter", 1, "binary", 1, false, false)
+	if err != nil || code != 1 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	if !strings.Contains(sb.String(), "fails on 1010") {
+		t.Errorf("missing counterexample:\n%s", sb.String())
+	}
+}
+
+func TestRunPermInputs(t *testing.T) {
+	path := writeNet(t, "n=4: [1,2][3,4][1,3][2,4][2,3]")
+	var sb strings.Builder
+	code, err := run(&sb, path, "sorter", 1, "perm", 1, false, false)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	if !strings.Contains(sb.String(), "permutation tests") {
+		t.Errorf("missing perm verdict:\n%s", sb.String())
+	}
+}
+
+func TestRunSelectorAndMerger(t *testing.T) {
+	sel := writeNet(t, "n=4: [3,4][2,3][1,2]")
+	var sb strings.Builder
+	code, err := run(&sb, sel, "selector", 1, "binary", 1, false, false)
+	if err != nil || code != 0 {
+		t.Fatalf("selector: code=%d err=%v out=%s", code, err, sb.String())
+	}
+	mrg := writeNet(t, "n=4: [1,3][2,4][2,3]")
+	sb.Reset()
+	code, err = run(&sb, mrg, "merger", 1, "binary", 2, false, false)
+	if err != nil || code != 0 {
+		t.Fatalf("merger: code=%d err=%v out=%s", code, err, sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if _, err := run(&sb, "", "sorter", 1, "binary", 1, false, false); err == nil {
+		t.Error("missing -net should error")
+	}
+	if _, err := run(&sb, "/nonexistent/net.txt", "sorter", 1, "binary", 1, false, false); err == nil {
+		t.Error("missing file should error")
+	}
+	bad := writeNet(t, "n=4: [4,1]")
+	if _, err := run(&sb, bad, "sorter", 1, "binary", 1, false, false); err == nil {
+		t.Error("invalid network should error")
+	}
+	good := writeNet(t, "n=3: [1,2]")
+	if _, err := run(&sb, good, "merger", 1, "binary", 1, false, false); err == nil {
+		t.Error("odd-width merger should error")
+	}
+	if _, err := run(&sb, good, "unknown", 1, "binary", 1, false, false); err == nil {
+		t.Error("unknown property should error")
+	}
+	if _, err := run(&sb, good, "sorter", 1, "ternary", 1, false, false); err == nil {
+		t.Error("unknown input model should error")
+	}
+}

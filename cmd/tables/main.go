@@ -1,0 +1,48 @@
+// Command tables regenerates the paper's tables and figures as
+// executable experiments E1–E13 (see DESIGN.md for the index) and
+// prints paper-vs-measured reports. EXPERIMENTS.md archives one run.
+//
+// Usage:
+//
+//	tables            # run everything
+//	tables -run E5    # one experiment
+//	tables -list      # list the registry
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sortnets/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id (E1..E13) or 'all'")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	reports, err := experiments.Run(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	failed := 0
+	for _, r := range reports {
+		fmt.Println(r)
+		if !r.OK {
+			failed++
+		}
+	}
+	fmt.Printf("%d/%d experiments passed\n", len(reports)-failed, len(reports))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,121 @@
+// Command testsetgen emits the paper's minimal test sets.
+//
+// Usage:
+//
+//	testsetgen -prop sorter   -n 6                 # 0/1 tests, one per line
+//	testsetgen -prop sorter   -n 6 -inputs perm    # permutation tests
+//	testsetgen -prop selector -n 8 -k 2
+//	testsetgen -prop merger   -n 8
+//	testsetgen -prop sorter   -n 40 -sizeonly      # exact size, any n
+//
+// Sizes for all three properties and both input models (Theorems 2.2,
+// 2.4, 2.5):
+//
+//	sorter:    2^n - n - 1           /  C(n, floor(n/2)) - 1
+//	selector:  sum C(n,i) - k - 1    /  C(n, min(floor(n/2), k)) - 1
+//	merger:    n^2/4                 /  n/2
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/comb"
+	"sortnets/internal/core"
+	"sortnets/internal/perm"
+)
+
+func main() {
+	prop := flag.String("prop", "sorter", "property: sorter | selector | merger")
+	n := flag.Int("n", 6, "number of input lines")
+	k := flag.Int("k", 1, "selection arity (selector only)")
+	inputs := flag.String("inputs", "binary", "input model: binary | perm")
+	sizeOnly := flag.Bool("sizeonly", false, "print only the exact test-set size")
+	flag.Parse()
+
+	if err := run(*prop, *n, *k, *inputs, *sizeOnly); err != nil {
+		fmt.Fprintln(os.Stderr, "testsetgen:", err)
+		os.Exit(2)
+	}
+}
+
+func run(prop string, n, k int, inputs string, sizeOnly bool) error {
+	if n < 1 {
+		return fmt.Errorf("n must be positive, got %d", n)
+	}
+	if sizeOnly {
+		return printSize(prop, n, k, inputs)
+	}
+	if n > 24 {
+		return fmt.Errorf("enumeration for n=%d would be huge; use -sizeonly", n)
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	if inputs == "perm" {
+		var ps []perm.P
+		switch prop {
+		case "sorter":
+			ps = core.SorterPermTests(n)
+		case "selector":
+			ps = core.SelectorPermTests(n, k)
+		case "merger":
+			ps = core.MergerPermTests(n)
+		default:
+			return fmt.Errorf("unknown property %q", prop)
+		}
+		for _, p := range ps {
+			fmt.Fprintln(out, p)
+		}
+		return nil
+	}
+
+	var it bitvec.Iterator
+	switch prop {
+	case "sorter":
+		it = core.SorterBinaryTests(n)
+	case "selector":
+		it = core.SelectorBinaryTests(n, k)
+	case "merger":
+		it = core.MergerBinaryTests(n)
+	default:
+		return fmt.Errorf("unknown property %q", prop)
+	}
+	for {
+		v, ok := it.Next()
+		if !ok {
+			return nil
+		}
+		fmt.Fprintln(out, v)
+	}
+}
+
+func printSize(prop string, n, k int, inputs string) error {
+	permIn := inputs == "perm"
+	switch prop {
+	case "sorter":
+		if permIn {
+			fmt.Println(comb.SorterPermTestSetSize(n))
+		} else {
+			fmt.Println(comb.SorterBinaryTestSetSize(n))
+		}
+	case "selector":
+		if permIn {
+			fmt.Println(comb.SelectorPermTestSetSize(n, k))
+		} else {
+			fmt.Println(comb.SelectorBinaryTestSetSize(n, k))
+		}
+	case "merger":
+		if permIn {
+			fmt.Println(comb.MergerPermTestSetSize(n))
+		} else {
+			fmt.Println(comb.MergerBinaryTestSetSize(n))
+		}
+	default:
+		return fmt.Errorf("unknown property %q", prop)
+	}
+	return nil
+}

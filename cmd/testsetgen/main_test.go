@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestRunValidCombinations(t *testing.T) {
+	cases := []struct {
+		prop   string
+		n, k   int
+		inputs string
+		size   bool
+	}{
+		{"sorter", 5, 1, "binary", false},
+		{"sorter", 5, 1, "perm", false},
+		{"selector", 6, 2, "binary", false},
+		{"selector", 6, 2, "perm", false},
+		{"merger", 6, 1, "binary", false},
+		{"merger", 6, 1, "perm", false},
+		{"sorter", 100, 1, "binary", true},
+		{"selector", 100, 3, "perm", true},
+		{"merger", 100, 1, "binary", true},
+		{"sorter", 100, 1, "perm", true},
+		{"selector", 100, 3, "binary", true},
+		{"merger", 100, 1, "perm", true},
+	}
+	for _, c := range cases {
+		if err := run(c.prop, c.n, c.k, c.inputs, c.size); err != nil {
+			t.Errorf("%+v: %v", c, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("sorter", 0, 1, "binary", false); err == nil {
+		t.Error("n=0 should error")
+	}
+	if err := run("sorter", 30, 1, "binary", false); err == nil {
+		t.Error("huge enumeration should error")
+	}
+	if err := run("unknown", 5, 1, "binary", false); err == nil {
+		t.Error("unknown property should error")
+	}
+	if err := run("unknown", 5, 1, "perm", false); err == nil {
+		t.Error("unknown perm property should error")
+	}
+	if err := run("unknown", 5, 1, "binary", true); err == nil {
+		t.Error("unknown sizeonly property should error")
+	}
+}

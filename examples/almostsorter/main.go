@@ -1,0 +1,69 @@
+// Adversarial lower bound, live: pick any non-sorted string σ and
+// watch Lemma 2.1 build a network that fools every test except σ
+// itself — the construction that makes the paper's bounds exact
+// rather than merely asymptotic.
+//
+// Run with: go run ./examples/almostsorter
+package main
+
+import (
+	"fmt"
+
+	"sortnets"
+	"sortnets/internal/bitvec"
+	"sortnets/internal/core"
+)
+
+func main() {
+	// Walk the induction: base case, case C, case A/B, mirrored.
+	for _, s := range []string{"10", "100", "0110", "10101", "110100"} {
+		sigma := sortnets.MustVec(s)
+		h := sortnets.MustAlmostSorter(sigma)
+		fmt.Printf("σ = %-8s case %-8s |H_σ| = %-3d depth %d\n",
+			sigma, core.ClassifyAlmostSorter(sigma), h.Size(), h.Depth())
+	}
+
+	// Deep dive on one adversary.
+	sigma := sortnets.MustVec("110100")
+	h := sortnets.MustAlmostSorter(sigma)
+	fmt.Printf("\nH_σ for σ = %s:\n%s\n", sigma, h.Diagram())
+
+	// Its output on σ is one interchange away from sorted — the
+	// subtlest possible failure.
+	out := h.ApplyVec(sigma)
+	fmt.Printf("H_σ(σ) = %s  (needs exactly one more exchange)\n\n", out)
+
+	// Sweep the whole universe: exactly one failure.
+	failures := 0
+	it := bitvec.All(sigma.N)
+	for {
+		v, ok := it.Next()
+		if !ok {
+			break
+		}
+		if !h.ApplyVec(v).IsSorted() {
+			failures++
+			fmt.Printf("the only input H_σ mishandles: %s\n", v)
+		}
+	}
+	fmt.Printf("failures over all %d inputs: %d\n\n", bitvec.Universe(sigma.N), failures)
+
+	// Consequence: a test set that omits σ certifies this non-sorter.
+	fmt.Println("run the minimal test set WITHOUT σ:")
+	passedAll := true
+	tests := core.SorterBinaryTests(sigma.N)
+	for {
+		v, ok := tests.Next()
+		if !ok {
+			break
+		}
+		if v == sigma {
+			continue // the dropped test
+		}
+		if !h.ApplyVec(v).IsSorted() {
+			passedAll = false
+		}
+	}
+	fmt.Printf("  adversary passes every remaining test: %v\n", passedAll)
+	fmt.Println("  → every non-sorted string is irreplaceable; the bound 2ⁿ−n−1 is exact.")
+}

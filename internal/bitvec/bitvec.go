@@ -1,0 +1,238 @@
+// Package bitvec provides binary input vectors for comparator networks.
+//
+// A Vec is an n-bit binary string σ = σ₁σ₂…σₙ in the paper's notation
+// (Chung & Ravikumar 1987/1990). Line i of the network (1-based in the
+// paper, 0-based here) carries bit i. Bit i of the packed word is the
+// value on line i, so the "top" line of a network diagram is bit 0.
+//
+// A vector is *sorted* when it is nondecreasing top-to-bottom, i.e. it
+// has the form 0^a 1^b. The zero-one principle makes these vectors the
+// fundamental test inputs for sorting networks, and all three minimal
+// test sets of the paper are sets of Vecs (or of permutations, which
+// cover chains of Vecs; see package perm).
+//
+// The package restricts n to at most 64 lines so that a vector fits a
+// machine word; every experiment in the paper operates far below that
+// (test sets grow like 2^n). Word packing is what enables the 64-lane
+// bit-parallel network evaluation in package network.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// MaxN is the largest supported number of lines. A Vec packs one bit
+// per line into a single uint64.
+const MaxN = 64
+
+// Vec is a binary string of length N over {0,1}. Bit i of Bits is σ_{i+1}
+// in the paper's 1-based notation. The zero value is the empty string.
+type Vec struct {
+	N    int    // number of lines / string length
+	Bits uint64 // bit i = value on line i
+}
+
+// New builds a Vec of length n with the given packed bits. It panics if
+// n is out of range or if bits has a set bit at or above position n;
+// both indicate a programming error rather than a recoverable condition.
+func New(n int, bits uint64) Vec {
+	if n < 0 || n > MaxN {
+		panic(fmt.Sprintf("bitvec: length %d out of range [0,%d]", n, MaxN))
+	}
+	if n < MaxN && bits>>uint(n) != 0 {
+		panic(fmt.Sprintf("bitvec: bits %#x overflow length %d", bits, n))
+	}
+	return Vec{N: n, Bits: bits}
+}
+
+// FromString parses a string of '0' and '1' runes, most significant
+// position first in the paper's sense: s[0] is σ₁, the top line.
+func FromString(s string) (Vec, error) {
+	if len(s) > MaxN {
+		return Vec{}, fmt.Errorf("bitvec: string length %d exceeds %d", len(s), MaxN)
+	}
+	var w uint64
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			w |= 1 << uint(i)
+		default:
+			return Vec{}, fmt.Errorf("bitvec: invalid character %q at position %d", s[i], i)
+		}
+	}
+	return Vec{N: len(s), Bits: w}, nil
+}
+
+// MustFromString is FromString for tests and literals; it panics on error.
+func MustFromString(s string) Vec {
+	v, err := FromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// FromBits builds a Vec from individual bit values.
+func FromBits(bits []int) (Vec, error) {
+	if len(bits) > MaxN {
+		return Vec{}, fmt.Errorf("bitvec: length %d exceeds %d", len(bits), MaxN)
+	}
+	var w uint64
+	for i, b := range bits {
+		switch b {
+		case 0:
+		case 1:
+			w |= 1 << uint(i)
+		default:
+			return Vec{}, fmt.Errorf("bitvec: element %d is %d, want 0 or 1", i, b)
+		}
+	}
+	return Vec{N: len(bits), Bits: w}, nil
+}
+
+// String renders the vector as a string of '0'/'1', top line first,
+// e.g. "0101" for σ = 0101.
+func (v Vec) String() string {
+	var sb strings.Builder
+	sb.Grow(v.N)
+	for i := 0; i < v.N; i++ {
+		if v.Bit(i) == 1 {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Bit returns the value (0 or 1) on line i, 0-based.
+func (v Vec) Bit(i int) int {
+	return int(v.Bits>>uint(i)) & 1
+}
+
+// SetBit returns a copy of v with line i set to b (0 or 1).
+func (v Vec) SetBit(i, b int) Vec {
+	if b == 0 {
+		v.Bits &^= 1 << uint(i)
+	} else {
+		v.Bits |= 1 << uint(i)
+	}
+	return v
+}
+
+// Ints expands the vector into a slice of 0/1 ints.
+func (v Vec) Ints() []int {
+	out := make([]int, v.N)
+	for i := range out {
+		out[i] = v.Bit(i)
+	}
+	return out
+}
+
+// Ones returns |σ|₁, the number of ones.
+func (v Vec) Ones() int { return bits.OnesCount64(v.Bits) }
+
+// Zeros returns |σ|₀, the number of zeroes.
+func (v Vec) Zeros() int { return v.N - v.Ones() }
+
+// IsSorted reports whether the vector is nondecreasing, i.e. of the form
+// 0^a 1^b with the ones occupying the bottom (high-index) lines.
+func (v Vec) IsSorted() bool {
+	return v.Bits == SortedWithOnes(v.N, v.Ones()).Bits
+}
+
+// Sorted returns the sorted rearrangement of v: same multiset of bits,
+// in nondecreasing order.
+func (v Vec) Sorted() Vec { return SortedWithOnes(v.N, v.Ones()) }
+
+// SortedWithOnes returns the unique sorted vector of length n with
+// exactly k ones: 0^(n−k) 1^k.
+func SortedWithOnes(n, k int) Vec {
+	if k < 0 || k > n {
+		panic(fmt.Sprintf("bitvec: %d ones out of range for length %d", k, n))
+	}
+	if k == 0 {
+		return Vec{N: n}
+	}
+	var mask uint64
+	if k == MaxN {
+		mask = ^uint64(0)
+	} else {
+		mask = (uint64(1)<<uint(k) - 1) << uint(n-k)
+	}
+	return Vec{N: n, Bits: mask}
+}
+
+// AllOnes returns 1^n.
+func AllOnes(n int) Vec { return SortedWithOnes(n, n) }
+
+// AllZeros returns 0^n.
+func AllZeros(n int) Vec { return Vec{N: n} }
+
+// Leq reports the bitwise dominance order of the paper's Theorem 2.4:
+// σ ≤ τ iff σᵢ ≤ τᵢ for every line i. Any comparator network is monotone
+// with respect to this order. Panics if lengths differ.
+func Leq(a, b Vec) bool {
+	if a.N != b.N {
+		panic(fmt.Sprintf("bitvec: Leq length mismatch %d vs %d", a.N, b.N))
+	}
+	return a.Bits&^b.Bits == 0
+}
+
+// Concat returns the concatenation σ₁σ₂ (a on the top lines, b below),
+// the input form used by merging networks. Panics if the result exceeds
+// MaxN lines.
+func Concat(a, b Vec) Vec {
+	if a.N+b.N > MaxN {
+		panic(fmt.Sprintf("bitvec: concat length %d exceeds %d", a.N+b.N, MaxN))
+	}
+	return Vec{N: a.N + b.N, Bits: a.Bits | b.Bits<<uint(a.N)}
+}
+
+// Slice returns the substring σ_{i+1:j} of the paper (0-based half-open
+// [i, j) here): the bits on lines i..j−1 as a Vec of length j−i.
+func (v Vec) Slice(i, j int) Vec {
+	if i < 0 || j < i || j > v.N {
+		panic(fmt.Sprintf("bitvec: slice [%d,%d) out of range for length %d", i, j, v.N))
+	}
+	n := j - i
+	if n == 0 {
+		return Vec{}
+	}
+	var mask uint64
+	if n == MaxN {
+		mask = ^uint64(0)
+	} else {
+		mask = uint64(1)<<uint(n) - 1
+	}
+	return Vec{N: n, Bits: (v.Bits >> uint(i)) & mask}
+}
+
+// Complement returns the bitwise complement of v.
+func (v Vec) Complement() Vec {
+	return New(v.N, ^v.Bits&lowMask(v.N))
+}
+
+// Reverse returns the vector read bottom-to-top.
+func (v Vec) Reverse() Vec {
+	return New(v.N, bits.Reverse64(v.Bits)>>uint(MaxN-v.N))
+}
+
+func lowMask(n int) uint64 {
+	if n >= MaxN {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(n) - 1
+}
+
+// Universe returns the number of distinct vectors of length n, 2^n,
+// panicking when that does not fit an int (n ≥ 63 on 64-bit platforms).
+func Universe(n int) int {
+	if n < 0 || n > 62 {
+		panic(fmt.Sprintf("bitvec: universe size 2^%d does not fit an int", n))
+	}
+	return 1 << uint(n)
+}

@@ -1,0 +1,258 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromStringRoundTrip(t *testing.T) {
+	cases := []string{"", "0", "1", "01", "10", "0101", "1111", "0000", "100", "110", "010", "101"}
+	for _, s := range cases {
+		v, err := FromString(s)
+		if err != nil {
+			t.Fatalf("FromString(%q): %v", s, err)
+		}
+		if got := v.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+		if v.N != len(s) {
+			t.Errorf("FromString(%q).N = %d, want %d", s, v.N, len(s))
+		}
+	}
+}
+
+func TestFromStringErrors(t *testing.T) {
+	if _, err := FromString("01x"); err == nil {
+		t.Error("expected error for invalid character")
+	}
+	long := make([]byte, MaxN+1)
+	for i := range long {
+		long[i] = '0'
+	}
+	if _, err := FromString(string(long)); err == nil {
+		t.Error("expected error for over-long string")
+	}
+}
+
+func TestFromBits(t *testing.T) {
+	v, err := FromBits([]int{1, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "1011" {
+		t.Errorf("got %q, want 1011", v.String())
+	}
+	if _, err := FromBits([]int{0, 2}); err == nil {
+		t.Error("expected error for non-binary element")
+	}
+}
+
+func TestBitAndSetBit(t *testing.T) {
+	v := MustFromString("0101")
+	want := []int{0, 1, 0, 1}
+	for i, w := range want {
+		if v.Bit(i) != w {
+			t.Errorf("Bit(%d) = %d, want %d", i, v.Bit(i), w)
+		}
+	}
+	v2 := v.SetBit(0, 1).SetBit(3, 0)
+	if v2.String() != "1100" {
+		t.Errorf("SetBit chain gave %q, want 1100", v2.String())
+	}
+	if v.String() != "0101" {
+		t.Errorf("SetBit mutated receiver: %q", v.String())
+	}
+}
+
+func TestOnesZeros(t *testing.T) {
+	v := MustFromString("0110100")
+	if v.Ones() != 3 || v.Zeros() != 4 {
+		t.Errorf("Ones/Zeros = %d/%d, want 3/4", v.Ones(), v.Zeros())
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	sorted := []string{"", "0", "1", "01", "0011", "0001", "1111", "0000", "011111"}
+	for _, s := range sorted {
+		if !MustFromString(s).IsSorted() {
+			t.Errorf("%q should be sorted", s)
+		}
+	}
+	unsorted := []string{"10", "100", "101", "010", "110", "0110", "1000001"}
+	for _, s := range unsorted {
+		if MustFromString(s).IsSorted() {
+			t.Errorf("%q should not be sorted", s)
+		}
+	}
+}
+
+func TestSortedCountMatchesFormula(t *testing.T) {
+	// Exactly n+1 sorted vectors of length n: 0^a 1^(n-a).
+	for n := 0; n <= 12; n++ {
+		count := 0
+		it := All(n)
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			if v.IsSorted() {
+				count++
+			}
+		}
+		if count != n+1 {
+			t.Errorf("n=%d: %d sorted vectors, want %d", n, count, n+1)
+		}
+	}
+}
+
+func TestSortedWithOnes(t *testing.T) {
+	if got := SortedWithOnes(5, 2).String(); got != "00011" {
+		t.Errorf("SortedWithOnes(5,2) = %q, want 00011", got)
+	}
+	if got := SortedWithOnes(4, 0).String(); got != "0000" {
+		t.Errorf("SortedWithOnes(4,0) = %q", got)
+	}
+	if got := SortedWithOnes(4, 4).String(); got != "1111" {
+		t.Errorf("SortedWithOnes(4,4) = %q", got)
+	}
+	if got := SortedWithOnes(MaxN, MaxN); got.Ones() != MaxN {
+		t.Errorf("SortedWithOnes(64,64) has %d ones", got.Ones())
+	}
+}
+
+func TestSortedRearrangement(t *testing.T) {
+	v := MustFromString("101001")
+	if got := v.Sorted().String(); got != "000111" {
+		t.Errorf("Sorted() = %q, want 000111", got)
+	}
+}
+
+func TestLeq(t *testing.T) {
+	a := MustFromString("0101")
+	b := MustFromString("0111")
+	if !Leq(a, b) {
+		t.Error("0101 <= 0111 should hold")
+	}
+	if Leq(b, a) {
+		t.Error("0111 <= 0101 should not hold")
+	}
+	if !Leq(a, a) {
+		t.Error("Leq must be reflexive")
+	}
+}
+
+func TestConcatAndSlice(t *testing.T) {
+	a := MustFromString("011")
+	b := MustFromString("001")
+	c := Concat(a, b)
+	if c.String() != "011001" {
+		t.Errorf("Concat = %q, want 011001", c.String())
+	}
+	if got := c.Slice(0, 3); got != a {
+		t.Errorf("Slice(0,3) = %q, want %q", got, a)
+	}
+	if got := c.Slice(3, 6); got != b {
+		t.Errorf("Slice(3,6) = %q, want %q", got, b)
+	}
+	if got := c.Slice(2, 2); got.N != 0 {
+		t.Errorf("empty slice has N=%d", got.N)
+	}
+}
+
+func TestComplementReverse(t *testing.T) {
+	v := MustFromString("1001101")
+	if got := v.Complement().String(); got != "0110010" {
+		t.Errorf("Complement = %q", got)
+	}
+	if got := v.Reverse().String(); got != "1011001" {
+		t.Errorf("Reverse = %q", got)
+	}
+	if got := v.Reverse().Reverse(); got != v {
+		t.Errorf("double reverse: %q", got)
+	}
+}
+
+func TestUniverse(t *testing.T) {
+	if Universe(0) != 1 || Universe(4) != 16 {
+		t.Error("Universe sizes wrong")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("New negative", func() { New(-1, 0) })
+	mustPanic("New overflow bits", func() { New(3, 0b1000) })
+	mustPanic("Leq mismatch", func() { Leq(MustFromString("01"), MustFromString("011")) })
+	mustPanic("Slice range", func() { MustFromString("0101").Slice(2, 9) })
+	mustPanic("SortedWithOnes range", func() { SortedWithOnes(3, 4) })
+	mustPanic("Universe large", func() { Universe(63) })
+}
+
+func TestLeqIsPartialOrderProperty(t *testing.T) {
+	// Property-based: Leq agrees with per-bit comparison, is transitive
+	// and antisymmetric on random vectors.
+	f := func(x, y, z uint16) bool {
+		const n = 16
+		a := New(n, uint64(x))
+		b := New(n, uint64(y))
+		c := New(n, uint64(z))
+		slow := func(u, v Vec) bool {
+			for i := 0; i < n; i++ {
+				if u.Bit(i) > v.Bit(i) {
+					return false
+				}
+			}
+			return true
+		}
+		if Leq(a, b) != slow(a, b) {
+			return false
+		}
+		if Leq(a, b) && Leq(b, c) && !Leq(a, c) {
+			return false
+		}
+		if Leq(a, b) && Leq(b, a) && a != b {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcatSliceProperty(t *testing.T) {
+	f := func(x uint8, y uint16) bool {
+		a := New(8, uint64(x))
+		b := New(16, uint64(y))
+		c := Concat(a, b)
+		return c.Slice(0, 8) == a && c.Slice(8, 24) == b && c.Ones() == a.Ones()+b.Ones()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomSortedInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(20)
+		v := New(n, rng.Uint64()&lowMask(n))
+		s := v.Sorted()
+		if !s.IsSorted() {
+			t.Fatalf("Sorted() of %q not sorted: %q", v, s)
+		}
+		if s.Ones() != v.Ones() {
+			t.Fatalf("Sorted() changed multiset of %q", v)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package bitvec
+
+import "math/bits"
+
+// This file provides streaming enumeration of vector families. The test
+// sets of the paper are exponentially large (Theorem 2.2: 2^n − n − 1
+// vectors), so the verification engines consume iterators instead of
+// materialized slices; materialization is available for the small n used
+// in exhaustive experiments.
+
+// Iterator yields a sequence of Vecs. Next returns false when the
+// sequence is exhausted; after that, further calls keep returning false.
+type Iterator interface {
+	Next() (Vec, bool)
+}
+
+// Count drains an iterator and returns how many vectors it produced.
+func Count(it Iterator) int {
+	n := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// Collect drains an iterator into a slice.
+func Collect(it Iterator) []Vec {
+	var out []Vec
+	for {
+		v, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+// All enumerates every vector of length n in increasing word order
+// (0^n first, 1^n last).
+func All(n int) Iterator { return &allIter{n: n, next: 0, limit: uint64(Universe(n))} }
+
+type allIter struct {
+	n     int
+	next  uint64
+	limit uint64
+}
+
+func (it *allIter) Next() (Vec, bool) {
+	if it.next >= it.limit {
+		return Vec{}, false
+	}
+	v := Vec{N: it.n, Bits: it.next}
+	it.next++
+	return v, true
+}
+
+// FixedWeight enumerates every vector of length n with exactly k ones,
+// in increasing word order, using Gosper's hack to step between
+// same-popcount words in O(1).
+func FixedWeight(n, k int) Iterator {
+	if k < 0 || k > n {
+		return &emptyIter{}
+	}
+	if k == 0 {
+		return &singleIter{v: AllZeros(n)}
+	}
+	return &gosperIter{n: n, cur: uint64(1)<<uint(k) - 1, limit: lowMask(n)}
+}
+
+type emptyIter struct{}
+
+func (emptyIter) Next() (Vec, bool) { return Vec{}, false }
+
+type singleIter struct {
+	v    Vec
+	done bool
+}
+
+func (it *singleIter) Next() (Vec, bool) {
+	if it.done {
+		return Vec{}, false
+	}
+	it.done = true
+	return it.v, true
+}
+
+type gosperIter struct {
+	n     int
+	cur   uint64
+	limit uint64
+	done  bool
+}
+
+func (it *gosperIter) Next() (Vec, bool) {
+	if it.done || it.cur > it.limit {
+		it.done = true
+		return Vec{}, false
+	}
+	v := Vec{N: it.n, Bits: it.cur}
+	// Gosper's hack: next larger word with the same popcount.
+	c := it.cur
+	lo := c & (^c + 1)
+	lz := c + lo
+	if lo == 0 || lz == 0 {
+		it.done = true
+		return v, true
+	}
+	it.cur = lz | (((c ^ lz) / lo) >> 2)
+	return v, true
+}
+
+// MaxWeight enumerates every vector of length n with at most k ones,
+// weight by weight (all weight-0, then weight-1, …). This is the
+// enumeration order behind the selector test sets of Theorem 2.4, where
+// the relevant strings have |σ|₀ ≤ k, i.e. complemented weight bounds.
+func MaxWeight(n, k int) Iterator {
+	if k > n {
+		k = n
+	}
+	return &maxWeightIter{n: n, k: k, w: 0, inner: FixedWeight(n, 0)}
+}
+
+type maxWeightIter struct {
+	n, k, w int
+	inner   Iterator
+}
+
+func (it *maxWeightIter) Next() (Vec, bool) {
+	for {
+		if v, ok := it.inner.Next(); ok {
+			return v, true
+		}
+		it.w++
+		if it.w > it.k {
+			return Vec{}, false
+		}
+		it.inner = FixedWeight(it.n, it.w)
+	}
+}
+
+// MaxZeros enumerates every vector of length n with at most k zeroes
+// (|σ|₀ ≤ k), the raw universe of the selector test set T⁺_k before the
+// sorted strings are removed.
+func MaxZeros(n, k int) Iterator {
+	return &complementIter{inner: MaxWeight(n, k)}
+}
+
+type complementIter struct{ inner Iterator }
+
+func (it *complementIter) Next() (Vec, bool) {
+	v, ok := it.inner.Next()
+	if !ok {
+		return Vec{}, false
+	}
+	return v.Complement(), true
+}
+
+// NotSorted wraps an iterator, dropping every sorted vector. All three
+// of the paper's 0/1 test sets are "some universe minus its sorted
+// members": a sorted input can never witness a failure because standard
+// comparators cannot unsort it.
+func NotSorted(inner Iterator) Iterator { return &filterIter{inner: inner, keep: notSorted} }
+
+func notSorted(v Vec) bool { return !v.IsSorted() }
+
+// Filter yields only the vectors of inner for which keep returns true.
+func Filter(inner Iterator, keep func(Vec) bool) Iterator {
+	return &filterIter{inner: inner, keep: keep}
+}
+
+type filterIter struct {
+	inner Iterator
+	keep  func(Vec) bool
+}
+
+func (it *filterIter) Next() (Vec, bool) {
+	for {
+		v, ok := it.inner.Next()
+		if !ok {
+			return Vec{}, false
+		}
+		if it.keep(v) {
+			return v, true
+		}
+	}
+}
+
+// Slice adapts a materialized slice back into an Iterator.
+func Slice(vs []Vec) Iterator { return &sliceIter{vs: vs} }
+
+type sliceIter struct {
+	vs []Vec
+	i  int
+}
+
+func (it *sliceIter) Next() (Vec, bool) {
+	if it.i >= len(it.vs) {
+		return Vec{}, false
+	}
+	v := it.vs[it.i]
+	it.i++
+	return v, true
+}
+
+// GrayCode enumerates all 2^n vectors in reflected-Gray-code order, so
+// consecutive vectors differ in exactly one line. Used by benchmarks to
+// exercise incremental evaluation.
+func GrayCode(n int) Iterator {
+	return &grayIter{n: n, i: 0, limit: uint64(Universe(n))}
+}
+
+type grayIter struct {
+	n        int
+	i, limit uint64
+}
+
+func (it *grayIter) Next() (Vec, bool) {
+	if it.i >= it.limit {
+		return Vec{}, false
+	}
+	v := Vec{N: it.n, Bits: it.i ^ (it.i >> 1)}
+	it.i++
+	return v, true
+}
+
+// RankFixedWeight returns the 0-based position of v in the increasing
+// word order of all length-n weight-k vectors (the combinatorial number
+// system). It is the inverse of UnrankFixedWeight.
+func RankFixedWeight(v Vec) int {
+	rank := 0
+	k := 0
+	w := v.Bits
+	for w != 0 {
+		i := bits.TrailingZeros64(w)
+		w &^= 1 << uint(i)
+		k++
+		rank += binom(i, k)
+	}
+	return rank
+}
+
+// UnrankFixedWeight returns the rank-th (0-based) vector of length n
+// with exactly k ones, in increasing word order.
+func UnrankFixedWeight(n, k, rank int) Vec {
+	var w uint64
+	for ; k > 0; k-- {
+		// Largest position p with binom(p, k) <= rank.
+		p := k - 1
+		for binom(p+1, k) <= rank {
+			p++
+		}
+		rank -= binom(p, k)
+		w |= 1 << uint(p)
+	}
+	return New(n, w)
+}
+
+// binom is a small local binomial; package comb has the full-featured
+// version, but bitvec must not depend upward.
+func binom(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1
+	for i := 0; i < k; i++ {
+		r = r * (n - i) / (i + 1)
+	}
+	return r
+}

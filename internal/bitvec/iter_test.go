@@ -1,0 +1,194 @@
+package bitvec
+
+import (
+	"testing"
+)
+
+func TestAllEnumeratesUniverse(t *testing.T) {
+	for n := 0; n <= 10; n++ {
+		seen := make(map[uint64]bool)
+		it := All(n)
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			if v.N != n {
+				t.Fatalf("n=%d: vector of length %d", n, v.N)
+			}
+			if seen[v.Bits] {
+				t.Fatalf("n=%d: duplicate %q", n, v)
+			}
+			seen[v.Bits] = true
+		}
+		if len(seen) != Universe(n) {
+			t.Errorf("n=%d: enumerated %d, want %d", n, len(seen), Universe(n))
+		}
+	}
+}
+
+func TestFixedWeightCounts(t *testing.T) {
+	for n := 0; n <= 14; n++ {
+		total := 0
+		for k := 0; k <= n; k++ {
+			c := Count(FixedWeight(n, k))
+			if c != binom(n, k) {
+				t.Errorf("n=%d k=%d: count %d, want C(n,k)=%d", n, k, c, binom(n, k))
+			}
+			total += c
+		}
+		if total != Universe(n) {
+			t.Errorf("n=%d: weights total %d, want 2^n=%d", n, total, Universe(n))
+		}
+	}
+}
+
+func TestFixedWeightContents(t *testing.T) {
+	it := FixedWeight(4, 2)
+	var got []string
+	for {
+		v, ok := it.Next()
+		if !ok {
+			break
+		}
+		if v.Ones() != 2 {
+			t.Errorf("vector %q has weight %d", v, v.Ones())
+		}
+		got = append(got, v.String())
+	}
+	want := []string{"1100", "1010", "0110", "1001", "0101", "0011"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d vectors: %v", len(got), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("position %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFixedWeightEdges(t *testing.T) {
+	if Count(FixedWeight(5, -1)) != 0 {
+		t.Error("negative weight should be empty")
+	}
+	if Count(FixedWeight(5, 6)) != 0 {
+		t.Error("over-weight should be empty")
+	}
+	if Count(FixedWeight(0, 0)) != 1 {
+		t.Error("FixedWeight(0,0) should yield the empty vector once")
+	}
+	if Count(FixedWeight(5, 0)) != 1 || Count(FixedWeight(5, 5)) != 1 {
+		t.Error("extreme weights should yield exactly one vector")
+	}
+}
+
+func TestMaxWeightAndMaxZeros(t *testing.T) {
+	for n := 0; n <= 12; n++ {
+		for k := 0; k <= n; k++ {
+			want := 0
+			for i := 0; i <= k; i++ {
+				want += binom(n, i)
+			}
+			if c := Count(MaxWeight(n, k)); c != want {
+				t.Errorf("MaxWeight(%d,%d) = %d, want %d", n, k, c, want)
+			}
+			if c := Count(MaxZeros(n, k)); c != want {
+				t.Errorf("MaxZeros(%d,%d) = %d, want %d", n, k, c, want)
+			}
+		}
+	}
+	// MaxZeros yields vectors with at most k zeroes.
+	it := MaxZeros(6, 2)
+	for {
+		v, ok := it.Next()
+		if !ok {
+			break
+		}
+		if v.Zeros() > 2 {
+			t.Errorf("MaxZeros(6,2) yielded %q with %d zeroes", v, v.Zeros())
+		}
+	}
+}
+
+func TestNotSortedFilter(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		c := Count(NotSorted(All(n)))
+		want := Universe(n) - (n + 1)
+		if c != want {
+			t.Errorf("n=%d: %d non-sorted vectors, want 2^n-(n+1)=%d", n, c, want)
+		}
+	}
+}
+
+func TestGrayCodeAdjacency(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		it := GrayCode(n)
+		prev, ok := it.Next()
+		if !ok {
+			t.Fatal("empty gray code")
+		}
+		seen := map[uint64]bool{prev.Bits: true}
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			if d := prev.Bits ^ v.Bits; d == 0 || d&(d-1) != 0 {
+				t.Fatalf("n=%d: consecutive gray codes %q -> %q differ in != 1 bit", n, prev, v)
+			}
+			if seen[v.Bits] {
+				t.Fatalf("n=%d: duplicate %q", n, v)
+			}
+			seen[v.Bits] = true
+			prev = v
+		}
+		if len(seen) != Universe(n) {
+			t.Errorf("n=%d: gray code covered %d of %d", n, len(seen), Universe(n))
+		}
+	}
+}
+
+func TestCollectAndSlice(t *testing.T) {
+	vs := Collect(FixedWeight(5, 3))
+	if len(vs) != 10 {
+		t.Fatalf("collected %d, want 10", len(vs))
+	}
+	again := Collect(Slice(vs))
+	if len(again) != len(vs) {
+		t.Fatalf("slice iterator yielded %d", len(again))
+	}
+	for i := range vs {
+		if vs[i] != again[i] {
+			t.Errorf("position %d differs", i)
+		}
+	}
+}
+
+func TestRankUnrankFixedWeight(t *testing.T) {
+	for n := 0; n <= 12; n++ {
+		for k := 0; k <= n; k++ {
+			it := FixedWeight(n, k)
+			rank := 0
+			for {
+				v, ok := it.Next()
+				if !ok {
+					break
+				}
+				if got := RankFixedWeight(v); got != rank {
+					t.Fatalf("n=%d k=%d: rank of %q = %d, want %d", n, k, v, got, rank)
+				}
+				if got := UnrankFixedWeight(n, k, rank); got != v {
+					t.Fatalf("n=%d k=%d: unrank(%d) = %q, want %q", n, k, rank, got, v)
+				}
+				rank++
+			}
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	evenOnes := Filter(All(6), func(v Vec) bool { return v.Ones()%2 == 0 })
+	if c := Count(evenOnes); c != 32 {
+		t.Errorf("even-weight count = %d, want 32", c)
+	}
+}

@@ -1,0 +1,34 @@
+package chains
+
+import "testing"
+
+// BenchmarkDecomposeRecursive measures the dBTK recursion at n=14
+// (3432 chains).
+func BenchmarkDecomposeRecursive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(Decompose(14)) != 3432 {
+			b.Fatal("wrong chain count")
+		}
+	}
+}
+
+// BenchmarkDecomposeGK measures the bracket-matching decomposition at
+// n=14 — the ablation partner of the recursive construction (it costs
+// a full 2^n sweep plus hashing).
+func BenchmarkDecomposeGK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(DecomposeGK(14)) != 3432 {
+			b.Fatal("wrong chain count")
+		}
+	}
+}
+
+// BenchmarkSorterPermutations measures the full optimal-permutation
+// test-set construction at n=12 (923 permutations).
+func BenchmarkSorterPermutations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(SorterPermutations(12)) != 923 {
+			b.Fatal("wrong size")
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package chains
+
+import (
+	"sort"
+
+	"sortnets/internal/bitvec"
+)
+
+// An independent, non-recursive symmetric chain decomposition: the
+// Greene–Kleitman bracketing. Reading a string with 1 as "(" and 0 as
+// ")", matched pairs stay fixed along a chain while the unmatched
+// positions (which always read 0…0 1…1 left to right) sweep through
+// 0^j 1^(u−j). Two properties matter here:
+//
+//   - it yields a valid SCD (verified against Decompose in the tests:
+//     same chain count, same level spans, both partition the cube);
+//   - the all-sorted strings 0^a 1^b have NO matched pairs, so they
+//     form one full chain, exactly like the recursive construction —
+//     the chain every optimal test set drops.
+//
+// The two decompositions generally differ chain-by-chain; having both
+// machine-checked guards each against construction bugs in the other.
+
+// ChainOf returns the Greene–Kleitman chain through σ, bottom-up,
+// without constructing the whole decomposition: O(n) after the
+// bracket matching.
+func ChainOf(v bitvec.Vec) Chain {
+	unmatched := unmatchedPositions(v)
+	// The chain fixes matched positions and sweeps the unmatched ones
+	// through 0^j 1^(u−j), j = u..0 (bottom has all unmatched = 0).
+	base := v
+	for _, p := range unmatched {
+		base = base.SetBit(p, 0)
+	}
+	chain := make(Chain, 0, len(unmatched)+1)
+	cur := base
+	chain = append(chain, cur)
+	// Raise by setting unmatched positions to 1 from the right.
+	for i := len(unmatched) - 1; i >= 0; i-- {
+		cur = cur.SetBit(unmatched[i], 1)
+		chain = append(chain, cur)
+	}
+	return chain
+}
+
+// unmatchedPositions returns, in increasing order, the positions left
+// unmatched by the bracket matching (1 opens, 0 closes).
+func unmatchedPositions(v bitvec.Vec) []int {
+	var stack []int // open positions (1s) awaiting a 0
+	matched := make([]bool, v.N)
+	for i := 0; i < v.N; i++ {
+		if v.Bit(i) == 1 {
+			stack = append(stack, i)
+		} else if len(stack) > 0 {
+			matched[stack[len(stack)-1]] = true
+			matched[i] = true
+			stack = stack[:len(stack)-1]
+		}
+	}
+	var out []int
+	for i := 0; i < v.N; i++ {
+		if !matched[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DecomposeGK returns the Greene–Kleitman symmetric chain
+// decomposition of {0,1}^n, grouping strings by the bottom of their
+// bracket chain. Chains are ordered by their bottom element's word
+// value for determinism; the all-sorted chain is always present.
+func DecomposeGK(n int) []Chain {
+	byBottom := map[uint64]Chain{}
+	it := bitvec.All(n)
+	for {
+		v, ok := it.Next()
+		if !ok {
+			break
+		}
+		c := ChainOf(v)
+		bottom := c.Bottom().Bits
+		if _, done := byBottom[bottom]; !done {
+			byBottom[bottom] = c
+		}
+	}
+	bottoms := make([]uint64, 0, len(byBottom))
+	for b := range byBottom {
+		bottoms = append(bottoms, b)
+	}
+	sort.Slice(bottoms, func(i, j int) bool { return bottoms[i] < bottoms[j] })
+	out := make([]Chain, 0, len(bottoms))
+	for _, b := range bottoms {
+		out = append(out, byBottom[b])
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package chains
+
+import (
+	"math/rand"
+	"testing"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/comb"
+)
+
+func TestChainOfContainsItsString(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(14)
+		v := bitvec.New(n, rng.Uint64()&(uint64(1)<<uint(n)-1))
+		c := ChainOf(v)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("chain of %s: %v", v, err)
+		}
+		found := false
+		for _, u := range c {
+			if u == v {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("chain of %s does not contain it: %v", v, c)
+		}
+		if !c.IsSymmetric() {
+			t.Fatalf("chain of %s spans %d..%d", v, c.Bottom().Ones(), c.Top().Ones())
+		}
+	}
+}
+
+func TestChainOfConsistentAcrossMembers(t *testing.T) {
+	// Every member of a chain must map back to the same chain — the
+	// grouping that makes DecomposeGK a partition.
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		v := bitvec.New(n, rng.Uint64()&(uint64(1)<<uint(n)-1))
+		c := ChainOf(v)
+		for _, u := range c {
+			c2 := ChainOf(u)
+			if len(c2) != len(c) {
+				t.Fatalf("member %s of chain(%s) has different chain length", u, v)
+			}
+			for i := range c {
+				if c[i] != c2[i] {
+					t.Fatalf("member %s of chain(%s) yields a different chain", u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestDecomposeGKIsValidSCD(t *testing.T) {
+	for n := 0; n <= 13; n++ {
+		chains := DecomposeGK(n)
+		if want := int(comb.MustBinomial(n, n/2)); len(chains) != want {
+			t.Errorf("n=%d: %d chains, want %d", n, len(chains), want)
+		}
+		seen := map[uint64]bool{}
+		total := 0
+		for _, c := range chains {
+			if err := c.Validate(); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			if !c.IsSymmetric() {
+				t.Fatalf("n=%d: asymmetric chain", n)
+			}
+			for _, v := range c {
+				if seen[v.Bits] {
+					t.Fatalf("n=%d: %s in two chains", n, v)
+				}
+				seen[v.Bits] = true
+				total++
+			}
+		}
+		if total != bitvec.Universe(n) {
+			t.Errorf("n=%d: covered %d of 2^n", n, total)
+		}
+	}
+}
+
+func TestDecomposeGKContainsSortedChain(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		found := 0
+		for _, c := range DecomposeGK(n) {
+			if IsSortedChain(c) {
+				found++
+				if len(c) != n+1 {
+					t.Errorf("n=%d: sorted chain truncated (%d elements)", n, len(c))
+				}
+			}
+		}
+		if found != 1 {
+			t.Errorf("n=%d: %d sorted chains", n, found)
+		}
+	}
+}
+
+func TestGKAndRecursiveAgreeOnInvariants(t *testing.T) {
+	// The two constructions differ chain-by-chain but must agree on
+	// every aggregate the theory fixes: chain count, level-span
+	// multiset, and start-level counts (which drive the selector
+	// family sizes).
+	for n := 1; n <= 12; n++ {
+		rec := Decompose(n)
+		gk := DecomposeGK(n)
+		if len(rec) != len(gk) {
+			t.Fatalf("n=%d: %d vs %d chains", n, len(rec), len(gk))
+		}
+		recStarts := map[int]int{}
+		gkStarts := map[int]int{}
+		for _, c := range rec {
+			recStarts[c.Bottom().Ones()]++
+		}
+		for _, c := range gk {
+			gkStarts[c.Bottom().Ones()]++
+		}
+		for lvl, cnt := range recStarts {
+			if gkStarts[lvl] != cnt {
+				t.Errorf("n=%d: start level %d: recursive %d vs GK %d", n, lvl, cnt, gkStarts[lvl])
+			}
+		}
+	}
+}
+
+func TestGKPermutationTestSetAlsoWorks(t *testing.T) {
+	// Swapping the SCD backend must still produce a valid optimal
+	// sorter test set: drop the sorted chain, extend, convert, check
+	// coverage.
+	for n := 2; n <= 10; n++ {
+		var count int
+		covered := map[bitvec.Vec]bool{}
+		for _, c := range DecomposeGK(n) {
+			if IsSortedChain(c) {
+				continue
+			}
+			p, err := ToPermutation(ExtendMaximal(c))
+			if err != nil {
+				t.Fatal(err)
+			}
+			count++
+			for _, v := range p.Cover() {
+				covered[v] = true
+			}
+		}
+		if want := int(comb.MustBinomial(n, n/2)) - 1; count != want {
+			t.Fatalf("n=%d: %d permutations, want %d", n, count, want)
+		}
+		it := bitvec.NotSorted(bitvec.All(n))
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			if !covered[v] {
+				t.Fatalf("n=%d: %s uncovered by GK-based test set", n, v)
+			}
+		}
+	}
+}
+
+func TestUnmatchedPositionsExamples(t *testing.T) {
+	cases := map[string][]int{
+		"0011": {0, 1, 2, 3}, // ))(( : nothing matches
+		"1100": {},           // (()) : fully matched
+		"10":   {},           // ()   : matched
+		"01":   {0, 1},       // )(   : both unmatched
+		"1010": {},           // ()() : matched
+		"0110": {0, 1},       // )((): leading 0 and the 1 at position 1 stay unmatched
+	}
+	for s, want := range cases {
+		got := unmatchedPositions(bitvec.MustFromString(s))
+		if len(got) != len(want) {
+			t.Errorf("%s: unmatched %v, want %v", s, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: unmatched %v, want %v", s, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package comb supplies the exact combinatorics behind the paper's
+// bounds: binomial coefficients, factorials, and the closed-form sizes
+// of the minimal test sets of Theorems 2.2, 2.4 and 2.5 of Chung &
+// Ravikumar. Small arguments use overflow-checked int64 arithmetic;
+// arbitrary arguments use math/big, so the experiment harness can print
+// bound tables far beyond what is enumerable.
+package comb
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/bits"
+)
+
+// ErrOverflow is returned by the int64 variants when the exact value
+// does not fit in an int64.
+var ErrOverflow = fmt.Errorf("comb: value overflows int64")
+
+// Binomial returns C(n,k) as an int64, or ErrOverflow if the exact
+// value does not fit. Out-of-range k yields 0.
+func Binomial(n, k int) (int64, error) {
+	if k < 0 || k > n || n < 0 {
+		return 0, nil
+	}
+	if k > n-k {
+		k = n - k
+	}
+	var r uint64 = 1
+	for i := 0; i < k; i++ {
+		// r <- r * (n-i) / (i+1), exact at every step because the
+		// running product of i+1 consecutive integers is divisible
+		// by (i+1)!. The intermediate product is kept in 128 bits so
+		// values near the int64 limit (e.g. C(62,31)) stay exact.
+		num := uint64(n - i)
+		den := uint64(i + 1)
+		hi, lo := bits.Mul64(r, num)
+		if hi >= den {
+			return 0, ErrOverflow
+		}
+		q, _ := bits.Div64(hi, lo, den)
+		if q > math.MaxInt64 {
+			return 0, ErrOverflow
+		}
+		r = q
+	}
+	return int64(r), nil
+}
+
+// MustBinomial is Binomial panicking on overflow, for callers that have
+// already bounded n (the enumerable regime, n ≤ 62).
+func MustBinomial(n, k int) int64 {
+	v, err := Binomial(n, k)
+	if err != nil {
+		panic(fmt.Sprintf("comb: C(%d,%d): %v", n, k, err))
+	}
+	return v
+}
+
+// BigBinomial returns C(n,k) exactly as a big.Int.
+func BigBinomial(n, k int) *big.Int {
+	if k < 0 || k > n || n < 0 {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(int64(n), int64(k))
+}
+
+// CentralBinomial returns C(n, ⌊n/2⌋), the size (plus one) of the
+// minimal permutation test set for sorting (Theorem 2.2(ii)).
+func CentralBinomial(n int) *big.Int { return BigBinomial(n, n/2) }
+
+// Factorial returns n! as a big.Int; the exhaustive-permutation baseline
+// the paper's test sets beat.
+func Factorial(n int) *big.Int {
+	return new(big.Int).MulRange(1, int64(n))
+}
+
+// Pow2 returns 2^n as a big.Int.
+func Pow2(n int) *big.Int {
+	return new(big.Int).Lsh(big.NewInt(1), uint(n))
+}
+
+// SumBinomials returns Σ_{i=0..k} C(n,i) as a big.Int. Out-of-range k is
+// clamped to [−1, n] (k = −1 gives 0).
+func SumBinomials(n, k int) *big.Int {
+	if k > n {
+		k = n
+	}
+	sum := big.NewInt(0)
+	for i := 0; i <= k; i++ {
+		sum.Add(sum, BigBinomial(n, i))
+	}
+	return sum
+}
+
+// --- Closed-form minimal test-set sizes (the paper's headline rows) ---
+
+// SorterBinaryTestSetSize returns 2^n − n − 1, the exact size of the
+// smallest 0/1 test set deciding whether an n-line network is a sorter
+// (Theorem 2.2(i)).
+func SorterBinaryTestSetSize(n int) *big.Int {
+	s := Pow2(n)
+	s.Sub(s, big.NewInt(int64(n)+1))
+	return s
+}
+
+// SorterPermTestSetSize returns C(n,⌊n/2⌋) − 1, the exact size of the
+// smallest permutation test set for sorting (Theorem 2.2(ii), upper
+// bound by Yao's observation / Knuth ex. 6.5.1-1).
+func SorterPermTestSetSize(n int) *big.Int {
+	s := CentralBinomial(n)
+	s.Sub(s, big.NewInt(1))
+	return s
+}
+
+// SelectorBinaryTestSetSize returns Σ_{i=0..k} C(n,i) − k − 1, the exact
+// size of the smallest 0/1 test set for the (k,n)-selector property
+// (Theorem 2.4(i)). The subtracted k+1 counts the sorted strings with at
+// most k zeroes, which can never witness a failure.
+func SelectorBinaryTestSetSize(n, k int) *big.Int {
+	if k > n {
+		k = n
+	}
+	s := SumBinomials(n, k)
+	s.Sub(s, big.NewInt(int64(k)+1))
+	return s
+}
+
+// SelectorPermTestSetSize returns C(n, min(⌊n/2⌋, k)) − 1, the exact
+// size of the smallest permutation test set for the (k,n)-selector
+// property (Theorem 2.4(ii)).
+func SelectorPermTestSetSize(n, k int) *big.Int {
+	m := n / 2
+	if k < m {
+		m = k
+	}
+	s := BigBinomial(n, m)
+	s.Sub(s, big.NewInt(1))
+	return s
+}
+
+// MergerBinaryTestSetSize returns n²/4, the exact size of the smallest
+// 0/1 test set for the (n/2,n/2)-merger property (Theorem 2.5(i)).
+// n must be even.
+func MergerBinaryTestSetSize(n int) *big.Int {
+	if n%2 != 0 {
+		panic(fmt.Sprintf("comb: merger defined for even n, got %d", n))
+	}
+	h := int64(n / 2)
+	return big.NewInt(h * h)
+}
+
+// MergerPermTestSetSize returns n/2, the exact size of the smallest
+// permutation test set for merging (Theorem 2.5(ii)). n must be even.
+func MergerPermTestSetSize(n int) *big.Int {
+	if n%2 != 0 {
+		panic(fmt.Sprintf("comb: merger defined for even n, got %d", n))
+	}
+	return big.NewInt(int64(n / 2))
+}
+
+// --- Asymptotics (Yao's comparison, Section 2) ---
+
+// CentralBinomialEstimate returns the Stirling estimate
+// 2^n · √(2/(πn)) of C(n,⌊n/2⌋), the approximation the paper quotes as
+// "(n choose ⌊n/2⌋) ~ 2^(n+1)/√(2πn)".
+func CentralBinomialEstimate(n int) float64 {
+	if n == 0 {
+		return 1
+	}
+	return math.Exp2(float64(n)) * math.Sqrt(2/(math.Pi*float64(n)))
+}
+
+// PermToBinaryRatio returns the ratio of the permutation test-set size
+// to the 0/1 test-set size for sorting, as a float. It tends to 0 like
+// √(2/(πn)): permutations are strictly cheaper tests for n ≥ 5.
+func PermToBinaryRatio(n int) float64 {
+	num := new(big.Float).SetInt(SorterPermTestSetSize(n))
+	den := new(big.Float).SetInt(SorterBinaryTestSetSize(n))
+	if den.Sign() == 0 {
+		return math.NaN()
+	}
+	r, _ := new(big.Float).Quo(num, den).Float64()
+	return r
+}

@@ -1,0 +1,207 @@
+package comb
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialSmall(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {4, 2, 6}, {5, 2, 10},
+		{10, 5, 252}, {20, 10, 184756}, {52, 5, 2598960},
+		{-1, 0, 0}, {3, -1, 0}, {3, 4, 0}, {62, 31, 465428353255261088},
+	}
+	for _, c := range cases {
+		got, err := Binomial(c.n, c.k)
+		if err != nil {
+			t.Fatalf("C(%d,%d): %v", c.n, c.k, err)
+		}
+		if got != c.want {
+			t.Errorf("C(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomialOverflow(t *testing.T) {
+	if _, err := Binomial(200, 100); err != ErrOverflow {
+		t.Errorf("C(200,100) should overflow, got err=%v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBinomial should panic on overflow")
+		}
+	}()
+	MustBinomial(200, 100)
+}
+
+func TestBinomialMatchesBig(t *testing.T) {
+	for n := 0; n <= 40; n++ {
+		for k := 0; k <= n; k++ {
+			got, err := Binomial(n, k)
+			if err != nil {
+				t.Fatalf("C(%d,%d) overflowed unexpectedly", n, k)
+			}
+			if want := BigBinomial(n, k); want.Cmp(big.NewInt(got)) != 0 {
+				t.Errorf("C(%d,%d) = %d, big says %s", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestPascalIdentityProperty(t *testing.T) {
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		k := int(kRaw) % (n + 1)
+		lhs := BigBinomial(n, k)
+		rhs := new(big.Int).Add(BigBinomial(n-1, k-1), BigBinomial(n-1, k))
+		return lhs.Cmp(rhs) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumBinomialsRowSum(t *testing.T) {
+	for n := 0; n <= 30; n++ {
+		if got := SumBinomials(n, n); got.Cmp(Pow2(n)) != 0 {
+			t.Errorf("row sum n=%d: %s != 2^n", n, got)
+		}
+	}
+	if SumBinomials(5, -1).Sign() != 0 {
+		t.Error("SumBinomials(n,-1) should be 0")
+	}
+	if got := SumBinomials(5, 99); got.Cmp(Pow2(5)) != 0 {
+		t.Error("SumBinomials should clamp k to n")
+	}
+}
+
+func TestFactorial(t *testing.T) {
+	want := []int64{1, 1, 2, 6, 24, 120, 720, 5040}
+	for n, w := range want {
+		if got := Factorial(n); got.Cmp(big.NewInt(w)) != 0 {
+			t.Errorf("%d! = %s, want %d", n, got, w)
+		}
+	}
+}
+
+func TestSorterTestSetSizes(t *testing.T) {
+	// Paper examples: n=3 gives 2^3-3-1 = 4 strings (Fig. 2 lists the
+	// four non-sorted strings 100, 101, 010, 110).
+	if got := SorterBinaryTestSetSize(3); got.Cmp(big.NewInt(4)) != 0 {
+		t.Errorf("sorter binary n=3: %s, want 4", got)
+	}
+	if got := SorterBinaryTestSetSize(2); got.Cmp(big.NewInt(1)) != 0 {
+		t.Errorf("sorter binary n=2: %s, want 1 (just '10')", got)
+	}
+	// Permutation bound: C(4,2)-1 = 5, C(6,3)-1 = 19.
+	if got := SorterPermTestSetSize(4); got.Cmp(big.NewInt(5)) != 0 {
+		t.Errorf("sorter perm n=4: %s, want 5", got)
+	}
+	if got := SorterPermTestSetSize(6); got.Cmp(big.NewInt(19)) != 0 {
+		t.Errorf("sorter perm n=6: %s, want 19", got)
+	}
+}
+
+func TestSelectorSizesReduceToSorter(t *testing.T) {
+	// With k = n the selector property is full sorting and the binary
+	// bound must collapse to 2^n − n − 1.
+	for n := 1; n <= 16; n++ {
+		sel := SelectorBinaryTestSetSize(n, n)
+		sort := SorterBinaryTestSetSize(n)
+		if sel.Cmp(sort) != 0 {
+			t.Errorf("n=%d: selector(k=n) %s != sorter %s", n, sel, sort)
+		}
+		selP := SelectorPermTestSetSize(n, n)
+		sortP := SorterPermTestSetSize(n)
+		if selP.Cmp(sortP) != 0 {
+			t.Errorf("n=%d: perm selector(k=n) %s != sorter %s", n, selP, sortP)
+		}
+	}
+}
+
+func TestSelectorSizesMonotoneInK(t *testing.T) {
+	for n := 2; n <= 14; n++ {
+		prev := big.NewInt(-1)
+		for k := 1; k <= n; k++ {
+			cur := SelectorBinaryTestSetSize(n, k)
+			if cur.Cmp(prev) < 0 {
+				t.Errorf("n=%d k=%d: selector size decreased (%s after %s)", n, k, cur, prev)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestSelectorPermSaturates(t *testing.T) {
+	// Beyond k = ⌊n/2⌋ the permutation bound stops growing (Case (ii)
+	// of Theorem 2.4).
+	n := 10
+	sat := SelectorPermTestSetSize(n, n/2)
+	for k := n / 2; k <= n; k++ {
+		if got := SelectorPermTestSetSize(n, k); got.Cmp(sat) != 0 {
+			t.Errorf("k=%d: %s, want saturation at %s", k, got, sat)
+		}
+	}
+}
+
+func TestMergerSizes(t *testing.T) {
+	cases := []struct{ n, bin, perm int64 }{
+		{2, 1, 1}, {4, 4, 2}, {6, 9, 3}, {8, 16, 4}, {10, 25, 5},
+	}
+	for _, c := range cases {
+		if got := MergerBinaryTestSetSize(int(c.n)); got.Cmp(big.NewInt(c.bin)) != 0 {
+			t.Errorf("merger binary n=%d: %s, want %d", c.n, got, c.bin)
+		}
+		if got := MergerPermTestSetSize(int(c.n)); got.Cmp(big.NewInt(c.perm)) != 0 {
+			t.Errorf("merger perm n=%d: %s, want %d", c.n, got, c.perm)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("odd n should panic")
+		}
+	}()
+	MergerBinaryTestSetSize(5)
+}
+
+func TestCentralBinomialEstimate(t *testing.T) {
+	// Stirling estimate within 2% for moderate n.
+	for _, n := range []int{20, 40, 60, 100} {
+		exact, _ := new(big.Float).SetInt(CentralBinomial(n)).Float64()
+		est := CentralBinomialEstimate(n)
+		if rel := math.Abs(est-exact) / exact; rel > 0.02 {
+			t.Errorf("n=%d: estimate %.4g vs exact %.4g (rel err %.3f)", n, est, exact, rel)
+		}
+	}
+}
+
+func TestPermToBinaryRatioShrinks(t *testing.T) {
+	// Yao's observation: permutations become strictly cheaper and the
+	// advantage grows with n.
+	prev := math.Inf(1)
+	for n := 5; n <= 24; n++ {
+		r := PermToBinaryRatio(n)
+		if r >= 1 {
+			t.Errorf("n=%d: ratio %.3f should be < 1", n, r)
+		}
+		if r >= prev {
+			t.Errorf("n=%d: ratio %.4f did not shrink (prev %.4f)", n, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestPow2(t *testing.T) {
+	if Pow2(0).Cmp(big.NewInt(1)) != 0 || Pow2(10).Cmp(big.NewInt(1024)) != 0 {
+		t.Error("Pow2 wrong")
+	}
+	// Works beyond int64.
+	if Pow2(100).BitLen() != 101 {
+		t.Error("Pow2(100) wrong bit length")
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/network"
+)
+
+func TestAlmostSorterExhaustive(t *testing.T) {
+	// The Lemma 2.1 contract, exhaustively for every non-sorted string
+	// up to n=11: H_σ fails σ and sorts everything else.
+	for n := 2; n <= 11; n++ {
+		it := bitvec.NotSorted(bitvec.All(n))
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			h := MustAlmostSorter(v)
+			if err := VerifyAlmostSorter(h, v); err != nil {
+				t.Fatalf("n=%d σ=%s case=%s: %v", n, v, ClassifyAlmostSorter(v), err)
+			}
+		}
+	}
+}
+
+func TestAlmostSorterLargerSample(t *testing.T) {
+	// Random sample at sizes beyond the exhaustive sweep.
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{12, 13, 14, 16} {
+		for trial := 0; trial < 25; trial++ {
+			v := bitvec.New(n, rng.Uint64()&(uint64(1)<<uint(n)-1))
+			if v.IsSorted() {
+				continue
+			}
+			h := MustAlmostSorter(v)
+			if err := VerifyAlmostSorter(h, v); err != nil {
+				t.Fatalf("n=%d σ=%s: %v", n, v, err)
+			}
+		}
+	}
+}
+
+func TestAlmostSorterBaseCases(t *testing.T) {
+	// n=2: the empty network is H₁₀.
+	h := MustAlmostSorter(bitvec.MustFromString("10"))
+	if h.Size() != 0 {
+		t.Errorf("H₁₀ should be empty, has %d comparators", h.Size())
+	}
+	// n=3: the four Fig. 2 networks, each of exactly two comparators.
+	for _, s := range []string{"100", "010", "101", "110"} {
+		sigma := bitvec.MustFromString(s)
+		h := MustAlmostSorter(sigma)
+		if h.Size() != 2 {
+			t.Errorf("H_%s has %d comparators, want 2", s, h.Size())
+		}
+		if err := VerifyAlmostSorter(h, sigma); err != nil {
+			t.Errorf("H_%s: %v", s, err)
+		}
+	}
+}
+
+func TestAlmostSorterErrors(t *testing.T) {
+	if _, err := AlmostSorter(bitvec.MustFromString("0011")); err != ErrSorted {
+		t.Errorf("sorted string: err=%v, want ErrSorted", err)
+	}
+	if _, err := AlmostSorter(bitvec.MustFromString("1")); err == nil {
+		t.Error("n=1 should fail")
+	}
+	if _, err := AlmostSorter(bitvec.Vec{}); err == nil {
+		t.Error("n=0 should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAlmostSorter should panic on sorted input")
+		}
+	}()
+	MustAlmostSorter(bitvec.MustFromString("01"))
+}
+
+func TestClassifyCoversAllCases(t *testing.T) {
+	// All five inductive labels must occur in a full sweep, and each
+	// classification must agree with an exhaustive re-check.
+	counts := map[AlmostSorterCase]int{}
+	for n := 2; n <= 9; n++ {
+		it := bitvec.NotSorted(bitvec.All(n))
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			counts[ClassifyAlmostSorter(v)]++
+		}
+	}
+	for _, c := range []AlmostSorterCase{CaseBaseN2, CaseBaseN3, CaseA, CaseB, CaseC, CaseMirrored} {
+		if counts[c] == 0 {
+			t.Errorf("case %s never exercised", c)
+		}
+	}
+	if counts[CaseBaseN2] != 1 {
+		t.Errorf("base n=2 count %d, want 1", counts[CaseBaseN2])
+	}
+	if counts[CaseBaseN3] != 4 {
+		t.Errorf("base n=3 count %d, want 4", counts[CaseBaseN3])
+	}
+}
+
+func TestClassifyCaseExamples(t *testing.T) {
+	// σₙ = 1 with non-sorted prefix → Case C.
+	if c := ClassifyAlmostSorter(bitvec.MustFromString("10101")); c != CaseC {
+		t.Errorf("10101 classified %s, want C", c)
+	}
+	// Sorted prefix → mirrored.
+	if c := ClassifyAlmostSorter(bitvec.MustFromString("01110")); c != CaseMirrored {
+		t.Errorf("01110 classified %s, want mirrored", c)
+	}
+}
+
+func TestAlmostSorterOneInterchangeRemark(t *testing.T) {
+	// "It can be observed that H_σ(σ) in each case requires only one
+	// more interchange to get sorted."
+	for n := 2; n <= 10; n++ {
+		it := bitvec.NotSorted(bitvec.All(n))
+		for {
+			sigma, ok := it.Next()
+			if !ok {
+				break
+			}
+			out := MustAlmostSorter(sigma).ApplyVec(sigma)
+			if !oneExchangeFromSorted(out) {
+				t.Fatalf("n=%d σ=%s: output %s needs more than one exchange", n, sigma, out)
+			}
+		}
+	}
+}
+
+// oneExchangeFromSorted reports whether some single comparator [a,b]
+// would sort v.
+func oneExchangeFromSorted(v bitvec.Vec) bool {
+	if v.IsSorted() {
+		return false // the lemma's output is never already sorted
+	}
+	for a := 0; a < v.N; a++ {
+		for b := a + 1; b < v.N; b++ {
+			if v.Bit(a) > v.Bit(b) {
+				if sw := v.SetBit(a, v.Bit(b)).SetBit(b, 1); sw.IsSorted() {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func TestAlmostSorterForcesMinimality(t *testing.T) {
+	// The Theorem 2.2(i) lower-bound argument, executed: for every σ in
+	// the minimal test set, H_σ passes every *other* test yet is not a
+	// sorter — so a test set without σ accepts a non-sorter.
+	n := 7
+	tests := bitvec.Collect(SorterBinaryTests(n))
+	for _, sigma := range tests {
+		h := MustAlmostSorter(sigma)
+		if IsSorterBinary(h) {
+			t.Fatalf("H_%s is a sorter", sigma)
+		}
+		for _, tau := range tests {
+			if tau == sigma {
+				continue
+			}
+			if !h.ApplyVec(tau).IsSorted() {
+				t.Fatalf("H_%s fails another test %s", sigma, tau)
+			}
+		}
+	}
+}
+
+func TestAlmostSorterSelectorLowerBound(t *testing.T) {
+	// Lemma 2.3: for σ ∈ T⁺ₖ, H_σ (k,n)-selects every input except σ,
+	// so every string of T⁺ₖ is forced into any selector test set.
+	n := 7
+	for k := 1; k <= n; k++ {
+		it := SelectorBinaryTests(n, k)
+		for {
+			sigma, ok := it.Next()
+			if !ok {
+				break
+			}
+			h := MustAlmostSorter(sigma)
+			if SelectsBinary(h, k, sigma) {
+				t.Fatalf("k=%d: H_%s selects σ correctly; want failure", k, sigma)
+			}
+			all := bitvec.All(n)
+			for {
+				tau, ok := all.Next()
+				if !ok {
+					break
+				}
+				if tau == sigma {
+					continue
+				}
+				if !SelectsBinary(h, k, tau) {
+					t.Fatalf("k=%d σ=%s: H_σ mis-selects %s", k, sigma, tau)
+				}
+			}
+		}
+	}
+}
+
+func TestAlmostSorterSizeGrowth(t *testing.T) {
+	// Construction sizes stay polynomial (the recursion depth is n and
+	// each level adds O(n log n) from the embedded Batcher sorters).
+	// Guard against regressions to exponential blowup.
+	maxSize := 0
+	it := bitvec.NotSorted(bitvec.All(12))
+	for {
+		v, ok := it.Next()
+		if !ok {
+			break
+		}
+		if s := MustAlmostSorter(v).Size(); s > maxSize {
+			maxSize = s
+		}
+	}
+	if maxSize > 2000 {
+		t.Errorf("n=12 max network size %d; construction has blown up", maxSize)
+	}
+}
+
+func TestVerifyAlmostSorterRejectsWrongNetworks(t *testing.T) {
+	sigma := bitvec.MustFromString("0110")
+	// A real sorter fails the contract (it sorts σ too).
+	if err := VerifyAlmostSorter(network.MustParse("n=4: [1,2][3,4][1,3][2,4][2,3]"), sigma); err == nil {
+		t.Error("sorter should be rejected as almost-sorter")
+	}
+	// The empty network fails too much.
+	if err := VerifyAlmostSorter(network.New(4), sigma); err == nil {
+		t.Error("empty network should be rejected")
+	}
+	// Line-count mismatch.
+	if err := VerifyAlmostSorter(network.New(5), sigma); err == nil {
+		t.Error("line mismatch should be rejected")
+	}
+}
+
+func TestMirroredCaseUsesDuality(t *testing.T) {
+	// For a string with sorted prefix, the construction must still
+	// satisfy the contract (the duality path).
+	for _, s := range []string{"0110", "00110", "011110", "0010", "11110"} {
+		sigma := bitvec.MustFromString(s)
+		if sigma.IsSorted() {
+			t.Fatalf("bad fixture %s", s)
+		}
+		h := MustAlmostSorter(sigma)
+		if err := VerifyAlmostSorter(h, sigma); err != nil {
+			t.Errorf("σ=%s: %v", s, err)
+		}
+	}
+}

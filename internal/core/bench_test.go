@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"sortnets/internal/bitvec"
+)
+
+// BenchmarkAlmostSorterMid builds H_σ for a mid-complexity σ at n=12.
+func BenchmarkAlmostSorterMid(b *testing.B) {
+	sigma := bitvec.MustFromString("011010011010")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if MustAlmostSorter(sigma).Size() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkVerifyAlmostSorter measures the contract check (a full
+// binary sweep) at n=12.
+func BenchmarkVerifyAlmostSorter(b *testing.B) {
+	sigma := bitvec.MustFromString("011010011010")
+	h := MustAlmostSorter(sigma)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := VerifyAlmostSorter(h, sigma); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSorterBinaryTestsStream measures streaming the n=16 test
+// set (65519 vectors, no materialization).
+func BenchmarkSorterBinaryTestsStream(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if bitvec.Count(SorterBinaryTests(16)) != 65519 {
+			b.Fatal("wrong count")
+		}
+	}
+}
+
+// BenchmarkMinimalityCertificate builds and verifies the full n=8
+// proof object (247 witnesses).
+func BenchmarkMinimalityCertificate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := MinimalityCertificate(8)
+		if err := c.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/network"
+)
+
+// A minimality certificate is a serializable, independently checkable
+// proof object for Theorem 2.2(i)'s lower bound: one Lemma 2.1 witness
+// network per non-sorted string. Any party can re-verify that each
+// witness sorts everything except its σ — establishing, without
+// trusting this library's construction code, that no 0/1 test set for
+// sorting may omit any non-sorted string.
+
+// CertificateEntry pairs a non-sorted string with its witness network.
+type CertificateEntry struct {
+	Sigma   bitvec.Vec
+	Witness *network.Network
+}
+
+// Certificate is the full lower-bound proof object for n lines:
+// 2ⁿ − n − 1 entries, one per non-sorted string.
+type Certificate struct {
+	N       int
+	Entries []CertificateEntry
+}
+
+// MinimalityCertificate constructs the certificate for n lines. Cost
+// grows like 2ⁿ constructions; intended for the enumerable regime.
+func MinimalityCertificate(n int) Certificate {
+	cert := Certificate{N: n}
+	it := SorterBinaryTests(n)
+	for {
+		v, ok := it.Next()
+		if !ok {
+			return cert
+		}
+		cert.Entries = append(cert.Entries, CertificateEntry{
+			Sigma:   v,
+			Witness: MustAlmostSorter(v),
+		})
+	}
+}
+
+// Verify re-checks the whole certificate from scratch: the entry set
+// must be exactly the non-sorted strings, and every witness must sort
+// everything except its σ. A nil return is a machine-checked proof of
+// the Theorem 2.2(i) lower bound for this n.
+func (c Certificate) Verify() error {
+	want := int64(bitvec.Universe(c.N)) - int64(c.N) - 1
+	if int64(len(c.Entries)) != want {
+		return fmt.Errorf("core: certificate has %d entries, want 2^n−n−1 = %d",
+			len(c.Entries), want)
+	}
+	seen := make(map[bitvec.Vec]bool, len(c.Entries))
+	for i, e := range c.Entries {
+		if e.Sigma.N != c.N {
+			return fmt.Errorf("core: entry %d has σ of length %d, want %d", i, e.Sigma.N, c.N)
+		}
+		if e.Sigma.IsSorted() {
+			return fmt.Errorf("core: entry %d: σ=%s is sorted", i, e.Sigma)
+		}
+		if seen[e.Sigma] {
+			return fmt.Errorf("core: duplicate entry for σ=%s", e.Sigma)
+		}
+		seen[e.Sigma] = true
+		if err := VerifyAlmostSorter(e.Witness, e.Sigma); err != nil {
+			return fmt.Errorf("core: entry %d: %v", i, err)
+		}
+	}
+	return nil
+}
+
+// jsonCertificate is the wire form: σ as a 0/1 string, the witness in
+// the network text notation.
+type jsonCertificate struct {
+	Lines   int         `json:"lines"`
+	Entries []jsonEntry `json:"entries"`
+}
+
+type jsonEntry struct {
+	Sigma   string `json:"sigma"`
+	Witness string `json:"witness"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (c Certificate) MarshalJSON() ([]byte, error) {
+	j := jsonCertificate{Lines: c.N, Entries: make([]jsonEntry, len(c.Entries))}
+	for i, e := range c.Entries {
+		j.Entries[i] = jsonEntry{Sigma: e.Sigma.String(), Witness: e.Witness.Format()}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON implements json.Unmarshaler; the decoded certificate
+// still needs Verify to be trusted.
+func (c *Certificate) UnmarshalJSON(data []byte) error {
+	var j jsonCertificate
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	c.N = j.Lines
+	c.Entries = make([]CertificateEntry, len(j.Entries))
+	for i, e := range j.Entries {
+		sigma, err := bitvec.FromString(e.Sigma)
+		if err != nil {
+			return fmt.Errorf("core: entry %d: %v", i, err)
+		}
+		w, err := network.Parse(e.Witness)
+		if err != nil {
+			return fmt.Errorf("core: entry %d: %v", i, err)
+		}
+		c.Entries[i] = CertificateEntry{Sigma: sigma, Witness: w}
+	}
+	return nil
+}

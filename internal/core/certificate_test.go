@@ -1,0 +1,95 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/network"
+)
+
+func TestCertificateBuildsAndVerifies(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		c := MinimalityCertificate(n)
+		if len(c.Entries) != bitvec.Universe(n)-n-1 {
+			t.Fatalf("n=%d: %d entries", n, len(c.Entries))
+		}
+		if err := c.Verify(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestCertificateJSONRoundTrip(t *testing.T) {
+	c := MinimalityCertificate(5)
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Certificate
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Verify(); err != nil {
+		t.Fatalf("round-tripped certificate invalid: %v", err)
+	}
+	if back.N != 5 || len(back.Entries) != len(c.Entries) {
+		t.Error("shape changed in round trip")
+	}
+}
+
+func TestCertificateVerifyRejectsCorruption(t *testing.T) {
+	base := MinimalityCertificate(4)
+
+	// Missing entry.
+	short := Certificate{N: 4, Entries: base.Entries[1:]}
+	if short.Verify() == nil {
+		t.Error("missing entry accepted")
+	}
+
+	// Duplicate entry (replacing another keeps the count right).
+	dup := Certificate{N: 4, Entries: append([]CertificateEntry(nil), base.Entries...)}
+	dup.Entries[1] = dup.Entries[0]
+	if dup.Verify() == nil {
+		t.Error("duplicate entry accepted")
+	}
+
+	// Wrong witness: a true sorter proves nothing.
+	wrong := Certificate{N: 4, Entries: append([]CertificateEntry(nil), base.Entries...)}
+	wrong.Entries[0] = CertificateEntry{
+		Sigma:   wrong.Entries[0].Sigma,
+		Witness: network.MustParse("n=4: [1,2][3,4][1,3][2,4][2,3]"),
+	}
+	if wrong.Verify() == nil {
+		t.Error("sorter witness accepted")
+	}
+
+	// Sorted σ.
+	sorted := Certificate{N: 4, Entries: append([]CertificateEntry(nil), base.Entries...)}
+	sorted.Entries[0] = CertificateEntry{
+		Sigma:   bitvec.MustFromString("0011"),
+		Witness: sorted.Entries[0].Witness,
+	}
+	if sorted.Verify() == nil {
+		t.Error("sorted σ accepted")
+	}
+
+	// Length mismatch.
+	mixed := Certificate{N: 5, Entries: base.Entries}
+	if mixed.Verify() == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestCertificateUnmarshalRejectsGarbage(t *testing.T) {
+	var c Certificate
+	if err := json.Unmarshal([]byte(`{"lines":2,"entries":[{"sigma":"xx","witness":"n=2:"}]}`), &c); err == nil {
+		t.Error("bad sigma accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"lines":2,"entries":[{"sigma":"10","witness":"n=2: [2,1]"}]}`), &c); err == nil {
+		t.Error("bad witness accepted")
+	}
+	if err := json.Unmarshal([]byte(`{`), &c); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+}

@@ -1,0 +1,106 @@
+// Package core implements the central results of Chung & Ravikumar,
+// "Bounds on the Size of Test Sets for Sorting and Related Networks"
+// (ICPP 1987 / Discrete Mathematics 81, 1990): the exact minimal test
+// sets for deciding whether an arbitrary comparator network is a
+// sorter, a (k,n)-selector, or an (n/2,n/2)-merger, for both 0/1 and
+// permutation inputs, together with the Lemma 2.1 adversarial
+// construction that proves the bounds tight.
+//
+// The six minimal test sets and their exact sizes:
+//
+//	Sorter,   0/1:   all non-sorted strings            2ⁿ − n − 1
+//	Sorter,   perm:  SCD chain family                  C(n,⌊n/2⌋) − 1
+//	Selector, 0/1:   non-sorted strings, ≤ k zeros     Σᵢ₌₀..k C(n,i) − k − 1
+//	Selector, perm:  truncated SCD chain family        C(n,min(k,⌊n/2⌋)) − 1
+//	Merger,   0/1:   sorted halves, unsorted whole     n²/4
+//	Merger,   perm:  the τᵢ family                     n/2
+//
+// Lower bounds are witnessed constructively: AlmostSorter(σ) yields a
+// network that sorts everything except σ, so no test set may omit any
+// non-sorted σ; closure formulas (comb package) and chain covers
+// (chains package) give the matching upper bounds. Every claim is
+// machine-checked in the tests and the experiment harness.
+package core
+
+import (
+	"fmt"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/chains"
+	"sortnets/internal/perm"
+)
+
+// SorterBinaryTests streams the minimal 0/1 test set for the sorting
+// property: every non-sorted string of length n, in increasing word
+// order. |T| = 2ⁿ − n − 1 (Theorem 2.2(i)); by Lemma 2.1 no smaller
+// set works, and by the zero-one principle no larger set is needed.
+func SorterBinaryTests(n int) bitvec.Iterator {
+	return bitvec.NotSorted(bitvec.All(n))
+}
+
+// SelectorBinaryTests streams the minimal 0/1 test set T⁺ₖ for the
+// (k,n)-selector property: every non-sorted string with at most k
+// zeros. |T| = Σᵢ₌₀..k C(n,i) − (k+1) (Theorem 2.4(i)). Sufficiency
+// follows from monotonicity: if H (k,n)-selects every σ′ with exactly
+// k zeros, then for any σ ≥ σ′ the first k outputs are forced to 0.
+func SelectorBinaryTests(n, k int) bitvec.Iterator {
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("core: selector arity k=%d out of range 1..%d", k, n))
+	}
+	return bitvec.NotSorted(bitvec.MaxZeros(n, k))
+}
+
+// MergerBinaryTests streams the minimal 0/1 test set for the
+// (n/2,n/2)-merger property: every concatenation σ₁σ₂ of two sorted
+// halves that is not itself sorted — σ₁ must contain a 1 and σ₂ a 0.
+// |T| = n²/4 (Theorem 2.5(i)).
+func MergerBinaryTests(n int) bitvec.Iterator {
+	if n%2 != 0 || n < 2 {
+		panic(fmt.Sprintf("core: merger tests need even n ≥ 2, got %d", n))
+	}
+	return &mergerIter{h: n / 2, i: 1, k: 1}
+}
+
+type mergerIter struct {
+	h, i, k int
+}
+
+func (it *mergerIter) Next() (bitvec.Vec, bool) {
+	if it.i > it.h {
+		return bitvec.Vec{}, false
+	}
+	// First half 0^(h−i) 1^i with i ≥ 1 ones; second half 0^k 1^(h−k)
+	// with k ≥ 1 zeros; the leading 1 precedes the trailing 0, so the
+	// whole is never sorted.
+	v := bitvec.Concat(bitvec.SortedWithOnes(it.h, it.i), bitvec.SortedWithOnes(it.h, it.h-it.k))
+	it.k++
+	if it.k > it.h {
+		it.k = 1
+		it.i++
+	}
+	return v, true
+}
+
+// SorterPermTests returns the minimal permutation test set for sorting:
+// C(n,⌊n/2⌋) − 1 permutations (Theorem 2.2(ii)), realized by the
+// symmetric chain decomposition with the identity chain dropped.
+func SorterPermTests(n int) []perm.P {
+	return chains.SorterPermutations(n)
+}
+
+// SelectorPermTests returns the minimal permutation test set for the
+// (k,n)-selector property: C(n,min(k,⌊n/2⌋)) − 1 permutations
+// (Theorem 2.4(ii)).
+func SelectorPermTests(n, k int) []perm.P {
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("core: selector arity k=%d out of range 1..%d", k, n))
+	}
+	return chains.SelectorPermutations(n, k)
+}
+
+// MergerPermTests returns the minimal permutation test set for the
+// (n/2,n/2)-merger property: the n/2 permutations τ₀..τ_{n/2−1}
+// (Theorem 2.5(ii)).
+func MergerPermTests(n int) []perm.P {
+	return chains.MergerPermutations(n)
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"sortnets/internal/widevec"
+)
+
+// Wide-width test sets: beyond 64 lines a zero-one sweep is physically
+// impossible (2ⁿ inputs), but the paper's merger and selector test
+// sets stay polynomial — n²/4 and Σᵢ₌₀..k C(n,i) − k − 1 — so
+// certification keeps working. These iterators mirror
+// MergerBinaryTests and SelectorBinaryTests on widevec vectors.
+
+// WideIterator streams wide binary vectors.
+type WideIterator interface {
+	Next() (widevec.Vec, bool)
+}
+
+// CountWide drains a wide iterator.
+func CountWide(it WideIterator) int {
+	n := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// MergerWideTests streams the n²/4 merger tests for any even n up to
+// widevec.MaxN.
+func MergerWideTests(n int) WideIterator {
+	if n%2 != 0 || n < 2 {
+		panic(fmt.Sprintf("core: merger tests need even n ≥ 2, got %d", n))
+	}
+	return &mergerWideIter{h: n / 2, i: 1, k: 1}
+}
+
+type mergerWideIter struct {
+	h, i, k int
+}
+
+func (it *mergerWideIter) Next() (widevec.Vec, bool) {
+	if it.i > it.h {
+		return widevec.Vec{}, false
+	}
+	v := widevec.Concat(widevec.SortedWithOnes(it.h, it.i), widevec.SortedWithOnes(it.h, it.h-it.k))
+	it.k++
+	if it.k > it.h {
+		it.k = 1
+		it.i++
+	}
+	return v, true
+}
+
+// SelectorWideTests streams the minimal (k,n)-selector test set for
+// any n up to widevec.MaxN: every non-sorted vector with at most k
+// zeros, enumerated by the zero-position combination odometer
+// (weight 0 first — the all-ones vector is sorted and skipped — then
+// single zeros, and so on).
+func SelectorWideTests(n, k int) WideIterator {
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("core: selector arity k=%d out of range 1..%d", k, n))
+	}
+	return &selectorWideIter{n: n, k: k, z: 0, pos: nil}
+}
+
+type selectorWideIter struct {
+	n, k int
+	z    int   // current number of zeros
+	pos  []int // current zero positions (combination odometer), nil = start of level
+}
+
+func (it *selectorWideIter) Next() (widevec.Vec, bool) {
+	for {
+		if !it.advance() {
+			return widevec.Vec{}, false
+		}
+		v := it.current()
+		if !v.IsSorted() {
+			return v, true
+		}
+	}
+}
+
+// advance steps the combination odometer, moving to the next zero
+// count when the current level is exhausted.
+func (it *selectorWideIter) advance() bool {
+	for {
+		if it.pos == nil {
+			if it.z > it.k || it.z > it.n {
+				return false
+			}
+			it.pos = make([]int, it.z)
+			for i := range it.pos {
+				it.pos[i] = i
+			}
+			return true
+		}
+		// Next combination of size z from [0,n).
+		i := it.z - 1
+		for i >= 0 && it.pos[i] == it.n-it.z+i {
+			i--
+		}
+		if i < 0 {
+			it.z++
+			it.pos = nil
+			continue
+		}
+		it.pos[i]++
+		for j := i + 1; j < it.z; j++ {
+			it.pos[j] = it.pos[j-1] + 1
+		}
+		return true
+	}
+}
+
+func (it *selectorWideIter) current() widevec.Vec {
+	v := widevec.SortedWithOnes(it.n, it.n) // all ones
+	for _, p := range it.pos {
+		v = v.SetBit(p, 0)
+	}
+	return v
+}

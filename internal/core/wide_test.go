@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestMergerWideTestsMatchNarrow(t *testing.T) {
+	for n := 2; n <= 14; n += 4 {
+		narrow := map[string]bool{}
+		it := MergerBinaryTests(n)
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			narrow[v.String()] = true
+		}
+		count := 0
+		wit := MergerWideTests(n)
+		for {
+			v, ok := wit.Next()
+			if !ok {
+				break
+			}
+			count++
+			if !narrow[v.String()] {
+				t.Fatalf("n=%d: wide test %s missing from narrow set", n, v)
+			}
+		}
+		if count != len(narrow) {
+			t.Errorf("n=%d: wide %d vs narrow %d", n, count, len(narrow))
+		}
+	}
+}
+
+func TestSelectorWideTestsMatchNarrow(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{6, 1}, {8, 2}, {10, 3}, {5, 5}} {
+		narrow := map[string]bool{}
+		it := SelectorBinaryTests(tc.n, tc.k)
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			narrow[v.String()] = true
+		}
+		count := 0
+		wit := SelectorWideTests(tc.n, tc.k)
+		for {
+			v, ok := wit.Next()
+			if !ok {
+				break
+			}
+			count++
+			if !narrow[v.String()] {
+				t.Fatalf("n=%d k=%d: wide test %s missing from narrow set", tc.n, tc.k, v)
+			}
+			if v.Zeros() > tc.k || v.IsSorted() {
+				t.Fatalf("n=%d k=%d: invalid wide test %s", tc.n, tc.k, v)
+			}
+		}
+		if count != len(narrow) {
+			t.Errorf("n=%d k=%d: wide %d vs narrow %d", tc.n, tc.k, count, len(narrow))
+		}
+	}
+}
+
+func TestCountWide(t *testing.T) {
+	if got := CountWide(MergerWideTests(8)); got != 16 {
+		t.Errorf("CountWide = %d, want 16", got)
+	}
+}
+
+func TestWidePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("odd merger", func() { MergerWideTests(7) })
+	mustPanic("selector k=0", func() { SelectorWideTests(8, 0) })
+	mustPanic("selector k>n", func() { SelectorWideTests(8, 9) })
+}
+
+func TestSelectorWideTestsBeyond64Lines(t *testing.T) {
+	// Spot-check the wide-only regime: n=70, k=1 has exactly 69
+	// tests (70 single-zero strings minus the sorted 0·1⁶⁹).
+	count := 0
+	it := SelectorWideTests(70, 1)
+	for {
+		v, ok := it.Next()
+		if !ok {
+			break
+		}
+		count++
+		if v.N() != 70 || v.Zeros() != 1 {
+			t.Fatalf("bad test %s", v)
+		}
+	}
+	if count != 69 {
+		t.Errorf("n=70 k=1: %d tests, want 69", count)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sort"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/network"
+	"sortnets/internal/perm"
+)
+
+// This file packages the two classical bridges the paper builds on:
+// Knuth's zero-one principle and Floyd's cover correspondence between
+// binary and permutation behaviour. Both are stated as checkable
+// functions so the test suite can verify them on arbitrary networks
+// rather than trusting them.
+
+// IsSorterBinary reports whether the network sorts all 2ⁿ binary
+// inputs — by the zero-one principle, whether it is a sorter.
+func IsSorterBinary(w *network.Network) bool { return w.SortsAllBinary() }
+
+// IsSorterPermutations reports whether the network sorts all n!
+// permutations, by exhaustive sweep. Exponentially slower than
+// IsSorterBinary; it exists as the ground-truth side of the zero-one
+// principle for small n.
+func IsSorterPermutations(w *network.Network) bool {
+	it := perm.AllHeap(w.N)
+	buf := make([]int, w.N)
+	for {
+		p, ok := it.Next()
+		if !ok {
+			return true
+		}
+		copy(buf, p)
+		w.ApplyInPlace(buf)
+		if !sort.IntsAreSorted(buf) {
+			return false
+		}
+	}
+}
+
+// ZeroOnePrincipleHolds cross-checks the two sides on one network.
+// It always returns true for correct implementations; the test suite
+// calls it on random networks as an executable proof sketch.
+func ZeroOnePrincipleHolds(w *network.Network) bool {
+	return IsSorterBinary(w) == IsSorterPermutations(w)
+}
+
+// OutputsOnCover applies the network to every element of a
+// permutation's cover and returns the outputs, which by Floyd's lemma
+// (quoted in Section 2) are exactly the cover of the network's output
+// on the permutation itself. FloydCorrespondenceHolds checks that.
+func OutputsOnCover(w *network.Network, p perm.P) []bitvec.Vec {
+	cover := p.Cover()
+	out := make([]bitvec.Vec, len(cover))
+	for i, v := range cover {
+		out[i] = w.ApplyVec(v)
+	}
+	return out
+}
+
+// FloydCorrespondenceHolds verifies {H(x) : x ∈ cover(π)} equals
+// cover(H(π)) elementwise by threshold level.
+func FloydCorrespondenceHolds(w *network.Network, p perm.P) bool {
+	outPerm := w.Apply(p)
+	op, err := perm.FromValues(outPerm)
+	if err != nil {
+		return false
+	}
+	want := op.Cover()
+	got := OutputsOnCover(w, p)
+	for i := range want {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SelectsBinary reports whether the network (k,n)-selects the single
+// binary input v: outputs 1..k must equal the k smallest bits of v in
+// order, i.e. the first k bits of sorted(v).
+func SelectsBinary(w *network.Network, k int, v bitvec.Vec) bool {
+	out := w.ApplyVec(v)
+	want := v.Sorted()
+	mask := uint64(1)<<uint(k) - 1
+	return out.Bits&mask == want.Bits&mask
+}
+
+// IsSelectorBinary reports whether the network is a (k,n)-selector on
+// all binary inputs. Monotonicity (Theorem 2.4) lifts this to
+// arbitrary inputs, mirroring the zero-one principle.
+func IsSelectorBinary(w *network.Network, k int) bool {
+	it := bitvec.All(w.N)
+	for {
+		v, ok := it.Next()
+		if !ok {
+			return true
+		}
+		if !SelectsBinary(w, k, v) {
+			return false
+		}
+	}
+}
+
+// MergesBinary reports whether the network correctly merges the single
+// input v = σ₁σ₂; inputs whose halves are not sorted are outside the
+// merger contract and vacuously accepted.
+func MergesBinary(w *network.Network, v bitvec.Vec) bool {
+	h := w.N / 2
+	if !v.Slice(0, h).IsSorted() || !v.Slice(h, w.N).IsSorted() {
+		return true
+	}
+	return w.ApplyVec(v).IsSorted()
+}
+
+// IsMergerBinary reports whether the network is an (n/2,n/2)-merger on
+// all binary inputs.
+func IsMergerBinary(w *network.Network) bool {
+	h := w.N / 2
+	for i := 0; i <= h; i++ {
+		for j := 0; j <= h; j++ {
+			v := bitvec.Concat(bitvec.SortedWithOnes(h, i), bitvec.SortedWithOnes(h, j))
+			if !w.ApplyVec(v).IsSorted() {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/gen"
+	"sortnets/internal/network"
+	"sortnets/internal/perm"
+)
+
+func TestZeroOnePrincipleRandomNetworks(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(5)
+		w := network.Random(n, rng.Intn(4*n), rng)
+		if !ZeroOnePrincipleHolds(w) {
+			t.Fatalf("zero-one principle violated by %s", w.Format())
+		}
+	}
+}
+
+func TestIsSorterPermutations(t *testing.T) {
+	if !IsSorterPermutations(gen.Sorter(5)) {
+		t.Error("real sorter rejected")
+	}
+	if IsSorterPermutations(network.New(3)) {
+		t.Error("empty network accepted")
+	}
+}
+
+func TestFloydCorrespondence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(9)
+		w := network.Random(n, rng.Intn(3*n), rng)
+		p := perm.Random(n, rng)
+		if !FloydCorrespondenceHolds(w, p) {
+			t.Fatalf("Floyd correspondence broken: net %s perm %s", w, p)
+		}
+	}
+}
+
+func TestSelectsBinary(t *testing.T) {
+	w := gen.Selection(6, 2)
+	if !SelectsBinary(w, 2, bitvec.MustFromString("110100")) {
+		t.Error("selection network mis-judged")
+	}
+	// The empty network cannot 1-select 10.
+	if SelectsBinary(network.New(2), 1, bitvec.MustFromString("10")) {
+		t.Error("empty network should fail 1-selection of 10")
+	}
+}
+
+func TestIsSelectorBinary(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		for k := 1; k < n; k++ {
+			if !IsSelectorBinary(gen.Selection(n, k), k) {
+				t.Errorf("Selection(%d,%d) rejected", n, k)
+			}
+		}
+	}
+	// A (2,n)-selector is also a (1,n)-selector but not vice versa.
+	if !IsSelectorBinary(gen.Selection(6, 2), 1) {
+		t.Error("(2,6)-selector should be a (1,6)-selector")
+	}
+	if IsSelectorBinary(gen.Selection(6, 1), 2) {
+		t.Error("(1,6)-selector should not be a (2,6)-selector")
+	}
+}
+
+func TestIsMergerBinary(t *testing.T) {
+	for n := 2; n <= 12; n += 2 {
+		if !IsMergerBinary(gen.HalfMerger(n)) {
+			t.Errorf("Batcher merger n=%d rejected", n)
+		}
+	}
+	if IsMergerBinary(network.New(6)) {
+		t.Error("empty network accepted as merger")
+	}
+	// Every sorter is also a merger.
+	if !IsMergerBinary(gen.Sorter(6)) {
+		t.Error("sorter should be accepted as merger")
+	}
+}
+
+func TestMergesBinaryVacuousOnUnsortedHalves(t *testing.T) {
+	w := network.New(4)
+	// 10|10 has unsorted halves: outside the merger contract.
+	if !MergesBinary(w, bitvec.MustFromString("1010")) {
+		t.Error("unsorted halves should be vacuously accepted")
+	}
+	// 01|10: first half sorted, second not.
+	if !MergesBinary(w, bitvec.MustFromString("0110")) {
+		t.Error("one unsorted half should be vacuously accepted")
+	}
+	// 01|01: both sorted, empty network fails to merge.
+	if MergesBinary(w, bitvec.MustFromString("0101")) {
+		t.Error("empty network should fail on 01|01")
+	}
+}
+
+func TestMinimalTestSetDecidesSorter(t *testing.T) {
+	// End-to-end sufficiency: for random networks, "passes every test
+	// in the minimal binary test set" must coincide with "sorts all
+	// 2ⁿ inputs". This is the test-set property itself.
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(8)
+		// Mix of sparse (likely failing) and dense (likely sorting)
+		// networks.
+		size := rng.Intn(n * n)
+		w := network.Random(n, size, rng)
+		passes := true
+		it := SorterBinaryTests(n)
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			if !w.ApplyVec(v).IsSorted() {
+				passes = false
+				break
+			}
+		}
+		if passes != IsSorterBinary(w) {
+			t.Fatalf("test set verdict %v != ground truth %v for %s", passes, IsSorterBinary(w), w)
+		}
+	}
+}
+
+func TestMinimalPermTestSetDecidesSorter(t *testing.T) {
+	// Permutation-side sufficiency on random networks: passing the
+	// C(n,⌊n/2⌋)−1 permutation tests coincides with being a sorter.
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(7)
+		w := network.Random(n, rng.Intn(n*n), rng)
+		passes := true
+		for _, p := range SorterPermTests(n) {
+			if out, err := perm.FromValues(w.Apply(p)); err != nil || !out.IsSorted() {
+				passes = false
+				break
+			}
+		}
+		if passes != IsSorterBinary(w) {
+			t.Fatalf("perm test verdict %v != ground truth %v for %s", passes, IsSorterBinary(w), w)
+		}
+	}
+}
+
+func TestMinimalMergerTestSetDecidesMerger(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 * (1 + rng.Intn(5))
+		w := network.Random(n, rng.Intn(n*n/2), rng)
+		passes := true
+		it := MergerBinaryTests(n)
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			if !w.ApplyVec(v).IsSorted() {
+				passes = false
+				break
+			}
+		}
+		if passes != IsMergerBinary(w) {
+			t.Fatalf("merger test verdict %v != ground truth %v for %s", passes, IsMergerBinary(w), w)
+		}
+	}
+}
+
+func TestMinimalSelectorTestSetDecidesSelector(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(6)
+		k := 1 + rng.Intn(n)
+		w := network.Random(n, rng.Intn(n*n), rng)
+		passes := true
+		it := SelectorBinaryTests(n, k)
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			if !SelectsBinary(w, k, v) {
+				passes = false
+				break
+			}
+		}
+		if passes != IsSelectorBinary(w, k) {
+			t.Fatalf("selector test verdict %v != ground truth %v for %s (k=%d)",
+				passes, IsSelectorBinary(w, k), w, k)
+		}
+	}
+}

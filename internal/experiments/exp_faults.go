@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/core"
+	"sortnets/internal/faults"
+	"sortnets/internal/gen"
+	"sortnets/internal/network"
+	"sortnets/internal/tablefmt"
+)
+
+// E12Faults simulates the VLSI-testing application the paper cites as
+// motivation: inject the single-fault universe (bypassed, always-swap
+// and reversed comparators; stuck lines; bridged lines) into classical
+// sorters and measure what the minimal test set catches versus random
+// test sets of the same size.
+//
+// The paper's guarantee covers faults that leave the circuit a
+// standard network (a bypassed comparator): if such a fault breaks
+// sorting, the minimal test set *must* catch it — asserted at 100%.
+// Other fault classes leave the network model, and the measurement
+// surfaces a real hardware-testing caveat: a handful of faults (e.g. a
+// reversed comparator fed an already-sorted input) are visible ONLY on
+// sorted inputs, which the minimal set deliberately excludes. Since
+// the minimal set contains *every* non-sorted string, any fault it
+// misses is detectable only on sorted inputs; augmenting it with the
+// n+1 sorted strings therefore restores 100% coverage, which the
+// experiment also asserts.
+func E12Faults() Report {
+	ok := true
+	var sb strings.Builder
+	rng := rand.New(rand.NewSource(12))
+	tb := tablefmt.New("network", "n", "faults", "detectable", "minimal set coverage",
+		"random set coverage", "bypass coverage", "+sorted strings")
+	for _, fixture := range []struct {
+		name string
+		w    *network.Network
+	}{
+		{"optimal-5", gen.Sorter(5)},
+		{"optimal-6", gen.Sorter(6)},
+		{"optimal-8", gen.Sorter(8)},
+		{"batcher-8", gen.OddEvenMergeSort(8)},
+		{"bubble-7", gen.Bubble(7)},
+		{"oet-7", gen.OddEvenTransposition(7)},
+	} {
+		w := fixture.w
+		n := w.N
+		fs := faults.Enumerate(w)
+		minimal := func() bitvec.Iterator { return core.SorterBinaryTests(n) }
+		rep := faults.Measure(w, fs, minimal, faults.ByProperty)
+
+		// Random baseline of equal size (sampled without the structure
+		// of the minimal set).
+		size := bitvec.Count(core.SorterBinaryTests(n))
+		randomSet := make([]bitvec.Vec, size)
+		for i := range randomSet {
+			randomSet[i] = bitvec.New(n, rng.Uint64()&(uint64(1)<<uint(n)-1))
+		}
+		randomTests := func() bitvec.Iterator { return bitvec.Slice(randomSet) }
+		randRep := faults.Measure(w, fs, randomTests, faults.ByProperty)
+
+		// The theorem-backed subclass: bypass faults only.
+		var bypass []faults.Fault
+		for i := 0; i < w.Size(); i++ {
+			bypass = append(bypass, faults.CompFault{Index: i, Mode: faults.Bypass})
+		}
+		byRep := faults.Measure(w, bypass, minimal, faults.ByProperty)
+		checkf(&ok, byRep.Detected == byRep.Detectable, &sb,
+			"%s: minimal set missed a detectable bypass fault", fixture.name)
+
+		// Minimal set plus the n+1 sorted strings: must reach 100%.
+		augmented := func() bitvec.Iterator { return bitvec.All(n) }
+		augRep := faults.Measure(w, fs, augmented, faults.ByProperty)
+		checkf(&ok, augRep.Detected == augRep.Detectable, &sb,
+			"%s: even the full universe missed a fault?!", fixture.name)
+
+		tb.Row(fixture.name, n, rep.Faults, rep.Detectable,
+			fmt.Sprintf("%.1f%%", 100*rep.Coverage()),
+			fmt.Sprintf("%.1f%%", 100*randRep.Coverage()),
+			fmt.Sprintf("%d/%d", byRep.Detected, byRep.Detectable),
+			fmt.Sprintf("%.1f%%", 100*augRep.Coverage()))
+	}
+	tb.Render(&sb)
+	sb.WriteString("Bypass faults — the class inside the paper's network model — are caught completely\n")
+	sb.WriteString("by the minimal test set, as Theorem 2.2 guarantees. The few misses in the general\n")
+	sb.WriteString("column are faults visible only on SORTED inputs (e.g. a reversed comparator handed\n")
+	sb.WriteString("an already-sorted pair), which the minimal set excludes by design; adding the n+1\n")
+	sb.WriteString("sorted strings restores 100% coverage of every detectable fault.\n\n")
+
+	// Double-fault masking: outside any single-fault guarantee.
+	sb.WriteString("Double comparator faults (sampled) — masking measurement:\n")
+	tb2 := tablefmt.New("network", "pairs", "both detectable alone", "fully masked",
+		"minimal set coverage of detectable pairs")
+	for _, fixture := range []struct {
+		name string
+		w    *network.Network
+	}{
+		{"optimal-5", gen.Sorter(5)},
+		{"optimal-6", gen.Sorter(6)},
+	} {
+		w := fixture.w
+		pairs := faults.EnumerateDoubleComp(w, 200, rng)
+		mask := faults.MeasureMasking(w, pairs, faults.ByProperty)
+		cov := faults.Measure(w, pairs,
+			func() bitvec.Iterator { return core.SorterBinaryTests(w.N) }, faults.ByProperty)
+		checkf(&ok, cov.Detected == cov.Detectable, &sb,
+			"%s: minimal set missed a detectable double fault", fixture.name)
+		tb2.Row(fixture.name, mask.Pairs, mask.BothDetectable, mask.PairUndetectable,
+			fmt.Sprintf("%d/%d", cov.Detected, cov.Detectable))
+	}
+	tb2.Render(&sb)
+	sb.WriteString("Masked pairs (two individually visible defects cancelling everywhere) exist but\n")
+	sb.WriteString("are rare; every double fault that is detectable AT ALL on a non-sorted input is\n")
+	sb.WriteString("caught by the minimal set, since the set contains every non-sorted string.\n")
+	return Report{ID: "E12", Title: "VLSI fault coverage", OK: ok, Body: sb.String()}
+}

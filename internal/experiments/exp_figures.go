@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/core"
+	"sortnets/internal/gen"
+	"sortnets/internal/network"
+	"sortnets/internal/tablefmt"
+)
+
+// E6Figure1 re-runs the paper's worked example: the network
+// [1,3][2,4][1,2][3,4] of Fig. 1 processing the input (4 1 3 2),
+// which the figure shows ending at (1 3 2 4) — not sorted, so the
+// example network is not a sorter, and the minimal test set must
+// expose it.
+func E6Figure1() Report {
+	ok := true
+	var sb strings.Builder
+	w := network.MustParse("n=4: [1,3][2,4][1,2][3,4]")
+	sb.WriteString("Figure 1 network:\n")
+	sb.WriteString(w.Diagram())
+	sb.WriteString("\nTrace on the paper's input (4 1 3 2):\n")
+	sb.WriteString(w.Trace([]int{4, 1, 3, 2}))
+
+	out := w.Apply([]int{4, 1, 3, 2})
+	want := []int{1, 3, 2, 4}
+	same := true
+	for i := range want {
+		if out[i] != want[i] {
+			same = false
+		}
+	}
+	checkf(&ok, same, &sb, "output %v, paper shows (1 3 2 4)", out)
+
+	fail := w.FirstBinaryFailure()
+	checkf(&ok, fail.N == 4, &sb, "expected a binary failure")
+	fmt.Fprintf(&sb, "\nFirst binary input the network fails: %s -> %s\n", fail, w.ApplyVec(fail))
+	checkf(&ok, !w.SortsAllBinary(), &sb, "Fig. 1 network should not be a sorter")
+	return Report{ID: "E6", Title: "Figure 1 example", OK: ok, Body: sb.String()}
+}
+
+// E7Figure2 reconstructs the paper's Fig. 2: the almost-sorter H_σ for
+// each of the four non-sorted strings of length 3, each verified to
+// sort exactly {0,1}³ \ {σ}.
+func E7Figure2() Report {
+	ok := true
+	var sb strings.Builder
+	for _, s := range []string{"100", "010", "101", "110"} {
+		sigma := bitvec.MustFromString(s)
+		h := core.MustAlmostSorter(sigma)
+		fmt.Fprintf(&sb, "H_%s = %s\n%s", s, h, h.Diagram())
+		err := core.VerifyAlmostSorter(h, sigma)
+		checkf(&ok, err == nil, &sb, "H_%s: %v", s, err)
+		fmt.Fprintf(&sb, "  H_%s(%s) = %s (not sorted), all other inputs sorted: %v\n\n",
+			s, s, h.ApplyVec(sigma), err == nil)
+	}
+	return Report{ID: "E7", Title: "Figure 2 base cases", OK: ok, Body: sb.String()}
+}
+
+// E8AlmostSorter exercises the full Lemma 2.1 induction (Figs. 3–5):
+// for every non-sorted σ up to n=10 (and samples beyond), build H_σ
+// and verify the contract; tally the construction cases and record
+// network sizes.
+func E8AlmostSorter() Report {
+	ok := true
+	var sb strings.Builder
+	tb := tablefmt.New("n", "strings", "case A", "case B", "case C", "mirrored", "verified", "max |H|")
+	for n := 4; n <= 10; n++ {
+		counts := map[core.AlmostSorterCase]int{}
+		verified, total, maxSize := 0, 0, 0
+		it := core.SorterBinaryTests(n)
+		for {
+			sigma, okNext := it.Next()
+			if !okNext {
+				break
+			}
+			total++
+			counts[core.ClassifyAlmostSorter(sigma)]++
+			h := core.MustAlmostSorter(sigma)
+			if h.Size() > maxSize {
+				maxSize = h.Size()
+			}
+			if core.VerifyAlmostSorter(h, sigma) == nil {
+				verified++
+			}
+		}
+		checkf(&ok, verified == total, &sb, "n=%d: %d/%d verified", n, verified, total)
+		tb.Row(n, total, counts[core.CaseA], counts[core.CaseB], counts[core.CaseC],
+			counts[core.CaseMirrored], fmt.Sprintf("%d/%d", verified, total), maxSize)
+	}
+	tb.Render(&sb)
+
+	// Sampled verification at larger n.
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{12, 14} {
+		okAll := true
+		for trial := 0; trial < 20; trial++ {
+			v := bitvec.New(n, rng.Uint64()&(uint64(1)<<uint(n)-1))
+			if v.IsSorted() {
+				continue
+			}
+			if core.VerifyAlmostSorter(core.MustAlmostSorter(v), v) != nil {
+				okAll = false
+			}
+		}
+		checkf(&ok, okAll, &sb, "n=%d: sampled verification failed", n)
+		fmt.Fprintf(&sb, "n=%d: 20 random σ verified: %v\n", n, okAll)
+	}
+
+	// A worked inductive example in the paper's style.
+	sigma := bitvec.MustFromString("10010")
+	h := core.MustAlmostSorter(sigma)
+	fmt.Fprintf(&sb, "\nExample H_σ for σ=%s (case %s, %d comparators):\n%s",
+		sigma, core.ClassifyAlmostSorter(sigma), h.Size(), h.Diagram())
+	fmt.Fprintf(&sb, "H_σ(σ) = %s — one interchange from sorted, as the lemma remarks.\n",
+		h.ApplyVec(sigma))
+	return Report{ID: "E8", Title: "Lemma 2.1 construction", OK: ok, Body: sb.String()}
+}
+
+func mustSorter(n int) *network.Network { return gen.Sorter(n) }

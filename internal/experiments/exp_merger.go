@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"strings"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/comb"
+	"sortnets/internal/core"
+	"sortnets/internal/gen"
+	"sortnets/internal/network"
+	"sortnets/internal/perm"
+	"sortnets/internal/tablefmt"
+	"sortnets/internal/verify"
+)
+
+// E5Merger reproduces Theorem 2.5: the minimal test set for the
+// (n/2,n/2)-merger property has exactly n²/4 elements with 0/1 inputs
+// and n/2 with permutation inputs — linear, the smallest of the
+// paper's bounds. Checks sizes, that Batcher's odd-even merger passes
+// everything, that single-comparator deletions are caught (mutation
+// necessity), and verdict agreement on random networks.
+func E5Merger() Report {
+	ok := true
+	var sb strings.Builder
+	tb := tablefmt.New("n", "binary n^2/4", "constructed", "perm n/2", "constructed ",
+		"Batcher passes", "mutants caught", "random agreement")
+	rng := rand.New(rand.NewSource(5))
+	for n := 4; n <= 16; n += 2 {
+		paperBin := comb.MergerBinaryTestSetSize(n)
+		gotBin := bitvec.Count(core.MergerBinaryTests(n))
+		checkf(&ok, paperBin.Cmp(big.NewInt(int64(gotBin))) == 0, &sb,
+			"n=%d: binary size %d != %s", n, gotBin, paperBin)
+
+		paperPerm := comb.MergerPermTestSetSize(n)
+		ps := core.MergerPermTests(n)
+		checkf(&ok, paperPerm.Cmp(big.NewInt(int64(len(ps)))) == 0, &sb,
+			"n=%d: perm size %d != %s", n, len(ps), paperPerm)
+
+		// Permutation covers must include every binary test.
+		covered := perm.CoverSet(ps)
+		it := core.MergerBinaryTests(n)
+		for {
+			v, okNext := it.Next()
+			if !okNext {
+				break
+			}
+			if !covered[v] {
+				checkf(&ok, false, &sb, "n=%d: %s uncovered by the tau family", n, v)
+			}
+		}
+
+		merger := gen.HalfMerger(n)
+		passBin := verify.Verdict(merger, verify.Merger{N: n}).Holds
+		passPerm := verify.VerdictPerms(merger, verify.Merger{N: n}).Holds
+		checkf(&ok, passBin && passPerm, &sb, "n=%d: Batcher merger rejected", n)
+
+		// Mutation necessity: delete each comparator in turn; if the
+		// mutant stops being a merger, the test set must catch it.
+		caught, broken := 0, 0
+		for i := 0; i < merger.Size(); i++ {
+			mutant := network.New(n)
+			for j, c := range merger.Comps {
+				if j != i {
+					mutant.AddPair(c.A, c.B)
+				}
+			}
+			if core.IsMergerBinary(mutant) {
+				continue // redundant comparator: nothing to catch
+			}
+			broken++
+			if !verify.Verdict(mutant, verify.Merger{N: n}).Holds {
+				caught++
+			}
+		}
+		checkf(&ok, caught == broken, &sb, "n=%d: %d/%d broken mutants caught", n, caught, broken)
+
+		agree, trials := 0, 30
+		for trial := 0; trial < trials; trial++ {
+			w := network.Random(n, rng.Intn(n*n/2+1), rng)
+			p := verify.Merger{N: n}
+			if verify.Verdict(w, p).Holds == verify.GroundTruth(w, p).Holds {
+				agree++
+			}
+		}
+		checkf(&ok, agree == trials, &sb, "n=%d: verdicts disagreed", n)
+
+		tb.Row(n, paperBin, gotBin, paperPerm, len(ps),
+			passBin && passPerm, fmt.Sprintf("%d/%d", caught, broken),
+			fmt.Sprintf("%d/%d", agree, trials))
+	}
+	tb.Render(&sb)
+	sb.WriteString("The tau_i permutations for n=6: ")
+	for i, p := range core.MergerPermTests(6) {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.String())
+	}
+	sb.WriteString("\n")
+	return Report{ID: "E5", Title: "merger test set sizes", OK: ok, Body: sb.String()}
+}

@@ -1,0 +1,85 @@
+// Package experiments regenerates every table and figure of the paper
+// as an executable report: each experiment E1–E13 (see DESIGN.md for
+// the index) reproduces one bound, construction, or observation,
+// cross-checks it against an independent computation, and renders a
+// paper-vs-measured table. The cmd/tables binary drives the registry;
+// EXPERIMENTS.md archives one run.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID    string // e.g. "E1"
+	Title string // what the paper artifact is
+	OK    bool   // all embedded checks passed
+	Body  string // rendered tables / figures / narration
+}
+
+// String renders the full report with a status banner.
+func (r Report) String() string {
+	status := "PASS"
+	if !r.OK {
+		status = "FAIL"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s [%s] %s ===\n", r.ID, status, r.Title)
+	sb.WriteString(r.Body)
+	if !strings.HasSuffix(r.Body, "\n") {
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Experiment is a runnable registry entry.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() Report
+}
+
+// Registry lists every experiment in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"E1", "Theorem 2.2(i): sorter 0/1 test set = 2^n - n - 1", E1SorterBinary},
+		{"E2", "Theorem 2.2(ii): sorter permutation test set = C(n,floor(n/2)) - 1", E2SorterPerm},
+		{"E3", "Theorem 2.4(i): selector 0/1 test set = sum C(n,i) - k - 1", E3SelectorBinary},
+		{"E4", "Theorem 2.4(ii): selector permutation test set = C(n,min(floor(n/2),k)) - 1", E4SelectorPerm},
+		{"E5", "Theorem 2.5: merger test sets = n^2/4 and n/2", E5Merger},
+		{"E6", "Figure 1: the example network on input (4 1 3 2)", E6Figure1},
+		{"E7", "Figure 2: the four base almost-sorters for n=3", E7Figure2},
+		{"E8", "Figures 3-5 / Lemma 2.1: the almost-sorter construction", E8AlmostSorter},
+		{"E9", "Yao's observation: permutations vs 0/1 inputs", E9Yao},
+		{"E10", "Section 3 / de Bruijn: height-1 networks", E10Height1},
+		{"E11", "Section 3 open question: height-2 exact minimum test sets", E11Height2},
+		{"E12", "Section 1 motivation: VLSI fault coverage", E12Faults},
+		{"E13", "Complexity link: exponential test sets and verification cost", E13Growth},
+		{"E14", "Permutation-space exact minimums (Thms 2.2(ii)/2.4(ii)/2.5(ii), de Bruijn, height-2)", E14PermSpace},
+		{"E15", "Wide-width certification: merger and selector test sets beyond 64 lines", E15WideCertification},
+	}
+}
+
+// Run executes one experiment by ID, or every experiment for "all",
+// returning the reports in registry order.
+func Run(id string) ([]Report, error) {
+	var out []Report
+	for _, e := range Registry() {
+		if id == "all" || strings.EqualFold(id, e.ID) {
+			out = append(out, e.Run())
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: unknown id %q (want E1..E13 or all)", id)
+	}
+	return out, nil
+}
+
+func checkf(ok *bool, cond bool, sb *strings.Builder, format string, args ...interface{}) {
+	if !cond {
+		*ok = false
+		fmt.Fprintf(sb, "CHECK FAILED: "+format+"\n", args...)
+	}
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 15 {
+		t.Fatalf("registry has %d experiments, want 15", len(reg))
+	}
+	seen := map[string]bool{}
+	for i, e := range reg {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("entry %d incomplete", i)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, id := range []string{"E1", "E5", "E8", "E11", "E13", "E14", "E15"} {
+		if !seen[id] {
+			t.Errorf("missing %s", id)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("E99"); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	rs, err := Run("e6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].ID != "E6" {
+		t.Fatalf("got %+v", rs)
+	}
+}
+
+// Every experiment must pass its own embedded checks. These are the
+// paper's tables and figures; a FAIL here is a reproduction bug.
+
+func runAndRequirePass(t *testing.T, id string, wantFragments ...string) string {
+	t.Helper()
+	rs, err := Run(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rs[0]
+	if !r.OK {
+		t.Fatalf("%s failed:\n%s", id, r)
+	}
+	for _, f := range wantFragments {
+		if !strings.Contains(r.Body, f) {
+			t.Errorf("%s output missing %q:\n%s", id, f, r.Body)
+		}
+	}
+	return r.Body
+}
+
+func TestE1(t *testing.T) {
+	body := runAndRequirePass(t, "E1", "2^n-n-1")
+	// n=10 row must show 1013.
+	if !strings.Contains(body, "1013") {
+		t.Errorf("missing n=10 value:\n%s", body)
+	}
+}
+
+func TestE2(t *testing.T) {
+	body := runAndRequirePass(t, "E2", "C(n,n/2)-1")
+	if !strings.Contains(body, "923") { // C(12,6)-1
+		t.Errorf("missing n=12 value 923:\n%s", body)
+	}
+}
+
+func TestE3(t *testing.T) {
+	runAndRequirePass(t, "E3", "Necessity (Lemma 2.3)")
+}
+
+func TestE4(t *testing.T) {
+	body := runAndRequirePass(t, "E4", "Saturation")
+	if !strings.Contains(body, "251") { // C(10,5)-1 = 251
+		t.Errorf("missing saturated bound 251:\n%s", body)
+	}
+}
+
+func TestE5(t *testing.T) {
+	body := runAndRequirePass(t, "E5", "tau_i")
+	if !strings.Contains(body, "(1 5 6 2 3 4)") {
+		t.Errorf("missing tau_1 example:\n%s", body)
+	}
+}
+
+func TestE6(t *testing.T) {
+	body := runAndRequirePass(t, "E6", "(4 1 3 2)")
+	if !strings.Contains(body, "input   [4 1 3 2]") || !strings.Contains(body, "output  [1 3 2 4]") {
+		t.Errorf("trace rows missing:\n%s", body)
+	}
+}
+
+func TestE7(t *testing.T) {
+	body := runAndRequirePass(t, "E7", "H_100", "H_010", "H_101", "H_110")
+	if strings.Count(body, "not sorted") != 4 {
+		t.Errorf("each base case must show its failure:\n%s", body)
+	}
+}
+
+func TestE8(t *testing.T) {
+	runAndRequirePass(t, "E8", "case A", "case B", "case C", "mirrored")
+}
+
+func TestE9(t *testing.T) {
+	runAndRequirePass(t, "E9", "ratio")
+}
+
+func TestE10(t *testing.T) {
+	body := runAndRequirePass(t, "E10", "de Bruijn")
+	if !strings.Contains(body, "1000 1100 1110") { // sorted list of n=4 tests
+		t.Errorf("height-1 test strings missing:\n%s", body)
+	}
+}
+
+func TestE11(t *testing.T) {
+	body := runAndRequirePass(t, "E11", "full set needed")
+	if !strings.Contains(body, "26") { // n=5: 2^5-5-1
+		t.Errorf("n=5 bound missing:\n%s", body)
+	}
+}
+
+func TestE12(t *testing.T) {
+	runAndRequirePass(t, "E12", "optimal-5", "100.0%")
+}
+
+func TestE13(t *testing.T) {
+	runAndRequirePass(t, "E13", "|T|/2^n")
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{ID: "E1", Title: "x", OK: true, Body: "body"}
+	if !strings.Contains(r.String(), "[PASS]") {
+		t.Error("missing PASS banner")
+	}
+	r.OK = false
+	if !strings.Contains(r.String(), "[FAIL]") {
+		t.Error("missing FAIL banner")
+	}
+}
+
+func TestE14(t *testing.T) {
+	body := runAndRequirePass(t, "E14", "de Bruijn", "height 2")
+	if !strings.Contains(body, "43337") {
+		t.Errorf("n=5 behaviour count missing:\n%s", body)
+	}
+}
+
+func TestE15(t *testing.T) {
+	body := runAndRequirePass(t, "E15", "2^512", "mutants caught")
+	if !strings.Contains(body, "65536") { // 512²/4
+		t.Errorf("n=512 test count missing:\n%s", body)
+	}
+}

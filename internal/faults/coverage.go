@@ -1,0 +1,106 @@
+package faults
+
+import (
+	"fmt"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/network"
+)
+
+// Detection semantics. A test τ *detects* a fault in a circuit under
+// test in one of two senses:
+//
+//   - ByProperty: the faulty output on τ is visibly wrong for the
+//     property being certified (for a sorter: not sorted). This is the
+//     observation model of the paper — the tester sees outputs only
+//     and judges them against the property.
+//   - ByGolden: the faulty output differs from the fault-free output.
+//     This is the classical stuck-at testing model with a golden
+//     reference, strictly more sensitive than ByProperty.
+type DetectMode int
+
+// Detection modes.
+const (
+	ByProperty DetectMode = iota
+	ByGolden
+)
+
+func (m DetectMode) String() string {
+	if m == ByProperty {
+		return "by-property"
+	}
+	return "by-golden"
+}
+
+// Detects reports whether the test vector τ detects fault f on w.
+func Detects(w *network.Network, f Fault, tau bitvec.Vec, mode DetectMode) bool {
+	out := f.Eval(w, tau)
+	if mode == ByGolden {
+		return out != w.ApplyVec(tau)
+	}
+	return !out.IsSorted()
+}
+
+// Detectable reports whether any binary input at all detects the fault
+// — faults that are undetectable are functionally benign (e.g. a
+// bypassed redundant comparator) and excluded from coverage
+// denominators.
+func Detectable(w *network.Network, f Fault, mode DetectMode) bool {
+	it := bitvec.All(w.N)
+	for {
+		v, ok := it.Next()
+		if !ok {
+			return false
+		}
+		if Detects(w, f, v, mode) {
+			return true
+		}
+	}
+}
+
+// Report aggregates a fault-coverage measurement.
+type Report struct {
+	Faults     int // faults injected
+	Detectable int // faults some input could expose
+	Detected   int // faults the given test set exposed
+}
+
+// Coverage returns Detected/Detectable as a fraction in [0,1], or 1
+// when nothing is detectable.
+func (r Report) Coverage() float64 {
+	if r.Detectable == 0 {
+		return 1
+	}
+	return float64(r.Detected) / float64(r.Detectable)
+}
+
+// String renders "detected/detectable (coverage%)".
+func (r Report) String() string {
+	return fmt.Sprintf("%d/%d detectable faults caught (%.1f%%)",
+		r.Detected, r.Detectable, 100*r.Coverage())
+}
+
+// Measure injects every fault in fs into w and checks which ones the
+// test set exposes. tests is re-created per fault via the factory so
+// streamed iterators can be replayed.
+func Measure(w *network.Network, fs []Fault, tests func() bitvec.Iterator, mode DetectMode) Report {
+	rep := Report{Faults: len(fs)}
+	for _, f := range fs {
+		if !Detectable(w, f, mode) {
+			continue
+		}
+		rep.Detectable++
+		it := tests()
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			if Detects(w, f, v, mode) {
+				rep.Detected++
+				break
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,118 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/network"
+)
+
+// Double comparator faults: two comparators misbehaving at once. The
+// classical single-fault assumption of E12 is optimistic for real
+// silicon; double faults exhibit *masking* — two defects whose
+// misbehaviours cancel on the tested inputs — which is exactly what a
+// minimal test set's guarantees do NOT cover, making the measurement
+// interesting. Only comparator-mode pairs are modelled (stuck lines
+// and bridges compose less cleanly with each other's clamp points).
+
+// DoubleComp is a pair of comparator faults active simultaneously.
+// The two indices must differ.
+type DoubleComp struct {
+	First, Second CompFault
+}
+
+// Describe implements Fault.
+func (f DoubleComp) Describe() string {
+	return fmt.Sprintf("%s + %s", f.First.Describe(), f.Second.Describe())
+}
+
+// Eval implements Fault: both comparator modes apply in one pass.
+func (f DoubleComp) Eval(w *network.Network, v bitvec.Vec) bitvec.Vec {
+	bits := v.Bits
+	for i, c := range w.Comps {
+		mode := CompMode(-1)
+		switch i {
+		case f.First.Index:
+			mode = f.First.Mode
+		case f.Second.Index:
+			mode = f.Second.Mode
+		}
+		a := bits >> uint(c.A) & 1
+		b := bits >> uint(c.B) & 1
+		var na, nb uint64
+		switch mode {
+		case Bypass:
+			na, nb = a, b
+		case AlwaysSwap:
+			na, nb = b, a
+		case Reverse:
+			na, nb = a|b, a&b
+		default:
+			na, nb = a&b, a|b
+		}
+		bits = bits&^(1<<uint(c.A)|1<<uint(c.B)) | na<<uint(c.A) | nb<<uint(c.B)
+	}
+	return bitvec.New(v.N, bits)
+}
+
+// EnumerateDoubleComp lists double comparator faults. With three modes
+// per comparator the full universe is 9·C(s,2) pairs; max > 0 samples
+// that many uniformly instead (for large networks).
+func EnumerateDoubleComp(w *network.Network, max int, rng *rand.Rand) []Fault {
+	modes := []CompMode{Bypass, AlwaysSwap, Reverse}
+	s := w.Size()
+	var all []Fault
+	for i := 0; i < s; i++ {
+		for j := i + 1; j < s; j++ {
+			for _, mi := range modes {
+				for _, mj := range modes {
+					all = append(all, DoubleComp{
+						First:  CompFault{Index: i, Mode: mi},
+						Second: CompFault{Index: j, Mode: mj},
+					})
+				}
+			}
+		}
+	}
+	if max <= 0 || len(all) <= max {
+		return all
+	}
+	rng.Shuffle(len(all), func(a, b int) { all[a], all[b] = all[b], all[a] })
+	return all[:max]
+}
+
+// MaskingReport quantifies fault masking: pairs where each component
+// fault is detectable alone but the pair is not (their misbehaviours
+// cancel on every input).
+type MaskingReport struct {
+	Pairs            int // pairs examined
+	BothDetectable   int // pairs whose components are each detectable alone
+	PairUndetectable int // of those, pairs undetectable together (masked)
+}
+
+// String renders the masking summary.
+func (r MaskingReport) String() string {
+	return fmt.Sprintf("%d pairs, %d with both components detectable, %d fully masked",
+		r.Pairs, r.BothDetectable, r.PairUndetectable)
+}
+
+// MeasureMasking examines double-comparator faults for masking under
+// the given detection mode.
+func MeasureMasking(w *network.Network, pairs []Fault, mode DetectMode) MaskingReport {
+	rep := MaskingReport{Pairs: len(pairs)}
+	for _, f := range pairs {
+		d, ok := f.(DoubleComp)
+		if !ok {
+			continue
+		}
+		if !Detectable(w, d.First, mode) || !Detectable(w, d.Second, mode) {
+			continue
+		}
+		rep.BothDetectable++
+		if !Detectable(w, d, mode) {
+			rep.PairUndetectable++
+		}
+	}
+	return rep
+}

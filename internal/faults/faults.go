@@ -1,0 +1,200 @@
+// Package faults simulates hardware failures in comparator networks —
+// the VLSI-testing application the paper cites as motivation ("we
+// believe that our study will also be useful in testing VLSI circuits
+// for possible hardware failures").
+//
+// The fault models:
+//
+//   - Bypass: a comparator never exchanges (open defect); the faulty
+//     circuit is still a standard network, so the paper's test-set
+//     guarantee applies: if the fault breaks sorting at all, the
+//     minimal test set catches it.
+//   - AlwaysSwap: a comparator exchanges unconditionally.
+//   - Reverse: a comparator wired upside-down (max on top) — exactly
+//     the "nonstandard" element the paper's model excludes, here
+//     modelled as a defect.
+//   - StuckLine: a line clamped to 0 or 1 throughout the circuit.
+//   - Bridge: two adjacent lines shorted, wired-OR or wired-AND.
+//
+// Only Bypass keeps the circuit inside the standard-network model;
+// the others create behaviours no comparator network exhibits, which
+// is what makes measured fault coverage (experiment E12) informative
+// rather than trivially 100%.
+package faults
+
+import (
+	"fmt"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/network"
+)
+
+// Fault is a hardware defect that can be superimposed on a network
+// during evaluation.
+type Fault interface {
+	// Describe renders a short human-readable label.
+	Describe() string
+	// Eval runs the faulty circuit on a binary input.
+	Eval(w *network.Network, v bitvec.Vec) bitvec.Vec
+}
+
+// CompMode selects how a comparator misbehaves.
+type CompMode int
+
+// Comparator fault modes.
+const (
+	Bypass     CompMode = iota // comparator missing: values pass through
+	AlwaysSwap                 // comparator exchanges unconditionally
+	Reverse                    // comparator wired upside-down: max on top
+)
+
+func (m CompMode) String() string {
+	switch m {
+	case Bypass:
+		return "bypass"
+	case AlwaysSwap:
+		return "always-swap"
+	case Reverse:
+		return "reverse"
+	}
+	return fmt.Sprintf("CompMode(%d)", int(m))
+}
+
+// CompFault is a single faulty comparator, identified by its index in
+// the network's firing order.
+type CompFault struct {
+	Index int
+	Mode  CompMode
+}
+
+// Describe implements Fault.
+func (f CompFault) Describe() string {
+	return fmt.Sprintf("comparator %d %s", f.Index, f.Mode)
+}
+
+// Eval implements Fault.
+func (f CompFault) Eval(w *network.Network, v bitvec.Vec) bitvec.Vec {
+	bits := v.Bits
+	for i, c := range w.Comps {
+		a := bits >> uint(c.A) & 1
+		b := bits >> uint(c.B) & 1
+		var na, nb uint64
+		switch {
+		case i == f.Index && f.Mode == Bypass:
+			na, nb = a, b
+		case i == f.Index && f.Mode == AlwaysSwap:
+			na, nb = b, a
+		case i == f.Index && f.Mode == Reverse:
+			na, nb = a|b, a&b
+		default:
+			na, nb = a&b, a|b
+		}
+		bits = bits&^(1<<uint(c.A)|1<<uint(c.B)) | na<<uint(c.A) | nb<<uint(c.B)
+	}
+	return bitvec.New(v.N, bits)
+}
+
+// StuckLine clamps a line to a constant value for the whole circuit.
+type StuckLine struct {
+	Line  int
+	Value int // 0 or 1
+}
+
+// Describe implements Fault.
+func (f StuckLine) Describe() string {
+	return fmt.Sprintf("line %d stuck-at-%d", f.Line+1, f.Value)
+}
+
+// Eval implements Fault: the clamp is enforced at the input and after
+// every comparator touching the line (a defective wire segment along
+// the entire line).
+func (f StuckLine) Eval(w *network.Network, v bitvec.Vec) bitvec.Vec {
+	clamp := func(bits uint64) uint64 {
+		if f.Value == 1 {
+			return bits | 1<<uint(f.Line)
+		}
+		return bits &^ (1 << uint(f.Line))
+	}
+	bits := clamp(v.Bits)
+	for _, c := range w.Comps {
+		m := (bits >> uint(c.A)) &^ (bits >> uint(c.B)) & 1
+		bits ^= m<<uint(c.A) | m<<uint(c.B)
+		if c.A == f.Line || c.B == f.Line {
+			bits = clamp(bits)
+		}
+	}
+	return bitvec.New(v.N, bits)
+}
+
+// BridgeMode selects the logic function of shorted lines.
+type BridgeMode int
+
+// Bridge fault modes: shorted lines both read as the OR (wired-OR) or
+// the AND (wired-AND) of the two signals.
+const (
+	WiredOR BridgeMode = iota
+	WiredAND
+)
+
+func (m BridgeMode) String() string {
+	if m == WiredOR {
+		return "wired-OR"
+	}
+	return "wired-AND"
+}
+
+// Bridge shorts two lines together for the whole circuit.
+type Bridge struct {
+	A, B int
+	Mode BridgeMode
+}
+
+// Describe implements Fault.
+func (f Bridge) Describe() string {
+	return fmt.Sprintf("bridge %d~%d %s", f.A+1, f.B+1, f.Mode)
+}
+
+// Eval implements Fault: the short is enforced at the input and after
+// every comparator touching either line.
+func (f Bridge) Eval(w *network.Network, v bitvec.Vec) bitvec.Vec {
+	short := func(bits uint64) uint64 {
+		a := bits >> uint(f.A) & 1
+		b := bits >> uint(f.B) & 1
+		var s uint64
+		if f.Mode == WiredOR {
+			s = a | b
+		} else {
+			s = a & b
+		}
+		return bits&^(1<<uint(f.A)|1<<uint(f.B)) | s<<uint(f.A) | s<<uint(f.B)
+	}
+	bits := short(v.Bits)
+	for _, c := range w.Comps {
+		m := (bits >> uint(c.A)) &^ (bits >> uint(c.B)) & 1
+		bits ^= m<<uint(c.A) | m<<uint(c.B)
+		if c.A == f.A || c.A == f.B || c.B == f.A || c.B == f.B {
+			bits = short(bits)
+		}
+	}
+	return bitvec.New(v.N, bits)
+}
+
+// Enumerate lists the standard single-fault universe for a network:
+// three modes per comparator, two stuck values per line, and two bridge
+// modes per adjacent line pair.
+func Enumerate(w *network.Network) []Fault {
+	var out []Fault
+	for i := range w.Comps {
+		out = append(out, CompFault{Index: i, Mode: Bypass},
+			CompFault{Index: i, Mode: AlwaysSwap},
+			CompFault{Index: i, Mode: Reverse})
+	}
+	for l := 0; l < w.N; l++ {
+		out = append(out, StuckLine{Line: l, Value: 0}, StuckLine{Line: l, Value: 1})
+	}
+	for l := 0; l+1 < w.N; l++ {
+		out = append(out, Bridge{A: l, B: l + 1, Mode: WiredOR},
+			Bridge{A: l, B: l + 1, Mode: WiredAND})
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+// Package gen constructs the classical comparator networks used as
+// fixtures, baselines and substrates throughout the reproduction:
+// Batcher's odd-even merge and mergesort (the "S(i)" and merging boxes
+// the paper's Lemma 2.1 figures assemble), the quadratic bubble /
+// insertion / selection networks, the height-1 odd-even transposition
+// sorter of the Section 3 discussion, and the published size-optimal
+// sorters for small n. All constructions use standard comparators only,
+// as the paper's model requires (Batcher's *bitonic* sorter needs
+// reversed comparators and is deliberately absent).
+package gen
+
+import (
+	"fmt"
+
+	"sortnets/internal/network"
+)
+
+// OddEvenMergeSort returns Batcher's odd-even merge sorting network for
+// any n ≥ 0 (not just powers of two): sort each half recursively, then
+// merge with the odd-even merge. These are the S(i) sorter boxes in the
+// paper's Figs. 3–5.
+func OddEvenMergeSort(n int) *network.Network {
+	w := network.New(n)
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = i
+	}
+	sortPositions(w, pos)
+	return w
+}
+
+func sortPositions(w *network.Network, p []int) {
+	n := len(p)
+	if n <= 1 {
+		return
+	}
+	m := (n + 1) / 2
+	sortPositions(w, p[:m])
+	sortPositions(w, p[m:])
+	mergePositions(w, p, m)
+}
+
+// OddEvenMerge returns Batcher's (m,n)-merging network on m+n lines:
+// assuming lines 0..m−1 and m..m+n−1 each carry sorted sequences, the
+// output is their sorted merge. For m = n = half it is exactly the
+// (n/2,n/2)-merging network of Theorem 2.5.
+func OddEvenMerge(m, n int) *network.Network {
+	if m < 0 || n < 0 {
+		panic(fmt.Sprintf("gen: negative merge arities (%d,%d)", m, n))
+	}
+	w := network.New(m + n)
+	pos := make([]int, m+n)
+	for i := range pos {
+		pos[i] = i
+	}
+	mergePositions(w, pos, m)
+	return w
+}
+
+// HalfMerger returns the (n/2,n/2)-merger on n lines (n even), the
+// object of Theorem 2.5.
+func HalfMerger(n int) *network.Network {
+	if n%2 != 0 {
+		panic(fmt.Sprintf("gen: half merger needs even n, got %d", n))
+	}
+	return OddEvenMerge(n/2, n/2)
+}
+
+// mergePositions emits Batcher's odd-even merge onto the increasing
+// line list p, whose first m entries hold one sorted sequence and the
+// rest the other. The recursion merges the odd-indexed and even-indexed
+// subsequences, then compare-exchanges e_i with d_{i+1}; the index
+// arithmetic guarantees each such pair lands on the lines p[2i-1], p[2i]
+// regardless of the actual line numbers, so the scheme works on any
+// increasing position list (see Knuth, TAOCP vol. 3, §5.3.4).
+func mergePositions(w *network.Network, p []int, m int) {
+	n := len(p) - m
+	if m == 0 || n == 0 {
+		return
+	}
+	if m == 1 && n == 1 {
+		w.AddPair(p[0], p[1])
+		return
+	}
+	// Split into odd-indexed (1st, 3rd, …) and even-indexed (2nd, 4th,
+	// …) subsequences of each input, preserving order.
+	var po, pe []int
+	for i := 0; i < m; i += 2 {
+		po = append(po, p[i])
+	}
+	for i := 1; i < m; i += 2 {
+		pe = append(pe, p[i])
+	}
+	mo := len(po) // ⌈m/2⌉ odd-indexed x's
+	for i := m; i < m+n; i += 2 {
+		po = append(po, p[i])
+	}
+	for i := m + 1; i < m+n; i += 2 {
+		pe = append(pe, p[i])
+	}
+	mergePositions(w, po, mo)
+	mergePositions(w, pe, m/2)
+	// d (on po) and e (on pe) interleave as z1=d1, {e_i,d_i+1}, …
+	for i := 1; i <= len(pe) && i < len(po); i++ {
+		a, b := pe[i-1], po[i]
+		if a > b {
+			a, b = b, a
+		}
+		w.AddPair(a, b)
+	}
+}
+
+// Bubble returns the n-line bubble-sort network: pass j bubbles the
+// largest remaining value to the bottom. Size n(n−1)/2, height 1.
+func Bubble(n int) *network.Network {
+	w := network.New(n)
+	for pass := n - 1; pass >= 1; pass-- {
+		for j := 0; j < pass; j++ {
+			w.AddPair(j, j+1)
+		}
+	}
+	return w
+}
+
+// Insertion returns the n-line insertion-sort network: stage i inserts
+// line i into the sorted prefix. Same comparators as Bubble in a
+// different order; also height 1 and size n(n−1)/2.
+func Insertion(n int) *network.Network {
+	w := network.New(n)
+	for i := 1; i < n; i++ {
+		for j := i; j >= 1; j-- {
+			w.AddPair(j-1, j)
+		}
+	}
+	return w
+}
+
+// OddEvenTransposition returns the classic n-round brick-wall sorter:
+// alternating odd and even adjacent exchanges. It is a *height-1*
+// sorter, the canonical member of the primitive-network class of
+// Section 3 (de Bruijn), where a single test — the reverse permutation
+// — decides sorter-ness.
+func OddEvenTransposition(n int) *network.Network {
+	w := network.New(n)
+	for round := 0; round < n; round++ {
+		for j := round % 2; j+1 < n; j += 2 {
+			w.AddPair(j, j+1)
+		}
+	}
+	return w
+}
+
+// Selection returns a (k,n)-selection network: after it runs, output
+// line i carries the (i+1)-st smallest input for every i < k. Pass i
+// sinks the minimum of lines i..n−1 to line i. With k = n−1 it is a
+// full sorter.
+func Selection(n, k int) *network.Network {
+	if k < 0 || k > n {
+		panic(fmt.Sprintf("gen: selection arity k=%d out of range for n=%d", k, n))
+	}
+	w := network.New(n)
+	for i := 0; i < k && i < n-1; i++ {
+		for j := n - 1; j > i; j-- {
+			w.AddPair(j-1, j)
+		}
+	}
+	return w
+}
+
+// optimalComps lists published size-optimal sorting networks for
+// n = 2..8 (0-based line pairs; sizes 1, 3, 5, 9, 12, 16, 19). These
+// are the smallest possible sorters for their n and serve as "true
+// positive" fixtures for every test-set experiment. Each is verified
+// against the zero-one principle in the package tests.
+var optimalComps = map[int][][2]int{
+	2: {{0, 1}},
+	3: {{0, 1}, {0, 2}, {1, 2}},
+	4: {{0, 1}, {2, 3}, {0, 2}, {1, 3}, {1, 2}},
+	5: {{0, 1}, {3, 4}, {2, 4}, {2, 3}, {1, 4}, {0, 3}, {0, 2}, {1, 3}, {1, 2}},
+	6: {{1, 2}, {4, 5}, {0, 2}, {3, 5}, {0, 1}, {3, 4}, {2, 5}, {0, 3}, {1, 4},
+		{2, 4}, {1, 3}, {2, 3}},
+	7: {{1, 2}, {3, 4}, {5, 6}, {0, 2}, {3, 5}, {4, 6}, {0, 1}, {4, 5}, {2, 6},
+		{0, 4}, {1, 5}, {0, 3}, {2, 5}, {1, 3}, {2, 4}, {2, 3}},
+	8: {{0, 1}, {2, 3}, {4, 5}, {6, 7}, {0, 2}, {1, 3}, {4, 6}, {5, 7}, {1, 2},
+		{5, 6}, {0, 4}, {3, 7}, {1, 5}, {2, 6}, {1, 4}, {3, 6}, {2, 4}, {3, 5},
+		{3, 4}},
+}
+
+// OptimalSizes records the known minimum comparator counts for n=2..8.
+var OptimalSizes = map[int]int{2: 1, 3: 3, 4: 5, 5: 9, 6: 12, 7: 16, 8: 19}
+
+// Optimal returns a published size-optimal sorting network for
+// 2 ≤ n ≤ 8, or nil when no optimal network is tabulated for n.
+func Optimal(n int) *network.Network {
+	comps, ok := optimalComps[n]
+	if !ok {
+		return nil
+	}
+	w := network.New(n)
+	for _, c := range comps {
+		w.AddPair(c[0], c[1])
+	}
+	return w
+}
+
+// Sorter returns a good sorting network for any n: the tabulated
+// optimal one when available, Batcher's odd-even mergesort otherwise.
+// This is the S(i) box used by the Lemma 2.1 construction.
+func Sorter(n int) *network.Network {
+	if w := Optimal(n); w != nil {
+		return w
+	}
+	return OddEvenMergeSort(n)
+}

@@ -1,0 +1,219 @@
+package gen
+
+import (
+	"testing"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/network"
+)
+
+func TestOddEvenMergeSortSortsAll(t *testing.T) {
+	for n := 0; n <= 17; n++ {
+		w := OddEvenMergeSort(n)
+		if err := w.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !w.SortsAllBinary() {
+			t.Errorf("n=%d: Batcher mergesort fails on %s", n, w.FirstBinaryFailure())
+		}
+	}
+}
+
+func TestOddEvenMergeSortSizePowersOfTwo(t *testing.T) {
+	// For n = 2^k Batcher's network has (k²−k+4)·2^(k−2) − 1
+	// comparators (Knuth 5.3.4 eq. 10).
+	want := map[int]int{2: 1, 4: 5, 8: 19, 16: 63, 32: 191}
+	for n, size := range want {
+		if got := OddEvenMergeSort(n).Size(); got != size {
+			t.Errorf("n=%d: size %d, want %d", n, got, size)
+		}
+	}
+}
+
+func TestOddEvenMergeAllArities(t *testing.T) {
+	// Exhaustive: for every (m,n) with m+n ≤ 16 and every pair of
+	// sorted halves, the merge output must be sorted.
+	for m := 0; m <= 8; m++ {
+		for n := 0; n <= 8; n++ {
+			w := OddEvenMerge(m, n)
+			if err := w.Validate(); err != nil {
+				t.Fatalf("(%d,%d): %v", m, n, err)
+			}
+			for i := 0; i <= m; i++ {
+				for j := 0; j <= n; j++ {
+					in := bitvec.Concat(bitvec.SortedWithOnes(m, i), bitvec.SortedWithOnes(n, j))
+					if out := w.ApplyVec(in); !out.IsSorted() {
+						t.Fatalf("merge(%d,%d) fails on %s -> %s (net %s)", m, n, in, out, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOddEvenMergeSize(t *testing.T) {
+	// M(m,m) for m a power of two has m·log2(m)+1 ... spot-check known
+	// values: M(1,1)=1, M(2,2)=3, M(4,4)=9, M(8,8)=25 (Knuth table).
+	want := map[int]int{1: 1, 2: 3, 4: 9, 8: 25}
+	for m, size := range want {
+		if got := OddEvenMerge(m, m).Size(); got != size {
+			t.Errorf("M(%d,%d) size %d, want %d", m, m, got, size)
+		}
+	}
+}
+
+func TestHalfMerger(t *testing.T) {
+	w := HalfMerger(8)
+	if w.N != 8 {
+		t.Fatal("wrong line count")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("odd n should panic")
+		}
+	}()
+	HalfMerger(7)
+}
+
+func TestMergerIsNotASorter(t *testing.T) {
+	// A merger must NOT be a sorter (it assumes sorted halves) — this
+	// distinction is why Theorem 2.5's test set is so much smaller.
+	for n := 4; n <= 12; n += 2 {
+		if HalfMerger(n).SortsAllBinary() {
+			t.Errorf("n=%d: merger unexpectedly sorts everything", n)
+		}
+	}
+}
+
+func TestBubbleInsertionSortAll(t *testing.T) {
+	for n := 0; n <= 12; n++ {
+		if !Bubble(n).SortsAllBinary() {
+			t.Errorf("bubble n=%d fails", n)
+		}
+		if !Insertion(n).SortsAllBinary() {
+			t.Errorf("insertion n=%d fails", n)
+		}
+		if n >= 2 {
+			wantSize := n * (n - 1) / 2
+			if got := Bubble(n).Size(); got != wantSize {
+				t.Errorf("bubble n=%d size %d, want %d", n, got, wantSize)
+			}
+			if got := Insertion(n).Size(); got != wantSize {
+				t.Errorf("insertion n=%d size %d, want %d", n, got, wantSize)
+			}
+		}
+	}
+}
+
+func TestQuadraticNetworksAreHeight1(t *testing.T) {
+	for n := 2; n <= 10; n++ {
+		if h := Bubble(n).Height(); h != 1 {
+			t.Errorf("bubble n=%d height %d", n, h)
+		}
+		if h := Insertion(n).Height(); h != 1 {
+			t.Errorf("insertion n=%d height %d", n, h)
+		}
+		if h := OddEvenTransposition(n).Height(); h != 1 {
+			t.Errorf("OET n=%d height %d", n, h)
+		}
+	}
+}
+
+func TestOddEvenTranspositionSorts(t *testing.T) {
+	for n := 0; n <= 14; n++ {
+		w := OddEvenTransposition(n)
+		if !w.SortsAllBinary() {
+			t.Errorf("OET n=%d fails on %s", n, w.FirstBinaryFailure())
+		}
+	}
+	// One round fewer must NOT sort (n rounds are necessary for the
+	// brick-wall pattern at these sizes).
+	for _, n := range []int{4, 6, 8} {
+		w := network.New(n)
+		for round := 0; round < n-2; round++ {
+			for j := round % 2; j+1 < n; j += 2 {
+				w.AddPair(j, j+1)
+			}
+		}
+		if w.SortsAllBinary() {
+			t.Errorf("n=%d: truncated OET should not sort", n)
+		}
+	}
+}
+
+func TestSelectionSelects(t *testing.T) {
+	// For every k, the first k outputs must be the k smallest bits in
+	// order, over the whole binary universe.
+	for n := 1; n <= 10; n++ {
+		for k := 0; k <= n; k++ {
+			w := Selection(n, k)
+			it := bitvec.All(n)
+			for {
+				v, ok := it.Next()
+				if !ok {
+					break
+				}
+				out := w.ApplyVec(v)
+				want := v.Sorted()
+				for i := 0; i < k; i++ {
+					if out.Bit(i) != want.Bit(i) {
+						t.Fatalf("Selection(%d,%d) on %s: output %s, want prefix of %s",
+							n, k, v, out, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSelectionFullIsSorter(t *testing.T) {
+	for n := 2; n <= 10; n++ {
+		if !Selection(n, n-1).SortsAllBinary() {
+			t.Errorf("Selection(%d,%d) should be a sorter", n, n-1)
+		}
+	}
+}
+
+func TestOptimalNetworksSortAndMatchSizes(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		w := Optimal(n)
+		if w == nil {
+			t.Fatalf("no optimal network for n=%d", n)
+		}
+		if !w.SortsAllBinary() {
+			t.Errorf("optimal n=%d fails on %s", n, w.FirstBinaryFailure())
+		}
+		if got := w.Size(); got != OptimalSizes[n] {
+			t.Errorf("optimal n=%d size %d, want %d", n, got, OptimalSizes[n])
+		}
+	}
+	if Optimal(9) != nil {
+		t.Error("Optimal(9) should be nil")
+	}
+}
+
+func TestSorterAlwaysSorts(t *testing.T) {
+	for n := 0; n <= 16; n++ {
+		if !Sorter(n).SortsAllBinary() {
+			t.Errorf("Sorter(%d) fails", n)
+		}
+	}
+	// Small n uses the optimal tables.
+	if Sorter(6).Size() != OptimalSizes[6] {
+		t.Error("Sorter(6) should use the optimal table")
+	}
+}
+
+func TestGenPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative merge", func() { OddEvenMerge(-1, 2) })
+	mustPanic("selection range", func() { Selection(4, 5) })
+}

@@ -1,0 +1,185 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"sortnets/internal/bitvec"
+)
+
+func TestEquivalentReflexiveAndOrderSensitive(t *testing.T) {
+	a := MustParse("n=4: [1,2][3,4][1,3][2,4][2,3]")
+	if !Equivalent(a, a.Clone()) {
+		t.Error("network not equivalent to its clone")
+	}
+	// Same comparators, different order: [1,2][2,3] vs [2,3][1,2]
+	// differ on input 110? First: 110 -> [1,2]: 110 -> [2,3]: 101.
+	// Second: 110 -> [2,3]: 101 -> [1,2]: 011. Different.
+	x := New(3).AddPair(0, 1).AddPair(1, 2)
+	y := New(3).AddPair(1, 2).AddPair(0, 1)
+	if Equivalent(x, y) {
+		t.Error("order-sensitive networks reported equivalent")
+	}
+	if Equivalent(New(3), New(4)) {
+		t.Error("different widths equivalent")
+	}
+	if !Equivalent(New(0), New(0)) {
+		t.Error("empty networks should be equivalent")
+	}
+}
+
+func TestEquivalentAgainstScalarReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(8)
+		a := Random(n, rng.Intn(3*n), rng)
+		b := Random(n, rng.Intn(3*n), rng)
+		want := true
+		it := bitvec.All(n)
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			if a.ApplyVec(v) != b.ApplyVec(v) {
+				want = false
+				break
+			}
+		}
+		if got := Equivalent(a, b); got != want {
+			t.Fatalf("Equivalent=%v, scalar says %v for %s vs %s", got, want, a, b)
+		}
+	}
+}
+
+func TestExerciseCounts(t *testing.T) {
+	// [1,2] on 2 lines fires exactly on input 10: count 1.
+	w := New(2).AddPair(0, 1)
+	counts := w.ExerciseCounts()
+	if len(counts) != 1 || counts[0] != 1 {
+		t.Errorf("counts = %v, want [1]", counts)
+	}
+	// A duplicated comparator never fires the second time.
+	w2 := New(2).AddPair(0, 1).AddPair(0, 1)
+	counts = w2.ExerciseCounts()
+	if counts[0] != 1 || counts[1] != 0 {
+		t.Errorf("counts = %v, want [1 0]", counts)
+	}
+}
+
+func TestExerciseCountsScalarCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(7)
+		w := Random(n, rng.Intn(4*n), rng)
+		want := make([]int, w.Size())
+		it := bitvec.All(n)
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			bits := v.Bits
+			for i, c := range w.Comps {
+				if bits>>uint(c.A)&1 == 1 && bits>>uint(c.B)&1 == 0 {
+					want[i]++
+					bits ^= 1<<uint(c.A) | 1<<uint(c.B)
+				}
+			}
+		}
+		got := w.ExerciseCounts()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("comparator %d: batch count %d, scalar %d (net %s)", i, got[i], want[i], w)
+			}
+		}
+	}
+}
+
+func TestRemoveRedundant(t *testing.T) {
+	// A sorter with its last comparator duplicated: one removable.
+	base := MustParse("n=4: [1,2][3,4][1,3][2,4][2,3]")
+	padded := base.Clone().AddPair(1, 2) // duplicate of the final [2,3]
+	reduced := padded.RemoveRedundant()
+	if reduced.Size() != base.Size() {
+		t.Errorf("reduced to %d comparators, want %d", reduced.Size(), base.Size())
+	}
+	if !Equivalent(padded, reduced) {
+		t.Error("reduction changed behaviour")
+	}
+	// Idempotent on clean networks.
+	if got := base.RemoveRedundant(); got.Size() != base.Size() {
+		t.Errorf("clean network lost comparators: %d", got.Size())
+	}
+}
+
+func TestRemoveRedundantPreservesBehaviourRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(7)
+		w := Random(n, rng.Intn(6*n), rng)
+		r := w.RemoveRedundant()
+		if !Equivalent(w, r) {
+			t.Fatalf("reduction changed behaviour of %s -> %s", w, r)
+		}
+		for _, c := range r.ExerciseCounts() {
+			if c == 0 {
+				t.Fatalf("dead comparator survived reduction of %s", w)
+			}
+		}
+	}
+}
+
+func TestCompactPreservesBehaviourAndDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(8)
+		w := Random(n, rng.Intn(5*n), rng)
+		c := w.Compact()
+		if !Equivalent(w, c) {
+			t.Fatalf("Compact changed behaviour of %s -> %s", w, c)
+		}
+		if c.Depth() != w.Depth() {
+			t.Fatalf("Compact changed depth of %s: %d -> %d", w, w.Depth(), c.Depth())
+		}
+		if c.Size() != w.Size() {
+			t.Fatalf("Compact changed size of %s", w)
+		}
+	}
+}
+
+func TestCompactGroupsLayersContiguously(t *testing.T) {
+	// After compaction, layer indices must be nondecreasing along the
+	// comparator sequence.
+	w := MustParse("n=6: [1,2][1,3][4,5][5,6][2,3][3,4]").Compact()
+	busy := make([]int, w.N)
+	last := 0
+	for _, c := range w.Comps {
+		layer := busy[c.A]
+		if busy[c.B] > layer {
+			layer = busy[c.B]
+		}
+		layer++
+		busy[c.A], busy[c.B] = layer, layer
+		if layer < last {
+			t.Fatalf("layers not contiguous in %s", w)
+		}
+		if layer > last {
+			last = layer
+		}
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	w := MustParse("n=4: [1,2][3,4][1,3][2,4][2,3]").Clone().AddPair(2, 3)
+	s := w.Analyze()
+	if s.Lines != 4 || s.Comparators != 6 || s.Redundant != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty stats string")
+	}
+	if s.Height != 2 {
+		t.Errorf("height = %d", s.Height)
+	}
+}

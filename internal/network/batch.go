@@ -1,0 +1,208 @@
+package network
+
+import (
+	"fmt"
+	"math/bits"
+
+	"sortnets/internal/bitvec"
+)
+
+// Batch evaluates a comparator network on up to 64 binary inputs
+// simultaneously. The transposed layout stores one word per *line*;
+// bit j of Lines[i] is the value on line i in lane j. In this layout a
+// standard comparator [a,b] on 0/1 data is
+//
+//	Lines[a], Lines[b] = Lines[a] AND Lines[b], Lines[a] OR Lines[b]
+//
+// because min(x,y) = x∧y and max(x,y) = x∨y on bits. Two machine
+// instructions thus advance 64 test vectors through one comparator —
+// the bit-parallel trick that lets the experiment harness sweep the
+// full 2^n universe and the 2^n−n−1 test set at word speed.
+type Batch struct {
+	N     int      // lines
+	Lanes int      // occupied lanes, 1..64
+	Lines []uint64 // Lines[i] bit j = value on line i in lane j
+}
+
+// LanesPerBatch is the lane capacity of one Batch.
+const LanesPerBatch = 64
+
+// NewBatch returns an empty batch for n lines.
+func NewBatch(n int) *Batch {
+	return &Batch{N: n, Lines: make([]uint64, n)}
+}
+
+// LoadVecs fills a batch from at most 64 vectors of length n.
+func LoadVecs(n int, vs []bitvec.Vec) *Batch {
+	if len(vs) > LanesPerBatch {
+		panic(fmt.Sprintf("network: %d vectors exceed %d lanes", len(vs), LanesPerBatch))
+	}
+	b := NewBatch(n)
+	for lane, v := range vs {
+		b.SetLane(lane, v)
+	}
+	b.Lanes = len(vs)
+	return b
+}
+
+// SetLane installs vector v in the given lane (transposing it into the
+// per-line words).
+func (b *Batch) SetLane(lane int, v bitvec.Vec) {
+	if v.N != b.N {
+		panic(fmt.Sprintf("network: lane vector length %d, want %d", v.N, b.N))
+	}
+	if lane < 0 || lane >= LanesPerBatch {
+		panic(fmt.Sprintf("network: lane %d out of range", lane))
+	}
+	mask := uint64(1) << uint(lane)
+	for i := 0; i < b.N; i++ {
+		if v.Bit(i) == 1 {
+			b.Lines[i] |= mask
+		} else {
+			b.Lines[i] &^= mask
+		}
+	}
+	if lane >= b.Lanes {
+		b.Lanes = lane + 1
+	}
+}
+
+// Lane extracts the vector currently in the given lane.
+func (b *Batch) Lane(lane int) bitvec.Vec {
+	var w uint64
+	for i := 0; i < b.N; i++ {
+		w |= (b.Lines[i] >> uint(lane) & 1) << uint(i)
+	}
+	return bitvec.New(b.N, w)
+}
+
+// ApplyBatch advances all lanes of the batch through the network in
+// place: one AND and one OR per comparator for all 64 lanes at once.
+func (w *Network) ApplyBatch(b *Batch) {
+	if b.N != w.N {
+		panic(fmt.Sprintf("network: batch has %d lines, want %d", b.N, w.N))
+	}
+	lines := b.Lines
+	for _, c := range w.Comps {
+		x, y := lines[c.A], lines[c.B]
+		lines[c.A] = x & y
+		lines[c.B] = x | y
+	}
+}
+
+// UnsortedLanes returns a bitmask of the occupied lanes whose current
+// contents are NOT sorted. After ApplyBatch this identifies, in one
+// pass, every test vector the network failed. A lane is sorted when its
+// per-line reading is 0^a 1^b, i.e. once a line carries 1 every later
+// line does too; the scan tracks, per lane, whether a 1 has been seen
+// (ones) and flags lanes where a 0 follows (viol).
+func (b *Batch) UnsortedLanes() uint64 {
+	var ones, viol uint64
+	for i := 0; i < b.N; i++ {
+		w := b.Lines[i]
+		viol |= ones &^ w // a lane that already saw 1 now sees 0
+		ones |= w
+	}
+	if b.Lanes < LanesPerBatch {
+		viol &= uint64(1)<<uint(b.Lanes) - 1
+	}
+	return viol
+}
+
+// SortsAllBinary reports whether the network sorts every one of the 2^n
+// binary inputs — the zero-one-principle criterion for being a sorter —
+// by sweeping the universe 64 lanes at a time. For n ≥ 6 the lane
+// loading itself is done wholesale: lane j of block k holds input
+// 64k+j, whose line-i bit pattern across 64 consecutive inputs is
+// either constant (i ≥ 6) or one of six fixed masks (i < 6).
+func (w *Network) SortsAllBinary() bool {
+	return w.FirstBinaryFailure() == (bitvec.Vec{N: -1})
+}
+
+// FirstBinaryFailure returns the smallest (in word order) binary input
+// the network fails to sort, or a sentinel Vec with N = -1 if the
+// network sorts everything. The sentinel keeps the hot path free of
+// (Vec, bool) tuple returns.
+func (w *Network) FirstBinaryFailure() bitvec.Vec {
+	n := w.N
+	if n == 0 {
+		return bitvec.Vec{N: -1}
+	}
+	total := uint64(bitvec.Universe(n))
+	b := NewBatch(n)
+	b.Lanes = LanesPerBatch
+	if total < LanesPerBatch {
+		b.Lanes = int(total)
+	}
+	for base := uint64(0); base < total; base += LanesPerBatch {
+		loadConsecutive(b, base)
+		w.ApplyBatch(b)
+		if total-base < LanesPerBatch {
+			b.Lanes = int(total - base)
+		}
+		if viol := b.UnsortedLanes(); viol != 0 {
+			lane := bits.TrailingZeros64(viol)
+			return bitvec.New(n, base+uint64(lane))
+		}
+	}
+	return bitvec.Vec{N: -1}
+}
+
+// BinaryFailures sweeps the whole binary universe and returns every
+// input the network fails to sort, in increasing word order, stopping
+// early once max failures are found (max ≤ 0 means unlimited). The
+// failure set of an almost-sorter H_σ is exactly {σ}, the property
+// Lemma 2.1 is built on; the verification engine uses this to
+// characterize how far an arbitrary network is from any property.
+func (w *Network) BinaryFailures(max int) []bitvec.Vec {
+	n := w.N
+	var fails []bitvec.Vec
+	if n == 0 {
+		return nil
+	}
+	total := uint64(bitvec.Universe(n))
+	b := NewBatch(n)
+	b.Lanes = LanesPerBatch
+	if total < LanesPerBatch {
+		b.Lanes = int(total)
+	}
+	for base := uint64(0); base < total; base += LanesPerBatch {
+		loadConsecutive(b, base)
+		w.ApplyBatch(b)
+		viol := b.UnsortedLanes()
+		for viol != 0 {
+			lane := bits.TrailingZeros64(viol)
+			viol &^= 1 << uint(lane)
+			fails = append(fails, bitvec.New(n, base+uint64(lane)))
+			if max > 0 && len(fails) >= max {
+				return fails
+			}
+		}
+	}
+	return fails
+}
+
+// laneMasks[i] is the bit pattern of input-bit i across inputs
+// base..base+63 when base is a multiple of 64, for i < 6.
+var laneMasks = [6]uint64{
+	0xAAAAAAAAAAAAAAAA, // bit 0 alternates every input
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+// loadConsecutive fills the batch with inputs base..base+63 (base a
+// multiple of 64) without per-lane transposition.
+func loadConsecutive(b *Batch, base uint64) {
+	for i := 0; i < b.N; i++ {
+		if i < 6 {
+			b.Lines[i] = laneMasks[i]
+		} else if base>>uint(i)&1 == 1 {
+			b.Lines[i] = ^uint64(0)
+		} else {
+			b.Lines[i] = 0
+		}
+	}
+}

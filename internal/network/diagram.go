@@ -1,0 +1,111 @@
+package network
+
+import (
+	"fmt"
+	"strings"
+
+	"sortnets/internal/bitvec"
+)
+
+// Diagram renders the network as an ASCII Knuth diagram in the style of
+// the paper's figures: one horizontal row per line, comparators drawn
+// as vertical connectors in left-to-right firing order. Comparators
+// whose line spans are disjoint may share a column; overlapping spans
+// are staggered so the drawing is unambiguous. Example (the paper's
+// Fig. 1, [1,3][2,4][1,2][3,4]):
+//
+//	1 ───●──────●────────
+//	2 ───┼──●───●────────
+//	3 ───●──┼──────●─────
+//	4 ──────●──────●─────
+func (w *Network) Diagram() string {
+	// Column assignment: a comparator goes one column right of the
+	// rightmost earlier comparator whose span [A,B] intersects its own.
+	// Tracking the last used column per *line over the whole span*
+	// implements exactly that in one pass.
+	lastCol := make([]int, w.N) // 0 = untouched; columns are 1-based
+	colOf := make([]int, len(w.Comps))
+	nCols := 0
+	for idx, c := range w.Comps {
+		col := 0
+		for i := c.A; i <= c.B; i++ {
+			if lastCol[i] > col {
+				col = lastCol[i]
+			}
+		}
+		col++
+		for i := c.A; i <= c.B; i++ {
+			lastCol[i] = col
+		}
+		colOf[idx] = col
+		if col > nCols {
+			nCols = col
+		}
+	}
+
+	// cell[i][j] ∈ {line, endpoint, crossing}
+	const (
+		cellLine     = 0
+		cellEndpoint = 1
+		cellCrossing = 2
+	)
+	cells := make([][]int, w.N)
+	for i := range cells {
+		cells[i] = make([]int, nCols)
+	}
+	for idx, c := range w.Comps {
+		j := colOf[idx] - 1
+		cells[c.A][j] = cellEndpoint
+		cells[c.B][j] = cellEndpoint
+		for i := c.A + 1; i < c.B; i++ {
+			if cells[i][j] == cellLine {
+				cells[i][j] = cellCrossing
+			}
+		}
+	}
+
+	var sb strings.Builder
+	for i := 0; i < w.N; i++ {
+		fmt.Fprintf(&sb, "%2d ──", i+1)
+		for j := 0; j < nCols; j++ {
+			switch cells[i][j] {
+			case cellEndpoint:
+				sb.WriteString("─●─")
+			case cellCrossing:
+				sb.WriteString("─┼─")
+			default:
+				sb.WriteString("───")
+			}
+		}
+		sb.WriteString("──\n")
+	}
+	return sb.String()
+}
+
+// Trace returns a step-by-step evaluation transcript of the network on
+// an integer input, one row per comparator, reproducing the style of
+// the paper's Fig. 1 walk-through of (4 1 3 2).
+func (w *Network) Trace(in []int) string {
+	if len(in) != w.N {
+		panic(fmt.Sprintf("network: trace input length %d, want %d", len(in), w.N))
+	}
+	v := make([]int, len(in))
+	copy(v, in)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "input   %v\n", v)
+	for _, c := range w.Comps {
+		swapped := ""
+		if v[c.A] > v[c.B] {
+			v[c.A], v[c.B] = v[c.B], v[c.A]
+			swapped = "  (exchange)"
+		}
+		fmt.Fprintf(&sb, "%-7s %v%s\n", c.String(), v, swapped)
+	}
+	fmt.Fprintf(&sb, "output  %v\n", v)
+	return sb.String()
+}
+
+// TraceVec is Trace for a binary input.
+func (w *Network) TraceVec(in bitvec.Vec) string {
+	return w.Trace(in.Ints())
+}

@@ -1,0 +1,164 @@
+package network
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"n=4: [1,3][2,4][1,2][3,4]",
+		"n=2:",
+		"n=6: [1,2]",
+		"n=3: [1,2][2,3][1,2]",
+	}
+	for _, s := range cases {
+		w, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		again, err := Parse(w.Format())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", w.Format(), err)
+		}
+		if again.N != w.N || again.Size() != w.Size() {
+			t.Errorf("round trip changed %q", s)
+		}
+		for i := range w.Comps {
+			if w.Comps[i] != again.Comps[i] {
+				t.Errorf("comparator %d changed in round trip of %q", i, s)
+			}
+		}
+	}
+}
+
+func TestParseInferredN(t *testing.T) {
+	w, err := Parse("[1,3][2,4]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.N != 4 {
+		t.Errorf("inferred n = %d, want 4", w.N)
+	}
+}
+
+func TestParseWhitespace(t *testing.T) {
+	w, err := Parse("  n=4:  [1,3]  [2,4] ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 2 {
+		t.Errorf("size %d", w.Size())
+	}
+	w2, err := Parse("[ 1 , 3 ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Comps[0] != (Comparator{A: 0, B: 2}) {
+		t.Error("inner whitespace not handled")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"n=4 [1,2]",    // missing colon
+		"n=x: [1,2]",   // bad count
+		"n=4: [2,1]",   // nonstandard
+		"n=4: [1,1]",   // degenerate
+		"n=4: [0,2]",   // 0-based input
+		"n=2: [1,3]",   // out of range
+		"n=4: [1,2",    // unterminated
+		"n=4: [1]",     // one line
+		"n=4: [1,2,3]", // three lines
+		"n=4: (1,2)",   // wrong brackets
+		"n=4: [a,b]",   // not numbers
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestStringEmpty(t *testing.T) {
+	if got := New(3).String(); got != "(empty)" {
+		t.Errorf("empty String = %q", got)
+	}
+	if got := New(3).Format(); got != "n=3:" {
+		t.Errorf("empty Format = %q", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		w := Random(2+rng.Intn(10), rng.Intn(20), rng)
+		data, err := json.Marshal(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Network
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back.N != w.N || back.Size() != w.Size() {
+			t.Fatalf("JSON round trip changed shape: %s -> %s", w.Format(), back.Format())
+		}
+		for i := range w.Comps {
+			if w.Comps[i] != back.Comps[i] {
+				t.Fatalf("comparator %d changed", i)
+			}
+		}
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	var w Network
+	if err := json.Unmarshal([]byte(`{"lines":2,"comparators":[[2,1]]}`), &w); err == nil {
+		t.Error("nonstandard comparator should fail")
+	}
+	if err := json.Unmarshal([]byte(`{"lines":2,"comparators":[[1,5]]}`), &w); err == nil {
+		t.Error("out-of-range comparator should fail")
+	}
+}
+
+func TestDiagramShape(t *testing.T) {
+	d := fig1().Diagram()
+	lines := strings.Split(strings.TrimRight(d, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("diagram has %d rows, want 4:\n%s", len(lines), d)
+	}
+	// All rows equal width.
+	w := len([]rune(lines[0]))
+	for _, l := range lines {
+		if len([]rune(l)) != w {
+			t.Errorf("ragged diagram:\n%s", d)
+		}
+	}
+	// Endpoint count: 2 per comparator.
+	if got := strings.Count(d, "●"); got != 8 {
+		t.Errorf("diagram has %d endpoints, want 8:\n%s", got, d)
+	}
+}
+
+func TestDiagramEmpty(t *testing.T) {
+	d := New(2).Diagram()
+	if !strings.Contains(d, "1 ──") || !strings.Contains(d, "2 ──") {
+		t.Errorf("empty diagram malformed:\n%s", d)
+	}
+}
+
+func TestTraceReproducesPaperWalkthrough(t *testing.T) {
+	tr := fig1().Trace([]int{4, 1, 3, 2})
+	if !strings.Contains(tr, "input   [4 1 3 2]") {
+		t.Errorf("trace missing input row:\n%s", tr)
+	}
+	if !strings.Contains(tr, "output  [1 3 2 4]") {
+		t.Errorf("trace must end at (1 3 2 4) per Fig. 1:\n%s", tr)
+	}
+	if got := strings.Count(tr, "(exchange)"); got != 3 {
+		t.Errorf("trace shows %d exchanges, want 3:\n%s", got, tr)
+	}
+}

@@ -1,0 +1,35 @@
+package network
+
+import (
+	"fmt"
+
+	"sortnets/internal/widevec"
+)
+
+// Wide-width evaluation: networks themselves have no width limit (the
+// integer path works at any n); this file adds the packed binary path
+// for n > 64 lines via package widevec, the regime where only the
+// paper's polynomial test sets are feasible.
+
+// ApplyWide routes a wide binary vector through the network.
+func (w *Network) ApplyWide(v widevec.Vec) widevec.Vec {
+	if v.N() != w.N {
+		panic(fmt.Sprintf("network: wide input has %d lines, want %d", v.N(), w.N))
+	}
+	pairs := make([][2]int, len(w.Comps))
+	for i, c := range w.Comps {
+		pairs[i] = [2]int{c.A, c.B}
+	}
+	return v.ApplyComparators(pairs)
+}
+
+// Pairs exposes the comparator sequence as plain line pairs, the form
+// widevec consumes; callers doing repeated wide evaluation should
+// cache this instead of re-calling ApplyWide.
+func (w *Network) Pairs() [][2]int {
+	pairs := make([][2]int, len(w.Comps))
+	for i, c := range w.Comps {
+		pairs[i] = [2]int{c.A, c.B}
+	}
+	return pairs
+}

@@ -1,0 +1,38 @@
+package perm
+
+import "testing"
+
+// FuzzParse: the permutation parser must never panic and must only
+// accept genuine permutations, which then round-trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"(4 1 3 2)",
+		"4 1 3 2",
+		"4,1,3,2",
+		"(1)",
+		"()",
+		"(1 1)",
+		"(0 1)",
+		"(1 3)",
+		"(a)",
+		"( 2 1 ",
+		"(-1 2)",
+		"(999999999999999999999 1)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Parse(%q) accepted invalid permutation: %v", s, err)
+		}
+		again, err := Parse(p.String())
+		if err != nil || !again.Equal(p) {
+			t.Fatalf("round trip failed for %q -> %s", s, p)
+		}
+	})
+}

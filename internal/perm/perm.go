@@ -1,0 +1,218 @@
+// Package perm implements permutations of (1 2 … n) as network inputs,
+// together with the *cover* machinery that links permutation test sets
+// to 0/1 test sets in Chung & Ravikumar's paper.
+//
+// A permutation π is stored as a slice p of length n with p[i] = π(i+1):
+// p[i] is the value carried by line i (0-based lines, 1-based values,
+// matching the paper's "(4 1 3 2)" notation read top line first).
+//
+// The cover of π (Section 2 of the paper) is the chain of n+1 binary
+// strings obtained by replacing the t largest values by 1 and the rest
+// by 0, for t = 0..n. A set P of permutations can only be a test set for
+// a property if the union of its covers is a 0/1 test set for that
+// property; Floyd's lemma (quoted in the paper) makes the two views
+// exchangeable. Package chains constructs minimal families of
+// permutations whose covers blanket the required strings.
+package perm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sortnets/internal/bitvec"
+)
+
+// P is a permutation of (1 2 … n); P[i] is the value on line i.
+type P []int
+
+// Identity returns (1 2 … n), the only permutation every network maps
+// to sorted order trivially; it is the one permutation *excluded* from
+// the optimal test sets.
+func Identity(n int) P {
+	p := make(P, n)
+	for i := range p {
+		p[i] = i + 1
+	}
+	return p
+}
+
+// Reverse returns (n n−1 … 2 1), the single test that decides
+// sorter-ness for height-1 (primitive) networks by de Bruijn's theorem
+// quoted in Section 3 of the paper.
+func Reverse(n int) P {
+	p := make(P, n)
+	for i := range p {
+		p[i] = n - i
+	}
+	return p
+}
+
+// FromValues validates and copies a value sequence into a P.
+func FromValues(vals []int) (P, error) {
+	p := make(P, len(vals))
+	copy(p, vals)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Parse reads a permutation in the paper's notation, e.g. "(4 1 3 2)"
+// or "4 1 3 2" (whitespace- or comma-separated, optional parens).
+func Parse(s string) (P, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "(")
+	s = strings.TrimSuffix(s, ")")
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ' ' || r == ',' || r == '\t' })
+	vals := make([]int, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("perm: bad element %q: %v", f, err)
+		}
+		vals = append(vals, v)
+	}
+	return FromValues(vals)
+}
+
+// MustParse is Parse panicking on error, for tests and fixtures.
+func MustParse(s string) P {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Validate reports whether p is a permutation of 1..n.
+func (p P) Validate() error {
+	n := len(p)
+	seen := make([]bool, n+1)
+	for i, v := range p {
+		if v < 1 || v > n {
+			return fmt.Errorf("perm: value %d at line %d out of range 1..%d", v, i, n)
+		}
+		if seen[v] {
+			return fmt.Errorf("perm: duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// String renders in the paper's notation: "(4 1 3 2)".
+func (p P) String() string {
+	parts := make([]string, len(p))
+	for i, v := range p {
+		parts[i] = strconv.Itoa(v)
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// Clone returns an independent copy.
+func (p P) Clone() P {
+	q := make(P, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports element-wise equality.
+func (p P) Equal(q P) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSorted reports whether p is the identity (nondecreasing).
+func (p P) IsSorted() bool {
+	return sort.IntsAreSorted(p)
+}
+
+// Inverse returns π⁻¹: if p carries value v on line i, the inverse
+// carries value i+1 on line v−1. The paper's selector test set takes the
+// inverses of Knuth's B(n,k) permutations.
+func (p P) Inverse() P {
+	q := make(P, len(p))
+	for i, v := range p {
+		q[v-1] = i + 1
+	}
+	return q
+}
+
+// Compose returns the permutation r with r[i] = p[q[i]−1], i.e. "apply
+// q's line routing, then read values from p".
+func (p P) Compose(q P) P {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("perm: compose length mismatch %d vs %d", len(p), len(q)))
+	}
+	r := make(P, len(p))
+	for i := range r {
+		r[i] = p[q[i]-1]
+	}
+	return r
+}
+
+// Threshold returns the binary string that replaces the t largest
+// values of p by 1 and the others by 0 — one element of the cover.
+// Example from the paper: for (3 1 4 2), t=2 gives 1010.
+func (p P) Threshold(t int) bitvec.Vec {
+	if t < 0 || t > len(p) {
+		panic(fmt.Sprintf("perm: threshold %d out of range 0..%d", t, len(p)))
+	}
+	var w uint64
+	cut := len(p) - t // values > cut become 1
+	for i, v := range p {
+		if v > cut {
+			w |= 1 << uint(i)
+		}
+	}
+	return bitvec.New(len(p), w)
+}
+
+// Cover returns the full covering set of p: the n+1 threshold strings,
+// t = 0..n. Consecutive strings differ in one position, so the cover is
+// a maximal chain in the Boolean lattice ordered by bitvec.Leq.
+func (p P) Cover() []bitvec.Vec {
+	out := make([]bitvec.Vec, len(p)+1)
+	for t := 0; t <= len(p); t++ {
+		out[t] = p.Threshold(t)
+	}
+	return out
+}
+
+// Covers reports whether σ belongs to the cover of p, i.e. whether the
+// 1-positions of σ are exactly the positions of the |σ|₁ largest values.
+func (p P) Covers(sigma bitvec.Vec) bool {
+	if sigma.N != len(p) {
+		return false
+	}
+	return p.Threshold(sigma.Ones()) == sigma
+}
+
+// CoverSet returns the union of covers of a family of permutations,
+// deduplicated, the object compared against 0/1 test sets in the paper.
+func CoverSet(ps []P) map[bitvec.Vec]bool {
+	set := make(map[bitvec.Vec]bool)
+	for _, p := range ps {
+		for _, v := range p.Cover() {
+			set[v] = true
+		}
+	}
+	return set
+}
+
+// Random returns a uniform random permutation drawn from rng.
+func Random(n int, rng *rand.Rand) P {
+	p := Identity(n)
+	rng.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

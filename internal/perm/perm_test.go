@@ -1,0 +1,194 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sortnets/internal/bitvec"
+)
+
+func TestIdentityReverse(t *testing.T) {
+	if got := Identity(4).String(); got != "(1 2 3 4)" {
+		t.Errorf("Identity(4) = %s", got)
+	}
+	if got := Reverse(4).String(); got != "(4 3 2 1)" {
+		t.Errorf("Reverse(4) = %s", got)
+	}
+	if !Identity(5).IsSorted() {
+		t.Error("identity must be sorted")
+	}
+	if Reverse(5).IsSorted() {
+		t.Error("reverse must not be sorted")
+	}
+	if !Identity(1).IsSorted() || !Identity(0).IsSorted() {
+		t.Error("trivial identities must be sorted")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"(4 1 3 2)", "(4 1 3 2)"},
+		{"4 1 3 2", "(4 1 3 2)"},
+		{"4,1,3,2", "(4 1 3 2)"},
+		{" ( 2 1 ) ", "(2 1)"},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if p.String() != c.want {
+			t.Errorf("Parse(%q) = %s, want %s", c.in, p, c.want)
+		}
+	}
+	for _, bad := range []string{"(1 1)", "(0 1)", "(1 3)", "(a b)"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := MustParse("(3 1 2)").Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (P{1, 2, 2}).Validate(); err == nil {
+		t.Error("duplicate should fail")
+	}
+	if err := (P{1, 4, 2}).Validate(); err == nil {
+		t.Error("out of range should fail")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	p := MustParse("(4 1 3 2)")
+	inv := p.Inverse()
+	if inv.String() != "(2 4 3 1)" {
+		t.Errorf("inverse = %s", inv)
+	}
+	if !p.Compose(inv).Equal(Identity(4)) && !inv.Compose(p).Equal(Identity(4)) {
+		t.Error("p∘p⁻¹ should be identity")
+	}
+}
+
+func TestInverseInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Random(9, rng)
+		return p.Inverse().Inverse().Equal(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComposeAssociativity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := Random(7, rng), Random(7, rng), Random(7, rng)
+		return a.Compose(b).Compose(c).Equal(a.Compose(b.Compose(c)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThresholdPaperExample(t *testing.T) {
+	// Paper, Section 2: "the cover for (3 1 4 2) is 1111, 1011, 1010,
+	// 0010 and 0000."
+	p := MustParse("(3 1 4 2)")
+	want := map[int]string{0: "0000", 1: "0010", 2: "1010", 3: "1011", 4: "1111"}
+	for t_, w := range want {
+		if got := p.Threshold(t_).String(); got != w {
+			t.Errorf("threshold t=%d: got %s, want %s", t_, got, w)
+		}
+	}
+	cover := p.Cover()
+	if len(cover) != 5 {
+		t.Fatalf("cover size %d", len(cover))
+	}
+}
+
+func TestCoverIsMaximalChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		p := Random(n, rng)
+		cover := p.Cover()
+		for t_ := 0; t_ < len(cover); t_++ {
+			if cover[t_].Ones() != t_ {
+				t.Fatalf("cover[%d] of %s has %d ones", t_, p, cover[t_].Ones())
+			}
+			if t_ > 0 && !bitvec.Leq(cover[t_-1], cover[t_]) {
+				t.Fatalf("cover of %s is not a chain at t=%d", p, t_)
+			}
+		}
+	}
+}
+
+func TestCovers(t *testing.T) {
+	p := MustParse("(3 1 4 2)")
+	for _, s := range []string{"0000", "0010", "1010", "1011", "1111"} {
+		if !p.Covers(bitvec.MustFromString(s)) {
+			t.Errorf("%s should cover %s", p, s)
+		}
+	}
+	for _, s := range []string{"0001", "1100", "0110", "0111"} {
+		if p.Covers(bitvec.MustFromString(s)) {
+			t.Errorf("%s should not cover %s", p, s)
+		}
+	}
+	if p.Covers(bitvec.MustFromString("000")) {
+		t.Error("length mismatch should not cover")
+	}
+}
+
+func TestIdentityCoversExactlySortedStrings(t *testing.T) {
+	// The identity's cover is exactly the n+1 sorted strings — the
+	// reason it is excluded from every optimal test set.
+	for n := 1; n <= 10; n++ {
+		for _, v := range Identity(n).Cover() {
+			if !v.IsSorted() {
+				t.Errorf("n=%d: identity covers non-sorted %s", n, v)
+			}
+		}
+	}
+}
+
+func TestCoverSetUnion(t *testing.T) {
+	ps := []P{MustParse("(1 2 3)"), MustParse("(3 2 1)")}
+	set := CoverSet(ps)
+	// identity covers 000,001,011,111; reverse covers 000,100,110,111.
+	if len(set) != 6 {
+		t.Errorf("cover set size %d, want 6", len(set))
+	}
+}
+
+func TestNoPermutationCoversTwoMiddleStrings(t *testing.T) {
+	// The heart of Theorem 2.2's lower bound: distinct weight-(n/2)
+	// strings can never be covered by the same permutation (each
+	// permutation has exactly one threshold string per weight).
+	rng := rand.New(rand.NewSource(3))
+	n := 8
+	for trial := 0; trial < 500; trial++ {
+		p := Random(n, rng)
+		count := 0
+		it := bitvec.FixedWeight(n, n/2)
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			if p.Covers(v) {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Fatalf("%s covers %d weight-4 strings, want exactly 1", p, count)
+		}
+	}
+}

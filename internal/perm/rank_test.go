@@ -1,0 +1,141 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRankUnrankRoundTrip(t *testing.T) {
+	for n := 0; n <= 6; n++ {
+		it := AllLex(n)
+		var rank int64
+		for {
+			p, ok := it.Next()
+			if !ok {
+				break
+			}
+			if got := p.Rank(); got != rank {
+				t.Fatalf("n=%d: rank of %s = %d, want %d", n, p, got, rank)
+			}
+			if got := Unrank(n, rank); !got.Equal(p) {
+				t.Fatalf("n=%d: unrank(%d) = %s, want %s", n, rank, got, p)
+			}
+			rank++
+		}
+		if want := factorials(n)[n]; rank != want {
+			t.Errorf("n=%d: enumerated %d perms, want %d", n, rank, want)
+		}
+	}
+}
+
+func TestRankExtremes(t *testing.T) {
+	n := 7
+	if Identity(n).Rank() != 0 {
+		t.Error("identity should have rank 0")
+	}
+	if got, want := Reverse(n).Rank(), factorials(n)[n]-1; got != want {
+		t.Errorf("reverse rank = %d, want %d", got, want)
+	}
+}
+
+func TestLexOrderIsIncreasing(t *testing.T) {
+	it := AllLex(5)
+	prev, _ := it.Next()
+	for {
+		p, ok := it.Next()
+		if !ok {
+			break
+		}
+		if !lexLess(prev, p) {
+			t.Fatalf("%s not < %s", prev, p)
+		}
+		prev = p
+	}
+}
+
+func lexLess(a, b P) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestHeapEnumeratesAll(t *testing.T) {
+	for n := 0; n <= 7; n++ {
+		seen := make(map[string]bool)
+		it := AllHeap(n)
+		for {
+			p, ok := it.Next()
+			if !ok {
+				break
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("n=%d: invalid perm %s: %v", n, p, err)
+			}
+			key := p.String()
+			if seen[key] {
+				t.Fatalf("n=%d: duplicate %s", n, key)
+			}
+			seen[key] = true
+		}
+		if want := int(factorials(n)[n]); len(seen) != want {
+			t.Errorf("n=%d: heap enumerated %d, want %d", n, len(seen), want)
+		}
+	}
+}
+
+func TestHeapSwapsOnePair(t *testing.T) {
+	it := AllHeap(6)
+	prev, _ := it.Next()
+	for {
+		p, ok := it.Next()
+		if !ok {
+			break
+		}
+		diff := 0
+		for i := range p {
+			if p[i] != prev[i] {
+				diff++
+			}
+		}
+		if diff != 2 {
+			t.Fatalf("consecutive Heap perms differ in %d positions: %s -> %s", diff, prev, p)
+		}
+		prev = p
+	}
+}
+
+func TestSlicePermsAndCount(t *testing.T) {
+	ps := []P{Identity(3), Reverse(3)}
+	if Count(SlicePerms(ps)) != 2 {
+		t.Error("SlicePerms count wrong")
+	}
+	got := Collect(SlicePerms(ps))
+	if len(got) != 2 || !got[0].Equal(ps[0]) || !got[1].Equal(ps[1]) {
+		t.Error("Collect mismatch")
+	}
+}
+
+func TestRandomSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ps := RandomSample(10, 25, rng)
+	if len(ps) != 25 {
+		t.Fatalf("sample size %d", len(ps))
+	}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestUnrankPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range rank")
+		}
+	}()
+	Unrank(3, 6)
+}

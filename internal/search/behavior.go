@@ -1,0 +1,192 @@
+// Package search computes *exact* minimum test sets by exhausting the
+// behaviour space of comparator networks — the machinery behind the
+// experiments that confirm Theorem 2.2 computationally for small n,
+// verify de Bruijn's single-test theorem for height-1 (primitive)
+// networks, and attack the height-2 question the paper poses as open
+// in Section 3.
+//
+// A network computes a monotone function f : {0,1}ⁿ → {0,1}ⁿ; although
+// networks are unbounded in length, only finitely many such functions
+// are reachable, and the reachable set is the closure of the identity
+// under "append one comparator". A set T of inputs is a test set for a
+// property within a network class iff T hits the failure set of every
+// reachable incorrect behaviour; the minimum test set is therefore a
+// minimum hitting set over those failure sets, computed exactly by
+// branch and bound in hitting.go.
+package search
+
+import (
+	"fmt"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/network"
+)
+
+// Behavior is the full input-output table of a network on binary
+// inputs: entry x is the packed output word for the packed input x.
+// Stored as a string so it can key maps; each output occupies one byte
+// (n ≤ 8).
+type Behavior string
+
+// MaxLines bounds the supported line count: outputs are stored one
+// byte per input, and the 2ⁿ-entry table must stay small enough to
+// enumerate (the behaviour closure grows quickly with n).
+const MaxLines = 8
+
+// Identity returns the behaviour of the empty network.
+func Identity(n int) Behavior {
+	if n < 1 || n > MaxLines {
+		panic(fmt.Sprintf("search: n=%d out of range 1..%d", n, MaxLines))
+	}
+	table := make([]byte, bitvec.Universe(n))
+	for x := range table {
+		table[x] = byte(x)
+	}
+	return Behavior(table)
+}
+
+// Apply returns the behaviour of "this network followed by comparator
+// [a,b]": every output word is routed through the comparator.
+func (b Behavior) Apply(c network.Comparator) Behavior {
+	table := []byte(b)
+	out := make([]byte, len(table))
+	for x, w := range table {
+		m := (w >> uint(c.A)) &^ (w >> uint(c.B)) & 1
+		out[x] = w ^ (m<<uint(c.A) | m<<uint(c.B))
+	}
+	return Behavior(out)
+}
+
+// Output returns the packed output for packed input x.
+func (b Behavior) Output(x int) byte { return b[x] }
+
+// OfNetwork tabulates a concrete network's behaviour.
+func OfNetwork(w *network.Network) Behavior {
+	b := Identity(w.N)
+	for _, c := range w.Comps {
+		b = b.Apply(c)
+	}
+	return b
+}
+
+// Comparators returns the comparator alphabet for n lines with height
+// at most h (h ≥ n−1 means unrestricted).
+func Comparators(n, h int) []network.Comparator {
+	var out []network.Comparator
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n && b-a <= h; b++ {
+			out = append(out, network.Comparator{A: a, B: b})
+		}
+	}
+	return out
+}
+
+// Closure enumerates every behaviour reachable by networks over the
+// given comparator alphabet, by BFS from the identity. limit caps the
+// number of behaviours explored (0 means unlimited); exceeding it
+// returns an error so callers never silently truncate a universe they
+// meant to exhaust.
+func Closure(n int, alphabet []network.Comparator, limit int) ([]Behavior, error) {
+	start := Identity(n)
+	seen := map[Behavior]bool{start: true}
+	queue := []Behavior{start}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for _, c := range alphabet {
+			next := cur.Apply(c)
+			if seen[next] {
+				continue
+			}
+			if limit > 0 && len(seen) >= limit {
+				return nil, fmt.Errorf("search: behaviour closure exceeds limit %d", limit)
+			}
+			seen[next] = true
+			queue = append(queue, next)
+		}
+	}
+	return queue, nil
+}
+
+// Acceptance judges one input/output pair of a behaviour under a
+// property (mirrors verify.Property on packed words).
+type Acceptance func(n int, in, out byte) bool
+
+// SorterAccepts is the sorting property on packed words.
+func SorterAccepts(n int, in, out byte) bool {
+	return bitvec.New(n, uint64(out)).IsSorted()
+}
+
+// SelectorAccepts returns the (k,n)-selector acceptance.
+func SelectorAccepts(k int) Acceptance {
+	return func(n int, in, out byte) bool {
+		want := bitvec.New(n, uint64(in)).Sorted()
+		mask := byte(1<<uint(k) - 1)
+		return out&mask == byte(want.Bits)&mask
+	}
+}
+
+// MergerAccepts is the (n/2,n/2)-merger acceptance: out-of-contract
+// inputs (unsorted halves) are accepted vacuously.
+func MergerAccepts(n int, in, out byte) bool {
+	h := n / 2
+	v := bitvec.New(n, uint64(in))
+	if !v.Slice(0, h).IsSorted() || !v.Slice(h, n).IsSorted() {
+		return true
+	}
+	return bitvec.New(n, uint64(out)).IsSorted()
+}
+
+// FailureMask returns the set of inputs (as a bitmask over packed
+// inputs; n ≤ 6 so the universe fits 64 bits) on which the behaviour
+// violates the property.
+func FailureMask(n int, b Behavior, accepts Acceptance) uint64 {
+	if bitvec.Universe(n) > 64 {
+		panic(fmt.Sprintf("search: failure masks need 2^%d ≤ 64 inputs", n))
+	}
+	var mask uint64
+	for x := 0; x < len(b); x++ {
+		if !accepts(n, byte(x), b[x]) {
+			mask |= 1 << uint(x)
+		}
+	}
+	return mask
+}
+
+// FailureFamily computes the deduplicated, superset-pruned family of
+// failure masks of every incorrect behaviour in the closure. Hitting
+// every member of the family is exactly the test-set condition, and
+// pruning supersets preserves minimum hitting sets: any T hitting a
+// subset hits its supersets for free.
+func FailureFamily(n int, behaviors []Behavior, accepts Acceptance) []uint64 {
+	seen := map[uint64]bool{}
+	var fam []uint64
+	for _, b := range behaviors {
+		m := FailureMask(n, b, accepts)
+		if m != 0 && !seen[m] {
+			seen[m] = true
+			fam = append(fam, m)
+		}
+	}
+	return pruneSupersets(fam)
+}
+
+func pruneSupersets(fam []uint64) []uint64 {
+	var out []uint64
+	for i, a := range fam {
+		dominated := false
+		for j, b := range fam {
+			if i == j {
+				continue
+			}
+			if b&^a == 0 && (a != b || j < i) {
+				// b ⊆ a (strictly, or an earlier duplicate).
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	return out
+}

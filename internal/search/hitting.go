@@ -1,0 +1,211 @@
+package search
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/network"
+)
+
+// MinHittingSet returns a minimum-cardinality set of elements (bit
+// positions) hitting every mask in the family, as a bitmask. The empty
+// family is hit by the empty set. Exact: greedy for an upper bound,
+// forced-singleton propagation, then branch and bound on the smallest
+// uncovered set.
+func MinHittingSet(family []uint64) uint64 {
+	for _, m := range family {
+		if m == 0 {
+			panic("search: empty set can never be hit")
+		}
+	}
+	fam := append([]uint64(nil), family...)
+	var forced uint64
+	// Singleton propagation: a one-element failure set forces that
+	// element into every hitting set (this is exactly the Lemma 2.1
+	// argument: an almost-sorter's failure set is {σ}).
+	for {
+		progress := false
+		var remaining []uint64
+		for _, m := range fam {
+			if m&forced != 0 {
+				continue
+			}
+			if bits.OnesCount64(m) == 1 {
+				forced |= m
+				progress = true
+				continue
+			}
+			remaining = append(remaining, m)
+		}
+		fam = remaining
+		if !progress {
+			break
+		}
+	}
+	if len(fam) == 0 {
+		return forced
+	}
+	best := forced | greedy(fam)
+	solve(fam, forced, &best)
+	return best
+}
+
+// greedy picks, repeatedly, the element covering the most sets.
+func greedy(fam []uint64) uint64 {
+	uncovered := append([]uint64(nil), fam...)
+	var picked uint64
+	for len(uncovered) > 0 {
+		counts := map[int]int{}
+		for _, m := range uncovered {
+			for w := m; w != 0; {
+				e := bits.TrailingZeros64(w)
+				w &^= 1 << uint(e)
+				counts[e]++
+			}
+		}
+		bestE, bestC := -1, 0
+		for e, c := range counts {
+			if c > bestC || (c == bestC && e < bestE) {
+				bestE, bestC = e, c
+			}
+		}
+		picked |= 1 << uint(bestE)
+		var rest []uint64
+		for _, m := range uncovered {
+			if m&picked == 0 {
+				rest = append(rest, m)
+			}
+		}
+		uncovered = rest
+	}
+	return picked
+}
+
+// solve branches on the elements of the smallest uncovered set,
+// pruning with a disjoint-set lower bound.
+func solve(fam []uint64, chosen uint64, best *uint64) {
+	if bits.OnesCount64(chosen) >= bits.OnesCount64(*best) {
+		return
+	}
+	var uncovered []uint64
+	for _, m := range fam {
+		if m&chosen == 0 {
+			uncovered = append(uncovered, m)
+		}
+	}
+	if len(uncovered) == 0 {
+		*best = chosen
+		return
+	}
+	// Lower bound: a maximal collection of pairwise-disjoint uncovered
+	// sets each needs its own element.
+	lb := 0
+	var used uint64
+	sort.Slice(uncovered, func(i, j int) bool {
+		return bits.OnesCount64(uncovered[i]) < bits.OnesCount64(uncovered[j])
+	})
+	for _, m := range uncovered {
+		if m&used == 0 {
+			lb++
+			used |= m
+		}
+	}
+	if bits.OnesCount64(chosen)+lb >= bits.OnesCount64(*best) {
+		return
+	}
+	smallest := uncovered[0]
+	for w := smallest; w != 0; {
+		e := bits.TrailingZeros64(w)
+		w &^= 1 << uint(e)
+		solve(fam, chosen|1<<uint(e), best)
+	}
+}
+
+// TestSetResult reports an exact minimum test set computed by
+// behaviour-space search.
+type TestSetResult struct {
+	N          int
+	Height     int // comparator height bound (n−1 = unrestricted)
+	Behaviors  int // reachable behaviours explored
+	BadSets    int // pruned failure family size
+	Size       int // minimum test set cardinality
+	Tests      []bitvec.Vec
+	ForcedSize int // tests forced by singleton failure sets
+}
+
+// String renders a one-line summary.
+func (r TestSetResult) String() string {
+	return fmt.Sprintf("n=%d height≤%d: %d behaviours, %d failure sets, min test set = %d",
+		r.N, r.Height, r.Behaviors, r.BadSets, r.Size)
+}
+
+// MinimumTestSet computes the exact minimum 0/1 test set for a
+// property over the class of networks with comparator height ≤ h on n
+// lines. limit caps the behaviour closure (0 = unlimited).
+func MinimumTestSet(n, h int, accepts Acceptance, limit int) (TestSetResult, error) {
+	if bitvec.Universe(n) > 64 {
+		return TestSetResult{}, fmt.Errorf("search: n=%d too large for mask-based search", n)
+	}
+	behaviors, err := Closure(n, Comparators(n, h), limit)
+	if err != nil {
+		return TestSetResult{}, err
+	}
+	fam := FailureFamily(n, behaviors, accepts)
+	hit := MinHittingSet(fam)
+	res := TestSetResult{
+		N:         n,
+		Height:    h,
+		Behaviors: len(behaviors),
+		BadSets:   len(fam),
+		Size:      bits.OnesCount64(hit),
+	}
+	forced := 0
+	for _, m := range fam {
+		if bits.OnesCount64(m) == 1 {
+			forced++
+		}
+	}
+	res.ForcedSize = forced
+	for w := hit; w != 0; {
+		e := bits.TrailingZeros64(w)
+		w &^= 1 << uint(e)
+		res.Tests = append(res.Tests, bitvec.New(n, uint64(e)))
+	}
+	return res, nil
+}
+
+// DeBruijnHolds checks de Bruijn's theorem (quoted in Section 3: a
+// height-1 network sorts iff it sorts the reverse permutation) over
+// every height-1 network with at most maxComps comparators on n lines,
+// by exhaustive enumeration of comparator sequences. It returns an
+// error describing the first counterexample, or nil.
+func DeBruijnHolds(n, maxComps int) error {
+	alphabet := Comparators(n, 1)
+	rev := make([]int, n)
+	for i := range rev {
+		rev[i] = n - i
+	}
+	var rec func(w *network.Network, depth int) error
+	rec = func(w *network.Network, depth int) error {
+		sortsRev := sort.IntsAreSorted(w.Apply(rev))
+		isSorter := w.SortsAllBinary()
+		if sortsRev != isSorter {
+			return fmt.Errorf("search: de Bruijn violated by %s (rev-sorted=%v, sorter=%v)",
+				w.Format(), sortsRev, isSorter)
+		}
+		if depth == maxComps {
+			return nil
+		}
+		for _, c := range alphabet {
+			w.Comps = append(w.Comps, c)
+			if err := rec(w, depth+1); err != nil {
+				return err
+			}
+			w.Comps = w.Comps[:len(w.Comps)-1]
+		}
+		return nil
+	}
+	return rec(network.New(n), 0)
+}

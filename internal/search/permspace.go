@@ -1,0 +1,385 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"sortnets/internal/bitset"
+	"sortnets/internal/network"
+	"sortnets/internal/perm"
+)
+
+// Permutation-space search: the same behaviour-closure idea as
+// behavior.go, but over permutation inputs. This confirms the paper's
+// *permutation-input* bounds computationally — Theorem 2.2(ii)'s
+// C(n,⌊n/2⌋) − 1, Theorem 2.4(ii)'s C(n,min(⌊n/2⌋,k)) − 1, Theorem
+// 2.5(ii)'s n/2 — and de Bruijn's single-test theorem for height-1
+// networks, and produces exact permutation numbers for height-2 (new).
+//
+// A behaviour is the table of outputs over all n! permutations, input
+// order = lexicographic rank. Failure sets live in an n!-element
+// universe, so they are bitset.Sets rather than machine words.
+
+// PermBehavior is the full input-output table over permutations:
+// n bytes of output values per input, inputs in lexicographic rank
+// order, packed into a string for map keys.
+type PermBehavior string
+
+// MaxPermLines bounds permutation-space searches: the table has
+// n·n! bytes and the closure is enumerated explicitly.
+const MaxPermLines = 6
+
+// permInputs returns all n! permutations in lexicographic order.
+func permInputs(n int) []perm.P {
+	return perm.Collect(perm.AllLex(n))
+}
+
+// PermIdentity returns the empty network's permutation behaviour.
+func PermIdentity(n int) PermBehavior {
+	if n < 1 || n > MaxPermLines {
+		panic(fmt.Sprintf("search: n=%d out of range 1..%d", n, MaxPermLines))
+	}
+	inputs := permInputs(n)
+	table := make([]byte, 0, n*len(inputs))
+	for _, p := range inputs {
+		for _, v := range p {
+			table = append(table, byte(v))
+		}
+	}
+	return PermBehavior(table)
+}
+
+// Apply routes every tabulated output through one more comparator.
+func (b PermBehavior) Apply(n int, c network.Comparator) PermBehavior {
+	out := []byte(string(b))
+	for base := 0; base < len(out); base += n {
+		if out[base+c.A] > out[base+c.B] {
+			out[base+c.A], out[base+c.B] = out[base+c.B], out[base+c.A]
+		}
+	}
+	return PermBehavior(out)
+}
+
+// Output returns the output values for the input with the given rank.
+func (b PermBehavior) Output(n, rank int) []byte {
+	return []byte(b[rank*n : (rank+1)*n])
+}
+
+// PermClosure enumerates every permutation behaviour reachable over
+// the comparator alphabet, by BFS from the identity. Because a
+// network's action on permutations is determined by its action on 0/1
+// vectors (Floyd), this closure is in bijection with the binary one —
+// asserted in the tests.
+func PermClosure(n int, alphabet []network.Comparator, limit int) ([]PermBehavior, error) {
+	start := PermIdentity(n)
+	seen := map[PermBehavior]bool{start: true}
+	queue := []PermBehavior{start}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for _, c := range alphabet {
+			next := cur.Apply(n, c)
+			if seen[next] {
+				continue
+			}
+			if limit > 0 && len(seen) >= limit {
+				return nil, fmt.Errorf("search: permutation closure exceeds limit %d", limit)
+			}
+			seen[next] = true
+			queue = append(queue, next)
+		}
+	}
+	return queue, nil
+}
+
+// PermAcceptance judges one tabulated input/output pair: in and out
+// are value sequences of length n.
+type PermAcceptance func(n int, in, out []byte) bool
+
+// PermSorterAccepts is the sorting property.
+func PermSorterAccepts(n int, in, out []byte) bool { return bytesSorted(out) }
+
+// PermSelectorAccepts returns the (k,n)-selector property: on a
+// permutation of 1..n the first k outputs must be exactly 1..k.
+func PermSelectorAccepts(k int) PermAcceptance {
+	return func(n int, in, out []byte) bool {
+		for i := 0; i < k; i++ {
+			if out[i] != byte(i+1) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// PermMergerAccepts is the (n/2,n/2)-merger property; inputs with
+// unsorted halves are accepted vacuously.
+func PermMergerAccepts(n int, in, out []byte) bool {
+	h := n / 2
+	if !bytesSorted(in[:h]) || !bytesSorted(in[h:]) {
+		return true
+	}
+	return bytesSorted(out)
+}
+
+func bytesSorted(b []byte) bool {
+	for i := 1; i < len(b); i++ {
+		if b[i-1] > b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PermFailureFamily computes the deduplicated, superset-pruned family
+// of failure sets (over the n!-element input universe) of every
+// incorrect behaviour.
+func PermFailureFamily(n int, behaviors []PermBehavior, accepts PermAcceptance) []*bitset.Set {
+	inputs := permInputs(n)
+	inBytes := make([][]byte, len(inputs))
+	for i, p := range inputs {
+		row := make([]byte, n)
+		for j, v := range p {
+			row[j] = byte(v)
+		}
+		inBytes[i] = row
+	}
+	seen := map[string]bool{}
+	var fam []*bitset.Set
+	for _, b := range behaviors {
+		s := bitset.New(len(inputs))
+		for r := range inputs {
+			if !accepts(n, inBytes[r], b.Output(n, r)) {
+				s.Add(r)
+			}
+		}
+		if s.Empty() {
+			continue
+		}
+		if k := s.Key(); !seen[k] {
+			seen[k] = true
+			fam = append(fam, s)
+		}
+	}
+	return pruneSupersetSets(fam)
+}
+
+func pruneSupersetSets(fam []*bitset.Set) []*bitset.Set {
+	var out []*bitset.Set
+	for i, a := range fam {
+		dominated := false
+		for j, b := range fam {
+			if i == j {
+				continue
+			}
+			if b.SubsetOf(a) && (!a.Equal(b) || j < i) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// HittingSetResult carries an exact or certified-optimal hitting set
+// over bitset families.
+type HittingSetResult struct {
+	Elements *bitset.Set
+	Size     int
+	Exact    bool // true when optimality is certified
+}
+
+// MinHittingSetBits computes a minimum hitting set over bitset
+// families. Strategy: forced singletons, greedy upper bound, disjoint
+// lower bound; when the two bounds meet the greedy solution is
+// certified optimal without branching (the common case for the
+// paper's highly structured families), otherwise branch and bound
+// with a node budget. Exact is false only if the budget is exhausted
+// before the search closes — callers treat that as "unknown", never
+// as a bound.
+func MinHittingSetBits(universe int, family []*bitset.Set, nodeBudget int) HittingSetResult {
+	for _, s := range family {
+		if s.Empty() {
+			panic("search: empty set can never be hit")
+		}
+	}
+	chosen := bitset.New(universe)
+	fam := append([]*bitset.Set(nil), family...)
+
+	// Forced singletons.
+	for {
+		progress := false
+		var rest []*bitset.Set
+		for _, s := range fam {
+			if s.Intersects(chosen) {
+				continue
+			}
+			if s.Count() == 1 {
+				chosen.Add(s.First())
+				progress = true
+				continue
+			}
+			rest = append(rest, s)
+		}
+		fam = rest
+		if !progress {
+			break
+		}
+	}
+	if len(fam) == 0 {
+		return HittingSetResult{Elements: chosen, Size: chosen.Count(), Exact: true}
+	}
+
+	upper := greedyBits(universe, fam)
+	upper.UnionWith(chosen)
+	lower := chosen.Count() + disjointLowerBound(fam)
+	if upper.Count() == lower {
+		return HittingSetResult{Elements: upper, Size: upper.Count(), Exact: true}
+	}
+
+	best := upper
+	nodes := 0
+	exact := solveBits(universe, fam, chosen, &best, &nodes, nodeBudget)
+	return HittingSetResult{Elements: best, Size: best.Count(), Exact: exact}
+}
+
+func greedyBits(universe int, fam []*bitset.Set) *bitset.Set {
+	uncovered := append([]*bitset.Set(nil), fam...)
+	picked := bitset.New(universe)
+	for len(uncovered) > 0 {
+		counts := make(map[int]int)
+		for _, s := range uncovered {
+			s.ForEach(func(i int) bool {
+				counts[i]++
+				return true
+			})
+		}
+		bestE, bestC := -1, 0
+		for e, c := range counts {
+			if c > bestC || (c == bestC && e < bestE) {
+				bestE, bestC = e, c
+			}
+		}
+		picked.Add(bestE)
+		var rest []*bitset.Set
+		for _, s := range uncovered {
+			if !s.Contains(bestE) {
+				rest = append(rest, s)
+			}
+		}
+		uncovered = rest
+	}
+	return picked
+}
+
+func disjointLowerBound(fam []*bitset.Set) int {
+	sorted := append([]*bitset.Set(nil), fam...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Count() < sorted[j].Count() })
+	if len(sorted) == 0 {
+		return 0
+	}
+	lb := 0
+	used := bitset.New(sorted[0].Len())
+	for _, s := range sorted {
+		if !s.Intersects(used) {
+			lb++
+			used.UnionWith(s)
+		}
+	}
+	return lb
+}
+
+func solveBits(universe int, fam []*bitset.Set, chosen *bitset.Set, best **bitset.Set, nodes *int, budget int) bool {
+	*nodes++
+	if budget > 0 && *nodes > budget {
+		return false
+	}
+	if chosen.Count() >= (*best).Count() {
+		return true
+	}
+	var uncovered []*bitset.Set
+	for _, s := range fam {
+		if !s.Intersects(chosen) {
+			uncovered = append(uncovered, s)
+		}
+	}
+	if len(uncovered) == 0 {
+		*best = chosen.Clone()
+		return true
+	}
+	if chosen.Count()+disjointLowerBound(uncovered) >= (*best).Count() {
+		return true
+	}
+	smallest := uncovered[0]
+	for _, s := range uncovered[1:] {
+		if s.Count() < smallest.Count() {
+			smallest = s
+		}
+	}
+	complete := true
+	smallest.ForEach(func(e int) bool {
+		child := chosen.Clone()
+		child.Add(e)
+		if !solveBits(universe, fam, child, best, nodes, budget) {
+			complete = false
+			return false
+		}
+		return true
+	})
+	return complete
+}
+
+// PermTestSetResult reports an exact minimum permutation test set.
+type PermTestSetResult struct {
+	N         int
+	Height    int
+	Behaviors int
+	BadSets   int
+	Size      int
+	Exact     bool
+	Tests     []perm.P
+}
+
+// String renders a one-line summary.
+func (r PermTestSetResult) String() string {
+	tag := "exact"
+	if !r.Exact {
+		tag = "upper bound only"
+	}
+	return fmt.Sprintf("n=%d height≤%d: %d behaviours, %d failure sets, min perm test set = %d (%s)",
+		r.N, r.Height, r.Behaviors, r.BadSets, r.Size, tag)
+}
+
+// MinimumPermTestSet computes the exact minimum permutation-input test
+// set for a property over networks of comparator height ≤ h on n
+// lines. limit caps the behaviour closure, nodeBudget the hitting-set
+// branch and bound (0 = defaults).
+func MinimumPermTestSet(n, h int, accepts PermAcceptance, limit, nodeBudget int) (PermTestSetResult, error) {
+	if n > MaxPermLines {
+		return PermTestSetResult{}, fmt.Errorf("search: n=%d too large for permutation-space search", n)
+	}
+	behaviors, err := PermClosure(n, Comparators(n, h), limit)
+	if err != nil {
+		return PermTestSetResult{}, err
+	}
+	fam := PermFailureFamily(n, behaviors, accepts)
+	inputs := permInputs(n)
+	if nodeBudget == 0 {
+		nodeBudget = 5_000_000
+	}
+	hs := MinHittingSetBits(len(inputs), fam, nodeBudget)
+	res := PermTestSetResult{
+		N: n, Height: h,
+		Behaviors: len(behaviors),
+		BadSets:   len(fam),
+		Size:      hs.Size,
+		Exact:     hs.Exact,
+	}
+	hs.Elements.ForEach(func(r int) bool {
+		res.Tests = append(res.Tests, inputs[r])
+		return true
+	})
+	return res, nil
+}

@@ -1,0 +1,293 @@
+package search
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/gen"
+	"sortnets/internal/network"
+)
+
+func TestBehaviorMatchesNetworkEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(5)
+		w := network.Random(n, rng.Intn(3*n), rng)
+		b := OfNetwork(w)
+		it := bitvec.All(n)
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			if got := uint64(b.Output(int(v.Bits))); got != w.ApplyVec(v).Bits {
+				t.Fatalf("behaviour table wrong for %s on %s", w, v)
+			}
+		}
+	}
+}
+
+func TestIdentityBehavior(t *testing.T) {
+	b := Identity(3)
+	for x := 0; x < 8; x++ {
+		if b.Output(x) != byte(x) {
+			t.Fatalf("identity maps %d to %d", x, b.Output(x))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for n > MaxLines")
+		}
+	}()
+	Identity(9)
+}
+
+func TestComparatorsAlphabet(t *testing.T) {
+	if got := len(Comparators(5, 4)); got != 10 {
+		t.Errorf("unrestricted alphabet size %d, want C(5,2)=10", got)
+	}
+	if got := len(Comparators(5, 1)); got != 4 {
+		t.Errorf("height-1 alphabet size %d, want 4", got)
+	}
+	for _, c := range Comparators(6, 2) {
+		if c.Height() > 2 {
+			t.Errorf("comparator %v exceeds height bound", c)
+		}
+	}
+}
+
+func TestClosureSizes(t *testing.T) {
+	// Height-1 closures number exactly n! — each behaviour of a
+	// primitive network is determined by the permutation it applies
+	// to the "all distinct" input (de Bruijn's setting).
+	want := map[int]int{2: 2, 3: 6, 4: 24, 5: 120}
+	for n, w := range want {
+		bs, err := Closure(n, Comparators(n, 1), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bs) != w {
+			t.Errorf("n=%d: height-1 closure %d, want n!=%d", n, len(bs), w)
+		}
+	}
+}
+
+func TestClosureLimit(t *testing.T) {
+	if _, err := Closure(4, Comparators(4, 3), 10); err == nil {
+		t.Error("limit should trip")
+	}
+}
+
+func TestClosureContainsSorterBehavior(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		bs, err := Closure(n, Comparators(n, n-1), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sorter := OfNetwork(gen.Sorter(n))
+		found := false
+		for _, b := range bs {
+			if b == sorter {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("n=%d: sorter behaviour missing from closure", n)
+		}
+	}
+}
+
+func TestMinimumTestSetConfirmsTheorem22(t *testing.T) {
+	// The headline computational confirmation: over ALL networks, the
+	// exact minimum 0/1 test set for sorting is 2ⁿ − n − 1 — and every
+	// single test is forced by a singleton failure set, which is
+	// precisely the Lemma 2.1 phenomenon.
+	for n := 2; n <= 4; n++ {
+		r, err := MinimumTestSet(n, n-1, SorterAccepts, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bitvec.Universe(n) - n - 1
+		if r.Size != want {
+			t.Errorf("n=%d: minimum %d, want 2ⁿ−n−1 = %d", n, r.Size, want)
+		}
+		if r.ForcedSize != want {
+			t.Errorf("n=%d: %d forced tests, want all %d", n, r.ForcedSize, want)
+		}
+		for _, v := range r.Tests {
+			if v.IsSorted() {
+				t.Errorf("n=%d: sorted string %s in minimum test set", n, v)
+			}
+		}
+	}
+}
+
+func TestMinimumTestSetHeight1IsNMinus1(t *testing.T) {
+	// New (post-paper) exact numbers: with 0/1 inputs, height-1
+	// networks need exactly n−1 tests — the strings 1^i 0^(n−i).
+	// (De Bruijn's single test is a permutation; binary inputs are
+	// weaker, and this quantifies by how much.)
+	for n := 2; n <= 6; n++ {
+		r, err := MinimumTestSet(n, 1, SorterAccepts, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Size != n-1 {
+			t.Errorf("n=%d: height-1 minimum %d, want n−1=%d", n, r.Size, n-1)
+		}
+		for _, v := range r.Tests {
+			// Each test must be 1^i 0^(n−i).
+			if v.Reverse().IsSorted() == false {
+				t.Errorf("n=%d: height-1 test %s is not of the form 1^i0^j", n, v)
+			}
+		}
+	}
+}
+
+func TestMinimumTestSetHeight2MatchesFull(t *testing.T) {
+	// The answer (for small n) to the paper's Section 3 open question:
+	// height-2 networks already require the FULL 2ⁿ−n−1 test set.
+	for n := 3; n <= 5; n++ {
+		r2, err := MinimumTestSet(n, 2, SorterAccepts, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bitvec.Universe(n) - n - 1
+		if r2.Size != want {
+			t.Errorf("n=%d: height-2 minimum %d, want %d", n, r2.Size, want)
+		}
+	}
+}
+
+func TestMinimumTestSetSelector(t *testing.T) {
+	// Theorem 2.4(i) confirmed exactly for n=4: Σᵢ₌₀..k C(4,i) − k − 1.
+	want := map[int]int{1: 3, 2: 8, 3: 11, 4: 11}
+	for k, expected := range want {
+		r, err := MinimumTestSet(4, 3, SelectorAccepts(k), 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Size != expected {
+			t.Errorf("k=%d: minimum %d, want %d", k, r.Size, expected)
+		}
+	}
+}
+
+func TestMinimumTestSetMerger(t *testing.T) {
+	// Theorem 2.5(i) confirmed exactly: n²/4 for n=4 (and n=2).
+	for _, n := range []int{2, 4} {
+		r, err := MinimumTestSet(n, n-1, MergerAccepts, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Size != n*n/4 {
+			t.Errorf("n=%d: merger minimum %d, want n²/4=%d", n, r.Size, n*n/4)
+		}
+	}
+}
+
+func TestDeBruijnTheorem(t *testing.T) {
+	// Exhaustive over all height-1 networks with ≤ maxComps
+	// comparators: sorts-reverse ⟺ sorter.
+	if err := DeBruijnHolds(3, 6); err != nil {
+		t.Error(err)
+	}
+	if err := DeBruijnHolds(4, 6); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinHittingSetExactness(t *testing.T) {
+	cases := []struct {
+		fam  []uint64
+		want int
+	}{
+		{nil, 0},
+		{[]uint64{0b1}, 1},
+		{[]uint64{0b11, 0b101, 0b110}, 2},             // pairwise overlapping
+		{[]uint64{0b001, 0b010, 0b100}, 3},            // disjoint singletons
+		{[]uint64{0b111}, 1},                          // any element
+		{[]uint64{0b0011, 0b1100}, 2},                 // two disjoint pairs
+		{[]uint64{0b0110, 0b0011, 0b1100, 0b1001}, 2}, // cycle: opposite corners
+	}
+	for i, c := range cases {
+		got := bits.OnesCount64(MinHittingSet(c.fam))
+		if got != c.want {
+			t.Errorf("case %d: size %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestMinHittingSetHitsEverything(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var fam []uint64
+		for _, r := range raw {
+			if r != 0 {
+				fam = append(fam, uint64(r))
+			}
+		}
+		hit := MinHittingSet(fam)
+		for _, m := range fam {
+			if m&hit == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinHittingSetNotLargerThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		var fam []uint64
+		for i := 0; i < 1+rng.Intn(12); i++ {
+			m := rng.Uint64() & 0xFFF
+			if m != 0 {
+				fam = append(fam, m)
+			}
+		}
+		exact := bits.OnesCount64(MinHittingSet(fam))
+		gr := bits.OnesCount64(greedy(pruneSupersets(fam)))
+		if exact > gr {
+			t.Fatalf("exact %d > greedy %d for %v", exact, gr, fam)
+		}
+	}
+}
+
+func TestMinHittingSetPanicsOnEmptySet(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MinHittingSet([]uint64{0})
+}
+
+func TestPruneSupersets(t *testing.T) {
+	fam := []uint64{0b111, 0b011, 0b011, 0b100}
+	out := pruneSupersets(fam)
+	if len(out) != 2 {
+		t.Fatalf("pruned to %d sets (%v), want 2", len(out), out)
+	}
+	seen := map[uint64]bool{}
+	for _, m := range out {
+		seen[m] = true
+	}
+	if !seen[0b011] || !seen[0b100] {
+		t.Errorf("wrong survivors: %v", out)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := TestSetResult{N: 4, Height: 2, Behaviors: 166, BadSets: 11, Size: 11}
+	if r.String() == "" {
+		t.Error("empty string")
+	}
+}

@@ -1,0 +1,89 @@
+// Package tablefmt renders aligned ASCII tables for the experiment
+// harness, which reports every reproduced bound as a paper-vs-measured
+// row. Output is plain text that doubles as GitHub-flavoured markdown.
+package tablefmt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows under a fixed header.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// New creates a table with the given column headers.
+func New(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends a row; values are rendered with %v. Short rows are
+// padded, long rows panic (a harness bug, not a data condition).
+func (t *Table) Row(values ...interface{}) *Table {
+	if len(values) > len(t.header) {
+		panic(fmt.Sprintf("tablefmt: row has %d cells, header has %d", len(values), len(t.header)))
+	}
+	row := make([]string, len(t.header))
+	for i, v := range values {
+		row[i] = fmt.Sprint(v)
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// Render writes the table in markdown-compatible form.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return "| " + strings.Join(parts, " | ") + " |\n"
+	}
+	if _, err := io.WriteString(w, line(t.header)); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := io.WriteString(w, line(seps)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := io.WriteString(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders to a string (for tests and logs).
+func (t *Table) String() string {
+	var sb strings.Builder
+	if err := t.Render(&sb); err != nil {
+		return "" // strings.Builder never errors; satisfy the linter
+	}
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

@@ -1,0 +1,48 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAligned(t *testing.T) {
+	tb := New("n", "bound").Row(4, 11).Row(10, 1013)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	w := len(lines[0])
+	for _, l := range lines {
+		if len(l) != w {
+			t.Errorf("ragged table:\n%s", out)
+		}
+	}
+	if !strings.Contains(lines[0], "bound") || !strings.Contains(lines[3], "1013") {
+		t.Errorf("content missing:\n%s", out)
+	}
+}
+
+func TestRowPadding(t *testing.T) {
+	tb := New("a", "b", "c").Row(1)
+	out := tb.String()
+	if !strings.Contains(out, "| 1 |") {
+		t.Errorf("short row mishandled:\n%s", out)
+	}
+}
+
+func TestRowOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New("a").Row(1, 2)
+}
+
+func TestMarkdownSeparator(t *testing.T) {
+	out := New("x").Row("y").String()
+	if !strings.Contains(out, "| -") {
+		t.Errorf("missing separator row:\n%s", out)
+	}
+}

@@ -1,0 +1,140 @@
+package verify
+
+import (
+	"fmt"
+	"math/bits"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/network"
+)
+
+// Batch verdicts: 64-lane bit-parallel versions of the property
+// engines. The scalar engines (verify.go) stream one vector at a
+// time; here a whole word of test vectors advances per comparator,
+// which is what makes exhaustive cross-checks at n = 20+ routine.
+// The ablation benchmarks measure the two engines against each other.
+
+// batchAccepts judges all lanes of an evaluated batch at once,
+// returning a bitmask of REJECTED lanes. in holds the pre-evaluation
+// lane contents (needed by selector and merger).
+type batchAccepts func(in, out *network.Batch) uint64
+
+// sorterRejects flags lanes whose outputs are not sorted.
+func sorterRejects(in, out *network.Batch) uint64 {
+	return out.UnsortedLanes()
+}
+
+// selectorRejects flags lanes whose first k output lines differ from
+// the first k lines of the sorted input. The expected prefix depends
+// on each lane's zero count, which has no cheap word-parallel form,
+// so acceptance is judged per lane; the batch still wins because the
+// network evaluation — the expensive part — is word-parallel.
+func selectorRejects(k int) batchAccepts {
+	return func(in, out *network.Batch) uint64 {
+		var bad uint64
+		for lane := 0; lane < in.Lanes; lane++ {
+			inV := in.Lane(lane)
+			outV := out.Lane(lane)
+			want := inV.Sorted()
+			mask := uint64(1)<<uint(k) - 1
+			if outV.Bits&mask != want.Bits&mask {
+				bad |= 1 << uint(lane)
+			}
+		}
+		return bad
+	}
+}
+
+// mergerRejects flags lanes with sorted halves whose outputs are not
+// sorted; out-of-contract lanes are accepted.
+func mergerRejects(n int) batchAccepts {
+	h := n / 2
+	return func(in, out *network.Batch) uint64 {
+		unsorted := out.UnsortedLanes()
+		if unsorted == 0 {
+			return 0
+		}
+		// Filter to in-contract lanes.
+		var inContract uint64
+		for lane := 0; lane < in.Lanes; lane++ {
+			v := in.Lane(lane)
+			if v.Slice(0, h).IsSorted() && v.Slice(h, n).IsSorted() {
+				inContract |= 1 << uint(lane)
+			}
+		}
+		return unsorted & inContract
+	}
+}
+
+// VerdictBatch runs a property's minimal test set through the 64-lane
+// engine. Semantically identical to Verdict; the counterexample
+// reported is the first failing lane of the first failing block.
+func VerdictBatch(w *network.Network, p Property) Result {
+	return runBatch(w, p, p.BinaryTests())
+}
+
+// GroundTruthBatch is the 64-lane exhaustive sweep.
+func GroundTruthBatch(w *network.Network, p Property) Result {
+	return runBatch(w, p, p.ExhaustiveBinary())
+}
+
+func runBatch(w *network.Network, p Property, it bitvec.Iterator) Result {
+	if w.N != p.Lines() {
+		panic(fmt.Sprintf("verify: network has %d lines, property wants %d", w.N, p.Lines()))
+	}
+	var rejects batchAccepts
+	switch prop := p.(type) {
+	case Sorter:
+		rejects = sorterRejects
+	case Selector:
+		rejects = selectorRejects(prop.K)
+	case Merger:
+		rejects = mergerRejects(prop.N)
+	default:
+		// Unknown property: fall back to the scalar engine.
+		return run(w, p, it)
+	}
+
+	n := w.N
+	in := network.NewBatch(n)
+	out := network.NewBatch(n)
+	tests := 0
+	for {
+		// Fill up to 64 lanes.
+		var lanes []bitvec.Vec
+		for len(lanes) < network.LanesPerBatch {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			lanes = append(lanes, v)
+		}
+		if len(lanes) == 0 {
+			return Result{Holds: true, TestsRun: tests}
+		}
+		tests += len(lanes)
+		reload(in, n, lanes)
+		reload(out, n, lanes)
+		w.ApplyBatch(out)
+		if bad := rejects(in, out); bad != 0 {
+			lane := bits.TrailingZeros64(bad)
+			return Result{
+				Holds:          false,
+				TestsRun:       tests,
+				Counterexample: lanes[lane],
+				Output:         out.Lane(lane),
+			}
+		}
+	}
+}
+
+// reload refills a batch in place (avoiding per-block allocation).
+func reload(b *network.Batch, n int, lanes []bitvec.Vec) {
+	for i := range b.Lines {
+		b.Lines[i] = 0
+	}
+	b.Lanes = 0
+	for i, v := range lanes {
+		b.SetLane(i, v)
+	}
+}

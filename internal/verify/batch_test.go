@@ -1,0 +1,116 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/core"
+	"sortnets/internal/gen"
+	"sortnets/internal/network"
+	"sortnets/internal/perm"
+)
+
+func TestVerdictBatchAgreesWithScalarSorter(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(9)
+		w := network.Random(n, rng.Intn(n*n), rng)
+		p := Sorter{N: n}
+		s := Verdict(w, p)
+		b := VerdictBatch(w, p)
+		if s.Holds != b.Holds {
+			t.Fatalf("batch %v != scalar %v for %s", b.Holds, s.Holds, w)
+		}
+		if !s.Holds && !b.Output.IsSorted() == false {
+			t.Fatalf("batch counterexample output %s is sorted", b.Output)
+		}
+		if s.Holds && b.TestsRun != s.TestsRun {
+			t.Fatalf("pass-case test counts differ: %d vs %d", b.TestsRun, s.TestsRun)
+		}
+	}
+}
+
+func TestVerdictBatchAgreesWithScalarSelector(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + rng.Intn(7)
+		k := 1 + rng.Intn(n)
+		w := network.Random(n, rng.Intn(n*n), rng)
+		p := Selector{N: n, K: k}
+		if Verdict(w, p).Holds != VerdictBatch(w, p).Holds {
+			t.Fatalf("selector batch mismatch for %s k=%d", w, k)
+		}
+	}
+	if !VerdictBatch(gen.Selection(9, 3), Selector{N: 9, K: 3}).Holds {
+		t.Error("true selector rejected by batch engine")
+	}
+}
+
+func TestVerdictBatchAgreesWithScalarMerger(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 * (1 + rng.Intn(5))
+		w := network.Random(n, rng.Intn(n*n/2+1), rng)
+		p := Merger{N: n}
+		if Verdict(w, p).Holds != VerdictBatch(w, p).Holds {
+			t.Fatalf("merger batch mismatch for %s", w)
+		}
+	}
+	if !VerdictBatch(gen.HalfMerger(12), Merger{N: 12}).Holds {
+		t.Error("true merger rejected by batch engine")
+	}
+}
+
+func TestGroundTruthBatchAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(8)
+		w := network.Random(n, rng.Intn(n*n), rng)
+		p := Sorter{N: n}
+		if GroundTruth(w, p).Holds != GroundTruthBatch(w, p).Holds {
+			t.Fatalf("ground truth batch mismatch for %s", w)
+		}
+	}
+}
+
+func TestVerdictBatchCounterexampleIsReal(t *testing.T) {
+	// On almost-sorters the only failure is σ; the batch engine must
+	// report exactly it.
+	for n := 3; n <= 8; n++ {
+		it := core.SorterBinaryTests(n)
+		for {
+			sigma, ok := it.Next()
+			if !ok {
+				break
+			}
+			r := VerdictBatch(core.MustAlmostSorter(sigma), Sorter{N: n})
+			if r.Holds || r.Counterexample != sigma {
+				t.Fatalf("n=%d: batch reported %v / %s, want failure on %s",
+					n, r.Holds, r.Counterexample, sigma)
+			}
+		}
+	}
+}
+
+func TestVerdictBatchUnknownPropertyFallsBack(t *testing.T) {
+	// A custom property type must route through the scalar engine.
+	p := customProp{n: 3}
+	w := network.New(3)
+	r := VerdictBatch(w, p)
+	if !r.Holds || r.TestsRun != 1 {
+		t.Errorf("fallback result %+v", r)
+	}
+}
+
+type customProp struct{ n int }
+
+func (c customProp) Name() string                          { return "custom" }
+func (c customProp) Lines() int                            { return c.n }
+func (c customProp) AcceptsBinary(in, out bitvec.Vec) bool { return true }
+func (c customProp) AcceptsInts(in, out []int) bool        { return true }
+func (c customProp) PermTests() []perm.P                   { return nil }
+func (c customProp) ExhaustiveBinary() bitvec.Iterator     { return bitvec.All(c.n) }
+func (c customProp) BinaryTests() bitvec.Iterator {
+	return bitvec.Slice([]bitvec.Vec{bitvec.AllZeros(c.n)})
+}

@@ -1,0 +1,91 @@
+package verify
+
+import (
+	"fmt"
+
+	"sortnets/internal/core"
+	"sortnets/internal/network"
+	"sortnets/internal/widevec"
+)
+
+// Wide-width verdicts: for networks beyond 64 lines the sorter
+// property is untestable in practice (its minimal test set is
+// ~2ⁿ — the content of E13), but the merger and fixed-k selector
+// properties remain certifiable in polynomial time. These engines use
+// the widevec path and the wide test-set iterators of package core.
+
+// WideResult is the outcome of a wide binary check.
+type WideResult struct {
+	Holds          bool
+	TestsRun       int
+	Counterexample widevec.Vec
+	Output         widevec.Vec
+}
+
+// String renders a one-line verdict (counterexamples can be thousands
+// of bits; only a prefix is shown).
+func (r WideResult) String() string {
+	if r.Holds {
+		return fmt.Sprintf("holds (%d tests)", r.TestsRun)
+	}
+	ce := r.Counterexample.String()
+	if len(ce) > 72 {
+		ce = ce[:72] + "..."
+	}
+	return fmt.Sprintf("fails on %s (after %d tests)", ce, r.TestsRun)
+}
+
+// VerdictMergerWide certifies the (n/2,n/2)-merger property with the
+// n²/4-vector test set at any width.
+func VerdictMergerWide(w *network.Network) WideResult {
+	pairs := w.Pairs()
+	it := core.MergerWideTests(w.N)
+	tests := 0
+	for {
+		v, ok := it.Next()
+		if !ok {
+			return WideResult{Holds: true, TestsRun: tests}
+		}
+		tests++
+		out := v.ApplyComparators(pairs)
+		if !out.IsSorted() {
+			return WideResult{Holds: false, TestsRun: tests, Counterexample: v, Output: out}
+		}
+	}
+}
+
+// VerdictSelectorWide certifies the (k,n)-selector property with its
+// polynomial test set at any width.
+func VerdictSelectorWide(w *network.Network, k int) WideResult {
+	pairs := w.Pairs()
+	it := core.SelectorWideTests(w.N, k)
+	tests := 0
+	for {
+		v, ok := it.Next()
+		if !ok {
+			return WideResult{Holds: true, TestsRun: tests}
+		}
+		tests++
+		out := v.ApplyComparators(pairs)
+		if !selectsWide(v, out, k) {
+			return WideResult{Holds: false, TestsRun: tests, Counterexample: v, Output: out}
+		}
+	}
+}
+
+// selectsWide checks that the first k output bits equal the first k
+// bits of the sorted input: 0 for positions below the zero count, 1
+// above.
+func selectsWide(in, out widevec.Vec, k int) bool {
+	zeros := in.Zeros()
+	for i := 0; i < k; i++ {
+		want := 0
+		if i >= zeros {
+			want = 1
+		}
+		if out.Bit(i) != want {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,192 @@
+// Package widevec provides binary vectors for comparator networks
+// wider than the 64 lines package bitvec packs into one machine word.
+//
+// The wide regime is where the paper's polynomial-size test sets stop
+// being a convenience and become the only possibility: at n = 128 a
+// zero-one sweep (2¹²⁸ inputs) is physically impossible, but Theorem
+// 2.5 certifies a merger with n²/4 = 4096 vectors and Theorem 2.4
+// certifies a (k,n)-selector with Σᵢ₌₀..k C(n,i) − k − 1, polynomial
+// for fixed k. The experiment E15 exercises exactly that.
+package widevec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Vec is a binary string over an arbitrary number of lines, bit i of
+// word i>>6 carrying line i. Vecs are immutable by convention: all
+// operations return fresh values.
+type Vec struct {
+	n     int
+	words []uint64
+}
+
+// MaxN caps the width to keep test-set materialization honest
+// (n²/4 vectors of n bits at n = 4096 is still only ~2 GB-bits).
+const MaxN = 4096
+
+// New returns the all-zero vector on n lines.
+func New(n int) Vec {
+	if n < 0 || n > MaxN {
+		panic(fmt.Sprintf("widevec: length %d out of range [0,%d]", n, MaxN))
+	}
+	return Vec{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// FromString parses a string of '0'/'1' runes, line 0 first.
+func FromString(s string) (Vec, error) {
+	if len(s) > MaxN {
+		return Vec{}, fmt.Errorf("widevec: length %d exceeds %d", len(s), MaxN)
+	}
+	v := New(len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			v.words[i>>6] |= 1 << uint(i&63)
+		default:
+			return Vec{}, fmt.Errorf("widevec: invalid character %q at %d", s[i], i)
+		}
+	}
+	return v, nil
+}
+
+// MustFromString is FromString panicking on error.
+func MustFromString(s string) Vec {
+	v, err := FromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// N returns the number of lines.
+func (v Vec) N() int { return v.n }
+
+// Bit returns the value on line i.
+func (v Vec) Bit(i int) int {
+	v.check(i)
+	return int(v.words[i>>6] >> uint(i&63) & 1)
+}
+
+// SetBit returns a copy with line i set to b.
+func (v Vec) SetBit(i, b int) Vec {
+	v.check(i)
+	c := v.clone()
+	if b == 0 {
+		c.words[i>>6] &^= 1 << uint(i&63)
+	} else {
+		c.words[i>>6] |= 1 << uint(i&63)
+	}
+	return c
+}
+
+func (v Vec) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("widevec: line %d out of range [0,%d)", i, v.n))
+	}
+}
+
+func (v Vec) clone() Vec {
+	c := Vec{n: v.n, words: make([]uint64, len(v.words))}
+	copy(c.words, v.words)
+	return c
+}
+
+// Ones returns the number of 1 bits.
+func (v Vec) Ones() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Zeros returns the number of 0 bits.
+func (v Vec) Zeros() int { return v.n - v.Ones() }
+
+// Equal reports equality of length and contents.
+func (v Vec) Equal(u Vec) bool {
+	if v.n != u.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != u.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSorted reports whether the vector is nondecreasing (0^a 1^b).
+func (v Vec) IsSorted() bool {
+	seenOne := false
+	for i := 0; i < v.n; i++ {
+		b := v.Bit(i)
+		if b == 0 && seenOne {
+			return false
+		}
+		if b == 1 {
+			seenOne = true
+		}
+	}
+	return true
+}
+
+// SortedWithOnes returns 0^(n−k) 1^k on n lines.
+func SortedWithOnes(n, k int) Vec {
+	if k < 0 || k > n {
+		panic(fmt.Sprintf("widevec: %d ones out of range for length %d", k, n))
+	}
+	v := New(n)
+	for i := n - k; i < n; i++ {
+		v.words[i>>6] |= 1 << uint(i&63)
+	}
+	return v
+}
+
+// Concat returns the concatenation of a (top) and b (bottom).
+func Concat(a, b Vec) Vec {
+	if a.n+b.n > MaxN {
+		panic(fmt.Sprintf("widevec: concat length %d exceeds %d", a.n+b.n, MaxN))
+	}
+	v := New(a.n + b.n)
+	copy(v.words, a.words)
+	for i := 0; i < b.n; i++ {
+		if b.Bit(i) == 1 {
+			j := a.n + i
+			v.words[j>>6] |= 1 << uint(j&63)
+		}
+	}
+	return v
+}
+
+// String renders the vector as '0'/'1' runes.
+func (v Vec) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		sb.WriteByte('0' + byte(v.Bit(i)))
+	}
+	return sb.String()
+}
+
+// ApplyComparators routes the vector through a comparator sequence
+// given as (a,b) line pairs; it is the wide-width analogue of
+// network.ApplyVec and lives here (with a plain pair slice) to keep
+// widevec free of upward dependencies. The network package wraps it.
+func (v Vec) ApplyComparators(pairs [][2]int) Vec {
+	out := v.clone()
+	for _, p := range pairs {
+		a, b := p[0], p[1]
+		av := out.words[a>>6] >> uint(a&63) & 1
+		bv := out.words[b>>6] >> uint(b&63) & 1
+		if av == 1 && bv == 0 {
+			out.words[a>>6] &^= 1 << uint(a&63)
+			out.words[b>>6] |= 1 << uint(b&63)
+		}
+	}
+	return out
+}

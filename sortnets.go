@@ -1,0 +1,267 @@
+// Package sortnets is a Go reproduction of Chung & Ravikumar, "Bounds
+// on the Size of Test Sets for Sorting and Related Networks" (ICPP
+// 1987; Discrete Mathematics 81, 1990): exact minimal test sets for
+// deciding whether an arbitrary comparator network sorts, selects, or
+// merges — with the adversarial constructions that prove the bounds
+// tight, a property-testing engine, classical network generators, a
+// VLSI fault simulator, and an exact behaviour-space search.
+//
+// This package is the public facade: it re-exports the types and
+// entry points a downstream user needs from the internal packages.
+//
+//	w := sortnets.BatcherSorter(8)
+//	res := sortnets.CheckSorter(w)        // runs the 2⁸−8−1 minimal tests
+//	fmt.Println(res.Holds)                // true
+//
+//	sigma := sortnets.MustVec("0110")
+//	h := sortnets.MustAlmostSorter(sigma) // sorts everything except 0110
+//	fmt.Println(sortnets.CheckSorter(h))  // fails on 0110 -> ...
+//
+// The three properties and their exact minimal test-set sizes:
+//
+//	Sorter             2ⁿ − n − 1 binary / C(n,⌊n/2⌋) − 1 permutations
+//	(k,n)-selector     Σᵢ₌₀..k C(n,i) − k − 1 / C(n,min(k,⌊n/2⌋)) − 1
+//	(n/2,n/2)-merger   n²/4 / n/2
+package sortnets
+
+import (
+	"sortnets/internal/bitvec"
+	"sortnets/internal/chains"
+	"sortnets/internal/comb"
+	"sortnets/internal/core"
+	"sortnets/internal/faults"
+	"sortnets/internal/gen"
+	"sortnets/internal/network"
+	"sortnets/internal/perm"
+	"sortnets/internal/search"
+	"sortnets/internal/verify"
+)
+
+// Re-exported core types.
+type (
+	// Network is a comparator network: n lines and an ordered sequence
+	// of standard comparators.
+	Network = network.Network
+	// Comparator is a standard comparator [a,b] with a < b (0-based).
+	Comparator = network.Comparator
+	// Vec is a binary input vector of up to 64 lines.
+	Vec = bitvec.Vec
+	// VecIterator streams binary vectors (test sets are exponential;
+	// the engines consume streams).
+	VecIterator = bitvec.Iterator
+	// Perm is a permutation of (1 2 … n) used as a network input.
+	Perm = perm.P
+	// Property is a decidable network property with minimal test sets.
+	Property = verify.Property
+	// Result is a binary-input verdict with counterexample.
+	Result = verify.Result
+	// PermResult is a permutation-input verdict.
+	PermResult = verify.PermResult
+	// Fault is an injectable hardware defect.
+	Fault = faults.Fault
+	// FaultReport aggregates a fault-coverage measurement.
+	FaultReport = faults.Report
+)
+
+// The three properties of the paper.
+type (
+	// SorterProp is the sorting property (Theorem 2.2).
+	SorterProp = verify.Sorter
+	// SelectorProp is the (k,n)-selector property (Theorem 2.4).
+	SelectorProp = verify.Selector
+	// MergerProp is the (n/2,n/2)-merger property (Theorem 2.5).
+	MergerProp = verify.Merger
+)
+
+// --- Construction -----------------------------------------------------
+
+// NewNetwork returns an empty network on n lines.
+func NewNetwork(n int) *Network { return network.New(n) }
+
+// ParseNetwork reads the paper's text notation, e.g.
+// "n=4: [1,3][2,4][1,2][3,4]".
+func ParseNetwork(s string) (*Network, error) { return network.Parse(s) }
+
+// MustParseNetwork is ParseNetwork panicking on error.
+func MustParseNetwork(s string) *Network { return network.MustParse(s) }
+
+// ParseVec reads a binary string such as "0110".
+func ParseVec(s string) (Vec, error) { return bitvec.FromString(s) }
+
+// MustVec is ParseVec panicking on error.
+func MustVec(s string) Vec { return bitvec.MustFromString(s) }
+
+// ParsePerm reads a permutation such as "(4 1 3 2)".
+func ParsePerm(s string) (Perm, error) { return perm.Parse(s) }
+
+// BatcherSorter returns Batcher's odd-even mergesort network for any n.
+func BatcherSorter(n int) *Network { return gen.OddEvenMergeSort(n) }
+
+// OptimalSorter returns a published size-optimal sorter for 2 ≤ n ≤ 8,
+// or nil when none is tabulated.
+func OptimalSorter(n int) *Network { return gen.Optimal(n) }
+
+// BubbleSorter returns the n(n−1)/2-comparator height-1 bubble sorter.
+func BubbleSorter(n int) *Network { return gen.Bubble(n) }
+
+// OddEvenTranspositionSorter returns the n-round brick-wall height-1
+// sorter of the Section 3 primitive-network discussion.
+func OddEvenTranspositionSorter(n int) *Network { return gen.OddEvenTransposition(n) }
+
+// BatcherMerger returns the (n/2,n/2) odd-even merging network.
+func BatcherMerger(n int) *Network { return gen.HalfMerger(n) }
+
+// SelectionNetwork returns a (k,n)-selection network.
+func SelectionNetwork(n, k int) *Network { return gen.Selection(n, k) }
+
+// --- The paper's test sets --------------------------------------------
+
+// SorterTests streams the minimal 0/1 test set for sorting:
+// all 2ⁿ − n − 1 non-sorted strings (Theorem 2.2(i)).
+func SorterTests(n int) VecIterator { return core.SorterBinaryTests(n) }
+
+// SorterPermTests returns the minimal permutation test set for
+// sorting: C(n,⌊n/2⌋) − 1 permutations (Theorem 2.2(ii)).
+func SorterPermTests(n int) []Perm { return core.SorterPermTests(n) }
+
+// SelectorTests streams the minimal 0/1 test set for the
+// (k,n)-selector property (Theorem 2.4(i)).
+func SelectorTests(n, k int) VecIterator { return core.SelectorBinaryTests(n, k) }
+
+// SelectorPermTests returns the minimal permutation test set for the
+// (k,n)-selector property (Theorem 2.4(ii)).
+func SelectorPermTests(n, k int) []Perm { return core.SelectorPermTests(n, k) }
+
+// MergerTests streams the minimal 0/1 test set for the merger
+// property: n²/4 strings (Theorem 2.5(i)).
+func MergerTests(n int) VecIterator { return core.MergerBinaryTests(n) }
+
+// MergerPermTests returns the n/2 permutations τᵢ (Theorem 2.5(ii)).
+func MergerPermTests(n int) []Perm { return core.MergerPermTests(n) }
+
+// AlmostSorter returns the Lemma 2.1 network H_σ sorting every binary
+// input except σ — the witness that forces σ into every test set.
+func AlmostSorter(sigma Vec) (*Network, error) { return core.AlmostSorter(sigma) }
+
+// MustAlmostSorter is AlmostSorter panicking on error.
+func MustAlmostSorter(sigma Vec) *Network { return core.MustAlmostSorter(sigma) }
+
+// Certificate is the serializable lower-bound proof object: one
+// Lemma 2.1 witness per non-sorted string, independently verifiable.
+type Certificate = core.Certificate
+
+// MinimalityCertificate builds the Theorem 2.2(i) lower-bound
+// certificate for n lines; Verify on the result re-checks it from
+// scratch.
+func MinimalityCertificate(n int) Certificate { return core.MinimalityCertificate(n) }
+
+// --- Verdicts ----------------------------------------------------------
+
+// CheckSorter decides whether w is a sorter using the minimal binary
+// test set.
+func CheckSorter(w *Network) Result { return verify.Verdict(w, verify.Sorter{N: w.N}) }
+
+// CheckSelector decides whether w is a (k,n)-selector using the
+// minimal binary test set.
+func CheckSelector(w *Network, k int) Result {
+	return verify.Verdict(w, verify.Selector{N: w.N, K: k})
+}
+
+// CheckMerger decides whether w is an (n/2,n/2)-merger using the
+// minimal binary test set.
+func CheckMerger(w *Network) Result { return verify.Verdict(w, verify.Merger{N: w.N}) }
+
+// Check runs any property's minimal binary test set.
+func Check(w *Network, p Property) Result { return verify.Verdict(w, p) }
+
+// CheckParallel is Check with a goroutine pool (workers ≤ 0 means
+// GOMAXPROCS).
+func CheckParallel(w *Network, p Property, workers int) Result {
+	return verify.VerdictParallel(w, p, workers)
+}
+
+// CheckPerms runs any property's minimal permutation test set.
+func CheckPerms(w *Network, p Property) PermResult { return verify.VerdictPerms(w, p) }
+
+// GroundTruth sweeps the full binary universe — the exhaustive
+// baseline the minimal test sets replace.
+func GroundTruth(w *Network, p Property) Result { return verify.GroundTruth(w, p) }
+
+// --- Bounds (closed forms) ----------------------------------------------
+
+// SorterTestSetSize returns 2ⁿ − n − 1 as a decimal string (exact for
+// any n via big integers).
+func SorterTestSetSize(n int) string { return comb.SorterBinaryTestSetSize(n).String() }
+
+// SorterPermTestSetSize returns C(n,⌊n/2⌋) − 1 as a decimal string.
+func SorterPermTestSetSize(n int) string { return comb.SorterPermTestSetSize(n).String() }
+
+// SelectorTestSetSize returns Σᵢ₌₀..k C(n,i) − k − 1 as a decimal string.
+func SelectorTestSetSize(n, k int) string { return comb.SelectorBinaryTestSetSize(n, k).String() }
+
+// MergerTestSetSize returns n²/4 as a decimal string.
+func MergerTestSetSize(n int) string { return comb.MergerBinaryTestSetSize(n).String() }
+
+// --- Faults --------------------------------------------------------------
+
+// EnumerateFaults lists the single-fault universe for a network.
+func EnumerateFaults(w *Network) []Fault { return faults.Enumerate(w) }
+
+// FaultCoverage measures how many detectable faults the minimal sorter
+// test set exposes on w.
+func FaultCoverage(w *Network) FaultReport {
+	return faults.Measure(w, faults.Enumerate(w),
+		func() VecIterator { return core.SorterBinaryTests(w.N) }, faults.ByProperty)
+}
+
+// --- Wide networks (beyond 64 lines) ----------------------------------------
+
+// WideResult is the outcome of a wide-width certification.
+type WideResult = verify.WideResult
+
+// CheckMergerWide certifies the (n/2,n/2)-merger property at any
+// width up to 4096 lines with the n²/4-vector test set — the regime
+// where a zero-one sweep is physically impossible.
+func CheckMergerWide(w *Network) WideResult { return verify.VerdictMergerWide(w) }
+
+// CheckSelectorWide certifies the (k,n)-selector property at any
+// width with its polynomial test set.
+func CheckSelectorWide(w *Network, k int) WideResult { return verify.VerdictSelectorWide(w, k) }
+
+// --- Analysis -----------------------------------------------------------------
+
+// NetworkStats summarizes a network's structure, including the exact
+// count of comparators that never fire.
+type NetworkStats = network.Stats
+
+// Equivalent reports whether two networks compute the same function
+// (exact, via the zero-one principle; exponential in n).
+func Equivalent(a, b *Network) bool { return network.Equivalent(a, b) }
+
+// RemoveRedundant returns an equivalent network with every
+// never-firing comparator deleted.
+func RemoveRedundant(w *Network) *Network { return w.RemoveRedundant() }
+
+// Analyze computes structural statistics for a network.
+func Analyze(w *Network) NetworkStats { return w.Analyze() }
+
+// --- Exact search (Section 3) ---------------------------------------------
+
+// ExactMinimumTestSet computes, by behaviour-space exhaustion, the
+// exact minimum 0/1 test set size for the sorting property over
+// networks of comparator height ≤ h on n lines (h ≥ n−1 means
+// unrestricted). Feasible for small n only.
+func ExactMinimumTestSet(n, h int) (search.TestSetResult, error) {
+	return search.MinimumTestSet(n, h, search.SorterAccepts, 50_000_000)
+}
+
+// ExactMinimumPermTestSet is the permutation-input counterpart of
+// ExactMinimumTestSet: the exact minimum number of permutation tests
+// for sorting over networks of height ≤ h on n lines (n ≤ 6).
+func ExactMinimumPermTestSet(n, h int) (search.PermTestSetResult, error) {
+	return search.MinimumPermTestSet(n, h, search.PermSorterAccepts, 50_000_000, 0)
+}
+
+// SorterPermutationChains exposes the symmetric chain decomposition
+// used to build the permutation test sets.
+func SorterPermutationChains(n int) []chains.Chain { return chains.Decompose(n) }
