@@ -14,6 +14,7 @@ import (
 	"sortnets/internal/chains"
 	"sortnets/internal/comb"
 	"sortnets/internal/core"
+	"sortnets/internal/eval"
 	"sortnets/internal/faults"
 	"sortnets/internal/gen"
 	"sortnets/internal/network"
@@ -298,22 +299,29 @@ func BenchmarkAblationParallelSweep(b *testing.B) {
 }
 
 // BenchmarkAblationScalarVerdict runs the n=16 minimal sorter test
-// set through the scalar property engine — the baseline for
-// BenchmarkAblationBatchVerdict.
+// set one vector at a time through ApplyVec — the pre-engine scalar
+// baseline BenchmarkAblationBatchVerdict is measured against.
 func BenchmarkAblationScalarVerdict(b *testing.B) {
 	const n = 16
 	w := gen.Sorter(n)
 	p := verify.Sorter{N: n}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if !verify.Verdict(w, p).Holds {
-			b.Fatal("sorter rejected")
+		it := p.BinaryTests()
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			if !p.AcceptsBinary(v, w.ApplyVec(v)) {
+				b.Fatal("sorter rejected")
+			}
 		}
 	}
 }
 
 // BenchmarkAblationBatchVerdict runs the same test set through the
-// 64-lane batch property engine.
+// compiled 64-lane engine (what every verdict now uses).
 func BenchmarkAblationBatchVerdict(b *testing.B) {
 	const n = 16
 	w := gen.Sorter(n)
@@ -322,6 +330,46 @@ func BenchmarkAblationBatchVerdict(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if !verify.VerdictBatch(w, p).Holds {
 			b.Fatal("sorter rejected")
+		}
+	}
+}
+
+// BenchmarkAblationCompiledVerdictPrecompiled isolates what one-time
+// compilation saves when the same network is judged repeatedly: the
+// program and engine are built once outside the loop.
+func BenchmarkAblationCompiledVerdictPrecompiled(b *testing.B) {
+	const n = 16
+	eng := NewEngine(Compile(gen.Sorter(n)), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !eng.Run(core.SorterBinaryTests(n), eval.SortedJudge()).Holds {
+			b.Fatal("sorter rejected")
+		}
+	}
+}
+
+// BenchmarkAblationEnginePooledVerdict is the n=18 minimal set on the
+// engine's auto worker pool.
+func BenchmarkAblationEnginePooledVerdict(b *testing.B) {
+	const n = 18
+	w := gen.Sorter(n)
+	p := verify.Sorter{N: n}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !verify.VerdictParallel(w, p, 0).Holds {
+			b.Fatal("sorter rejected")
+		}
+	}
+}
+
+// BenchmarkE15WideMergerPooled is BenchmarkE15WideMerger with the
+// test vectors spread over the engine's worker pool.
+func BenchmarkE15WideMergerPooled(b *testing.B) {
+	w := gen.HalfMerger(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !verify.VerdictMergerWideParallel(w, 0).Holds {
+			b.Fatal("merger rejected")
 		}
 	}
 }

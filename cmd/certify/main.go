@@ -8,6 +8,7 @@
 //
 //	certify -n 6 > cert6.json        # emit a certificate
 //	certify -check cert6.json        # independently re-verify one
+//	certify -n 14 -workers 0 ...     # spread witness sweeps over all cores
 package main
 
 import (
@@ -22,15 +23,16 @@ import (
 func main() {
 	n := flag.Int("n", 5, "number of lines (certificate has 2^n-n-1 entries)")
 	check := flag.String("check", "", "verify a certificate file instead of emitting one")
+	workers := flag.Int("workers", 1, "witness-verification workers (0 = all cores)")
 	flag.Parse()
 
-	if err := run(*n, *check); err != nil {
+	if err := run(*n, *check, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "certify:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n int, check string) error {
+func run(n int, check string, workers int) error {
 	if check != "" {
 		data, err := os.ReadFile(check)
 		if err != nil {
@@ -40,7 +42,7 @@ func run(n int, check string) error {
 		if err := json.Unmarshal(data, &cert); err != nil {
 			return err
 		}
-		if err := cert.Verify(); err != nil {
+		if err := cert.VerifyParallel(workers); err != nil {
 			return fmt.Errorf("INVALID: %v", err)
 		}
 		fmt.Printf("valid: %d witnesses prove the 2^%d-%d-1 = %d lower bound for n=%d\n",
@@ -52,7 +54,7 @@ func run(n int, check string) error {
 		return fmt.Errorf("n=%d out of the emitting range 2..16", n)
 	}
 	cert := core.MinimalityCertificate(n)
-	if err := cert.Verify(); err != nil {
+	if err := cert.VerifyParallel(workers); err != nil {
 		return fmt.Errorf("self-check failed: %v", err)
 	}
 	enc := json.NewEncoder(os.Stdout)

@@ -18,13 +18,13 @@ func TestRunEmitAndCheck(t *testing.T) {
 	}
 	old := os.Stdout
 	os.Stdout = f
-	err = run(3, "")
+	err = run(3, "", 1)
 	os.Stdout = old
 	f.Close()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run(0, tmp); err != nil {
+	if err := run(0, tmp, 0); err != nil {
 		t.Fatalf("check of emitted certificate failed: %v", err)
 	}
 }
@@ -34,10 +34,10 @@ func TestRunCheckRejectsGarbage(t *testing.T) {
 	if err := os.WriteFile(tmp, []byte(`{"lines":3,"entries":[]}`), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(0, tmp); err == nil {
+	if err := run(0, tmp, 0); err == nil {
 		t.Error("empty certificate should be rejected")
 	}
-	if err := run(0, filepath.Join(t.TempDir(), "missing.json")); err == nil {
+	if err := run(0, filepath.Join(t.TempDir(), "missing.json"), 1); err == nil {
 		t.Error("missing file should error")
 	}
 }
@@ -46,10 +46,10 @@ func TestRunRangeCheck(t *testing.T) {
 	old := os.Stdout
 	os.Stdout, _ = os.Open(os.DevNull)
 	defer func() { os.Stdout = old }()
-	if err := run(1, ""); err == nil {
+	if err := run(1, "", 1); err == nil {
 		t.Error("n=1 should error")
 	}
-	if err := run(17, ""); err == nil {
+	if err := run(17, "", 2); err == nil {
 		t.Error("n=17 should error")
 	}
 }

@@ -1,5 +1,5 @@
 // Command tables regenerates the paper's tables and figures as
-// executable experiments E1–E13 (see DESIGN.md for the index) and
+// executable experiments E1–E15 (see DESIGN.md for the index) and
 // prints paper-vs-measured reports. EXPERIMENTS.md archives one run.
 //
 // Usage:
@@ -12,37 +12,43 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sortnets/internal/experiments"
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment id (E1..E13) or 'all'")
+	runID := flag.String("run", "all", "experiment id (E1..E15) or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
-	if *list {
+	os.Exit(run(os.Stdout, os.Stderr, *runID, *list))
+}
+
+func run(out, errOut io.Writer, runID string, list bool) int {
+	if list {
 		for _, e := range experiments.Registry() {
-			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+			fmt.Fprintf(out, "%-4s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
-	reports, err := experiments.Run(*run)
+	reports, err := experiments.Run(runID)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(errOut, err)
+		return 2
 	}
 	failed := 0
 	for _, r := range reports {
-		fmt.Println(r)
+		fmt.Fprintln(out, r)
 		if !r.OK {
 			failed++
 		}
 	}
-	fmt.Printf("%d/%d experiments passed\n", len(reports)-failed, len(reports))
+	fmt.Fprintf(out, "%d/%d experiments passed\n", len(reports)-failed, len(reports))
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./cmd/tables -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestListGolden(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(&out, &errOut, "all", true); code != 0 {
+		t.Fatalf("list exited %d: %s", code, errOut.String())
+	}
+	golden(t, "list.golden", out.Bytes())
+}
+
+func TestRunE6Golden(t *testing.T) {
+	// E6 replays the paper's Figure 1 worked example — fully
+	// deterministic, so the whole report is golden-able.
+	var out, errOut bytes.Buffer
+	if code := run(&out, &errOut, "E6", false); code != 0 {
+		t.Fatalf("E6 exited %d: %s", code, errOut.String())
+	}
+	golden(t, "e6.golden", out.Bytes())
+}
+
+func TestRunUnknownIDFails(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(&out, &errOut, "E99", false); code != 2 {
+		t.Fatalf("unknown id exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown id") {
+		t.Errorf("stderr %q lacks the unknown-id message", errOut.String())
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sortnets"
 	"sortnets/internal/bitvec"
 	"sortnets/internal/core"
+	"sortnets/internal/eval"
 	"sortnets/internal/faults"
 	"sortnets/internal/gen"
 )
@@ -43,27 +44,22 @@ func main() {
 		batch = append(batch, c)
 	}
 
-	// Burn-in: run the minimal test set against each chip.
+	// Burn-in: run the minimal test set against each chip. Each die —
+	// healthy or faulty — compiles once to an eval.Program and streams
+	// the tests through the 64-lane engine.
 	tests := func() bitvec.Iterator { return core.SorterBinaryTests(n) }
+	goldenProg := eval.Compile(golden)
 	pass, fail := 0, 0
 	for _, c := range batch {
-		defective := false
-		it := tests()
-		for {
-			v, ok := it.Next()
-			if !ok {
-				break
-			}
-			out := golden.ApplyVec(v)
-			if c.fault != nil {
-				out = c.fault.Eval(golden, v)
-			}
-			if !out.IsSorted() {
-				defective = true
-				fmt.Printf("chip %2d: REJECT  (test %s -> %s", c.id, v, out)
-				fmt.Printf(", fault: %s)\n", c.fault.Describe())
-				break
-			}
+		prog := goldenProg
+		if c.fault != nil {
+			prog = faults.Compile(golden, c.fault)
+		}
+		verdict := eval.New(prog, 1).Run(tests(), eval.SortedJudge())
+		defective := !verdict.Holds
+		if defective {
+			fmt.Printf("chip %2d: REJECT  (test %s -> %s", c.id, verdict.In, verdict.Out)
+			fmt.Printf(", fault: %s)\n", c.fault.Describe())
 		}
 		if defective {
 			fail++

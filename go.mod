@@ -1,0 +1,3 @@
+module sortnets
+
+go 1.22

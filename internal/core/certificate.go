@@ -3,8 +3,10 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"sync"
 
 	"sortnets/internal/bitvec"
+	"sortnets/internal/eval"
 	"sortnets/internal/network"
 )
 
@@ -49,7 +51,13 @@ func MinimalityCertificate(n int) Certificate {
 // must be exactly the non-sorted strings, and every witness must sort
 // everything except its σ. A nil return is a machine-checked proof of
 // the Theorem 2.2(i) lower bound for this n.
-func (c Certificate) Verify() error {
+func (c Certificate) Verify() error { return c.VerifyParallel(1) }
+
+// VerifyParallel is Verify with the entries spread over the shared
+// worker pool (workers ≤ 0 means all cores; each entry is an
+// independent 2ⁿ witness sweep). The error reported is the one for
+// the smallest failing entry index, so the result is deterministic.
+func (c Certificate) VerifyParallel(workers int) error {
 	want := int64(bitvec.Universe(c.N)) - int64(c.N) - 1
 	if int64(len(c.Entries)) != want {
 		return fmt.Errorf("core: certificate has %d entries, want 2^n−n−1 = %d",
@@ -67,9 +75,23 @@ func (c Certificate) Verify() error {
 			return fmt.Errorf("core: duplicate entry for σ=%s", e.Sigma)
 		}
 		seen[e.Sigma] = true
+	}
+	var mu sync.Mutex
+	errs := make(map[int]error)
+	hit := eval.ForEachUntil(len(c.Entries), workers, func(i int) bool {
+		e := c.Entries[i]
 		if err := VerifyAlmostSorter(e.Witness, e.Sigma); err != nil {
-			return fmt.Errorf("core: entry %d: %v", i, err)
+			mu.Lock()
+			errs[i] = err
+			mu.Unlock()
+			return true
 		}
+		return false
+	})
+	if hit >= 0 {
+		mu.Lock()
+		defer mu.Unlock()
+		return fmt.Errorf("core: entry %d: %v", hit, errs[hit])
 	}
 	return nil
 }

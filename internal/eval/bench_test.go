@@ -1,0 +1,234 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/gen"
+	"sortnets/internal/network"
+	"sortnets/internal/widevec"
+)
+
+// The acceptance bar for the compiled engine: the layered compiled
+// path must at least match the legacy 64-lane batch path on ≤ 64
+// lines, and beat per-call pair re-extraction on wide networks.
+
+// --- raw comparator throughput: network vs compiled ---------------------
+
+func BenchmarkBatchNetworkPath(b *testing.B) {
+	w := gen.OddEvenMergeSort(16)
+	batch := randomBatch(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.ApplyBatch(batch)
+	}
+}
+
+func BenchmarkBatchCompiledPath(b *testing.B) {
+	w := gen.OddEvenMergeSort(16)
+	p := Compile(w)
+	batch := randomBatch(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ApplyBatch(batch)
+	}
+}
+
+func randomBatch(n int) *network.Batch {
+	rng := rand.New(rand.NewSource(1))
+	var vs []bitvec.Vec
+	for i := 0; i < 64; i++ {
+		vs = append(vs, bitvec.New(n, rng.Uint64()&(uint64(1)<<uint(n)-1)))
+	}
+	return network.LoadVecs(n, vs)
+}
+
+// --- minimal-set verdict: legacy SetLane loading vs the engine ----------
+
+// BenchmarkVerdictLegacyBatchLoop replicates the pre-eval verify
+// batch engine: per-lane SetLane transposition into a reloaded batch,
+// then ApplyBatch on the raw network — the old batch path the
+// compiled engine must not regress against.
+func BenchmarkVerdictLegacyBatchLoop(b *testing.B) {
+	const n = 16
+	w := gen.OddEvenMergeSort(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := notSorted(n)
+		out := network.NewBatch(n)
+		for {
+			var lanes []bitvec.Vec
+			for len(lanes) < network.LanesPerBatch {
+				v, ok := it.Next()
+				if !ok {
+					break
+				}
+				lanes = append(lanes, v)
+			}
+			if len(lanes) == 0 {
+				break
+			}
+			for j := range out.Lines {
+				out.Lines[j] = 0
+			}
+			out.Lanes = 0
+			for j, v := range lanes {
+				out.SetLane(j, v)
+			}
+			w.ApplyBatch(out)
+			if out.UnsortedLanes() != 0 {
+				b.Fatal("sorter rejected")
+			}
+		}
+	}
+}
+
+// BenchmarkVerdictEngine is the same sweep on the compiled engine
+// (transpose loading, layered program), sequential.
+func BenchmarkVerdictEngine(b *testing.B) {
+	const n = 16
+	p := Compile(gen.OddEvenMergeSort(n))
+	e := New(p, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.Run(notSorted(n), SortedJudge()).Holds {
+			b.Fatal("sorter rejected")
+		}
+	}
+}
+
+// BenchmarkVerdictEnginePooled is the engine with its worker pool.
+func BenchmarkVerdictEnginePooled(b *testing.B) {
+	const n = 16
+	p := Compile(gen.OddEvenMergeSort(n))
+	e := New(p, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.Run(notSorted(n), SortedJudge()).Holds {
+			b.Fatal("sorter rejected")
+		}
+	}
+}
+
+func notSorted(n int) bitvec.Iterator {
+	return bitvec.NotSorted(bitvec.All(n))
+}
+
+// --- exhaustive universe: network sweep vs engine -----------------------
+
+func BenchmarkUniverseNetworkSweep(b *testing.B) {
+	w := gen.OddEvenMergeSort(18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !w.SortsAllBinary() {
+			b.Fatal("sorter rejected")
+		}
+	}
+}
+
+func BenchmarkUniverseEngine(b *testing.B) {
+	p := Compile(gen.OddEvenMergeSort(18))
+	e := New(p, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.RunUniverse(SortedJudge()).Holds {
+			b.Fatal("sorter rejected")
+		}
+	}
+}
+
+// --- wide path: per-call pair extraction vs compiled --------------------
+
+// BenchmarkWidePerCallPairs is the legacy wide path: every evaluation
+// re-extracts the pair slice from the network (what ApplyWide did
+// before the compiled form was cached).
+func BenchmarkWidePerCallPairs(b *testing.B) {
+	w := gen.HalfMerger(256)
+	v := wideTestInput(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pairs := make([][2]int, len(w.Comps))
+		for j, c := range w.Comps {
+			pairs[j] = [2]int{c.A, c.B}
+		}
+		if !v.ApplyComparators(pairs).IsSorted() {
+			b.Fatal("merger failed")
+		}
+	}
+}
+
+// BenchmarkWideCompiled routes the same evaluation through the
+// compiled program's cached, layered pair slice.
+func BenchmarkWideCompiled(b *testing.B) {
+	p := Compile(gen.HalfMerger(256))
+	v := wideTestInput(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !p.ApplyWide(v).IsSorted() {
+			b.Fatal("merger failed")
+		}
+	}
+}
+
+func wideTestInput(n int) widevec.Vec {
+	h := n / 2
+	return widevec.Concat(widevec.SortedWithOnes(h, h/3), widevec.SortedWithOnes(h, h-h/4))
+}
+
+// --- fault path: compiled variant batch sweep ---------------------------
+
+// BenchmarkFaultDetectableScalar is the legacy shape of a fault
+// detectability check: one scalar evaluation per universe input.
+func BenchmarkFaultDetectableScalar(b *testing.B) {
+	w := gen.Sorter(10)
+	ops := make([]Op, len(w.Comps))
+	for i, c := range w.Comps {
+		kind := OpCmp
+		if i == 3 {
+			kind = OpNop
+		}
+		ops[i] = Op{Kind: kind, A: c.A, B: c.B}
+	}
+	p := NewProgram(10, ops)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		found := false
+		it := bitvec.All(10)
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			if !p.Apply(v).IsSorted() {
+				found = true
+				break
+			}
+		}
+		if !found {
+			b.Fatal("fault not detectable")
+		}
+	}
+}
+
+// BenchmarkFaultDetectableBatch is the same check on the compiled
+// variant's 64-lane universe sweep.
+func BenchmarkFaultDetectableBatch(b *testing.B) {
+	w := gen.Sorter(10)
+	ops := make([]Op, len(w.Comps))
+	for i, c := range w.Comps {
+		kind := OpCmp
+		if i == 3 {
+			kind = OpNop
+		}
+		ops[i] = Op{Kind: kind, A: c.A, B: c.B}
+	}
+	p := NewProgram(10, ops)
+	e := New(p, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e.RunUniverse(SortedJudge()).Holds {
+			b.Fatal("fault not detectable")
+		}
+	}
+}

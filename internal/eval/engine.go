@@ -1,0 +1,573 @@
+package eval
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/network"
+	"sortnets/internal/widevec"
+)
+
+// Judge decides, word-parallel, which lanes of an evaluated batch
+// violate the property under test. Rejects returns a bitmask of
+// REJECTED lanes; the engine masks it to the occupied lanes. in holds
+// the pre-evaluation lane contents and is only loaded when NeedsInput
+// is set (the sorter judge never looks at it, so the engine skips the
+// second transpose entirely).
+type Judge struct {
+	NeedsInput bool
+	Rejects    func(in, out *network.Batch) uint64
+	sorted     bool // devirtualized fast path: reject = out.UnsortedLanes()
+}
+
+// SortedJudge rejects lanes whose outputs are not sorted — the
+// sorting property, judged in one word-parallel pass with no input
+// batch. The engine special-cases it to avoid the closure call on
+// the hottest loop.
+func SortedJudge() Judge {
+	return Judge{sorted: true, Rejects: func(_, out *network.Batch) uint64 { return out.UnsortedLanes() }}
+}
+
+// rejects applies the judge to one evaluated block.
+func (j *Judge) rejects(in, out *network.Batch) uint64 {
+	if j.sorted {
+		return out.UnsortedLanes()
+	}
+	return j.Rejects(in, out)
+}
+
+// PerLaneJudge adapts a scalar acceptance predicate to the batch
+// engine: the network evaluation — the expensive part — stays
+// word-parallel, only the judgment is per lane.
+func PerLaneJudge(accepts func(in, out bitvec.Vec) bool) Judge {
+	return Judge{
+		NeedsInput: true,
+		Rejects: func(in, out *network.Batch) uint64 {
+			var bad uint64
+			for lane := 0; lane < out.Lanes; lane++ {
+				if !accepts(in.Lane(lane), out.Lane(lane)) {
+					bad |= 1 << uint(lane)
+				}
+			}
+			return bad
+		},
+	}
+}
+
+// Verdict is the outcome of streaming a test-vector family through a
+// program.
+type Verdict struct {
+	Holds    bool
+	TestsRun int
+	In, Out  bitvec.Vec // counterexample input/output, valid when !Holds
+}
+
+// WideVerdict is the n > 64 counterpart of Verdict.
+type WideVerdict struct {
+	Holds    bool
+	TestsRun int
+	In, Out  widevec.Vec
+}
+
+// WideIterator streams wide binary vectors; core.WideIterator
+// satisfies it structurally.
+type WideIterator interface {
+	Next() (widevec.Vec, bool)
+}
+
+// Engine runs a compiled program over streamed test vectors with an
+// engine-owned worker pool. The workers parameter fixes the pool
+// size: 1 pins strictly sequential, stream-order execution; k > 1
+// forces k workers; 0 ("auto") runs sequentially below a work
+// threshold and with runtime.NumCPU() workers above it, so small
+// verdicts never pay goroutine overhead and large sweeps never leave
+// cores idle.
+type Engine struct {
+	p       *Program
+	workers int // 0 = auto
+}
+
+// New returns an engine over p. workers ≤ 0 selects auto mode.
+func New(p *Program, workers int) *Engine {
+	if workers < 0 {
+		workers = 0
+	}
+	return &Engine{p: p, workers: workers}
+}
+
+// Sequential-vs-parallel threshold for auto mode, in units of
+// op-lanes (test vectors × program steps). Below it a pool costs more
+// than it saves.
+const autoWorkThreshold = 1 << 17
+
+// Lanes per producer chunk in the parallel path: 16 full batches per
+// handoff keeps channel traffic negligible.
+const chunkLanes = 16 * network.LanesPerBatch
+
+// Run streams the iterator's vectors through the program in 64-lane
+// word-parallel blocks and judges each block, returning on the first
+// rejected lane. With one worker the counterexample is the first
+// failure in stream order; with a pool it is the first failure some
+// worker found, and TestsRun counts the vectors handed out before the
+// pool drained. Requires n ≤ 64 (use RunWide beyond).
+func (e *Engine) Run(it bitvec.Iterator, judge Judge) Verdict {
+	if e.p.n > network.LanesPerBatch {
+		panic(fmt.Sprintf("eval: Run needs n ≤ 64, program has %d lines (use RunWide)", e.p.n))
+	}
+	workers := e.workers
+	if workers == 0 {
+		// Auto: stage vectors until the work estimate crosses the
+		// threshold; a stream that ends first runs sequentially.
+		perVec := len(e.p.ops)
+		if perVec == 0 {
+			perVec = 1
+		}
+		budget := autoWorkThreshold/perVec + 1
+		staged := make([]bitvec.Vec, 0, budget)
+		exhausted := false
+		for len(staged) < budget {
+			v, ok := it.Next()
+			if !ok {
+				exhausted = true
+				break
+			}
+			staged = append(staged, v)
+		}
+		if exhausted {
+			return e.runSeq(bitvec.Slice(staged), judge)
+		}
+		return e.runPool(&chainIter{head: staged, tail: it}, judge, runtime.NumCPU())
+	}
+	if workers == 1 {
+		return e.runSeq(it, judge)
+	}
+	return e.runPool(it, judge, workers)
+}
+
+// chainIter replays a staged prefix, then drains the live tail.
+type chainIter struct {
+	head []bitvec.Vec
+	i    int
+	tail bitvec.Iterator
+}
+
+func (c *chainIter) Next() (bitvec.Vec, bool) {
+	if c.i < len(c.head) {
+		v := c.head[c.i]
+		c.i++
+		return v, true
+	}
+	return c.tail.Next()
+}
+
+// block is a worker's reusable evaluation state: one 64-lane window
+// of the stream plus the transposed in/out batches.
+type block struct {
+	lanes   [network.LanesPerBatch]bitvec.Vec
+	words   [network.LanesPerBatch]uint64
+	in, out *network.Batch
+}
+
+func newBlock(n int) *block {
+	return &block{in: network.NewBatch(n), out: network.NewBatch(n)}
+}
+
+// judgeLanes loads k stream vectors, evaluates them, and judges them.
+// It returns the rejected-lane mask (masked to the k occupied lanes).
+func (e *Engine) judgeLanes(b *block, k int, judge Judge) uint64 {
+	for i := 0; i < k; i++ {
+		b.words[i] = b.lanes[i].Bits
+	}
+	for i := k; i < network.LanesPerBatch; i++ {
+		b.words[i] = 0
+	}
+	transpose64(&b.words)
+	copy(b.out.Lines, b.words[:e.p.n])
+	b.out.Lanes = k
+	if judge.NeedsInput {
+		copy(b.in.Lines, b.words[:e.p.n])
+		b.in.Lanes = k
+	}
+	e.p.ApplyBatch(b.out)
+	bad := judge.rejects(b.in, b.out)
+	if k < network.LanesPerBatch {
+		bad &= uint64(1)<<uint(k) - 1
+	}
+	return bad
+}
+
+func (e *Engine) verdictFrom(b *block, bad uint64, tests int) Verdict {
+	lane := bits.TrailingZeros64(bad)
+	return Verdict{Holds: false, TestsRun: tests, In: b.lanes[lane], Out: b.out.Lane(lane)}
+}
+
+func (e *Engine) runSeq(it bitvec.Iterator, judge Judge) Verdict {
+	b := newBlock(e.p.n)
+	tests := 0
+	for {
+		k := 0
+		for k < network.LanesPerBatch {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			b.lanes[k] = v
+			k++
+		}
+		if k == 0 {
+			return Verdict{Holds: true, TestsRun: tests}
+		}
+		if bad := e.judgeLanes(b, k, judge); bad != 0 {
+			// The lowest rejected lane is the first failure in stream
+			// order; report the tests consumed up to and including it,
+			// exactly as a one-vector-at-a-time engine would.
+			lane := bits.TrailingZeros64(bad)
+			return e.verdictFrom(b, bad, tests+lane+1)
+		}
+		tests += k
+	}
+}
+
+func (e *Engine) runPool(it bitvec.Iterator, judge Judge, workers int) Verdict {
+	if workers < 1 {
+		workers = 1
+	}
+	chunks := make(chan []bitvec.Vec, workers)
+	fails := make(chan Verdict, workers)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := newBlock(e.p.n)
+			for chunk := range chunks {
+				for off := 0; off < len(chunk); off += network.LanesPerBatch {
+					k := len(chunk) - off
+					if k > network.LanesPerBatch {
+						k = network.LanesPerBatch
+					}
+					copy(b.lanes[:k], chunk[off:off+k])
+					if bad := e.judgeLanes(b, k, judge); bad != 0 {
+						select {
+						case fails <- e.verdictFrom(b, bad, 0):
+						default:
+						}
+						stopOnce.Do(func() { close(stop) })
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	tests := 0
+feed:
+	for {
+		chunk := make([]bitvec.Vec, 0, chunkLanes)
+		for len(chunk) < chunkLanes {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			chunk = append(chunk, v)
+		}
+		if len(chunk) == 0 {
+			break
+		}
+		tests += len(chunk)
+		select {
+		case chunks <- chunk:
+		case <-stop:
+			break feed
+		}
+	}
+	close(chunks)
+	wg.Wait()
+	close(fails)
+	if f, ok := <-fails; ok {
+		f.TestsRun = tests
+		return f
+	}
+	return Verdict{Holds: true, TestsRun: tests}
+}
+
+// RunUniverse judges the program against all 2ⁿ binary inputs — the
+// exhaustive ground-truth sweep — loading 64 consecutive inputs
+// wholesale (six fixed masks and constant words) instead of
+// transposing lane by lane.
+func (e *Engine) RunUniverse(judge Judge) Verdict {
+	n := e.p.n
+	if n > 30 {
+		panic(fmt.Sprintf("eval: RunUniverse sweeps 2^%d inputs; n is too wide", n))
+	}
+	if n > 6 && e.workers != 1 {
+		workers := e.workers
+		if workers == 0 {
+			if (uint64(len(e.p.ops))+1)<<uint(n) >= autoWorkThreshold {
+				workers = runtime.NumCPU()
+			} else {
+				workers = 1
+			}
+		}
+		if workers > 1 {
+			return e.universePool(judge, workers)
+		}
+	}
+	total := uint64(bitvec.Universe(n))
+	v := e.universeRange(judge, 0, total)
+	if v.Holds {
+		v.TestsRun = int(total)
+	}
+	return v
+}
+
+// universeRange sweeps inputs [from, to) in 64-lane blocks; from must
+// be a multiple of 64 (or 0). On failure TestsRun is the count swept
+// within this range up to and including the failing block.
+func (e *Engine) universeRange(judge Judge, from, to uint64) Verdict {
+	n := e.p.n
+	in := network.NewBatch(n)
+	out := network.NewBatch(n)
+	tests := 0
+	for base := from; base < to; base += network.LanesPerBatch {
+		k := int(to - base)
+		if k > network.LanesPerBatch {
+			k = network.LanesPerBatch
+		}
+		loadConsecutive(out, base, k)
+		if judge.NeedsInput {
+			loadConsecutive(in, base, k)
+		}
+		e.p.ApplyBatch(out)
+		bad := judge.rejects(in, out)
+		if k < network.LanesPerBatch {
+			bad &= uint64(1)<<uint(k) - 1
+		}
+		if bad != 0 {
+			lane := bits.TrailingZeros64(bad)
+			return Verdict{
+				Holds:    false,
+				TestsRun: tests + lane + 1,
+				In:       bitvec.New(n, base+uint64(lane)),
+				Out:      out.Lane(lane),
+			}
+		}
+		tests += k
+	}
+	return Verdict{Holds: true, TestsRun: tests}
+}
+
+// universePool shards the universe into contiguous slabs handed to
+// NumCPU-bounded workers; the first failure (lowest slab) wins.
+func (e *Engine) universePool(judge Judge, workers int) Verdict {
+	n := e.p.n
+	total := uint64(bitvec.Universe(n))
+	const slab = 1 << 12
+	slabs := int((total + slab - 1) / slab)
+	var mu sync.Mutex
+	found := Verdict{Holds: true}
+	foundSlab := slabs
+	hit := ForEachUntil(slabs, workers, func(i int) bool {
+		from := uint64(i) * slab
+		to := from + slab
+		if to > total {
+			to = total
+		}
+		v := e.universeRange(judge, from, to)
+		if v.Holds {
+			return false
+		}
+		mu.Lock()
+		if i < foundSlab {
+			foundSlab, found = i, v
+		}
+		mu.Unlock()
+		return true
+	})
+	if hit < 0 {
+		return Verdict{Holds: true, TestsRun: int(total)}
+	}
+	found.TestsRun = foundSlab*slab + found.TestsRun
+	return found
+}
+
+// laneMasks[i] is the bit pattern of input-bit i across 64 consecutive
+// inputs starting at a multiple of 64, for i < 6.
+var laneMasks = [6]uint64{
+	0xAAAAAAAAAAAAAAAA,
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+// loadConsecutive fills the batch with inputs base..base+k-1 (base a
+// multiple of 64) without per-lane transposition.
+func loadConsecutive(b *network.Batch, base uint64, k int) {
+	for i := 0; i < b.N; i++ {
+		if i < 6 {
+			b.Lines[i] = laneMasks[i]
+		} else if base>>uint(i)&1 == 1 {
+			b.Lines[i] = ^uint64(0)
+		} else {
+			b.Lines[i] = 0
+		}
+	}
+	b.Lanes = k
+}
+
+// RunWide streams wide vectors (n > 64 regime) through a pure
+// program, judging each with the scalar predicate; pooled above the
+// auto threshold exactly like Run. accepts sees the input and output
+// vector of one test.
+func (e *Engine) RunWide(it WideIterator, accepts func(in, out widevec.Vec) bool) WideVerdict {
+	pairs := e.p.Pairs() // also asserts purity once, up front
+	workers := e.workers
+	if workers == 0 {
+		perVec := len(pairs)
+		if perVec == 0 {
+			perVec = 1
+		}
+		budget := autoWorkThreshold/perVec + 1
+		staged := make([]widevec.Vec, 0, budget)
+		exhausted := false
+		for len(staged) < budget {
+			v, ok := it.Next()
+			if !ok {
+				exhausted = true
+				break
+			}
+			staged = append(staged, v)
+		}
+		if exhausted {
+			return e.runWideSeq(&wideChain{head: staged}, accepts)
+		}
+		return e.runWidePool(&wideChain{head: staged, tail: it}, accepts, runtime.NumCPU())
+	}
+	if workers == 1 {
+		return e.runWideSeq(it, accepts)
+	}
+	return e.runWidePool(it, accepts, workers)
+}
+
+type wideChain struct {
+	head []widevec.Vec
+	i    int
+	tail WideIterator
+}
+
+func (c *wideChain) Next() (widevec.Vec, bool) {
+	if c.i < len(c.head) {
+		v := c.head[c.i]
+		c.i++
+		return v, true
+	}
+	if c.tail == nil {
+		return widevec.Vec{}, false
+	}
+	return c.tail.Next()
+}
+
+func (e *Engine) runWideSeq(it WideIterator, accepts func(in, out widevec.Vec) bool) WideVerdict {
+	tests := 0
+	for {
+		v, ok := it.Next()
+		if !ok {
+			return WideVerdict{Holds: true, TestsRun: tests}
+		}
+		tests++
+		out := e.p.ApplyWide(v)
+		if !accepts(v, out) {
+			return WideVerdict{Holds: false, TestsRun: tests, In: v, Out: out}
+		}
+	}
+}
+
+const wideChunk = 64
+
+func (e *Engine) runWidePool(it WideIterator, accepts func(in, out widevec.Vec) bool, workers int) WideVerdict {
+	if workers < 1 {
+		workers = 1
+	}
+	chunks := make(chan []widevec.Vec, workers)
+	fails := make(chan WideVerdict, workers)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for chunk := range chunks {
+				for _, v := range chunk {
+					out := e.p.ApplyWide(v)
+					if !accepts(v, out) {
+						select {
+						case fails <- WideVerdict{Holds: false, In: v, Out: out}:
+						default:
+						}
+						stopOnce.Do(func() { close(stop) })
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	tests := 0
+feed:
+	for {
+		chunk := make([]widevec.Vec, 0, wideChunk)
+		for len(chunk) < wideChunk {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			chunk = append(chunk, v)
+		}
+		if len(chunk) == 0 {
+			break
+		}
+		tests += len(chunk)
+		select {
+		case chunks <- chunk:
+		case <-stop:
+			break feed
+		}
+	}
+	close(chunks)
+	wg.Wait()
+	close(fails)
+	if f, ok := <-fails; ok {
+		f.TestsRun = tests
+		return f
+	}
+	return WideVerdict{Holds: true, TestsRun: tests}
+}
+
+// transpose64 transposes a 64×64 bit matrix in place (the recursive
+// block-swap of Hacker's Delight §7-3, phrased for LSB-first rows):
+// afterwards a[i] bit j equals the old a[j] bit i. This is how the
+// engine turns 64 stream vectors into the per-line word layout in
+// 64·log₂64 word ops instead of 64·n single-bit inserts.
+func transpose64(a *[64]uint64) {
+	m := uint64(0x00000000FFFFFFFF)
+	for j := uint(32); j != 0; j >>= 1 {
+		for k := 0; k < 64; k = (k + int(j) + 1) &^ int(j) {
+			// Swap the top-right and bottom-left j×j sub-blocks of
+			// each 2j×2j block: bit c|j of row k ↔ bit c of row k+j.
+			t := (a[k]>>j ^ a[k+int(j)]) & m
+			a[k] ^= t << j
+			a[k+int(j)] ^= t
+		}
+		m ^= m << (j >> 1)
+	}
+}

@@ -1,0 +1,75 @@
+package eval
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count request: values ≤ 0 mean
+// runtime.NumCPU(). Every pooled client in the repository routes
+// through this so "0 = all cores" means the same thing everywhere.
+func Workers(w int) int {
+	if w <= 0 {
+		return runtime.NumCPU()
+	}
+	return w
+}
+
+// ForEachUntil runs fn(i) for i in [0, n) on a pool of the given size
+// (≤ 0 means NumCPU), stopping early once some call returns true. It
+// returns the SMALLEST index for which fn returned true, or -1 if
+// none did — deterministically, even under the pool: indices are
+// claimed in order, in-flight lower indices always finish, and the
+// minimum hit wins. fn must be safe for concurrent calls.
+func ForEachUntil(n, workers int, fn func(i int) bool) int {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if fn(i) {
+				return i
+			}
+		}
+		return -1
+	}
+	var next atomic.Int64
+	var hit atomic.Int64
+	hit.Store(int64(n))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) || i >= hit.Load() {
+					return
+				}
+				if fn(int(i)) {
+					for {
+						cur := hit.Load()
+						if i >= cur || hit.CompareAndSwap(cur, i) {
+							break
+						}
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if h := hit.Load(); h < int64(n) {
+		return int(h)
+	}
+	return -1
+}
+
+// ForEach runs fn(i) for every i in [0, n) on a pool of the given
+// size (≤ 0 means NumCPU). It always completes all n calls; use it
+// for aggregation sweeps with no early exit.
+func ForEach(n, workers int, fn func(i int)) {
+	ForEachUntil(n, workers, func(i int) bool { fn(i); return false })
+}

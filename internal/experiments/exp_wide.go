@@ -8,10 +8,12 @@ import (
 
 	"sortnets/internal/comb"
 	"sortnets/internal/core"
+	"sortnets/internal/eval"
 	"sortnets/internal/gen"
 	"sortnets/internal/network"
 	"sortnets/internal/tablefmt"
 	"sortnets/internal/verify"
+	"sortnets/internal/widevec"
 )
 
 // E15WideCertification pushes the paper's polynomial test sets into
@@ -29,7 +31,7 @@ func E15WideCertification() Report {
 	for _, n := range []int{64, 128, 256, 512} {
 		merger := gen.HalfMerger(n)
 		start := time.Now()
-		r := verify.VerdictMergerWide(merger)
+		r := verify.VerdictMergerWideParallel(merger, 0)
 		dur := time.Since(start)
 		checkf(&ok, r.Holds, &sb, "n=%d: Batcher merger rejected: %s", n, r)
 		want := comb.MergerBinaryTestSetSize(n)
@@ -81,16 +83,10 @@ func E15WideCertification() Report {
 }
 
 // wideMergerGroundTruth sweeps all (n/2+1)² sorted-half combinations —
-// the full merger contract, still polynomial.
+// the full merger contract, still polynomial — on the compiled engine
+// (the network compiles once; the engine owns the worker pool).
 func wideMergerGroundTruth(w *network.Network) bool {
-	it := core.MergerWideTests(w.N)
-	for {
-		v, ok := it.Next()
-		if !ok {
-			return true
-		}
-		if !w.ApplyWide(v).IsSorted() {
-			return false
-		}
-	}
+	e := eval.New(eval.Compile(w), 0)
+	return e.RunWide(core.MergerWideTests(w.N),
+		func(in, out widevec.Vec) bool { return out.IsSorted() }).Holds
 }

@@ -72,7 +72,7 @@ func Run(id string) ([]Report, error) {
 		}
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("experiments: unknown id %q (want E1..E13 or all)", id)
+		return nil, fmt.Errorf("experiments: unknown id %q (want E1..E15 or all)", id)
 	}
 	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sortnets/internal/bitvec"
+	"sortnets/internal/eval"
 	"sortnets/internal/network"
 )
 
@@ -32,13 +33,67 @@ func (m DetectMode) String() string {
 	return "by-golden"
 }
 
-// Detects reports whether the test vector τ detects fault f on w.
-func Detects(w *network.Network, f Fault, tau bitvec.Vec, mode DetectMode) bool {
-	out := f.Eval(w, tau)
+// Detector is the compiled form of one (circuit, fault, mode)
+// triple: the faulty program, the golden program when the mode needs
+// it, and the detection judge — built once, then run over any number
+// of test streams on the 64-lane batch engine. A Detector is not
+// safe for concurrent use (it owns scratch batches); build one per
+// goroutine.
+type Detector struct {
+	prog    *eval.Program
+	judge   eval.Judge
+	scratch *network.Batch // ByGolden: golden outputs, recomputed per block
+}
+
+// NewDetector compiles the faulty circuit and its detection judge.
+// golden must be the compiled healthy circuit (eval.Compile(w)); it
+// is only consulted in ByGolden mode and may be shared between
+// detectors (programs are immutable).
+func NewDetector(w *network.Network, golden *eval.Program, f Fault, mode DetectMode) *Detector {
+	d := &Detector{prog: Compile(w, f)}
 	if mode == ByGolden {
-		return out != w.ApplyVec(tau)
+		d.scratch = network.NewBatch(w.N)
+		d.judge = eval.Judge{
+			NeedsInput: true,
+			Rejects: func(in, out *network.Batch) uint64 {
+				copy(d.scratch.Lines, in.Lines)
+				d.scratch.Lanes = in.Lanes
+				golden.ApplyBatch(d.scratch)
+				var diff uint64
+				for i := range d.scratch.Lines {
+					diff |= d.scratch.Lines[i] ^ out.Lines[i]
+				}
+				return diff
+			},
+		}
+	} else {
+		d.judge = eval.SortedJudge()
 	}
-	return !out.IsSorted()
+	return d
+}
+
+// Detects reports whether the single test vector τ detects the fault.
+func (d *Detector) Detects(tau bitvec.Vec) bool {
+	return !eval.New(d.prog, 1).Run(bitvec.Slice([]bitvec.Vec{tau}), d.judge).Holds
+}
+
+// DetectedBy reports whether any vector of the stream detects the
+// fault, 64 word-parallel lanes at a time.
+func (d *Detector) DetectedBy(it bitvec.Iterator) bool {
+	return !eval.New(d.prog, 1).Run(it, d.judge).Holds
+}
+
+// Detectable reports whether any binary input at all detects the
+// fault, sweeping the 2ⁿ universe with wholesale lane loading.
+func (d *Detector) Detectable() bool {
+	return !eval.New(d.prog, 1).RunUniverse(d.judge).Holds
+}
+
+// Detects reports whether the test vector τ detects fault f on w.
+// One-shot convenience; loops should build a Detector (or call
+// Measure) so the fault compiles once.
+func Detects(w *network.Network, f Fault, tau bitvec.Vec, mode DetectMode) bool {
+	return NewDetector(w, eval.Compile(w), f, mode).Detects(tau)
 }
 
 // Detectable reports whether any binary input at all detects the fault
@@ -46,16 +101,7 @@ func Detects(w *network.Network, f Fault, tau bitvec.Vec, mode DetectMode) bool 
 // bypassed redundant comparator) and excluded from coverage
 // denominators.
 func Detectable(w *network.Network, f Fault, mode DetectMode) bool {
-	it := bitvec.All(w.N)
-	for {
-		v, ok := it.Next()
-		if !ok {
-			return false
-		}
-		if Detects(w, f, v, mode) {
-			return true
-		}
-	}
+	return NewDetector(w, eval.Compile(w), f, mode).Detectable()
 }
 
 // Report aggregates a fault-coverage measurement.
@@ -81,25 +127,31 @@ func (r Report) String() string {
 }
 
 // Measure injects every fault in fs into w and checks which ones the
-// test set exposes. tests is re-created per fault via the factory so
-// streamed iterators can be replayed.
+// test set exposes. Each fault compiles once to a program variant and
+// is judged on the batch engine; the faults themselves are spread
+// over the shared worker pool. tests is re-created per fault via the
+// factory so streamed iterators can be replayed — the factory must be
+// safe for concurrent calls (all the package core test-set factories
+// are: each call returns a fresh iterator).
 func Measure(w *network.Network, fs []Fault, tests func() bitvec.Iterator, mode DetectMode) Report {
-	rep := Report{Faults: len(fs)}
-	for _, f := range fs {
-		if !Detectable(w, f, mode) {
-			continue
+	golden := eval.Compile(w)
+	type outcome struct{ detectable, detected bool }
+	outcomes := make([]outcome, len(fs))
+	eval.ForEach(len(fs), 0, func(i int) {
+		d := NewDetector(w, golden, fs[i], mode)
+		if !d.Detectable() {
+			return
 		}
-		rep.Detectable++
-		it := tests()
-		for {
-			v, ok := it.Next()
-			if !ok {
-				break
-			}
-			if Detects(w, f, v, mode) {
-				rep.Detected++
-				break
-			}
+		outcomes[i].detectable = true
+		outcomes[i].detected = d.DetectedBy(tests())
+	})
+	rep := Report{Faults: len(fs)}
+	for _, o := range outcomes {
+		if o.detectable {
+			rep.Detectable++
+		}
+		if o.detected {
+			rep.Detected++
 		}
 	}
 	return rep

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"sortnets/internal/bitvec"
+	"sortnets/internal/eval"
 	"sortnets/internal/network"
 )
 
@@ -27,33 +28,25 @@ func (f DoubleComp) Describe() string {
 	return fmt.Sprintf("%s + %s", f.First.Describe(), f.Second.Describe())
 }
 
-// Eval implements Fault: both comparator modes apply in one pass.
-func (f DoubleComp) Eval(w *network.Network, v bitvec.Vec) bitvec.Vec {
-	bits := v.Bits
+// Ops implements Fault: both comparator modes apply in one pass.
+func (f DoubleComp) Ops(w *network.Network) []eval.Op {
+	ops := make([]eval.Op, len(w.Comps))
 	for i, c := range w.Comps {
-		mode := CompMode(-1)
+		kind := eval.OpCmp
 		switch i {
 		case f.First.Index:
-			mode = f.First.Mode
+			kind = opFor(f.First.Mode)
 		case f.Second.Index:
-			mode = f.Second.Mode
+			kind = opFor(f.Second.Mode)
 		}
-		a := bits >> uint(c.A) & 1
-		b := bits >> uint(c.B) & 1
-		var na, nb uint64
-		switch mode {
-		case Bypass:
-			na, nb = a, b
-		case AlwaysSwap:
-			na, nb = b, a
-		case Reverse:
-			na, nb = a|b, a&b
-		default:
-			na, nb = a&b, a|b
-		}
-		bits = bits&^(1<<uint(c.A)|1<<uint(c.B)) | na<<uint(c.A) | nb<<uint(c.B)
+		ops[i] = eval.Op{Kind: kind, A: c.A, B: c.B}
 	}
-	return bitvec.New(v.N, bits)
+	return ops
+}
+
+// Eval implements Fault.
+func (f DoubleComp) Eval(w *network.Network, v bitvec.Vec) bitvec.Vec {
+	return Compile(w, f).Apply(v)
 }
 
 // EnumerateDoubleComp lists double comparator faults. With three modes
@@ -98,19 +91,30 @@ func (r MaskingReport) String() string {
 }
 
 // MeasureMasking examines double-comparator faults for masking under
-// the given detection mode.
+// the given detection mode, spreading the pairs over the shared
+// worker pool (each pair needs up to three compiled-universe sweeps).
 func MeasureMasking(w *network.Network, pairs []Fault, mode DetectMode) MaskingReport {
-	rep := MaskingReport{Pairs: len(pairs)}
-	for _, f := range pairs {
-		d, ok := f.(DoubleComp)
+	golden := eval.Compile(w)
+	type outcome struct{ both, masked bool }
+	outcomes := make([]outcome, len(pairs))
+	eval.ForEach(len(pairs), 0, func(i int) {
+		d, ok := pairs[i].(DoubleComp)
 		if !ok {
-			continue
+			return
 		}
-		if !Detectable(w, d.First, mode) || !Detectable(w, d.Second, mode) {
-			continue
+		if !NewDetector(w, golden, d.First, mode).Detectable() ||
+			!NewDetector(w, golden, d.Second, mode).Detectable() {
+			return
 		}
-		rep.BothDetectable++
-		if !Detectable(w, d, mode) {
+		outcomes[i].both = true
+		outcomes[i].masked = !NewDetector(w, golden, d, mode).Detectable()
+	})
+	rep := MaskingReport{Pairs: len(pairs)}
+	for _, o := range outcomes {
+		if o.both {
+			rep.BothDetectable++
+		}
+		if o.masked {
 			rep.PairUndetectable++
 		}
 	}

@@ -20,12 +20,19 @@
 // the others create behaviours no comparator network exhibits, which
 // is what makes measured fault coverage (experiment E12) informative
 // rather than trivially 100%.
+//
+// Faulty circuits are not evaluated by a per-fault interpreter loop:
+// each fault COMPILES, via Ops, to an eval.Program variant of the
+// healthy circuit (a bypassed comparator is a no-op, a stuck line a
+// clamp op, a bridge a short op), so fault simulation inherits the
+// 64-lane word-parallel batch engine for free.
 package faults
 
 import (
 	"fmt"
 
 	"sortnets/internal/bitvec"
+	"sortnets/internal/eval"
 	"sortnets/internal/network"
 )
 
@@ -34,8 +41,18 @@ import (
 type Fault interface {
 	// Describe renders a short human-readable label.
 	Describe() string
-	// Eval runs the faulty circuit on a binary input.
+	// Ops compiles the faulty circuit to an eval op sequence.
+	Ops(w *network.Network) []eval.Op
+	// Eval runs the faulty circuit on a binary input. It compiles on
+	// the fly; hot paths should compile once via faults.Compile.
 	Eval(w *network.Network, v bitvec.Vec) bitvec.Vec
+}
+
+// Compile builds the compiled program of the faulty circuit. The
+// program evaluates on all of eval's paths — scalar, 64-lane batch —
+// exactly like a healthy network's program.
+func Compile(w *network.Network, f Fault) *eval.Program {
+	return eval.NewProgram(w.N, f.Ops(w))
 }
 
 // CompMode selects how a comparator misbehaves.
@@ -60,6 +77,19 @@ func (m CompMode) String() string {
 	return fmt.Sprintf("CompMode(%d)", int(m))
 }
 
+// opFor lowers one comparator fault mode to its opcode.
+func opFor(m CompMode) eval.OpKind {
+	switch m {
+	case Bypass:
+		return eval.OpNop
+	case AlwaysSwap:
+		return eval.OpSwap
+	case Reverse:
+		return eval.OpRevCmp
+	}
+	panic(fmt.Sprintf("faults: unknown comparator mode %d", int(m)))
+}
+
 // CompFault is a single faulty comparator, identified by its index in
 // the network's firing order.
 type CompFault struct {
@@ -72,26 +102,23 @@ func (f CompFault) Describe() string {
 	return fmt.Sprintf("comparator %d %s", f.Index, f.Mode)
 }
 
+// Ops implements Fault: comparator Index fires in its fault mode, the
+// rest are standard.
+func (f CompFault) Ops(w *network.Network) []eval.Op {
+	ops := make([]eval.Op, len(w.Comps))
+	for i, c := range w.Comps {
+		kind := eval.OpCmp
+		if i == f.Index {
+			kind = opFor(f.Mode)
+		}
+		ops[i] = eval.Op{Kind: kind, A: c.A, B: c.B}
+	}
+	return ops
+}
+
 // Eval implements Fault.
 func (f CompFault) Eval(w *network.Network, v bitvec.Vec) bitvec.Vec {
-	bits := v.Bits
-	for i, c := range w.Comps {
-		a := bits >> uint(c.A) & 1
-		b := bits >> uint(c.B) & 1
-		var na, nb uint64
-		switch {
-		case i == f.Index && f.Mode == Bypass:
-			na, nb = a, b
-		case i == f.Index && f.Mode == AlwaysSwap:
-			na, nb = b, a
-		case i == f.Index && f.Mode == Reverse:
-			na, nb = a|b, a&b
-		default:
-			na, nb = a&b, a|b
-		}
-		bits = bits&^(1<<uint(c.A)|1<<uint(c.B)) | na<<uint(c.A) | nb<<uint(c.B)
-	}
-	return bitvec.New(v.N, bits)
+	return Compile(w, f).Apply(v)
 }
 
 // StuckLine clamps a line to a constant value for the whole circuit.
@@ -105,25 +132,27 @@ func (f StuckLine) Describe() string {
 	return fmt.Sprintf("line %d stuck-at-%d", f.Line+1, f.Value)
 }
 
-// Eval implements Fault: the clamp is enforced at the input and after
+// Ops implements Fault: the clamp is enforced at the input and after
 // every comparator touching the line (a defective wire segment along
 // the entire line).
-func (f StuckLine) Eval(w *network.Network, v bitvec.Vec) bitvec.Vec {
-	clamp := func(bits uint64) uint64 {
-		if f.Value == 1 {
-			return bits | 1<<uint(f.Line)
-		}
-		return bits &^ (1 << uint(f.Line))
+func (f StuckLine) Ops(w *network.Network) []eval.Op {
+	clamp := eval.Op{Kind: eval.OpClamp0, A: f.Line}
+	if f.Value == 1 {
+		clamp.Kind = eval.OpClamp1
 	}
-	bits := clamp(v.Bits)
+	ops := []eval.Op{clamp}
 	for _, c := range w.Comps {
-		m := (bits >> uint(c.A)) &^ (bits >> uint(c.B)) & 1
-		bits ^= m<<uint(c.A) | m<<uint(c.B)
+		ops = append(ops, eval.Op{Kind: eval.OpCmp, A: c.A, B: c.B})
 		if c.A == f.Line || c.B == f.Line {
-			bits = clamp(bits)
+			ops = append(ops, clamp)
 		}
 	}
-	return bitvec.New(v.N, bits)
+	return ops
+}
+
+// Eval implements Fault.
+func (f StuckLine) Eval(w *network.Network, v bitvec.Vec) bitvec.Vec {
+	return Compile(w, f).Apply(v)
 }
 
 // BridgeMode selects the logic function of shorted lines.
@@ -154,29 +183,26 @@ func (f Bridge) Describe() string {
 	return fmt.Sprintf("bridge %d~%d %s", f.A+1, f.B+1, f.Mode)
 }
 
-// Eval implements Fault: the short is enforced at the input and after
+// Ops implements Fault: the short is enforced at the input and after
 // every comparator touching either line.
-func (f Bridge) Eval(w *network.Network, v bitvec.Vec) bitvec.Vec {
-	short := func(bits uint64) uint64 {
-		a := bits >> uint(f.A) & 1
-		b := bits >> uint(f.B) & 1
-		var s uint64
-		if f.Mode == WiredOR {
-			s = a | b
-		} else {
-			s = a & b
-		}
-		return bits&^(1<<uint(f.A)|1<<uint(f.B)) | s<<uint(f.A) | s<<uint(f.B)
+func (f Bridge) Ops(w *network.Network) []eval.Op {
+	short := eval.Op{Kind: eval.OpShortOR, A: f.A, B: f.B}
+	if f.Mode == WiredAND {
+		short.Kind = eval.OpShortAND
 	}
-	bits := short(v.Bits)
+	ops := []eval.Op{short}
 	for _, c := range w.Comps {
-		m := (bits >> uint(c.A)) &^ (bits >> uint(c.B)) & 1
-		bits ^= m<<uint(c.A) | m<<uint(c.B)
+		ops = append(ops, eval.Op{Kind: eval.OpCmp, A: c.A, B: c.B})
 		if c.A == f.A || c.A == f.B || c.B == f.A || c.B == f.B {
-			bits = short(bits)
+			ops = append(ops, short)
 		}
 	}
-	return bitvec.New(v.N, bits)
+	return ops
+}
+
+// Eval implements Fault.
+func (f Bridge) Eval(w *network.Network, v bitvec.Vec) bitvec.Vec {
+	return Compile(w, f).Apply(v)
 }
 
 // Enumerate lists the standard single-fault universe for a network:

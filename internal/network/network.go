@@ -23,6 +23,7 @@ package network
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"sortnets/internal/bitvec"
 )
@@ -50,6 +51,12 @@ func (c Comparator) String() string { return fmt.Sprintf("[%d,%d]", c.A+1, c.B+1
 type Network struct {
 	N     int
 	Comps []Comparator
+
+	// pairs caches the compiled pair form built by Pairs. Loads and
+	// stores are atomic (safe for concurrent readers) and every load
+	// is validated against Comps, so direct mutation of the exported
+	// Comps field can never serve stale pairs.
+	pairs atomic.Pointer[[][2]int]
 }
 
 // New returns an empty network (no comparators) on n lines; the empty
@@ -71,6 +78,7 @@ func (w *Network) Add(comps ...Comparator) *Network {
 		}
 		w.Comps = append(w.Comps, c)
 	}
+	w.pairs.Store(nil)
 	return w
 }
 
@@ -193,6 +201,7 @@ func (w *Network) Append(other *Network) *Network {
 		panic(fmt.Sprintf("network: appending %d-line network to %d-line network", other.N, w.N))
 	}
 	w.Comps = append(w.Comps, other.Comps...)
+	w.pairs.Store(nil)
 	return w
 }
 

@@ -1,0 +1,67 @@
+package network
+
+import (
+	"testing"
+
+	"sortnets/internal/widevec"
+)
+
+func TestPairsCachedAndInvalidated(t *testing.T) {
+	w := New(4).AddPair(0, 1).AddPair(2, 3)
+	p1 := w.Pairs()
+	if len(p1) != 2 || p1[0] != [2]int{0, 1} || p1[1] != [2]int{2, 3} {
+		t.Fatalf("pairs %v", p1)
+	}
+	if p2 := w.Pairs(); &p2[0] != &p1[0] {
+		t.Error("second call did not reuse the cached slice")
+	}
+	w.AddPair(0, 2)
+	p3 := w.Pairs()
+	if len(p3) != 3 || p3[2] != [2]int{0, 2} {
+		t.Fatalf("cache not invalidated by Add: %v", p3)
+	}
+	other := New(4).AddPair(1, 3)
+	w.Append(other)
+	if p4 := w.Pairs(); len(p4) != 4 || p4[3] != [2]int{1, 3} {
+		t.Fatalf("cache not invalidated by Append: %v", w.Pairs())
+	}
+	// Clone must not share or carry the cache.
+	c := w.Clone()
+	if got := c.Pairs(); len(got) != 4 {
+		t.Fatalf("clone pairs %v", got)
+	}
+}
+
+func TestPairsSurvivesDirectCompsMutation(t *testing.T) {
+	// The push/pop pattern of search.DeBruijnHolds: direct append to
+	// the exported Comps field, truncate, then append a DIFFERENT
+	// comparator of the same length. The validated cache must never
+	// serve the old sequence.
+	w := New(4).AddPair(0, 1)
+	w.Comps = append(w.Comps, Comparator{A: 1, B: 2})
+	_ = w.Pairs() // cache [0,1][1,2]
+	w.Comps = w.Comps[:1]
+	w.Comps = append(w.Comps, Comparator{A: 2, B: 3})
+	p := w.Pairs()
+	if len(p) != 2 || p[1] != [2]int{2, 3} {
+		t.Fatalf("stale pairs after same-length mutation: %v", p)
+	}
+	// In-place overwrite of an interior element.
+	w.Comps[0] = Comparator{A: 0, B: 3}
+	if q := w.Pairs(); q[0] != [2]int{0, 3} {
+		t.Fatalf("stale pairs after in-place overwrite: %v", q)
+	}
+}
+
+func TestApplyWideUsesCachedPairs(t *testing.T) {
+	w := New(3).AddPair(0, 2).AddPair(0, 1).AddPair(1, 2)
+	v := widevec.MustFromString("110")
+	out := w.ApplyWide(v)
+	if out.String() != "011" {
+		t.Fatalf("wide output %s, want 011", out)
+	}
+	// Second application reuses the cache and must agree.
+	if again := w.ApplyWide(v); !again.Equal(out) {
+		t.Error("cached wide application diverged")
+	}
+}

@@ -9,27 +9,49 @@ import (
 // Wide-width evaluation: networks themselves have no width limit (the
 // integer path works at any n); this file adds the packed binary path
 // for n > 64 lines via package widevec, the regime where only the
-// paper's polynomial test sets are feasible.
+// paper's polynomial test sets are feasible. Repeated wide evaluation
+// should go through the compiled engine (internal/eval), which also
+// layers the schedule; these entry points remain for one-shot use and
+// now share the cached pair form instead of re-extracting it per call.
 
-// ApplyWide routes a wide binary vector through the network.
+// ApplyWide routes a wide binary vector through the network using the
+// cached compiled pair slice.
 func (w *Network) ApplyWide(v widevec.Vec) widevec.Vec {
 	if v.N() != w.N {
 		panic(fmt.Sprintf("network: wide input has %d lines, want %d", v.N(), w.N))
 	}
-	pairs := make([][2]int, len(w.Comps))
-	for i, c := range w.Comps {
-		pairs[i] = [2]int{c.A, c.B}
-	}
-	return v.ApplyComparators(pairs)
+	return v.ApplyComparators(w.Pairs())
 }
 
 // Pairs exposes the comparator sequence as plain line pairs, the form
-// widevec consumes; callers doing repeated wide evaluation should
-// cache this instead of re-calling ApplyWide.
+// widevec consumes, in firing order. The compiled form is built on
+// first use and cached on the network; every hit is validated against
+// Comps element by element (an O(size) scan with no allocation — the
+// evaluation it feeds is O(size) anyway), so even direct mutation of
+// the exported Comps field can never serve stale pairs. Reads and the
+// cache store are atomic, so concurrent Pairs/ApplyWide calls are
+// safe provided no goroutine is concurrently mutating the network
+// itself. The returned slice is shared — treat it as read-only.
 func (w *Network) Pairs() [][2]int {
+	if p := w.pairs.Load(); p != nil && pairsMatch(*p, w.Comps) {
+		return *p
+	}
 	pairs := make([][2]int, len(w.Comps))
 	for i, c := range w.Comps {
 		pairs[i] = [2]int{c.A, c.B}
 	}
+	w.pairs.Store(&pairs)
 	return pairs
+}
+
+func pairsMatch(pairs [][2]int, comps []Comparator) bool {
+	if len(pairs) != len(comps) {
+		return false
+	}
+	for i, c := range comps {
+		if pairs[i][0] != c.A || pairs[i][1] != c.B {
+			return false
+		}
+	}
+	return true
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"sortnets/internal/bitvec"
+	"sortnets/internal/eval"
 	"sortnets/internal/network"
 )
 
@@ -187,10 +188,16 @@ func DeBruijnHolds(n, maxComps int) error {
 	for i := range rev {
 		rev[i] = n - i
 	}
+	buf := make([]int, n)
 	var rec func(w *network.Network, depth int) error
 	rec = func(w *network.Network, depth int) error {
-		sortsRev := sort.IntsAreSorted(w.Apply(rev))
-		isSorter := w.SortsAllBinary()
+		// Compile once per enumerated network; the compiled program
+		// serves both the integer path and the 2ⁿ universe sweep.
+		prog := eval.Compile(w)
+		copy(buf, rev)
+		prog.ApplyInts(buf)
+		sortsRev := sort.IntsAreSorted(buf)
+		isSorter := prog.SortsAll()
 		if sortsRev != isSorter {
 			return fmt.Errorf("search: de Bruijn violated by %s (rev-sorted=%v, sorter=%v)",
 				w.Format(), sortsRev, isSorter)

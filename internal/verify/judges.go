@@ -1,0 +1,53 @@
+package verify
+
+import (
+	"sortnets/internal/eval"
+	"sortnets/internal/network"
+)
+
+// Property-to-judge lowering: each built-in property compiles to a
+// word-parallel eval.Judge so the whole 64-lane block is judged with
+// a handful of word ops; unknown properties fall back to the per-lane
+// adapter (the network evaluation — the expensive part — stays
+// word-parallel either way).
+
+func judgeFor(p Property) eval.Judge {
+	switch prop := p.(type) {
+	case Sorter:
+		return eval.SortedJudge()
+	case Merger:
+		return mergerJudge(prop.N)
+	default:
+		// Selector (whose expected prefix depends on each lane's zero
+		// count, with no cheap word-parallel form) and any custom
+		// property are judged per lane through the one acceptance
+		// definition in AcceptsBinary — the evaluation stays
+		// word-parallel either way.
+		return eval.PerLaneJudge(p.AcceptsBinary)
+	}
+}
+
+// mergerJudge rejects in-contract lanes (both input halves sorted)
+// whose outputs are not sorted; out-of-contract lanes are accepted
+// vacuously. The common all-lanes-sorted case needs one word-parallel
+// pass and no per-lane work at all.
+func mergerJudge(n int) eval.Judge {
+	h := n / 2
+	return eval.Judge{
+		NeedsInput: true,
+		Rejects: func(in, out *network.Batch) uint64 {
+			unsorted := out.UnsortedLanes()
+			if unsorted == 0 {
+				return 0
+			}
+			var inContract uint64
+			for lane := 0; lane < out.Lanes; lane++ {
+				v := in.Lane(lane)
+				if v.Slice(0, h).IsSorted() && v.Slice(h, n).IsSorted() {
+					inContract |= 1 << uint(lane)
+				}
+			}
+			return unsorted & inContract
+		},
+	}
+}

@@ -7,20 +7,25 @@
 // The paper's central claim is operational here: Verdict (minimal test
 // set) and GroundTruth (all 2ⁿ inputs) must always agree, while the
 // test set is exponentially smaller for selectors with small k and
-// quadratically smaller for mergers. The engines exploit the 64-lane
-// bit-parallel evaluator and an optional goroutine pool.
+// quadratically smaller for mergers.
+//
+// All evaluation is delegated to the compiled engine of package eval:
+// the network is compiled once into a layered Program, test vectors
+// stream through 64 word-parallel lanes (or the widevec path beyond
+// 64 lines), and the engine owns the worker pool. This package only
+// maps properties to judges and shapes results.
 package verify
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"sortnets/internal/bitvec"
 	"sortnets/internal/core"
+	"sortnets/internal/eval"
 	"sortnets/internal/network"
 	"sortnets/internal/perm"
+	"sortnets/internal/widevec"
 )
 
 // Property describes a decidable network property with a minimal
@@ -163,115 +168,82 @@ func (r Result) String() string {
 	return fmt.Sprintf("fails on %s -> %s (after %d tests)", r.Counterexample, r.Output, r.TestsRun)
 }
 
+func fromVerdict(v eval.Verdict) Result {
+	return Result{Holds: v.Holds, TestsRun: v.TestsRun, Counterexample: v.In, Output: v.Out}
+}
+
+func engineFor(w *network.Network, p Property, workers int) *eval.Engine {
+	if w.N != p.Lines() {
+		panic(fmt.Sprintf("verify: network has %d lines, property wants %d", w.N, p.Lines()))
+	}
+	return eval.New(eval.Compile(w), workers)
+}
+
+// wholesale reports whether the ground-truth sweep for p on w may use
+// the engine's wholesale-loading universe path: one of the three
+// paper properties (whose exhaustive universe is exactly all 2ⁿ
+// inputs) within the width RunUniverse accepts. Wider networks fall
+// back to streaming ExhaustiveBinary, which completes (slowly) at
+// any n ≤ 64 rather than panicking.
+func wholesale(w *network.Network, p Property) bool {
+	if w.N > 30 {
+		return false
+	}
+	switch p.(type) {
+	case Sorter, Selector, Merger:
+		return true
+	}
+	return false
+}
+
 // Verdict checks the property using its minimal binary test set,
-// streaming tests through the network until the first failure.
+// streaming tests through the compiled network until the first
+// failure (reported in stream order).
 func Verdict(w *network.Network, p Property) Result {
-	return run(w, p, p.BinaryTests())
+	return fromVerdict(engineFor(w, p, 1).Run(p.BinaryTests(), judgeFor(p)))
 }
 
 // GroundTruth checks the property against the entire binary universe —
 // the exhaustive baseline the minimal test sets are measured against.
 func GroundTruth(w *network.Network, p Property) Result {
-	return run(w, p, p.ExhaustiveBinary())
+	e := engineFor(w, p, 1)
+	if wholesale(w, p) {
+		return fromVerdict(e.RunUniverse(judgeFor(p)))
+	}
+	return fromVerdict(e.Run(p.ExhaustiveBinary(), judgeFor(p)))
 }
 
-func run(w *network.Network, p Property, it bitvec.Iterator) Result {
-	if w.N != p.Lines() {
-		panic(fmt.Sprintf("verify: network has %d lines, property wants %d", w.N, p.Lines()))
-	}
-	tests := 0
-	for {
-		v, ok := it.Next()
-		if !ok {
-			return Result{Holds: true, TestsRun: tests}
-		}
-		tests++
-		out := w.ApplyVec(v)
-		if !p.AcceptsBinary(v, out) {
-			return Result{Holds: false, TestsRun: tests, Counterexample: v, Output: out}
-		}
-	}
-}
+// VerdictBatch runs a property's minimal test set through the
+// compiled 64-lane engine. It is retained for API compatibility:
+// Verdict now uses the same engine, so the two are identical.
+func VerdictBatch(w *network.Network, p Property) Result { return Verdict(w, p) }
 
-// VerdictParallel is Verdict with a goroutine pool: the test stream is
-// carved into chunks and judged concurrently. The first failure found
-// is reported (not necessarily the first in stream order); workers
-// drain promptly once any failure is flagged.
+// GroundTruthBatch is the 64-lane exhaustive sweep (same engine as
+// GroundTruth; retained for API compatibility).
+func GroundTruthBatch(w *network.Network, p Property) Result { return GroundTruth(w, p) }
+
+// VerdictParallel is Verdict with the engine's worker pool: the test
+// stream is carved into chunks and judged concurrently. workers ≤ 0
+// lets the engine choose (sequential under its work threshold,
+// NumCPU above). The first failure found is reported (not necessarily
+// the first in stream order).
 func VerdictParallel(w *network.Network, p Property, workers int) Result {
-	return runParallel(w, p, p.BinaryTests(), workers)
+	if workers < 0 {
+		workers = 0
+	}
+	return fromVerdict(engineFor(w, p, workers).Run(p.BinaryTests(), judgeFor(p)))
 }
 
-// GroundTruthParallel is GroundTruth with a goroutine pool.
+// GroundTruthParallel is GroundTruth with the engine's worker pool.
 func GroundTruthParallel(w *network.Network, p Property, workers int) Result {
-	return runParallel(w, p, p.ExhaustiveBinary(), workers)
-}
-
-const parallelChunk = 1024
-
-func runParallel(w *network.Network, p Property, it bitvec.Iterator, workers int) Result {
-	if w.N != p.Lines() {
-		panic(fmt.Sprintf("verify: network has %d lines, property wants %d", w.N, p.Lines()))
+	if workers < 0 {
+		workers = 0
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	e := engineFor(w, p, workers)
+	if wholesale(w, p) {
+		return fromVerdict(e.RunUniverse(judgeFor(p)))
 	}
-	type failure struct {
-		in, out bitvec.Vec
-	}
-	chunks := make(chan []bitvec.Vec, workers)
-	failures := make(chan failure, workers)
-	stop := make(chan struct{})
-	var stopOnce sync.Once
-
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for chunk := range chunks {
-				for _, v := range chunk {
-					out := w.ApplyVec(v)
-					if !p.AcceptsBinary(v, out) {
-						select {
-						case failures <- failure{in: v, out: out}:
-						default:
-						}
-						stopOnce.Do(func() { close(stop) })
-						return
-					}
-				}
-			}
-		}()
-	}
-
-	tests := 0
-feed:
-	for {
-		chunk := make([]bitvec.Vec, 0, parallelChunk)
-		for len(chunk) < parallelChunk {
-			v, ok := it.Next()
-			if !ok {
-				break
-			}
-			chunk = append(chunk, v)
-		}
-		if len(chunk) == 0 {
-			break
-		}
-		tests += len(chunk)
-		select {
-		case chunks <- chunk:
-		case <-stop:
-			break feed
-		}
-	}
-	close(chunks)
-	wg.Wait()
-	close(failures)
-	if f, ok := <-failures; ok {
-		return Result{Holds: false, TestsRun: tests, Counterexample: f.in, Output: f.out}
-	}
-	return Result{Holds: true, TestsRun: tests}
+	return fromVerdict(e.Run(p.ExhaustiveBinary(), judgeFor(p)))
 }
 
 // PermResult is the outcome of a permutation-input check.
@@ -292,17 +264,22 @@ func (r PermResult) String() string {
 
 // VerdictPerms checks the property using its minimal permutation test
 // set — the input model where Yao's observation makes testing cheaper
-// than with binary strings.
+// than with binary strings. The network is compiled once; every test
+// reuses the layered program.
 func VerdictPerms(w *network.Network, p Property) PermResult {
 	if w.N != p.Lines() {
 		panic(fmt.Sprintf("verify: network has %d lines, property wants %d", w.N, p.Lines()))
 	}
+	prog := eval.Compile(w)
+	out := make([]int, w.N)
 	tests := 0
 	for _, pm := range p.PermTests() {
 		tests++
-		out := w.Apply(pm)
+		copy(out, pm)
+		prog.ApplyInts(out)
 		if !p.AcceptsInts(pm, out) {
-			return PermResult{Holds: false, TestsRun: tests, Counterexample: pm, Output: out}
+			return PermResult{Holds: false, TestsRun: tests, Counterexample: pm,
+				Output: append([]int(nil), out...)}
 		}
 	}
 	return PermResult{Holds: true, TestsRun: tests}
@@ -310,7 +287,9 @@ func VerdictPerms(w *network.Network, p Property) PermResult {
 
 // GroundTruthPerms sweeps all n! permutations (small n only).
 func GroundTruthPerms(w *network.Network, p Property) PermResult {
+	prog := eval.Compile(w)
 	it := perm.AllHeap(w.N)
+	out := make([]int, w.N)
 	tests := 0
 	for {
 		pm, ok := it.Next()
@@ -318,9 +297,89 @@ func GroundTruthPerms(w *network.Network, p Property) PermResult {
 			return PermResult{Holds: true, TestsRun: tests}
 		}
 		tests++
-		out := w.Apply(pm)
+		copy(out, pm)
+		prog.ApplyInts(out)
 		if !p.AcceptsInts(pm, out) {
-			return PermResult{Holds: false, TestsRun: tests, Counterexample: pm, Output: out}
+			return PermResult{Holds: false, TestsRun: tests, Counterexample: pm,
+				Output: append([]int(nil), out...)}
 		}
 	}
+}
+
+// WideResult is the outcome of a wide binary check (n > 64, where
+// only the paper's polynomial test sets are feasible).
+type WideResult struct {
+	Holds          bool
+	TestsRun       int
+	Counterexample widevec.Vec
+	Output         widevec.Vec
+}
+
+// String renders a one-line verdict (counterexamples can be thousands
+// of bits; only a prefix is shown).
+func (r WideResult) String() string {
+	if r.Holds {
+		return fmt.Sprintf("holds (%d tests)", r.TestsRun)
+	}
+	ce := r.Counterexample.String()
+	if len(ce) > 72 {
+		ce = ce[:72] + "..."
+	}
+	return fmt.Sprintf("fails on %s (after %d tests)", ce, r.TestsRun)
+}
+
+func fromWideVerdict(v eval.WideVerdict) WideResult {
+	return WideResult{Holds: v.Holds, TestsRun: v.TestsRun, Counterexample: v.In, Output: v.Out}
+}
+
+// VerdictMergerWide certifies the (n/2,n/2)-merger property with the
+// n²/4-vector test set at any width, on the compiled wide path (the
+// pair slice is extracted once, not per call).
+func VerdictMergerWide(w *network.Network) WideResult {
+	return VerdictMergerWideParallel(w, 1)
+}
+
+// VerdictSelectorWide certifies the (k,n)-selector property with its
+// polynomial test set at any width.
+func VerdictSelectorWide(w *network.Network, k int) WideResult {
+	return VerdictSelectorWideParallel(w, k, 1)
+}
+
+// VerdictMergerWideParallel is VerdictMergerWide with the engine's
+// worker pool (workers ≤ 0 lets the engine choose).
+func VerdictMergerWideParallel(w *network.Network, workers int) WideResult {
+	if workers < 0 {
+		workers = 0
+	}
+	e := eval.New(eval.Compile(w), workers)
+	return fromWideVerdict(e.RunWide(core.MergerWideTests(w.N),
+		func(in, out widevec.Vec) bool { return out.IsSorted() }))
+}
+
+// VerdictSelectorWideParallel is VerdictSelectorWide with the
+// engine's worker pool.
+func VerdictSelectorWideParallel(w *network.Network, k, workers int) WideResult {
+	if workers < 0 {
+		workers = 0
+	}
+	e := eval.New(eval.Compile(w), workers)
+	return fromWideVerdict(e.RunWide(core.SelectorWideTests(w.N, k),
+		func(in, out widevec.Vec) bool { return selectsWide(in, out, k) }))
+}
+
+// selectsWide checks that the first k output bits equal the first k
+// bits of the sorted input: 0 for positions below the zero count, 1
+// above.
+func selectsWide(in, out widevec.Vec, k int) bool {
+	zeros := in.Zeros()
+	for i := 0; i < k; i++ {
+		want := 0
+		if i >= zeros {
+			want = 1
+		}
+		if out.Bit(i) != want {
+			return false
+		}
+	}
+	return true
 }

@@ -29,6 +29,7 @@ import (
 	"sortnets/internal/chains"
 	"sortnets/internal/comb"
 	"sortnets/internal/core"
+	"sortnets/internal/eval"
 	"sortnets/internal/faults"
 	"sortnets/internal/gen"
 	"sortnets/internal/network"
@@ -155,6 +156,45 @@ type Certificate = core.Certificate
 // scratch.
 func MinimalityCertificate(n int) Certificate { return core.MinimalityCertificate(n) }
 
+// --- Compiled evaluation engine ---------------------------------------
+
+// Program is the immutable compiled form of a network: comparator
+// pairs pre-extracted, packed into data-independent layers, and
+// specialized per width regime (n ≤ 64 word-parallel batches, n > 64
+// widevec). Every verdict in this package runs on compiled programs;
+// compile once when evaluating the same network many times.
+type Program = eval.Program
+
+// Engine streams test vectors through a compiled program with an
+// engine-owned worker pool.
+type Engine = eval.Engine
+
+// Judge decides, word-parallel, which lanes of an evaluated 64-lane
+// block violate the property under test.
+type Judge = eval.Judge
+
+// SortedJudge rejects outputs that are not sorted (the sorting
+// property) in one word-parallel pass.
+func SortedJudge() Judge { return eval.SortedJudge() }
+
+// PerLaneJudge adapts a scalar acceptance predicate to the batch
+// engine.
+func PerLaneJudge(accepts func(in, out Vec) bool) Judge { return eval.PerLaneJudge(accepts) }
+
+// Compile builds the compiled form of a network.
+func Compile(w *Network) *Program { return eval.Compile(w) }
+
+// NewEngine returns an engine over a compiled program. workers: 1 =
+// strictly sequential (stream-order counterexamples), k > 1 = k
+// workers, 0 = automatic (sequential under the engine's work
+// threshold, all cores above it).
+func NewEngine(p *Program, workers int) *Engine { return eval.New(p, workers) }
+
+// CompileFault builds the compiled program of a fault-injected
+// circuit; it evaluates on all engine paths exactly like a healthy
+// network's program.
+func CompileFault(w *Network, f Fault) *Program { return faults.Compile(w, f) }
+
 // --- Verdicts ----------------------------------------------------------
 
 // CheckSorter decides whether w is a sorter using the minimal binary
@@ -227,6 +267,18 @@ func CheckMergerWide(w *Network) WideResult { return verify.VerdictMergerWide(w)
 // CheckSelectorWide certifies the (k,n)-selector property at any
 // width with its polynomial test set.
 func CheckSelectorWide(w *Network, k int) WideResult { return verify.VerdictSelectorWide(w, k) }
+
+// CheckMergerWideParallel is CheckMergerWide on the engine's worker
+// pool (workers ≤ 0 lets the engine choose).
+func CheckMergerWideParallel(w *Network, workers int) WideResult {
+	return verify.VerdictMergerWideParallel(w, workers)
+}
+
+// CheckSelectorWideParallel is CheckSelectorWide on the engine's
+// worker pool.
+func CheckSelectorWideParallel(w *Network, k, workers int) WideResult {
+	return verify.VerdictSelectorWideParallel(w, k, workers)
+}
 
 // --- Analysis -----------------------------------------------------------------
 

@@ -148,6 +148,66 @@ func TestFacadeChains(t *testing.T) {
 	}
 }
 
+func TestFacadeCompiledEngine(t *testing.T) {
+	w := BatcherSorter(10)
+	prog := Compile(w)
+	if prog.Size() != w.Size() || !prog.Pure() {
+		t.Fatalf("compiled program has %d ops (pure=%v), want %d", prog.Size(), prog.Pure(), w.Size())
+	}
+	for _, workers := range []int{1, 2, 0} {
+		eng := NewEngine(prog, workers)
+		v := eng.Run(SorterTests(10), SortedJudge())
+		if !v.Holds {
+			t.Fatalf("workers=%d: compiled engine rejected a Batcher sorter", workers)
+		}
+		if workers == 1 && v.TestsRun != 1<<10-10-1 {
+			t.Fatalf("engine ran %d tests, want the full minimal set", v.TestsRun)
+		}
+	}
+	// A per-lane judge must agree with the word-parallel one.
+	custom := NewEngine(prog, 1).Run(SorterTests(10),
+		PerLaneJudge(func(in, out Vec) bool { return out.IsSorted() }))
+	if !custom.Holds {
+		t.Fatal("per-lane judge rejected a Batcher sorter")
+	}
+}
+
+func TestFacadeCompileFault(t *testing.T) {
+	w := BatcherSorter(6)
+	fs := EnumerateFaults(w)
+	p := CompileFault(w, fs[0])
+	if p.Pure() {
+		t.Error("bypass-fault program should not be pure")
+	}
+	// A bypassed comparator in a Batcher sorter must fail some input.
+	found := false
+	it := SorterTests(6)
+	for {
+		v, ok := it.Next()
+		if !ok {
+			break
+		}
+		if !p.Apply(v).IsSorted() {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("bypassed comparator never visible on the minimal test set")
+	}
+}
+
+func TestFacadeWideParallelChecks(t *testing.T) {
+	m := BatcherMerger(128)
+	r := CheckMergerWideParallel(m, 0)
+	if !r.Holds || r.TestsRun != 4096 {
+		t.Fatalf("pooled wide merger: %s", r)
+	}
+	if !CheckSelectorWideParallel(SelectionNetwork(96, 2), 2, 2).Holds {
+		t.Error("pooled wide selector rejected")
+	}
+}
+
 func TestFacadeWideCertification(t *testing.T) {
 	m := BatcherMerger(128)
 	r := CheckMergerWide(m)
