@@ -235,6 +235,26 @@ func BenchmarkE14PermSpace(b *testing.B) {
 	}
 }
 
+// --- E16: fault detection matrix + minimal detecting set ------------------------
+
+// BenchmarkE16DetectionMatrix builds the full test × fault detection
+// matrix for the optimal 6-line sorter (57 tests × 58 faults, one
+// streamed engine pass per fault) and greedily selects a minimal
+// detecting set — the VLSI test-selection workload on the shared
+// engine machinery.
+func BenchmarkE16DetectionMatrix(b *testing.B) {
+	w := gen.Sorter(6)
+	fs := faults.Enumerate(w)
+	tests := func() bitvec.Iterator { return core.SorterBinaryTests(6) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := faults.DetectionMatrix(w, fs, tests, faults.ByProperty)
+		if len(m.MinimalDetectingSet()) == 0 {
+			b.Fatal("empty detecting set")
+		}
+	}
+}
+
 // --- E15: wide-width certification ----------------------------------------------
 
 // BenchmarkE15WideMerger certifies a 256-line Batcher merger with its

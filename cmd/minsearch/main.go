@@ -10,12 +10,27 @@
 //	minsearch -n 4 -inputs perm         # permutation inputs
 //	minsearch -n 4 -prop selector -k 2
 //	minsearch -n 4 -prop merger -show   # print the witness test set
+//	minsearch -n 5 -height 2 -workers 8 # parallel closure/family/solve
+//	minsearch -n 5 -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Profiling and parallelism flags:
+//
+//	-workers N     worker count for the pipeline; 0 (default) runs the
+//	               closure BFS and failure-family build on GOMAXPROCS
+//	               workers with a deterministic sequential solve, 1
+//	               pins every stage sequential, N > 1 also parallelizes
+//	               the branch and bound (same minimum, witness may vary)
+//	-cpuprofile F  write a pprof CPU profile of the search to F
+//	-memprofile F  write a pprof heap profile (taken after the search,
+//	               post-GC) to F
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"sortnets/internal/search"
 )
@@ -28,19 +43,68 @@ func main() {
 	inputs := flag.String("inputs", "binary", "input model: binary | perm")
 	limit := flag.Int("limit", 20_000_000, "behaviour closure cap")
 	show := flag.Bool("show", false, "print the minimum test set itself")
+	workers := flag.Int("workers", 0, "pipeline workers (0 = parallel closure + deterministic solve; >1 also parallelizes the solver)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
 
-	if err := run(*n, *height, *prop, *k, *inputs, *limit, *show); err != nil {
+	// Profiles are stopped/written explicitly (not deferred): the
+	// error path below exits with os.Exit, which would skip defers and
+	// truncate the profile of a failing search.
+	var cpuFile *os.File
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "minsearch:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "minsearch:", err)
+			os.Exit(2)
+		}
+		cpuFile = f
+	}
+
+	err := run(*n, *height, *prop, *k, *inputs, *limit, *show, *workers)
+
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+	}
+
+	// Profile I/O problems are reported but must not mask a search
+	// error, so both are printed before deciding the exit code.
+	failed := err != nil
+	if *memprofile != "" {
+		if merr := writeHeapProfile(*memprofile); merr != nil {
+			fmt.Fprintln(os.Stderr, "minsearch:", merr)
+			failed = true
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "minsearch:", err)
+	}
+	if failed {
 		os.Exit(2)
 	}
 }
 
-func run(n, height int, prop string, k int, inputs string, limit int, show bool) error {
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // settle allocations so the heap profile reflects retention
+	return pprof.WriteHeapProfile(f)
+}
+
+func run(n, height int, prop string, k int, inputs string, limit int, show bool, workers int) error {
 	h := height
 	if h <= 0 {
 		h = n - 1
 	}
+	opt := search.Options{Limit: limit, Workers: workers}
 	switch inputs {
 	case "binary":
 		var acc search.Acceptance
@@ -57,7 +121,7 @@ func run(n, height int, prop string, k int, inputs string, limit int, show bool)
 		default:
 			return fmt.Errorf("unknown property %q", prop)
 		}
-		r, err := search.MinimumTestSet(n, h, acc, limit)
+		r, err := search.MinimumTestSetOpts(n, h, acc, opt)
 		if err != nil {
 			return err
 		}
@@ -82,7 +146,7 @@ func run(n, height int, prop string, k int, inputs string, limit int, show bool)
 		default:
 			return fmt.Errorf("unknown property %q", prop)
 		}
-		r, err := search.MinimumPermTestSet(n, h, acc, limit, 0)
+		r, err := search.MinimumPermTestSetOpts(n, h, acc, opt)
 		if err != nil {
 			return err
 		}

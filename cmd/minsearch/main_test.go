@@ -18,29 +18,33 @@ func TestRunAllModes(t *testing.T) {
 		{4, 0, "merger", 1, "perm"},
 	}
 	for _, c := range cases {
-		if err := run(c.n, c.height, c.prop, c.k, c.inputs, 5_000_000, true); err != nil {
+		if err := run(c.n, c.height, c.prop, c.k, c.inputs, 5_000_000, true, 1); err != nil {
 			t.Errorf("%+v: %v", c, err)
 		}
+	}
+	// The pipeline flags: a pooled run must succeed identically.
+	if err := run(4, 0, "sorter", 1, "binary", 5_000_000, false, 4); err != nil {
+		t.Errorf("workers=4: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(5, 0, "merger", 1, "binary", 1000, false); err == nil {
+	if err := run(5, 0, "merger", 1, "binary", 1000, false, 0); err == nil {
 		t.Error("odd merger should error")
 	}
-	if err := run(5, 0, "merger", 1, "perm", 1000, false); err == nil {
+	if err := run(5, 0, "merger", 1, "perm", 1000, false, 0); err == nil {
 		t.Error("odd perm merger should error")
 	}
-	if err := run(4, 0, "unknown", 1, "binary", 1000, false); err == nil {
+	if err := run(4, 0, "unknown", 1, "binary", 1000, false, 0); err == nil {
 		t.Error("unknown property should error")
 	}
-	if err := run(4, 0, "unknown", 1, "perm", 1000, false); err == nil {
+	if err := run(4, 0, "unknown", 1, "perm", 1000, false, 0); err == nil {
 		t.Error("unknown perm property should error")
 	}
-	if err := run(4, 0, "sorter", 1, "ternary", 1000, false); err == nil {
+	if err := run(4, 0, "sorter", 1, "ternary", 1000, false, 0); err == nil {
 		t.Error("unknown input model should error")
 	}
-	if err := run(4, 0, "sorter", 1, "binary", 10, false); err == nil {
+	if err := run(4, 0, "sorter", 1, "binary", 10, false, 0); err == nil {
 		t.Error("tiny closure limit should error")
 	}
 }

@@ -130,6 +130,24 @@ func (s *Set) UnionWith(t *Set) {
 	}
 }
 
+// DiffWith removes every element of t from s (in place): s = s ∖ t.
+func (s *Set) DiffWith(t *Set) {
+	s.sameCap(t)
+	for i := range s.words {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// CountAnd returns |s ∩ t| without materializing the intersection.
+func (s *Set) CountAnd(t *Set) int {
+	s.sameCap(t)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & t.words[i])
+	}
+	return c
+}
+
 func (s *Set) sameCap(t *Set) {
 	if s.n != t.n {
 		panic(fmt.Sprintf("bitset: capacity mismatch %d vs %d", s.n, t.n))
@@ -159,6 +177,13 @@ func (s *Set) First() int {
 	}
 	return -1
 }
+
+// Words exposes the backing 64-bit words (element i lives at bit i&63
+// of word i>>6). The slice is owned by the set: callers must treat it
+// as read-only. It exists so bulk consumers (the search solver, the
+// fault detection matrix) can run word-parallel subset/popcount loops
+// without going through per-element callbacks.
+func (s *Set) Words() []uint64 { return s.words }
 
 // Key returns a string usable as a map key (content-identical sets of
 // equal capacity share keys).

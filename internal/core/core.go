@@ -24,6 +24,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"sortnets/internal/bitvec"
 	"sortnets/internal/chains"
@@ -81,26 +82,68 @@ func (it *mergerIter) Next() (bitvec.Vec, bool) {
 	return v, true
 }
 
+// permFamilyCache memoizes the permutation test families. They are
+// fixed mathematical objects per (property, n, k) — building one costs
+// a full symmetric-chain decomposition, so verdict paths that certify
+// many networks of the same width would otherwise rebuild the family
+// per call (it dominated the permutation-verdict profile). Values are
+// the canonical families; cachedPerms hands out arena-backed deep
+// copies so callers stay free to mutate what they receive.
+var permFamilyCache sync.Map // permFamilyKey -> []perm.P
+
+type permFamilyKey struct {
+	prop string
+	n, k int
+}
+
+func cachedPerms(key permFamilyKey, build func() []perm.P) []perm.P {
+	v, ok := permFamilyCache.Load(key)
+	if !ok {
+		v, _ = permFamilyCache.LoadOrStore(key, build())
+	}
+	master := v.([]perm.P)
+	// Deep copy in two allocations: one backing array for all values,
+	// one slice of headers.
+	values := make([]int, len(master)*key.n)
+	out := make([]perm.P, len(master))
+	for i, p := range master {
+		row := values[i*key.n : (i+1)*key.n]
+		copy(row, p)
+		out[i] = row
+	}
+	return out
+}
+
 // SorterPermTests returns the minimal permutation test set for sorting:
 // C(n,⌊n/2⌋) − 1 permutations (Theorem 2.2(ii)), realized by the
 // symmetric chain decomposition with the identity chain dropped.
+// Families are memoized per n; the returned slice is the caller's own
+// copy.
 func SorterPermTests(n int) []perm.P {
-	return chains.SorterPermutations(n)
+	return cachedPerms(permFamilyKey{"sorter", n, 0}, func() []perm.P {
+		return chains.SorterPermutations(n)
+	})
 }
 
 // SelectorPermTests returns the minimal permutation test set for the
 // (k,n)-selector property: C(n,min(k,⌊n/2⌋)) − 1 permutations
-// (Theorem 2.4(ii)).
+// (Theorem 2.4(ii)). Families are memoized per (n,k); the returned
+// slice is the caller's own copy.
 func SelectorPermTests(n, k int) []perm.P {
 	if k < 1 || k > n {
 		panic(fmt.Sprintf("core: selector arity k=%d out of range 1..%d", k, n))
 	}
-	return chains.SelectorPermutations(n, k)
+	return cachedPerms(permFamilyKey{"selector", n, k}, func() []perm.P {
+		return chains.SelectorPermutations(n, k)
+	})
 }
 
 // MergerPermTests returns the minimal permutation test set for the
 // (n/2,n/2)-merger property: the n/2 permutations τ₀..τ_{n/2−1}
-// (Theorem 2.5(ii)).
+// (Theorem 2.5(ii)). Families are memoized per n; the returned slice
+// is the caller's own copy.
 func MergerPermTests(n int) []perm.P {
-	return chains.MergerPermutations(n)
+	return cachedPerms(permFamilyKey{"merger", n, 0}, func() []perm.P {
+		return chains.MergerPermutations(n)
+	})
 }

@@ -297,6 +297,37 @@ feed:
 	return Verdict{Holds: true, TestsRun: tests}
 }
 
+// Sweep streams the iterator's vectors through the program in 64-lane
+// blocks like Run, but never early-exits: visit is called for every
+// judged block with the stream offset of the block's first vector and
+// the rejected-lane mask (already masked to the occupied lanes). It
+// returns the number of vectors swept. This is the full-matrix
+// counterpart of Run — fault signature extraction wants every
+// (test, verdict) bit, not just the first failure.
+func (e *Engine) Sweep(it bitvec.Iterator, judge Judge, visit func(offset int, rejected uint64)) int {
+	if e.p.n > network.LanesPerBatch {
+		panic(fmt.Sprintf("eval: Sweep needs n ≤ 64, program has %d lines", e.p.n))
+	}
+	b := newBlock(e.p.n)
+	tests := 0
+	for {
+		k := 0
+		for k < network.LanesPerBatch {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			b.lanes[k] = v
+			k++
+		}
+		if k == 0 {
+			return tests
+		}
+		visit(tests, e.judgeLanes(b, k, judge))
+		tests += k
+	}
+}
+
 // RunUniverse judges the program against all 2ⁿ binary inputs — the
 // exhaustive ground-truth sweep — loading 64 consecutive inputs
 // wholesale (six fixed masks and constant words) instead of

@@ -1,0 +1,131 @@
+package faults
+
+import (
+	"fmt"
+	"math/bits"
+	"slices"
+
+	"sortnets/internal/bitset"
+	"sortnets/internal/bitvec"
+	"sortnets/internal/eval"
+	"sortnets/internal/network"
+)
+
+// Matrix is the full test × fault detection table for one circuit
+// under one detection mode: Sigs[t] is the fault signature of test t —
+// the set of fault indices that test exposes. It is built in ONE
+// streamed engine pass per fault (no early exit, every verdict bit
+// kept), with the faults spread over the shared worker pool, so
+// test-set *selection* for stuck-at coverage runs on exactly the same
+// compiled-program machinery as test-set verification.
+type Matrix struct {
+	Tests      []bitvec.Vec  // the materialized test stream, in order
+	Faults     []Fault       // the injected fault universe
+	Sigs       []*bitset.Set // per test: detected fault indices
+	Detectable *bitset.Set   // faults some binary input could expose
+	Mode       DetectMode
+}
+
+// DetectionMatrix injects every fault in fs into w and records, for
+// each test in the stream, exactly which faults it detects. Faults no
+// input at all can expose are excluded from signatures (they are
+// functionally benign and would poison coverage denominators). Unlike
+// Measure, the factory is consumed exactly once, up front — the
+// collected vectors are replayed per fault — so it need not be safe
+// for concurrent calls.
+func DetectionMatrix(w *network.Network, fs []Fault, tests func() bitvec.Iterator, mode DetectMode) *Matrix {
+	golden := eval.Compile(w)
+	vecs := bitvec.Collect(tests())
+	m := &Matrix{
+		Tests:      vecs,
+		Faults:     fs,
+		Sigs:       make([]*bitset.Set, len(vecs)),
+		Detectable: bitset.New(len(fs)),
+		Mode:       mode,
+	}
+	for t := range m.Sigs {
+		m.Sigs[t] = bitset.New(len(fs))
+	}
+	// One row (bitset over tests) per fault, built concurrently; the
+	// row-to-column transpose into per-test signatures is sequential
+	// and cheap.
+	rows := make([]*bitset.Set, len(fs))
+	eval.ForEach(len(fs), 0, func(i int) {
+		d := NewDetector(w, golden, fs[i], mode)
+		if !d.Detectable() {
+			return
+		}
+		row := bitset.New(len(vecs))
+		eval.New(d.prog, 1).Sweep(bitvec.Slice(vecs), d.judge, func(off int, bad uint64) {
+			for w := bad; w != 0; w &= w - 1 {
+				row.Add(off + bits.TrailingZeros64(w))
+			}
+		})
+		rows[i] = row
+	})
+	for f, row := range rows {
+		if row == nil {
+			continue
+		}
+		m.Detectable.Add(f)
+		row.ForEach(func(t int) bool {
+			m.Sigs[t].Add(f)
+			return true
+		})
+	}
+	return m
+}
+
+// Detected returns the set of faults at least one test exposes.
+func (m *Matrix) Detected() *bitset.Set {
+	out := bitset.New(len(m.Faults))
+	for _, sig := range m.Sigs {
+		out.UnionWith(sig)
+	}
+	return out
+}
+
+// Report aggregates the matrix into the same shape Measure produces;
+// the two must agree (asserted in the tests).
+func (m *Matrix) Report() Report {
+	return Report{
+		Faults:     len(m.Faults),
+		Detectable: m.Detectable.Count(),
+		Detected:   m.Detected().Count(),
+	}
+}
+
+// MinimalDetectingSet greedily selects a small subset of the tests
+// that still detects every fault the full stream detects: repeatedly
+// the test whose signature covers the most still-undetected faults,
+// ties broken to the LOWEST test index (deterministic run-to-run).
+// The returned indices (into Tests) are sorted ascending. The greedy
+// bound is ln(faults)-optimal; exact minima for small instances can
+// be had by handing the signatures to the search package's hitting-set
+// solver.
+func (m *Matrix) MinimalDetectingSet() []int {
+	remaining := m.Detected()
+	var picks []int
+	for !remaining.Empty() {
+		bestT, bestC := -1, 0
+		for t, sig := range m.Sigs {
+			if c := sig.CountAnd(remaining); c > bestC {
+				bestT, bestC = t, c
+			}
+		}
+		if bestT < 0 {
+			panic("faults: detection matrix inconsistent with its own union")
+		}
+		picks = append(picks, bestT)
+		remaining.DiffWith(m.Sigs[bestT])
+	}
+	// Greedy picks in coverage order; report in test-stream order.
+	slices.Sort(picks)
+	return picks
+}
+
+// String renders a one-line summary.
+func (m *Matrix) String() string {
+	return fmt.Sprintf("%d tests × %d faults (%s): %d detectable, %d detected",
+		len(m.Tests), len(m.Faults), m.Mode, m.Detectable.Count(), m.Detected().Count())
+}

@@ -13,12 +13,21 @@
 // reachable incorrect behaviour; the minimum test set is therefore a
 // minimum hitting set over those failure sets, computed exactly by
 // branch and bound in hitting.go.
+//
+// The pipeline is organized for speed: the closure BFS runs on a dense
+// byte arena with a sharded interning table (closure.go) and expands
+// its frontier in parallel, failure masks are built in parallel over
+// the dense store, superset pruning is popcount-bucketed, and the
+// hitting-set branch and bound (solver.go) uses per-worker scratch and
+// a shared incumbent.
 package search
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"sortnets/internal/bitvec"
+	"sortnets/internal/eval"
 	"sortnets/internal/network"
 )
 
@@ -33,8 +42,8 @@ type Behavior string
 // enumerate (the behaviour closure grows quickly with n).
 const MaxLines = 8
 
-// Identity returns the behaviour of the empty network.
-func Identity(n int) Behavior {
+// identityTable returns the identity behaviour as raw bytes.
+func identityTable(n int) []byte {
 	if n < 1 || n > MaxLines {
 		panic(fmt.Sprintf("search: n=%d out of range 1..%d", n, MaxLines))
 	}
@@ -42,19 +51,40 @@ func Identity(n int) Behavior {
 	for x := range table {
 		table[x] = byte(x)
 	}
-	return Behavior(table)
+	return table
 }
+
+// Identity returns the behaviour of the empty network.
+func Identity(n int) Behavior { return Behavior(identityTable(n)) }
 
 // Apply returns the behaviour of "this network followed by comparator
 // [a,b]": every output word is routed through the comparator.
 func (b Behavior) Apply(c network.Comparator) Behavior {
-	table := []byte(b)
-	out := make([]byte, len(table))
-	for x, w := range table {
-		m := (w >> uint(c.A)) &^ (w >> uint(c.B)) & 1
-		out[x] = w ^ (m<<uint(c.A) | m<<uint(c.B))
-	}
+	out := make([]byte, len(b))
+	applyComparatorTable(out, []byte(b), c)
 	return Behavior(out)
+}
+
+// applyComparatorTable routes every output word of src through the
+// comparator, writing to dst (the closure-engine expand step). Eight
+// one-byte table entries are processed per iteration, SWAR-style:
+// after (x>>a)&0x0101…, bit 0 of each lane is bit a of that entry
+// (cross-lane leakage only reaches the masked-off high bits, since
+// a, b < 8), so the usual exchange mask works on all lanes at once.
+func applyComparatorTable(dst, src []byte, c network.Comparator) {
+	a, b := uint(c.A), uint(c.B)
+	const lanes = 0x0101010101010101
+	i := 0
+	for ; i+8 <= len(src); i += 8 {
+		x := binary.LittleEndian.Uint64(src[i:])
+		m := (x >> a) &^ (x >> b) & lanes
+		binary.LittleEndian.PutUint64(dst[i:], x^(m<<a|m<<b))
+	}
+	for ; i < len(src); i++ {
+		w := src[i]
+		m := (w >> a) &^ (w >> b) & 1
+		dst[i] = w ^ (m<<a | m<<b)
+	}
 }
 
 // Output returns the packed output for packed input x.
@@ -81,30 +111,31 @@ func Comparators(n, h int) []network.Comparator {
 	return out
 }
 
+// binaryClosureStore enumerates the closure on the dense store.
+func binaryClosureStore(n int, alphabet []network.Comparator, limit, workers int) (*behaviorStore, error) {
+	seed := identityTable(n)
+	return closureStore(len(seed), seed, len(alphabet), func(dst, src []byte, c int) {
+		applyComparatorTable(dst, src, alphabet[c])
+	}, limit, workers)
+}
+
 // Closure enumerates every behaviour reachable by networks over the
 // given comparator alphabet, by BFS from the identity. limit caps the
 // number of behaviours explored (0 means unlimited); exceeding it
 // returns an error so callers never silently truncate a universe they
-// meant to exhaust.
+// meant to exhaust. The BFS runs on the dense closure engine with one
+// worker, preserving this legacy API's deterministic enumeration
+// order; the Opts pipelines parallelize the frontier internally.
 func Closure(n int, alphabet []network.Comparator, limit int) ([]Behavior, error) {
-	start := Identity(n)
-	seen := map[Behavior]bool{start: true}
-	queue := []Behavior{start}
-	for head := 0; head < len(queue); head++ {
-		cur := queue[head]
-		for _, c := range alphabet {
-			next := cur.Apply(c)
-			if seen[next] {
-				continue
-			}
-			if limit > 0 && len(seen) >= limit {
-				return nil, fmt.Errorf("search: behaviour closure exceeds limit %d", limit)
-			}
-			seen[next] = true
-			queue = append(queue, next)
-		}
+	st, err := binaryClosureStore(n, alphabet, limit, 1)
+	if err != nil {
+		return nil, err
 	}
-	return queue, nil
+	out := make([]Behavior, st.count)
+	for i := range out {
+		out[i] = Behavior(st.at(i))
+	}
+	return out, nil
 }
 
 // Acceptance judges one input/output pair of a behaviour under a
@@ -136,6 +167,25 @@ func MergerAccepts(n int, in, out byte) bool {
 	return bitvec.New(n, uint64(out)).IsSorted()
 }
 
+// rejectTable tabulates the acceptance once over the full
+// (input, output) square: rej[x] has bit o set when output o on input
+// x violates the property. Mask building then touches no closures at
+// all — one shift and AND per table entry.
+func rejectTable(n int, accepts Acceptance) []uint64 {
+	u := bitvec.Universe(n)
+	rej := make([]uint64, u)
+	for x := 0; x < u; x++ {
+		var w uint64
+		for o := 0; o < u; o++ {
+			if !accepts(n, byte(x), byte(o)) {
+				w |= 1 << uint(o)
+			}
+		}
+		rej[x] = w
+	}
+	return rej
+}
+
 // FailureMask returns the set of inputs (as a bitmask over packed
 // inputs; n ≤ 6 so the universe fits 64 bits) on which the behaviour
 // violates the property.
@@ -152,11 +202,60 @@ func FailureMask(n int, b Behavior, accepts Acceptance) uint64 {
 	return mask
 }
 
+// failureMasks computes the deduplicated failure-mask family over the
+// dense store, fanning behaviours out to workers in contiguous chunks
+// (each with a local dedupe map, merged at the end).
+func (st *behaviorStore) failureMasks(n int, accepts Acceptance, workers int) []uint64 {
+	if bitvec.Universe(n) > 64 {
+		panic(fmt.Sprintf("search: failure masks need 2^%d ≤ 64 inputs", n))
+	}
+	rej := rejectTable(n, accepts)
+	workers = closureWorkers(workers)
+	const minChunk = 256
+	if workers > 1 && st.count/workers < minChunk {
+		workers = st.count/minChunk + 1
+	}
+	locals := make([][]uint64, workers)
+	eval.ForEach(workers, workers, func(w int) {
+		lo := st.count * w / workers
+		hi := st.count * (w + 1) / workers
+		seen := make(map[uint64]struct{}, 64)
+		var out []uint64
+		for i := lo; i < hi; i++ {
+			tab := st.at(i)
+			var mask uint64
+			for x, o := range tab {
+				mask |= (rej[x] >> uint(o) & 1) << uint(x)
+			}
+			if mask == 0 {
+				continue
+			}
+			if _, ok := seen[mask]; !ok {
+				seen[mask] = struct{}{}
+				out = append(out, mask)
+			}
+		}
+		locals[w] = out
+	})
+	seen := make(map[uint64]struct{}, 256)
+	var fam []uint64
+	for _, local := range locals {
+		for _, m := range local {
+			if _, ok := seen[m]; !ok {
+				seen[m] = struct{}{}
+				fam = append(fam, m)
+			}
+		}
+	}
+	return fam
+}
+
 // FailureFamily computes the deduplicated, superset-pruned family of
 // failure masks of every incorrect behaviour in the closure. Hitting
 // every member of the family is exactly the test-set condition, and
 // pruning supersets preserves minimum hitting sets: any T hitting a
-// subset hits its supersets for free.
+// subset hits its supersets for free. The result is in canonical
+// (popcount, value) order regardless of the order of behaviors.
 func FailureFamily(n int, behaviors []Behavior, accepts Acceptance) []uint64 {
 	seen := map[uint64]bool{}
 	var fam []uint64
@@ -168,25 +267,4 @@ func FailureFamily(n int, behaviors []Behavior, accepts Acceptance) []uint64 {
 		}
 	}
 	return pruneSupersets(fam)
-}
-
-func pruneSupersets(fam []uint64) []uint64 {
-	var out []uint64
-	for i, a := range fam {
-		dominated := false
-		for j, b := range fam {
-			if i == j {
-				continue
-			}
-			if b&^a == 0 && (a != b || j < i) {
-				// b ⊆ a (strictly, or an earlier duplicate).
-				dominated = true
-				break
-			}
-		}
-		if !dominated {
-			out = append(out, a)
-		}
-	}
-	return out
 }

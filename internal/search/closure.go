@@ -1,0 +1,280 @@
+package search
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sortnets/internal/eval"
+)
+
+// The closure engine behind Closure and PermClosure: a reachability
+// BFS over behaviour tables, stored as one flat byte arena of
+// fixed-stride entries with dense IDs 0..Count()-1 instead of a
+// map[struct]bool of large keys. Dense storage is what lets the
+// failure-family pass walk behaviours as contiguous bytes (no string
+// re-slicing, no map iteration) and what makes the frontier
+// parallelizable: workers expand disjoint slices of the current
+// frontier concurrently and dedupe through a sharded interning table,
+// so no single map (or its rehash of multi-hundred-byte keys) is the
+// bottleneck.
+
+// behaviorStore holds a behaviour closure as a flat arena of
+// fixed-stride tables. Entry i occupies arena[i*stride:(i+1)*stride];
+// entry 0 is always the seed (identity) behaviour. Entries are
+// immutable once appended.
+type behaviorStore struct {
+	stride int
+	arena  []byte
+	count  int
+	// BFS spanning-tree edges: entry i > 0 was first reached by
+	// applying rule ruleOf[i] to entry parentOf[i] (< i). They let a
+	// closure computed over one representation be replayed cheaply in
+	// another (Floyd's binary↔permutation correspondence).
+	parentOf []int32
+	ruleOf   []int32
+}
+
+func (s *behaviorStore) at(i int) []byte { return s.arena[i*s.stride : (i+1)*s.stride] }
+
+// expandFunc applies rule c (a comparator index into the alphabet) to
+// the behaviour table src, writing the successor table to dst. dst and
+// src never alias.
+type expandFunc func(dst, src []byte, c int)
+
+func errClosureLimit(limit int) error {
+	return fmt.Errorf("search: behaviour closure exceeds limit %d", limit)
+}
+
+// closureWorkers resolves a worker-count request through the one
+// rule the whole repository uses (eval.Workers: ≤ 0 means NumCPU), so
+// a single-core box never pays goroutine or lock overhead on the
+// sequential path and the search stages agree with the eval pool.
+func closureWorkers(w int) int { return eval.Workers(w) }
+
+// closureStore enumerates the closure of seed under degree expansion
+// rules by BFS. limit caps the number of behaviours (0 = unlimited);
+// exceeding it returns an error so callers never silently truncate a
+// universe they meant to exhaust. With workers == 1 the enumeration
+// order is the classical deterministic BFS order; with more workers
+// each BFS level is expanded concurrently and the order within a level
+// depends on scheduling (the closure is the same set either way —
+// downstream consumers canonicalize).
+func closureStore(stride int, seed []byte, degree int, expand expandFunc, limit, workers int) (*behaviorStore, error) {
+	if len(seed) != stride {
+		panic(fmt.Sprintf("search: seed has %d bytes, stride is %d", len(seed), stride))
+	}
+	st := &behaviorStore{
+		stride:   stride,
+		arena:    append([]byte(nil), seed...),
+		count:    1,
+		parentOf: []int32{-1},
+		ruleOf:   []int32{-1},
+	}
+	workers = closureWorkers(workers)
+	if workers == 1 || degree == 0 {
+		return st, st.bfsSeq(degree, expand, limit)
+	}
+	return st, st.bfsPar(degree, expand, limit, workers)
+}
+
+// internTable is an open-addressing dedupe index over the arena: slots
+// hold id+1 (0 = empty) and keys are compared against the arena bytes
+// directly, so lookups allocate nothing and carry no pointer for the
+// GC to trace — unlike a map[string]int32 of table keys, whose hashing
+// and write barriers dominated the closure profile.
+type internTable struct {
+	slots []int32
+	mask  uint64
+	n     int
+}
+
+func newInternTable() *internTable {
+	return &internTable{slots: make([]int32, 256), mask: 255}
+}
+
+// hashBytes mixes the key a word at a time (multiply + xor-shift;
+// byte-wise FNV for the tail). Collisions are harmless — probes
+// compare the full key against the arena — so speed beats
+// cryptographic spread here.
+func hashBytes(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	i := 0
+	for ; i+8 <= len(key); i += 8 {
+		h = (h ^ binary.LittleEndian.Uint64(key[i:])) * 0x9E3779B97F4A7C15
+		h ^= h >> 29
+	}
+	for ; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
+	return h
+}
+
+// lookupOrClaim probes for key; when present it reports found, and
+// otherwise claims the next slot for the id the caller is about to
+// append (the caller MUST append key to the arena at that id).
+func (t *internTable) lookupOrClaim(st *behaviorStore, key []byte, id int32) (found bool) {
+	if uint64(t.n)*4 >= uint64(len(t.slots))*3 {
+		t.grow(st)
+	}
+	i := hashBytes(key) & t.mask
+	for {
+		s := t.slots[i]
+		if s == 0 {
+			t.slots[i] = id + 1
+			t.n++
+			return false
+		}
+		if string(st.at(int(s-1))) == string(key) {
+			return true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *internTable) grow(st *behaviorStore) {
+	old := t.slots
+	t.slots = make([]int32, len(old)*2)
+	t.mask = uint64(len(t.slots) - 1)
+	for _, s := range old {
+		if s == 0 {
+			continue
+		}
+		i := hashBytes(st.at(int(s-1))) & t.mask
+		for t.slots[i] != 0 {
+			i = (i + 1) & t.mask
+		}
+		t.slots[i] = s
+	}
+}
+
+// bfsSeq is the lock-free single-worker path: one intern table, queue
+// order identical to the legacy map-backed BFS.
+func (st *behaviorStore) bfsSeq(degree int, expand expandFunc, limit int) error {
+	seen := newInternTable()
+	seen.lookupOrClaim(st, st.at(0), 0)
+	scratch := make([]byte, st.stride)
+	for head := 0; head < st.count; head++ {
+		// The arena may be re-sliced by append below; entries already
+		// written stay valid in the old backing array, so src needs no
+		// refresh inside the inner loop.
+		src := st.at(head)
+		for c := 0; c < degree; c++ {
+			expand(scratch, src, c)
+			if seen.lookupOrClaim(st, scratch, int32(st.count)) {
+				continue
+			}
+			if limit > 0 && st.count >= limit {
+				return errClosureLimit(limit)
+			}
+			st.arena = append(st.arena, scratch...)
+			st.count++
+			st.parentOf = append(st.parentOf, int32(head))
+			st.ruleOf = append(st.ruleOf, int32(c))
+		}
+	}
+	return nil
+}
+
+// internShards is the shard count of the parallel dedupe table. Power
+// of two; 64 shards keep lock contention negligible for any worker
+// count a single machine offers.
+const internShards = 64
+
+type internShard struct {
+	mu sync.Mutex
+	m  map[string]struct{}
+}
+
+// shardOf maps a behaviour table to its dedupe shard, reusing the
+// word-at-a-time hashBytes instead of a second byte-wise pass.
+func shardOf(key []byte) uint32 {
+	return uint32(hashBytes(key) % internShards)
+}
+
+// bfsPar expands the closure level by level: workers claim frontier
+// entries through an atomic cursor, expand them against the full
+// alphabet, and dedupe candidates through the sharded interning table
+// (first claimant wins). New behaviours are buffered per worker and
+// merged into the arena at the level barrier, where they receive their
+// dense IDs and form the next frontier. Workers only read the arena
+// while it is frozen, so expansion runs without any global lock.
+func (st *behaviorStore) bfsPar(degree int, expand expandFunc, limit, workers int) error {
+	var shards [internShards]internShard
+	for i := range shards {
+		shards[i].m = make(map[string]struct{}, 16)
+	}
+	shards[shardOf(st.at(0))].m[string(st.at(0))] = struct{}{}
+
+	type find struct {
+		key    string
+		parent int32
+		rule   int32
+	}
+	frontier := []int32{0}
+	// known counts every behaviour claimed so far (arena + in-flight
+	// level claims): the limit is enforced mid-level too, so a frontier
+	// that explodes stops allocating near the cap instead of
+	// materializing a whole oversized level before the barrier check.
+	known := atomic.Int64{}
+	known.Store(int64(st.count))
+	for len(frontier) > 0 {
+		locals := make([][]find, workers)
+		var cursor atomic.Int64
+		var overflow atomic.Bool
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				scratch := make([]byte, st.stride)
+				for {
+					i := cursor.Add(1) - 1
+					if i >= int64(len(frontier)) || overflow.Load() {
+						return
+					}
+					src := st.at(int(frontier[i]))
+					for c := 0; c < degree; c++ {
+						expand(scratch, src, c)
+						sh := &shards[shardOf(scratch)]
+						sh.mu.Lock()
+						_, seen := sh.m[string(scratch)]
+						if !seen {
+							key := string(scratch)
+							sh.m[key] = struct{}{}
+							locals[w] = append(locals[w], find{key, frontier[i], int32(c)})
+						}
+						sh.mu.Unlock()
+						if !seen && limit > 0 && known.Add(1) > int64(limit) {
+							overflow.Store(true)
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if overflow.Load() {
+			return errClosureLimit(limit)
+		}
+
+		// Barrier: merge the workers' finds into the arena in worker
+		// order, assigning dense IDs.
+		frontier = frontier[:0]
+		for _, found := range locals {
+			for _, f := range found {
+				if limit > 0 && st.count >= limit {
+					return errClosureLimit(limit)
+				}
+				id := int32(st.count)
+				st.arena = append(st.arena, f.key...)
+				st.count++
+				st.parentOf = append(st.parentOf, f.parent)
+				st.ruleOf = append(st.ruleOf, f.rule)
+				frontier = append(frontier, id)
+			}
+		}
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package search
 import (
 	"fmt"
 	"math/bits"
+	"slices"
 	"sort"
 
 	"sortnets/internal/bitvec"
@@ -10,70 +11,83 @@ import (
 	"sortnets/internal/network"
 )
 
+// Options tunes the search pipeline. The zero value means: no closure
+// limit, no node cap, GOMAXPROCS workers for the closure BFS and the
+// failure-family build (whose results are order-independent — the
+// family is canonically sorted), and a SEQUENTIAL branch and bound,
+// so the returned witness test set is reproducible run-to-run by
+// default. Setting Workers > 1 additionally spreads the branch and
+// bound over that many workers: the minimum cardinality is unchanged
+// (cross-checked in the tests), but the identity of an equal-size
+// witness may then vary with scheduling. Workers == 1 pins every
+// stage strictly sequential.
+type Options struct {
+	Limit      int // behaviour-closure cap (0 = unlimited)
+	NodeBudget int // node cap: 0 = default (binary: unlimited; perm: 5M), < 0 = unlimited
+	Workers    int // 0 = parallel closure/family + sequential solve
+}
+
+// solverWorkers resolves Options.Workers for the branch and bound:
+// parallel solving is opt-in (see Options) because the parallel
+// incumbent race makes the witness schedule-dependent.
+func solverWorkers(w int) int {
+	if w <= 0 {
+		return 1
+	}
+	return w
+}
+
 // MinHittingSet returns a minimum-cardinality set of elements (bit
 // positions) hitting every mask in the family, as a bitmask. The empty
-// family is hit by the empty set. Exact: greedy for an upper bound,
-// forced-singleton propagation, then branch and bound on the smallest
-// uncovered set.
-func MinHittingSet(family []uint64) uint64 {
+// family is hit by the empty set. Exact and sequential (deterministic
+// witness); use MinHittingSetWorkers to spread the branch and bound
+// over a pool.
+func MinHittingSet(family []uint64) uint64 { return MinHittingSetWorkers(family, 1) }
+
+// MinHittingSetWorkers is MinHittingSet with a worker pool for the
+// branch and bound (workers ≤ 0 means GOMAXPROCS). The minimum
+// cardinality it returns equals the sequential solver's on every
+// input; workers only race toward it.
+func MinHittingSetWorkers(family []uint64, workers int) uint64 {
 	for _, m := range family {
 		if m == 0 {
 			panic("search: empty set can never be hit")
 		}
 	}
-	fam := append([]uint64(nil), family...)
-	var forced uint64
-	// Singleton propagation: a one-element failure set forces that
-	// element into every hitting set (this is exactly the Lemma 2.1
-	// argument: an almost-sorter's failure set is {σ}).
-	for {
-		progress := false
-		var remaining []uint64
-		for _, m := range fam {
-			if m&forced != 0 {
-				continue
-			}
-			if bits.OnesCount64(m) == 1 {
-				forced |= m
-				progress = true
-				continue
-			}
-			remaining = append(remaining, m)
-		}
-		fam = remaining
-		if !progress {
-			break
-		}
+	fam := pruneSupersets(family)
+	elems, _ := solveHitting(maskElemLists(fam), 0, workers)
+	var out uint64
+	for _, e := range elems {
+		out |= 1 << uint(e)
 	}
-	if len(fam) == 0 {
-		return forced
-	}
-	best := forced | greedy(fam)
-	solve(fam, forced, &best)
-	return best
+	return out
 }
 
-// greedy picks, repeatedly, the element covering the most sets.
+// greedy picks, repeatedly, the element covering the most sets, with
+// ties broken to the LOWEST element index (the counts live in a
+// fixed-order array, not a map), so greedy picks are reproducible
+// run-to-run. It is the REFERENCE implementation of the solver's
+// tie-break contract: production solving runs through
+// coverProblem.greedyComplete (same rule on the compressed
+// representation), and the determinism tests pin both.
 func greedy(fam []uint64) uint64 {
 	uncovered := append([]uint64(nil), fam...)
 	var picked uint64
 	for len(uncovered) > 0 {
-		counts := map[int]int{}
+		var counts [64]int
 		for _, m := range uncovered {
-			for w := m; w != 0; {
-				e := bits.TrailingZeros64(w)
-				w &^= 1 << uint(e)
-				counts[e]++
+			for w := m; w != 0; w &= w - 1 {
+				counts[bits.TrailingZeros64(w)]++
 			}
 		}
 		bestE, bestC := -1, 0
 		for e, c := range counts {
-			if c > bestC || (c == bestC && e < bestE) {
+			if c > bestC {
 				bestE, bestC = e, c
 			}
 		}
 		picked |= 1 << uint(bestE)
-		var rest []uint64
+		rest := uncovered[:0]
 		for _, m := range uncovered {
 			if m&picked == 0 {
 				rest = append(rest, m)
@@ -82,46 +96,6 @@ func greedy(fam []uint64) uint64 {
 		uncovered = rest
 	}
 	return picked
-}
-
-// solve branches on the elements of the smallest uncovered set,
-// pruning with a disjoint-set lower bound.
-func solve(fam []uint64, chosen uint64, best *uint64) {
-	if bits.OnesCount64(chosen) >= bits.OnesCount64(*best) {
-		return
-	}
-	var uncovered []uint64
-	for _, m := range fam {
-		if m&chosen == 0 {
-			uncovered = append(uncovered, m)
-		}
-	}
-	if len(uncovered) == 0 {
-		*best = chosen
-		return
-	}
-	// Lower bound: a maximal collection of pairwise-disjoint uncovered
-	// sets each needs its own element.
-	lb := 0
-	var used uint64
-	sort.Slice(uncovered, func(i, j int) bool {
-		return bits.OnesCount64(uncovered[i]) < bits.OnesCount64(uncovered[j])
-	})
-	for _, m := range uncovered {
-		if m&used == 0 {
-			lb++
-			used |= m
-		}
-	}
-	if bits.OnesCount64(chosen)+lb >= bits.OnesCount64(*best) {
-		return
-	}
-	smallest := uncovered[0]
-	for w := smallest; w != 0; {
-		e := bits.TrailingZeros64(w)
-		w &^= 1 << uint(e)
-		solve(fam, chosen|1<<uint(e), best)
-	}
 }
 
 // TestSetResult reports an exact minimum test set computed by
@@ -133,45 +107,53 @@ type TestSetResult struct {
 	BadSets    int // pruned failure family size
 	Size       int // minimum test set cardinality
 	Tests      []bitvec.Vec
-	ForcedSize int // tests forced by singleton failure sets
+	ForcedSize int  // tests forced by singleton failure sets
+	Exact      bool // false only when Options.NodeBudget was exhausted
 }
 
 // String renders a one-line summary.
 func (r TestSetResult) String() string {
-	return fmt.Sprintf("n=%d height≤%d: %d behaviours, %d failure sets, min test set = %d",
-		r.N, r.Height, r.Behaviors, r.BadSets, r.Size)
+	tag := "exact"
+	if !r.Exact {
+		tag = "upper bound only"
+	}
+	return fmt.Sprintf("n=%d height≤%d: %d behaviours, %d failure sets, min test set = %d (%s)",
+		r.N, r.Height, r.Behaviors, r.BadSets, r.Size, tag)
 }
 
 // MinimumTestSet computes the exact minimum 0/1 test set for a
 // property over the class of networks with comparator height ≤ h on n
 // lines. limit caps the behaviour closure (0 = unlimited).
 func MinimumTestSet(n, h int, accepts Acceptance, limit int) (TestSetResult, error) {
+	return MinimumTestSetOpts(n, h, accepts, Options{Limit: limit})
+}
+
+// MinimumTestSetOpts is MinimumTestSet with full pipeline options.
+func MinimumTestSetOpts(n, h int, accepts Acceptance, opt Options) (TestSetResult, error) {
 	if bitvec.Universe(n) > 64 {
 		return TestSetResult{}, fmt.Errorf("search: n=%d too large for mask-based search", n)
 	}
-	behaviors, err := Closure(n, Comparators(n, h), limit)
+	st, err := binaryClosureStore(n, Comparators(n, h), opt.Limit, opt.Workers)
 	if err != nil {
 		return TestSetResult{}, err
 	}
-	fam := FailureFamily(n, behaviors, accepts)
-	hit := MinHittingSet(fam)
+	fam := pruneSupersets(st.failureMasks(n, accepts, opt.Workers))
+	elems, exact := solveHitting(maskElemLists(fam), int64(opt.NodeBudget), solverWorkers(opt.Workers))
 	res := TestSetResult{
 		N:         n,
 		Height:    h,
-		Behaviors: len(behaviors),
+		Behaviors: st.count,
 		BadSets:   len(fam),
-		Size:      bits.OnesCount64(hit),
+		Size:      len(elems),
+		Exact:     exact,
 	}
-	forced := 0
 	for _, m := range fam {
 		if bits.OnesCount64(m) == 1 {
-			forced++
+			res.ForcedSize++
 		}
 	}
-	res.ForcedSize = forced
-	for w := hit; w != 0; {
-		e := bits.TrailingZeros64(w)
-		w &^= 1 << uint(e)
+	slices.Sort(elems)
+	for _, e := range elems {
 		res.Tests = append(res.Tests, bitvec.New(n, uint64(e)))
 	}
 	return res, nil

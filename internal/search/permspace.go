@@ -2,9 +2,11 @@ package search
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
+	"reflect"
 
 	"sortnets/internal/bitset"
+	"sortnets/internal/eval"
 	"sortnets/internal/network"
 	"sortnets/internal/perm"
 )
@@ -18,7 +20,11 @@ import (
 //
 // A behaviour is the table of outputs over all n! permutations, input
 // order = lexicographic rank. Failure sets live in an n!-element
-// universe, so they are bitset.Sets rather than machine words.
+// universe, so they are multi-word bitsets rather than machine words.
+// Like the binary path, the pipeline runs on the dense closure store:
+// tables live in a flat arena, failure rows are built in parallel over
+// contiguous chunks, and the hitting set is solved by the shared
+// branch-and-bound core.
 
 // PermBehavior is the full input-output table over permutations:
 // n bytes of output values per input, inputs in lexicographic rank
@@ -34,8 +40,9 @@ func permInputs(n int) []perm.P {
 	return perm.Collect(perm.AllLex(n))
 }
 
-// PermIdentity returns the empty network's permutation behaviour.
-func PermIdentity(n int) PermBehavior {
+// permIdentityTable returns the empty network's behaviour as raw
+// bytes.
+func permIdentityTable(n int) []byte {
 	if n < 1 || n > MaxPermLines {
 		panic(fmt.Sprintf("search: n=%d out of range 1..%d", n, MaxPermLines))
 	}
@@ -46,17 +53,27 @@ func PermIdentity(n int) PermBehavior {
 			table = append(table, byte(v))
 		}
 	}
-	return PermBehavior(table)
+	return table
+}
+
+// PermIdentity returns the empty network's permutation behaviour.
+func PermIdentity(n int) PermBehavior { return PermBehavior(permIdentityTable(n)) }
+
+// applyComparatorPermTable routes every tabulated output of src
+// through the comparator, writing to dst.
+func applyComparatorPermTable(dst, src []byte, n int, c network.Comparator) {
+	copy(dst, src)
+	for base := 0; base < len(dst); base += n {
+		if dst[base+c.A] > dst[base+c.B] {
+			dst[base+c.A], dst[base+c.B] = dst[base+c.B], dst[base+c.A]
+		}
+	}
 }
 
 // Apply routes every tabulated output through one more comparator.
 func (b PermBehavior) Apply(n int, c network.Comparator) PermBehavior {
-	out := []byte(string(b))
-	for base := 0; base < len(out); base += n {
-		if out[base+c.A] > out[base+c.B] {
-			out[base+c.A], out[base+c.B] = out[base+c.B], out[base+c.A]
-		}
-	}
+	out := make([]byte, len(b))
+	applyComparatorPermTable(out, []byte(b), n, c)
 	return PermBehavior(out)
 }
 
@@ -65,30 +82,58 @@ func (b PermBehavior) Output(n, rank int) []byte {
 	return []byte(b[rank*n : (rank+1)*n])
 }
 
+// permClosureStore enumerates the permutation closure on the dense
+// store. It exploits Floyd's correspondence instead of BFS-ing the
+// n·n!-byte permutation tables directly: a network's action on
+// permutations is determined by its action on 0/1 vectors, so the
+// permutation closure is in bijection with the binary closure. The
+// BFS therefore runs over the 2ⁿ-byte binary tables (dedupe hashes
+// 6–48x fewer bytes), and the permutation tables are reconstructed by
+// replaying the BFS spanning tree — exactly ONE comparator
+// application per behaviour instead of one per (behaviour, alphabet
+// rule) candidate.
+func permClosureStore(n int, alphabet []network.Comparator, limit, workers int) (*behaviorStore, error) {
+	if n < 1 || n > MaxPermLines {
+		panic(fmt.Sprintf("search: n=%d out of range 1..%d", n, MaxPermLines))
+	}
+	bst, err := binaryClosureStore(n, alphabet, limit, workers)
+	if err != nil {
+		return nil, err
+	}
+	seed := permIdentityTable(n)
+	stride := len(seed)
+	st := &behaviorStore{
+		stride:   stride,
+		arena:    make([]byte, bst.count*stride),
+		count:    bst.count,
+		parentOf: bst.parentOf,
+		ruleOf:   bst.ruleOf,
+	}
+	copy(st.at(0), seed)
+	for id := 1; id < st.count; id++ {
+		// Parents precede children in BFS order, so at(parent) is
+		// already reconstructed.
+		applyComparatorPermTable(st.at(id), st.at(int(bst.parentOf[id])), n, alphabet[bst.ruleOf[id]])
+	}
+	return st, nil
+}
+
 // PermClosure enumerates every permutation behaviour reachable over
 // the comparator alphabet, by BFS from the identity. Because a
 // network's action on permutations is determined by its action on 0/1
 // vectors (Floyd), this closure is in bijection with the binary one —
-// asserted in the tests.
+// asserted in the tests. Like Closure, this legacy API runs one BFS
+// worker so its enumeration order stays deterministic.
 func PermClosure(n int, alphabet []network.Comparator, limit int) ([]PermBehavior, error) {
-	start := PermIdentity(n)
-	seen := map[PermBehavior]bool{start: true}
-	queue := []PermBehavior{start}
-	for head := 0; head < len(queue); head++ {
-		cur := queue[head]
-		for _, c := range alphabet {
-			next := cur.Apply(n, c)
-			if seen[next] {
-				continue
-			}
-			if limit > 0 && len(seen) >= limit {
-				return nil, fmt.Errorf("search: permutation closure exceeds limit %d", limit)
-			}
-			seen[next] = true
-			queue = append(queue, next)
-		}
+	st, err := permClosureStore(n, alphabet, limit, 1)
+	if err != nil {
+		return nil, err
 	}
-	return queue, nil
+	out := make([]PermBehavior, st.count)
+	for i := range out {
+		out[i] = PermBehavior(st.at(i))
+	}
+	return out, nil
 }
 
 // PermAcceptance judges one tabulated input/output pair: in and out
@@ -130,25 +175,142 @@ func bytesSorted(b []byte) bool {
 	return true
 }
 
-// PermFailureFamily computes the deduplicated, superset-pruned family
-// of failure sets (over the n!-element input universe) of every
-// incorrect behaviour.
-func PermFailureFamily(n int, behaviors []PermBehavior, accepts PermAcceptance) []*bitset.Set {
+// permInputBytes tabulates the n! inputs as byte rows once.
+func permInputBytes(n int) [][]byte {
 	inputs := permInputs(n)
-	inBytes := make([][]byte, len(inputs))
+	arena := make([]byte, n*len(inputs))
+	rows := make([][]byte, len(inputs))
 	for i, p := range inputs {
-		row := make([]byte, n)
+		row := arena[i*n : (i+1)*n]
 		for j, v := range p {
 			row[j] = byte(v)
 		}
-		inBytes[i] = row
+		rows[i] = row
 	}
+	return rows
+}
+
+// permFailureRows computes the deduplicated failure rows (bitsets
+// over the n! input ranks, as raw words) of every incorrect behaviour
+// in the store, fanning behaviours out to workers in contiguous
+// chunks.
+func (st *behaviorStore) permFailureRows(n int, accepts PermAcceptance, workers int) []maskRow {
+	inBytes := permInputBytes(n)
+	nw := wordsFor(len(inBytes))
+	// Devirtualized fast path for the sorting property (the pipeline's
+	// primary workload), mirroring eval.SortedJudge: the per-rank
+	// closure call and slice-header setup are the dominant cost of the
+	// generic loop.
+	sorterFast := reflect.ValueOf(accepts).Pointer() == reflect.ValueOf(PermSorterAccepts).Pointer()
+	workers = closureWorkers(workers)
+	const minChunk = 64
+	if workers > 1 && st.count/workers < minChunk {
+		workers = st.count/minChunk + 1
+	}
+	locals := make([][]maskRow, workers)
+	eval.ForEach(workers, workers, func(w int) {
+		lo := st.count * w / workers
+		hi := st.count * (w + 1) / workers
+		// Dedupe keys: one uint64 when the rank universe fits a word
+		// (n ≤ 4), a packed byte string beyond.
+		seenWord := make(map[uint64]struct{}, 64)
+		var seenKey map[string]struct{}
+		if nw > 1 {
+			seenKey = make(map[string]struct{}, 64)
+		}
+		scratch := make([]uint64, nw)
+		key := make([]byte, 0, nw*8)
+		var wordArena []uint64 // row storage, chunk-allocated
+		var out []maskRow
+		for i := lo; i < hi; i++ {
+			tab := st.at(i)
+			empty := true
+			for w := range scratch {
+				scratch[w] = 0
+			}
+			if sorterFast {
+				for r, base := 0, 0; r < len(inBytes); r, base = r+1, base+n {
+					for j := base + 1; j < base+n; j++ {
+						if tab[j-1] > tab[j] {
+							scratch[r>>6] |= 1 << uint(r&63)
+							empty = false
+							break
+						}
+					}
+				}
+			} else {
+				for r := range inBytes {
+					if !accepts(n, inBytes[r], tab[r*n:(r+1)*n]) {
+						scratch[r>>6] |= 1 << uint(r&63)
+						empty = false
+					}
+				}
+			}
+			if empty {
+				continue
+			}
+			if nw == 1 {
+				if _, ok := seenWord[scratch[0]]; ok {
+					continue
+				}
+				seenWord[scratch[0]] = struct{}{}
+			} else {
+				key = appendWordsKey(key[:0], scratch)
+				if _, ok := seenKey[string(key)]; ok {
+					continue
+				}
+				seenKey[string(key)] = struct{}{}
+			}
+			if len(wordArena)+nw > cap(wordArena) {
+				wordArena = make([]uint64, 0, 64*nw)
+			}
+			row := wordArena[len(wordArena) : len(wordArena)+nw : len(wordArena)+nw]
+			wordArena = wordArena[:len(wordArena)+nw]
+			pc := 0
+			for w, v := range scratch {
+				row[w] = v
+				pc += bits.OnesCount64(v)
+			}
+			out = append(out, maskRow{words: row, pc: pc})
+		}
+		locals[w] = out
+	})
+	rows := locals[0]
+	if len(locals) > 1 {
+		// Merge the chunks, dropping cross-chunk duplicates (each
+		// chunk is internally deduplicated already).
+		seen := make(map[string]struct{}, len(rows)*2)
+		key := make([]byte, 0, nw*8)
+		rows = rows[:0]
+		for _, local := range locals {
+			for _, r := range local {
+				key = appendWordsKey(key[:0], r.words)
+				if _, ok := seen[string(key)]; ok {
+					continue
+				}
+				seen[string(key)] = struct{}{}
+				rows = append(rows, r)
+			}
+		}
+	}
+	for i := range rows {
+		rows[i].src = i
+	}
+	return rows
+}
+
+// PermFailureFamily computes the deduplicated, superset-pruned family
+// of failure sets (over the n!-element input universe) of every
+// incorrect behaviour, in canonical (popcount, content) order.
+func PermFailureFamily(n int, behaviors []PermBehavior, accepts PermAcceptance) []*bitset.Set {
+	inBytes := permInputBytes(n)
 	seen := map[string]bool{}
 	var fam []*bitset.Set
 	for _, b := range behaviors {
-		s := bitset.New(len(inputs))
-		for r := range inputs {
-			if !accepts(n, inBytes[r], b.Output(n, r)) {
+		tab := []byte(string(b))
+		s := bitset.New(len(inBytes))
+		for r := range inBytes {
+			if !accepts(n, inBytes[r], tab[r*n:(r+1)*n]) {
 				s.Add(r)
 			}
 		}
@@ -163,26 +325,6 @@ func PermFailureFamily(n int, behaviors []PermBehavior, accepts PermAcceptance) 
 	return pruneSupersetSets(fam)
 }
 
-func pruneSupersetSets(fam []*bitset.Set) []*bitset.Set {
-	var out []*bitset.Set
-	for i, a := range fam {
-		dominated := false
-		for j, b := range fam {
-			if i == j {
-				continue
-			}
-			if b.SubsetOf(a) && (!a.Equal(b) || j < i) {
-				dominated = true
-				break
-			}
-		}
-		if !dominated {
-			out = append(out, a)
-		}
-	}
-	return out
-}
-
 // HittingSetResult carries an exact or certified-optimal hitting set
 // over bitset families.
 type HittingSetResult struct {
@@ -192,64 +334,53 @@ type HittingSetResult struct {
 }
 
 // MinHittingSetBits computes a minimum hitting set over bitset
-// families. Strategy: forced singletons, greedy upper bound, disjoint
-// lower bound; when the two bounds meet the greedy solution is
-// certified optimal without branching (the common case for the
-// paper's highly structured families), otherwise branch and bound
-// with a node budget. Exact is false only if the budget is exhausted
-// before the search closes — callers treat that as "unknown", never
-// as a bound.
+// families. Strategy: superset pruning, forced singletons, element
+// dominance, a deterministic greedy upper bound certified against the
+// disjoint lower bound, and otherwise the branch-and-bound core of
+// solver.go under a node budget. Exact is false only if the budget is
+// exhausted before the search closes — callers treat that as
+// "unknown", never as a bound.
 func MinHittingSetBits(universe int, family []*bitset.Set, nodeBudget int) HittingSetResult {
+	return MinHittingSetBitsWorkers(universe, family, nodeBudget, 1)
+}
+
+// MinHittingSetBitsWorkers is MinHittingSetBits with a worker pool
+// for the branch and bound (workers ≤ 0 means GOMAXPROCS). The
+// minimum cardinality matches the sequential solver's on every input.
+func MinHittingSetBitsWorkers(universe int, family []*bitset.Set, nodeBudget, workers int) HittingSetResult {
 	for _, s := range family {
 		if s.Empty() {
 			panic("search: empty set can never be hit")
 		}
 	}
+	pruned := pruneSupersetSets(family)
+	lists := make([][]int32, len(pruned))
+	for i, s := range pruned {
+		s.ForEach(func(e int) bool {
+			lists[i] = append(lists[i], int32(e))
+			return true
+		})
+	}
+	elems, exact := solveHitting(lists, int64(nodeBudget), workers)
 	chosen := bitset.New(universe)
-	fam := append([]*bitset.Set(nil), family...)
-
-	// Forced singletons.
-	for {
-		progress := false
-		var rest []*bitset.Set
-		for _, s := range fam {
-			if s.Intersects(chosen) {
-				continue
-			}
-			if s.Count() == 1 {
-				chosen.Add(s.First())
-				progress = true
-				continue
-			}
-			rest = append(rest, s)
-		}
-		fam = rest
-		if !progress {
-			break
-		}
+	for _, e := range elems {
+		chosen.Add(int(e))
 	}
-	if len(fam) == 0 {
-		return HittingSetResult{Elements: chosen, Size: chosen.Count(), Exact: true}
-	}
-
-	upper := greedyBits(universe, fam)
-	upper.UnionWith(chosen)
-	lower := chosen.Count() + disjointLowerBound(fam)
-	if upper.Count() == lower {
-		return HittingSetResult{Elements: upper, Size: upper.Count(), Exact: true}
-	}
-
-	best := upper
-	nodes := 0
-	exact := solveBits(universe, fam, chosen, &best, &nodes, nodeBudget)
-	return HittingSetResult{Elements: best, Size: best.Count(), Exact: exact}
+	return HittingSetResult{Elements: chosen, Size: chosen.Count(), Exact: exact}
 }
 
+// greedyBits picks, repeatedly, the element covering the most sets,
+// ties to the LOWEST element index (fixed-order count array, not a
+// map) — the bitset-family reference for the solver's tie-break
+// contract, like greedy in hitting.go.
 func greedyBits(universe int, fam []*bitset.Set) *bitset.Set {
 	uncovered := append([]*bitset.Set(nil), fam...)
 	picked := bitset.New(universe)
+	counts := make([]int, universe)
 	for len(uncovered) > 0 {
-		counts := make(map[int]int)
+		for i := range counts {
+			counts[i] = 0
+		}
 		for _, s := range uncovered {
 			s.ForEach(func(i int) bool {
 				counts[i]++
@@ -258,12 +389,12 @@ func greedyBits(universe int, fam []*bitset.Set) *bitset.Set {
 		}
 		bestE, bestC := -1, 0
 		for e, c := range counts {
-			if c > bestC || (c == bestC && e < bestE) {
+			if c > bestC {
 				bestE, bestC = e, c
 			}
 		}
 		picked.Add(bestE)
-		var rest []*bitset.Set
+		rest := uncovered[:0]
 		for _, s := range uncovered {
 			if !s.Contains(bestE) {
 				rest = append(rest, s)
@@ -272,63 +403,6 @@ func greedyBits(universe int, fam []*bitset.Set) *bitset.Set {
 		uncovered = rest
 	}
 	return picked
-}
-
-func disjointLowerBound(fam []*bitset.Set) int {
-	sorted := append([]*bitset.Set(nil), fam...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Count() < sorted[j].Count() })
-	if len(sorted) == 0 {
-		return 0
-	}
-	lb := 0
-	used := bitset.New(sorted[0].Len())
-	for _, s := range sorted {
-		if !s.Intersects(used) {
-			lb++
-			used.UnionWith(s)
-		}
-	}
-	return lb
-}
-
-func solveBits(universe int, fam []*bitset.Set, chosen *bitset.Set, best **bitset.Set, nodes *int, budget int) bool {
-	*nodes++
-	if budget > 0 && *nodes > budget {
-		return false
-	}
-	if chosen.Count() >= (*best).Count() {
-		return true
-	}
-	var uncovered []*bitset.Set
-	for _, s := range fam {
-		if !s.Intersects(chosen) {
-			uncovered = append(uncovered, s)
-		}
-	}
-	if len(uncovered) == 0 {
-		*best = chosen.Clone()
-		return true
-	}
-	if chosen.Count()+disjointLowerBound(uncovered) >= (*best).Count() {
-		return true
-	}
-	smallest := uncovered[0]
-	for _, s := range uncovered[1:] {
-		if s.Count() < smallest.Count() {
-			smallest = s
-		}
-	}
-	complete := true
-	smallest.ForEach(func(e int) bool {
-		child := chosen.Clone()
-		child.Add(e)
-		if !solveBits(universe, fam, child, best, nodes, budget) {
-			complete = false
-			return false
-		}
-		return true
-	})
-	return complete
 }
 
 // PermTestSetResult reports an exact minimum permutation test set.
@@ -357,29 +431,39 @@ func (r PermTestSetResult) String() string {
 // lines. limit caps the behaviour closure, nodeBudget the hitting-set
 // branch and bound (0 = defaults).
 func MinimumPermTestSet(n, h int, accepts PermAcceptance, limit, nodeBudget int) (PermTestSetResult, error) {
+	return MinimumPermTestSetOpts(n, h, accepts, Options{Limit: limit, NodeBudget: nodeBudget})
+}
+
+// MinimumPermTestSetOpts is MinimumPermTestSet with full pipeline
+// options.
+func MinimumPermTestSetOpts(n, h int, accepts PermAcceptance, opt Options) (PermTestSetResult, error) {
 	if n > MaxPermLines {
 		return PermTestSetResult{}, fmt.Errorf("search: n=%d too large for permutation-space search", n)
 	}
-	behaviors, err := PermClosure(n, Comparators(n, h), limit)
+	st, err := permClosureStore(n, Comparators(n, h), opt.Limit, opt.Workers)
 	if err != nil {
 		return PermTestSetResult{}, err
 	}
-	fam := PermFailureFamily(n, behaviors, accepts)
-	inputs := permInputs(n)
-	if nodeBudget == 0 {
-		nodeBudget = 5_000_000
+	rows := pruneSupersetRows(st.permFailureRows(n, accepts, opt.Workers), false)
+	// 0 keeps the historical 5M-node default for the (deeper) perm
+	// search; a negative budget requests a genuinely unlimited run.
+	budget := int64(opt.NodeBudget)
+	if budget == 0 {
+		budget = 5_000_000
+	} else if budget < 0 {
+		budget = 0
 	}
-	hs := MinHittingSetBits(len(inputs), fam, nodeBudget)
+	elems, exact := solveHitting(rowElemLists(rows), budget, solverWorkers(opt.Workers))
+	inputs := permInputs(n)
 	res := PermTestSetResult{
 		N: n, Height: h,
-		Behaviors: len(behaviors),
-		BadSets:   len(fam),
-		Size:      hs.Size,
-		Exact:     hs.Exact,
+		Behaviors: st.count,
+		BadSets:   len(rows),
+		Size:      len(elems),
+		Exact:     exact,
 	}
-	hs.Elements.ForEach(func(r int) bool {
-		res.Tests = append(res.Tests, inputs[r])
-		return true
-	})
+	for _, e := range elems {
+		res.Tests = append(res.Tests, inputs[e])
+	}
 	return res, nil
 }

@@ -1,0 +1,162 @@
+package search
+
+import (
+	"math/bits"
+	"slices"
+
+	"sortnets/internal/bitset"
+)
+
+// Superset pruning, popcount-bucketed. After deduplication a set can
+// only be dominated by one of strictly smaller cardinality, so each
+// candidate — taken in ascending (popcount, content) order — is
+// checked against the survivors of strictly smaller popcount only,
+// with the singleton bucket collapsed into a single union mask
+// (membership test instead of a scan). The quadratic all-pairs sweep
+// this replaces compared every set against every other. Output is in
+// canonical (popcount, content) order, so downstream solving does not
+// depend on closure enumeration order.
+
+// pruneSupersets prunes a family of single-word masks.
+func pruneSupersets(fam []uint64) []uint64 {
+	if len(fam) == 0 {
+		return nil
+	}
+	uniq := make([]uint64, 0, len(fam))
+	seen := make(map[uint64]struct{}, len(fam))
+	for _, m := range fam {
+		if _, ok := seen[m]; !ok {
+			seen[m] = struct{}{}
+			uniq = append(uniq, m)
+		}
+	}
+	slices.SortFunc(uniq, func(a, b uint64) int {
+		if pa, pb := bits.OnesCount64(a), bits.OnesCount64(b); pa != pb {
+			return pa - pb
+		}
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	})
+	var singles uint64
+	out := make([]uint64, 0, len(uniq))
+	for _, m := range uniq {
+		pc := bits.OnesCount64(m)
+		if pc == 1 {
+			singles |= m
+			out = append(out, m)
+			continue
+		}
+		if m&singles != 0 {
+			continue // contains a singleton survivor
+		}
+		dominated := false
+		for _, s := range out {
+			spc := bits.OnesCount64(s)
+			if spc >= pc {
+				break // survivors are popcount-sorted; no subset beyond
+			}
+			if spc > 1 && s&^m == 0 {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// appendWordsKey serializes words into key (little-endian bytes) for
+// use as a dedupe map key — the one encoding every dedupe site shares.
+func appendWordsKey(key []byte, words []uint64) []byte {
+	for _, w := range words {
+		for b := 0; b < 8; b++ {
+			key = append(key, byte(w>>uint(8*b)))
+		}
+	}
+	return key
+}
+
+// maskRow pairs a multi-word mask with its cached popcount and the
+// index of the object it came from.
+type maskRow struct {
+	words []uint64
+	pc    int
+	src   int
+}
+
+// pruneSupersetRows prunes multi-word rows in place of the bitset
+// sweep; returns the surviving rows in canonical order. With dedupe
+// set, duplicates (by content) keep the first occurrence; callers
+// whose rows are already distinct skip that map pass.
+func pruneSupersetRows(rows []maskRow, dedupe bool) []maskRow {
+	uniq := rows
+	if dedupe {
+		seen := make(map[string]struct{}, len(rows))
+		key := make([]byte, 0, 64)
+		uniq = rows[:0]
+		for _, r := range rows {
+			key = appendWordsKey(key[:0], r.words)
+			if _, ok := seen[string(key)]; ok {
+				continue
+			}
+			seen[string(key)] = struct{}{}
+			uniq = append(uniq, r)
+		}
+	}
+	// Rows are distinct here, so (pc, content) is a total order and a
+	// plain (unstable) sort is canonical.
+	slices.SortFunc(uniq, func(x, y maskRow) int {
+		if x.pc != y.pc {
+			return x.pc - y.pc
+		}
+		for k := range x.words {
+			switch {
+			case x.words[k] < y.words[k]:
+				return -1
+			case x.words[k] > y.words[k]:
+				return 1
+			}
+		}
+		return 0
+	})
+	out := uniq[:0]
+	for _, r := range uniq {
+		dominated := false
+		for _, s := range out {
+			if s.pc >= r.pc {
+				break
+			}
+			if subsetWords(s.words, r.words) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// pruneSupersetSets prunes a family of bitsets (the permutation-space
+// path); survivors are returned in canonical (popcount, content)
+// order.
+func pruneSupersetSets(fam []*bitset.Set) []*bitset.Set {
+	rows := make([]maskRow, len(fam))
+	for i, s := range fam {
+		rows[i] = maskRow{words: s.Words(), pc: s.Count(), src: i}
+	}
+	kept := pruneSupersetRows(rows, true)
+	out := make([]*bitset.Set, len(kept))
+	for i, r := range kept {
+		out[i] = fam[r.src]
+	}
+	return out
+}

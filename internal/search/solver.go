@@ -1,0 +1,537 @@
+package search
+
+import (
+	"math/bits"
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+// The exact hitting-set core shared by MinHittingSet (word masks) and
+// MinHittingSetBits (bitset families). The instance is reduced to a
+// covering problem over a compressed element space: each element
+// carries a precomputed bitset of the families containing it, so a
+// branch-and-bound node extends coverage with one OR instead of
+// re-intersecting every family against the chosen set, and never
+// sorts or allocates — all state lives in per-worker scratch stacks.
+//
+// Reductions before branching: forced singletons (a one-element
+// failure set forces that element — exactly the Lemma 2.1 argument),
+// canonical family ordering (size, then content — so results do not
+// depend on closure enumeration order), and element dominance (an
+// element whose family coverage is a subset of another's can be
+// dropped; cf. the pruning-driven search of Renz & Nebel). The bound
+// is the pairwise-disjoint-family count; the incumbent starts from a
+// deterministic greedy cover and is re-polished greedily at depth
+// every polishPeriod nodes (incumbent sharing in the spirit of
+// Goldberg's IC3 convergence work). With workers > 1 the tree is
+// carved into frontier tasks claimed dynamically by a worker pool
+// that prunes against a shared atomic incumbent; the minimum
+// cardinality is deterministic either way (only the identity of the
+// witness can vary across parallel schedules).
+
+// coverProblem is the reduced instance. Elements are compressed to
+// indices 0..len(elems)-1; elems maps back to original element ids.
+type coverProblem struct {
+	nf       int        // families
+	fw       int        // words per family-space bitset
+	tailMask uint64     // valid bits of the last family word
+	elems    []int32    // reduced element ids, ascending
+	cover    [][]uint64 // per element index: families containing it
+	aliveIdx []int32    // element indices surviving dominance, ascending
+	famElems [][]int32  // per family: element indices, ascending
+	famMask  [][]uint64 // per family: mask over element-index space
+	ew       int        // words per element-space bitset
+}
+
+func wordsFor(n int) int { return (n + 63) / 64 }
+
+// newCoverProblem compresses and canonicalizes a family list (element
+// lists over original ids; all non-empty) and applies element
+// dominance. Families are sorted by (size, content) so everything
+// downstream is independent of enumeration order.
+func newCoverProblem(fams [][]int32) *coverProblem {
+	slices.SortFunc(fams, func(a, b []int32) int {
+		if len(a) != len(b) {
+			return len(a) - len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return int(a[k]) - int(b[k])
+			}
+		}
+		return 0
+	})
+
+	// Compress the element space to the ids that actually occur.
+	idx := make(map[int32]int32)
+	var elems []int32
+	for _, f := range fams {
+		for _, e := range f {
+			if _, ok := idx[e]; !ok {
+				idx[e] = 0
+				elems = append(elems, e)
+			}
+		}
+	}
+	slices.Sort(elems)
+	for i, e := range elems {
+		idx[e] = int32(i)
+	}
+
+	p := &coverProblem{
+		nf:    len(fams),
+		fw:    wordsFor(len(fams)),
+		elems: elems,
+		ew:    wordsFor(len(elems)),
+	}
+	p.tailMask = ^uint64(0)
+	if r := p.nf & 63; r != 0 {
+		p.tailMask = uint64(1)<<uint(r) - 1
+	}
+	coverArena := make([]uint64, len(elems)*p.fw)
+	p.cover = make([][]uint64, len(elems))
+	for i := range p.cover {
+		p.cover[i] = coverArena[i*p.fw : (i+1)*p.fw]
+	}
+	for fi, f := range fams {
+		for _, e := range f {
+			ei := idx[e]
+			p.cover[ei][fi>>6] |= 1 << uint(fi&63)
+		}
+	}
+
+	// Element dominance: drop e when cover[e] ⊆ cover[d] for some
+	// other kept element d (ties keep the lowest element id, i.e. the
+	// lowest index — elems is ascending).
+	alive := make([]bool, len(elems))
+	for i := range alive {
+		alive[i] = true
+	}
+	for i := range elems {
+		for j := range elems {
+			if i == j || !alive[i] || !alive[j] {
+				continue
+			}
+			if subsetWords(p.cover[i], p.cover[j]) && (j < i || !subsetWords(p.cover[j], p.cover[i])) {
+				alive[i] = false
+				break
+			}
+		}
+	}
+
+	for i := range elems {
+		if alive[i] {
+			p.aliveIdx = append(p.aliveIdx, int32(i))
+		}
+	}
+	p.famElems = make([][]int32, len(fams))
+	maskArena := make([]uint64, len(fams)*p.ew)
+	p.famMask = make([][]uint64, len(fams))
+	for fi, f := range fams {
+		p.famMask[fi] = maskArena[fi*p.ew : (fi+1)*p.ew]
+		for _, e := range f {
+			ei := idx[e]
+			if !alive[ei] {
+				continue
+			}
+			p.famElems[fi] = append(p.famElems[fi], ei)
+			p.famMask[fi][ei>>6] |= 1 << uint(ei&63)
+		}
+		slices.Sort(p.famElems[fi])
+	}
+	return p
+}
+
+func subsetWords(a, b []uint64) bool {
+	for i, w := range a {
+		if w&^b[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func intersectsWords(a, b []uint64) bool {
+	for i, w := range a {
+		if w&b[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// firstUncovered returns the index of the first family not covered by
+// cov — the smallest uncovered family, since families are sorted by
+// size — or -1 when everything is covered.
+func (p *coverProblem) firstUncovered(cov []uint64) int {
+	for wi := 0; wi < p.fw; wi++ {
+		w := ^cov[wi]
+		if wi == p.fw-1 {
+			w &= p.tailMask
+		}
+		if w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// disjointLB greedily collects pairwise-disjoint uncovered families —
+// each needs its own element — stopping early at cutoff. used is
+// caller scratch over the element-index space.
+func (p *coverProblem) disjointLB(cov, used []uint64, cutoff int) int {
+	for i := range used {
+		used[i] = 0
+	}
+	lb := 0
+	for i := 0; i < p.nf && lb < cutoff; i++ {
+		if cov[i>>6]>>uint(i&63)&1 == 1 {
+			continue
+		}
+		if intersectsWords(p.famMask[i], used) {
+			continue
+		}
+		lb++
+		for w, m := range p.famMask[i] {
+			used[w] |= m
+		}
+	}
+	return lb
+}
+
+// greedyComplete extends cov to a full cover, appending picks (element
+// indices) to dst: repeatedly the element covering the most uncovered
+// families, ties to the lowest element index (ascending scan), so
+// greedy solutions are reproducible run-to-run. scratch is caller
+// scratch over family space (clobbered). Gives up and returns nil
+// when more than maxPicks picks would be needed (maxPicks < 0 means
+// unlimited).
+func (p *coverProblem) greedyComplete(cov, scratch []uint64, dst []int32, maxPicks int) []int32 {
+	copy(scratch, cov)
+	n := 0
+	for p.firstUncovered(scratch) >= 0 {
+		if maxPicks >= 0 && n >= maxPicks {
+			return nil
+		}
+		bestE, bestC := -1, 0
+		for _, e := range p.aliveIdx {
+			c := 0
+			for wi, w := range p.cover[e] {
+				c += bits.OnesCount64(w &^ scratch[wi])
+			}
+			if c > bestC {
+				bestE, bestC = int(e), c
+			}
+		}
+		if bestE < 0 {
+			// Unreachable for well-formed instances (every family
+			// non-empty and containing at least one live element).
+			panic("search: greedy cover stalled")
+		}
+		for wi, w := range p.cover[bestE] {
+			scratch[wi] |= w
+		}
+		dst = append(dst, int32(bestE))
+		n++
+	}
+	return dst
+}
+
+// incumbent is the best hitting set found so far, shared by all
+// workers: the size is read lock-free on the hot path, the witness
+// updated under the mutex only on strict improvement.
+type incumbent struct {
+	size atomic.Int32
+	mu   sync.Mutex
+	set  []int32
+}
+
+func (b *incumbent) tryImprove(chosen []int32) {
+	n := int32(len(chosen))
+	if n >= b.size.Load() {
+		return
+	}
+	b.mu.Lock()
+	if n < b.size.Load() {
+		b.set = append(b.set[:0], chosen...)
+		b.size.Store(n)
+	}
+	b.mu.Unlock()
+}
+
+const (
+	polishPeriod = 4096 // nodes between greedy re-polishes of the incumbent
+	nodeFlush    = 256  // local node counts flushed to the shared budget
+)
+
+// hsWorker is one searcher's scratch: coverage stacks indexed by
+// depth, the chosen stack, and lower-bound/polish buffers — allocated
+// once per worker, never per node (the hoisted-scratch sequential
+// fallback the parallel solver builds on).
+type hsWorker struct {
+	p        *coverProblem
+	best     *incumbent
+	covStack [][]uint64
+	chosen   []int32
+	lbUsed   []uint64
+	polCov   []uint64
+	polPick  []int32
+	nodes    int64
+	budget   int64         // ≤ 0: unlimited
+	shared   *atomic.Int64 // parallel mode: global node count
+	aborted  bool
+}
+
+func newHsWorker(p *coverProblem, best *incumbent, budget int64, shared *atomic.Int64) *hsWorker {
+	return &hsWorker{
+		p:      p,
+		best:   best,
+		lbUsed: make([]uint64, p.ew),
+		polCov: make([]uint64, p.fw),
+		budget: budget,
+		shared: shared,
+	}
+}
+
+func (w *hsWorker) cov(depth int) []uint64 {
+	for len(w.covStack) <= depth {
+		w.covStack = append(w.covStack, make([]uint64, w.p.fw))
+	}
+	return w.covStack[depth]
+}
+
+func (w *hsWorker) overBudget() bool {
+	if w.budget <= 0 {
+		return false
+	}
+	if w.shared == nil {
+		return w.nodes > w.budget
+	}
+	if w.nodes%nodeFlush == 0 {
+		w.shared.Add(nodeFlush)
+	}
+	return w.shared.Load() > w.budget
+}
+
+// dfs explores the subtree at depth (len(chosen) == depth, coverage in
+// covStack[depth]).
+func (w *hsWorker) dfs(depth int) {
+	w.nodes++
+	if w.overBudget() {
+		w.aborted = true
+		return
+	}
+	cov := w.covStack[depth]
+	fi := w.p.firstUncovered(cov)
+	if fi < 0 {
+		w.best.tryImprove(w.chosen)
+		return
+	}
+	bound := int(w.best.size.Load())
+	need := bound - depth // improving needs < need more elements
+	if need <= 1 {
+		return // even one more element cannot beat the incumbent
+	}
+	if depth+w.p.disjointLB(cov, w.lbUsed, need) >= bound {
+		return
+	}
+	if w.nodes%polishPeriod == 0 {
+		w.polish(depth)
+	}
+	child := w.cov(depth + 1)
+	cov = w.covStack[depth] // cov may have been re-staged by growth
+	for _, e := range w.p.famElems[fi] {
+		for wi, m := range w.p.cover[e] {
+			child[wi] = cov[wi] | m
+		}
+		w.chosen = append(w.chosen, e)
+		w.dfs(depth + 1)
+		w.chosen = w.chosen[:depth]
+		if w.aborted {
+			return
+		}
+	}
+}
+
+// polish greedily completes the current partial solution; an
+// improvement tightens the shared incumbent (and with it every
+// worker's bound) without waiting for the branch and bound to reach a
+// leaf.
+func (w *hsWorker) polish(depth int) {
+	maxPicks := int(w.best.size.Load()) - depth - 1
+	if maxPicks < 1 {
+		return
+	}
+	w.polPick = w.polPick[:0]
+	picks := w.p.greedyComplete(w.covStack[depth], w.polCov, w.polPick, maxPicks)
+	if picks == nil {
+		return
+	}
+	w.polPick = picks
+	total := append(append(make([]int32, 0, depth+len(picks)), w.chosen[:depth]...), picks...)
+	w.best.tryImprove(total)
+}
+
+// hsTask is one frontier subproblem handed to the worker pool.
+type hsTask struct {
+	chosen []int32
+	cov    []uint64
+}
+
+// solveCover runs the exact search over a reduced problem, seeded with
+// the greedy incumbent. Returns the best element-index set found and
+// whether the search completed (false only on budget exhaustion).
+func solveCover(p *coverProblem, budget int64, workers int) ([]int32, bool) {
+	best := &incumbent{}
+	seed := newHsWorker(p, best, 0, nil)
+	ub := p.greedyComplete(seed.cov(0), seed.polCov, nil, -1)
+	best.set = append([]int32(nil), ub...)
+	best.size.Store(int32(len(ub)))
+	if p.disjointLB(seed.cov(0), seed.lbUsed, len(ub)+1) >= len(ub) {
+		// Greedy met the disjoint bound: certified optimal without
+		// branching (the common case for the paper's structured
+		// families).
+		return best.set, true
+	}
+
+	workers = closureWorkers(workers)
+	if workers == 1 {
+		w := newHsWorker(p, best, budget, nil)
+		w.cov(0) // stage the (all-zero) root coverage
+		w.dfs(0)
+		return best.set, !w.aborted
+	}
+
+	// Carve the tree into tasks: expand the shallowest frontier node
+	// until the pool has a few tasks per worker to claim.
+	tasks := []hsTask{{cov: make([]uint64, p.fw)}}
+	scout := newHsWorker(p, best, 0, nil)
+	for len(tasks) > 0 && len(tasks) < workers*8 {
+		t := tasks[0]
+		tasks = tasks[1:]
+		fi := p.firstUncovered(t.cov)
+		if fi < 0 {
+			best.tryImprove(t.chosen)
+			continue
+		}
+		depth := len(t.chosen)
+		bound := int(best.size.Load())
+		if bound-depth <= 1 || depth+p.disjointLB(t.cov, scout.lbUsed, bound-depth) >= bound {
+			continue
+		}
+		for _, e := range p.famElems[fi] {
+			cov := make([]uint64, p.fw)
+			for wi, m := range p.cover[e] {
+				cov[wi] = t.cov[wi] | m
+			}
+			tasks = append(tasks, hsTask{
+				chosen: append(append(make([]int32, 0, depth+1), t.chosen...), e),
+				cov:    cov,
+			})
+		}
+	}
+
+	var cursor, sharedNodes atomic.Int64
+	var exhausted atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := newHsWorker(p, best, budget, &sharedNodes)
+			for {
+				ti := cursor.Add(1) - 1
+				if ti >= int64(len(tasks)) {
+					return
+				}
+				t := tasks[ti]
+				depth := len(t.chosen)
+				copy(w.cov(depth), t.cov)
+				w.chosen = append(w.chosen[:0], t.chosen...)
+				w.aborted = false
+				w.dfs(depth)
+				if w.aborted {
+					exhausted.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return best.set, !exhausted.Load()
+}
+
+// maskElemLists converts single-word family masks to the element-id
+// lists solveHitting consumes (ascending unique ids per family).
+func maskElemLists(fam []uint64) [][]int32 {
+	lists := make([][]int32, len(fam))
+	for i, m := range fam {
+		for w := m; w != 0; w &= w - 1 {
+			lists[i] = append(lists[i], int32(bits.TrailingZeros64(w)))
+		}
+	}
+	return lists
+}
+
+// rowElemLists is maskElemLists for multi-word rows.
+func rowElemLists(rows []maskRow) [][]int32 {
+	lists := make([][]int32, len(rows))
+	for i, r := range rows {
+		for wi, w := range r.words {
+			for ; w != 0; w &= w - 1 {
+				lists[i] = append(lists[i], int32(wi<<6+bits.TrailingZeros64(w)))
+			}
+		}
+	}
+	return lists
+}
+
+// solveHitting is the full pipeline over families given as element-id
+// lists: forced singletons, reduction, greedy bound, branch and bound.
+// It returns the chosen original element ids (ascending) and whether
+// the result is certified optimal.
+func solveHitting(fams [][]int32, budget int64, workers int) ([]int32, bool) {
+	var forced []int32
+	forcedSet := make(map[int32]bool)
+	for {
+		progress := false
+		rest := fams[:0]
+		for _, f := range fams {
+			hit := false
+			for _, e := range f {
+				if forcedSet[e] {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				continue
+			}
+			if len(f) == 1 {
+				forcedSet[f[0]] = true
+				forced = append(forced, f[0])
+				progress = true
+				continue
+			}
+			rest = append(rest, f)
+		}
+		fams = rest
+		if !progress {
+			break
+		}
+	}
+	if len(fams) == 0 {
+		slices.Sort(forced)
+		return forced, true
+	}
+
+	p := newCoverProblem(fams)
+	idxs, exact := solveCover(p, budget, workers)
+	out := forced
+	for _, ei := range idxs {
+		out = append(out, p.elems[ei])
+	}
+	slices.Sort(out)
+	return out, exact
+}

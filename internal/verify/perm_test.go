@@ -1,0 +1,73 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"sortnets/internal/gen"
+	"sortnets/internal/network"
+	"sortnets/internal/perm"
+)
+
+// TestVerdictPermsBatchAgreesWithScalar cross-checks the threshold-
+// batched fast path against the scalar ApplyInts loop on random
+// networks — both verdicts and, on failure, the exact stream-order
+// counterexample and test count.
+func TestVerdictPermsBatchAgreesWithScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(9)
+		w := network.Random(n, rng.Intn(4*n), rng)
+		props := []Property{Sorter{N: n}}
+		props = append(props, Selector{N: n, K: 1 + rng.Intn(n)})
+		if n%2 == 0 {
+			props = append(props, Merger{N: n})
+		}
+		for _, p := range props {
+			got := VerdictPerms(w, p)
+			want := verdictPermsScalar(w, p)
+			if got.Holds != want.Holds || got.TestsRun != want.TestsRun {
+				t.Fatalf("%s on %s: batch %+v, scalar %+v", p.Name(), w, got, want)
+			}
+			if !got.Holds && !got.Counterexample.Equal(want.Counterexample) {
+				t.Fatalf("%s on %s: counterexample %s vs %s",
+					p.Name(), w, got.Counterexample, want.Counterexample)
+			}
+		}
+	}
+}
+
+// TestVerdictPermsBatchCorrectSorters makes sure real sorters pass on
+// the batched path across widths, including the lane-packing edge
+// cases (n−1 dividing 64 or not).
+func TestVerdictPermsBatchCorrectSorters(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 8, 9, 12, 16, 17} {
+		w := gen.Sorter(n)
+		r := VerdictPerms(w, Sorter{N: n})
+		if !r.Holds {
+			t.Errorf("n=%d: sorter rejected on %s -> %v", n, r.Counterexample, r.Output)
+		}
+		if r.TestsRun != len(Sorter{N: n}.PermTests()) {
+			t.Errorf("n=%d: TestsRun %d, want full family", n, r.TestsRun)
+		}
+	}
+}
+
+// TestHalvesSorted pins the merger-contract predicate used to skip
+// vacuous permutations.
+func TestHalvesSorted(t *testing.T) {
+	cases := []struct {
+		p    string
+		want bool
+	}{
+		{"(1 3 2 4)", true},
+		{"(2 4 1 3)", true},
+		{"(3 1 2 4)", false},
+		{"(1 2 4 3)", false},
+	}
+	for _, c := range cases {
+		if got := halvesSorted(perm.MustParse(c.p)); got != c.want {
+			t.Errorf("halvesSorted(%s) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}

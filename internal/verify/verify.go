@@ -262,29 +262,6 @@ func (r PermResult) String() string {
 	return fmt.Sprintf("fails on %s -> %v (after %d tests)", r.Counterexample, r.Output, r.TestsRun)
 }
 
-// VerdictPerms checks the property using its minimal permutation test
-// set — the input model where Yao's observation makes testing cheaper
-// than with binary strings. The network is compiled once; every test
-// reuses the layered program.
-func VerdictPerms(w *network.Network, p Property) PermResult {
-	if w.N != p.Lines() {
-		panic(fmt.Sprintf("verify: network has %d lines, property wants %d", w.N, p.Lines()))
-	}
-	prog := eval.Compile(w)
-	out := make([]int, w.N)
-	tests := 0
-	for _, pm := range p.PermTests() {
-		tests++
-		copy(out, pm)
-		prog.ApplyInts(out)
-		if !p.AcceptsInts(pm, out) {
-			return PermResult{Holds: false, TestsRun: tests, Counterexample: pm,
-				Output: append([]int(nil), out...)}
-		}
-	}
-	return PermResult{Holds: true, TestsRun: tests}
-}
-
 // GroundTruthPerms sweeps all n! permutations (small n only).
 func GroundTruthPerms(w *network.Network, p Property) PermResult {
 	prog := eval.Compile(w)

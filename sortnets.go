@@ -254,6 +254,34 @@ func FaultCoverage(w *Network) FaultReport {
 		func() VecIterator { return core.SorterBinaryTests(w.N) }, faults.ByProperty)
 }
 
+// FaultMatrix is the full test × fault detection table: per-test
+// fault-signature bitsets built in one streamed engine pass per
+// fault.
+type FaultMatrix = faults.Matrix
+
+// DetectionMatrix builds the test × fault detection matrix for w over
+// its single-fault universe and the minimal sorter test set
+// (by-property observation). Use faults.DetectionMatrix directly for
+// other test streams or the golden-reference mode.
+func DetectionMatrix(w *Network) *FaultMatrix {
+	return faults.DetectionMatrix(w, faults.Enumerate(w),
+		func() VecIterator { return core.SorterBinaryTests(w.N) }, faults.ByProperty)
+}
+
+// MinimalDetectingTests greedily selects a small subset of the minimal
+// sorter test set that still detects every fault the full set detects
+// — stuck-at test-set selection on the same machinery that verifies
+// test sets.
+func MinimalDetectingTests(w *Network) []Vec {
+	m := DetectionMatrix(w)
+	idx := m.MinimalDetectingSet()
+	out := make([]Vec, len(idx))
+	for i, t := range idx {
+		out[i] = m.Tests[t]
+	}
+	return out
+}
+
 // --- Wide networks (beyond 64 lines) ----------------------------------------
 
 // WideResult is the outcome of a wide-width certification.
@@ -299,12 +327,29 @@ func Analyze(w *Network) NetworkStats { return w.Analyze() }
 
 // --- Exact search (Section 3) ---------------------------------------------
 
+// SearchOptions tunes the exact-search pipeline: closure limit,
+// branch-and-bound node budget, and the worker count. Workers == 0
+// (the default) runs the closure BFS and failure-family build on
+// GOMAXPROCS workers with a deterministic sequential solve (witness
+// test sets reproducible run-to-run); Workers > 1 also parallelizes
+// the branch and bound (same minimum cardinality, witness identity
+// may vary with scheduling); Workers == 1 pins every stage
+// sequential.
+type SearchOptions = search.Options
+
 // ExactMinimumTestSet computes, by behaviour-space exhaustion, the
 // exact minimum 0/1 test set size for the sorting property over
 // networks of comparator height ≤ h on n lines (h ≥ n−1 means
-// unrestricted). Feasible for small n only.
+// unrestricted). Feasible for small n only. The pipeline runs with
+// GOMAXPROCS workers; use ExactMinimumTestSetOpts to pin it.
 func ExactMinimumTestSet(n, h int) (search.TestSetResult, error) {
 	return search.MinimumTestSet(n, h, search.SorterAccepts, 50_000_000)
+}
+
+// ExactMinimumTestSetOpts is ExactMinimumTestSet with explicit
+// pipeline options.
+func ExactMinimumTestSetOpts(n, h int, opt SearchOptions) (search.TestSetResult, error) {
+	return search.MinimumTestSetOpts(n, h, search.SorterAccepts, opt)
 }
 
 // ExactMinimumPermTestSet is the permutation-input counterpart of
@@ -312,6 +357,12 @@ func ExactMinimumTestSet(n, h int) (search.TestSetResult, error) {
 // for sorting over networks of height ≤ h on n lines (n ≤ 6).
 func ExactMinimumPermTestSet(n, h int) (search.PermTestSetResult, error) {
 	return search.MinimumPermTestSet(n, h, search.PermSorterAccepts, 50_000_000, 0)
+}
+
+// ExactMinimumPermTestSetOpts is ExactMinimumPermTestSet with explicit
+// pipeline options.
+func ExactMinimumPermTestSetOpts(n, h int, opt SearchOptions) (search.PermTestSetResult, error) {
+	return search.MinimumPermTestSetOpts(n, h, search.PermSorterAccepts, opt)
 }
 
 // SorterPermutationChains exposes the symmetric chain decomposition

@@ -124,6 +124,51 @@ func TestFacadeFaultCoverage(t *testing.T) {
 	}
 }
 
+func TestFacadeDetectionMatrix(t *testing.T) {
+	w := OptimalSorter(5)
+	m := DetectionMatrix(w)
+	if got, want := m.Report(), FaultCoverage(w); got != want {
+		t.Errorf("matrix report %+v disagrees with FaultCoverage %+v", got, want)
+	}
+	picks := MinimalDetectingTests(w)
+	if len(picks) == 0 || len(picks) > len(m.Tests) {
+		t.Fatalf("implausible minimal detecting set size %d", len(picks))
+	}
+	// The selection must preserve detected-fault coverage.
+	remaining := m.Detected()
+	for ti, tau := range m.Tests {
+		for _, sel := range picks {
+			if sel == tau {
+				remaining.DiffWith(m.Sigs[ti])
+			}
+		}
+	}
+	if !remaining.Empty() {
+		t.Errorf("selected tests miss faults %s", remaining)
+	}
+}
+
+func TestFacadeExactSearchOpts(t *testing.T) {
+	seq, err := ExactMinimumTestSetOpts(4, 2, SearchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ExactMinimumTestSetOpts(4, 2, SearchOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Size != par.Size || seq.Size != 11 {
+		t.Errorf("sequential %d vs parallel %d, want 11", seq.Size, par.Size)
+	}
+	p, err := ExactMinimumPermTestSetOpts(4, 3, SearchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Exact || p.Size != 5 {
+		t.Errorf("perm minimum %d (exact=%v), want 5", p.Size, p.Exact)
+	}
+}
+
 func TestFacadeExactSearch(t *testing.T) {
 	r, err := ExactMinimumTestSet(4, 3)
 	if err != nil {
