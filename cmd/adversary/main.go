@@ -8,24 +8,53 @@
 //
 //	adversary -sigma 0110
 //	adversary -sigma 1001100 -quiet     # just the network line
+//
+// With -load it turns adversarial in the operational sense instead: a
+// load generator that hammers a running sortnetd instance with random
+// networks and reports sustained requests/sec plus the server's own
+// /stats counters.
+//
+//	adversary -load http://localhost:8357 -requests 5000 -concurrency 16
+//	adversary -load http://localhost:8357 -distinct 4   # mostly cache hits
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
+	"net/http"
 	"os"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"sortnets/internal/bitvec"
 	"sortnets/internal/core"
+	"sortnets/internal/network"
 )
 
 func main() {
 	sigma := flag.String("sigma", "", "non-sorted binary string, e.g. 0110")
 	quiet := flag.Bool("quiet", false, "print only the network text form")
+	load := flag.String("load", "", "sortnetd base URL: run the load generator instead of the Lemma 2.1 construction")
+	requests := flag.Int("requests", 2000, "load mode: total requests to send")
+	concurrency := flag.Int("concurrency", 8, "load mode: concurrent client workers")
+	n := flag.Int("n", 8, "load mode: lines per random network")
+	size := flag.Int("size", 19, "load mode: comparators per random network")
+	distinct := flag.Int("distinct", 32, "load mode: distinct networks cycled through (fewer = more cache hits)")
+	seed := flag.Int64("seed", 1, "load mode: random-network seed")
 	flag.Parse()
 
-	if err := run(os.Stdout, *sigma, *quiet); err != nil {
+	var err error
+	if *load != "" {
+		err = loadRun(os.Stdout, *load, *requests, *concurrency, *n, *size, *distinct, *seed)
+	} else {
+		err = run(os.Stdout, *sigma, *quiet)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "adversary:", err)
 		os.Exit(2)
 	}
@@ -33,7 +62,7 @@ func main() {
 
 func run(out io.Writer, sigma string, quiet bool) error {
 	if sigma == "" {
-		return fmt.Errorf("missing -sigma")
+		return fmt.Errorf("missing -sigma (or -load for the load generator)")
 	}
 	v, err := bitvec.FromString(sigma)
 	if err != nil {
@@ -55,5 +84,99 @@ func run(out io.Writer, sigma string, quiet bool) error {
 		return fmt.Errorf("self-check failed: %v", err)
 	}
 	fmt.Fprintf(out, "self-check: sorts all %d other inputs: ok\n", bitvec.Universe(v.N)-1)
+	return nil
+}
+
+// loadRun drives a sortnetd instance: distinct random networks are
+// pre-rendered, then concurrency workers cycle POSTs to /verify over
+// them. It reports client-side throughput and source breakdown (from
+// the X-Sortnetd-Cache header), then echoes the server's /stats.
+func loadRun(out io.Writer, base string, requests, concurrency, n, size, distinct int, seed int64) error {
+	if requests < 1 || concurrency < 1 || distinct < 1 {
+		return fmt.Errorf("need positive -requests, -concurrency, -distinct")
+	}
+	if n < 2 {
+		return fmt.Errorf("-n must be at least 2")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bodies := make([][]byte, distinct)
+	for i := range bodies {
+		w := network.Random(n, size, rng)
+		b, err := json.Marshal(map[string]string{"network": w.Format()})
+		if err != nil {
+			return err
+		}
+		bodies[i] = b
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	var next, errs atomic.Int64
+	var hits, misses, coalesced atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errs.Add(1)
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(requests) {
+					return
+				}
+				resp, err := client.Post(base+"/verify", "application/json", bytes.NewReader(bodies[i%int64(distinct)]))
+				if err != nil {
+					fail(err)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail(fmt.Errorf("status %d", resp.StatusCode))
+					continue
+				}
+				switch resp.Header.Get("X-Sortnetd-Cache") {
+				case "hit":
+					hits.Add(1)
+				case "coalesced":
+					coalesced.Add(1)
+				default:
+					misses.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	ok := int64(requests) - errs.Load()
+	fmt.Fprintf(out, "load: %d requests (%d distinct %d-line networks), %d workers\n",
+		requests, distinct, n, concurrency)
+	fmt.Fprintf(out, "done in %v: %.0f req/s, %d ok (%d hit / %d coalesced / %d computed), %d errors\n",
+		elapsed.Round(time.Millisecond), float64(requests)/elapsed.Seconds(),
+		ok, hits.Load(), coalesced.Load(), misses.Load(), errs.Load())
+	if firstErr != nil {
+		return fmt.Errorf("%d requests failed; first failure: %v", errs.Load(), firstErr)
+	}
+
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	stats, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "server /stats: %s", stats)
 	return nil
 }

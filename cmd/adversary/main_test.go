@@ -1,8 +1,11 @@
 package main
 
 import (
+	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"sortnets/internal/serve"
 )
 
 func TestRunBuildsAndChecks(t *testing.T) {
@@ -26,6 +29,44 @@ func TestRunQuiet(t *testing.T) {
 	out := strings.TrimSpace(sb.String())
 	if !strings.HasPrefix(out, "n=5:") || strings.Contains(out, "self-check") {
 		t.Errorf("quiet output wrong: %q", out)
+	}
+}
+
+func TestLoadModeAgainstLiveService(t *testing.T) {
+	s := serve.NewService(serve.Config{Workers: 2, CacheSize: 16})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	var sb strings.Builder
+	// 40 requests over 4 distinct networks: most must be cache hits.
+	if err := loadRun(&sb, ts.URL, 40, 4, 6, 8, 4, 1); err != nil {
+		t.Fatalf("loadRun: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, frag := range []string{"req/s", "0 errors", "server /stats"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+	ep := s.Stats().Endpoints["verify"]
+	if ep.Requests != 40 {
+		t.Errorf("server saw %d requests, want 40", ep.Requests)
+	}
+	if ep.Computes != 4 {
+		t.Errorf("server ran %d computes for 4 distinct networks, want 4", ep.Computes)
+	}
+}
+
+func TestLoadModeValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := loadRun(&sb, "http://127.0.0.1:1", 0, 1, 6, 8, 1, 1); err == nil {
+		t.Error("zero requests should error")
+	}
+	if err := loadRun(&sb, "http://127.0.0.1:1", 1, 1, 1, 8, 1, 1); err == nil {
+		t.Error("n=1 should error")
 	}
 }
 

@@ -1,0 +1,102 @@
+// Command sortnetd is the long-running batch verification service: a
+// caching, coalescing, sharded HTTP front end over the compiled
+// evaluation stack (see internal/serve).
+//
+// Usage:
+//
+//	sortnetd -addr :8357 -workers 0 -cache-size 4096
+//
+// Endpoints (POST JSON unless noted):
+//
+//	/verify   property verdict (sorter | selector | merger)
+//	/faults   fault coverage of the property's minimal test set
+//	/minset   minimal detecting subset of that test set
+//	/healthz  GET liveness probe
+//	/stats    GET per-endpoint counters + cache occupancy
+//
+// Example:
+//
+//	curl -s localhost:8357/verify -d '{"network":"n=4: [1,2][3,4][1,3][2,4][2,3]"}'
+//
+// Results are cached by the canonical digest of the network
+// (internal/canon), so structurally equivalent submissions — the same
+// circuit with its parallel layers interleaved differently — share
+// one cache entry and replay byte-identical verdicts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"sortnets/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8357", "listen address")
+	workers := flag.Int("workers", 0, "compute-pool shards (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache-size", 4096, "verdict cache capacity in entries")
+	maxLines := flag.Int("max-lines", 20, "largest line count accepted by /verify")
+	maxFaultLines := flag.Int("max-fault-lines", 12, "largest line count accepted by /faults and /minset")
+	flag.Parse()
+
+	cfg := serve.Config{
+		Workers:       *workers,
+		CacheSize:     *cacheSize,
+		MaxLines:      *maxLines,
+		MaxFaultLines: *maxFaultLines,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sortnetd:", err)
+		os.Exit(2)
+	}
+	// SIGINT/SIGTERM close the listener; run() then drains in-flight
+	// handlers before tearing down the compute pool, so a deployed
+	// daemon exercises the same graceful path the tests do.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigs
+		log.Printf("sortnetd: %v, shutting down", s)
+		ln.Close()
+	}()
+	if err := run(ln, cfg, log.Printf); err != nil {
+		fmt.Fprintln(os.Stderr, "sortnetd:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves the verification API on ln until the listener closes,
+// then drains in-flight handlers before releasing the service's
+// compute pool (closing the pool under active requests would panic).
+func run(ln net.Listener, cfg serve.Config, logf func(string, ...any)) error {
+	svc := serve.NewService(cfg)
+	defer svc.Close()
+	logf("sortnetd: listening on %s (workers=%d, cache=%d entries, max-lines=%d)",
+		ln.Addr(), svc.Stats().Workers, cfg.CacheSize, cfg.MaxLines)
+	srv := &http.Server{Handler: svc.Handler()}
+	err := srv.Serve(ln)
+	if shutdownErr := srv.Shutdown(context.Background()); shutdownErr != nil && err == nil {
+		err = shutdownErr
+	}
+	if err != nil && (errors.Is(err, http.ErrServerClosed) || isClosedListener(err)) {
+		return nil
+	}
+	return err
+}
+
+// isClosedListener reports whether err is the accept error http.Serve
+// returns when the listener is closed out from under it — a normal
+// shutdown, not a failure. Only the listener-closed case qualifies;
+// any other accept failure must surface as an error exit.
+func isClosedListener(err error) bool {
+	return errors.Is(err, net.ErrClosed)
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"sortnets/internal/serve"
+)
+
+// startDaemon runs the full daemon stack (listener + service +
+// handler) on an ephemeral port and returns its base URL.
+func startDaemon(t *testing.T, cfg serve.Config) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := run(ln, cfg, func(string, ...any) {}); err != nil {
+			t.Errorf("run: %v", err)
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		wg.Wait()
+	})
+	return "http://" + ln.Addr().String()
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	url := startDaemon(t, serve.Config{Workers: 2, CacheSize: 64})
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body := `{"network":"n=4: [1,2][3,4][1,3][2,4][2,3]"}`
+	var verdicts [][]byte
+	var headers []string
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(url+"/verify", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("verify: %d: %s", resp.StatusCode, buf.String())
+		}
+		verdicts = append(verdicts, buf.Bytes())
+		headers = append(headers, resp.Header.Get("X-Sortnetd-Cache"))
+	}
+	if !bytes.Equal(verdicts[0], verdicts[1]) {
+		t.Errorf("repeat verdict not byte-identical:\n%s\n%s", verdicts[0], verdicts[1])
+	}
+	if headers[0] != "miss" || headers[1] != "hit" {
+		t.Errorf("cache headers %v, want [miss hit]", headers)
+	}
+
+	resp, err = http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.StatsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	ep := st.Endpoints["verify"]
+	if ep.Requests != 2 || ep.Hits != 1 || ep.Computes != 1 {
+		t.Errorf("stats: %+v", ep)
+	}
+	if st.Cache.Entries != 1 {
+		t.Errorf("cache entries %d, want 1", st.Cache.Entries)
+	}
+}

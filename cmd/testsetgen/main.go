@@ -20,6 +20,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sortnets/internal/bitvec"
@@ -36,23 +37,23 @@ func main() {
 	sizeOnly := flag.Bool("sizeonly", false, "print only the exact test-set size")
 	flag.Parse()
 
-	if err := run(*prop, *n, *k, *inputs, *sizeOnly); err != nil {
+	if err := run(os.Stdout, *prop, *n, *k, *inputs, *sizeOnly); err != nil {
 		fmt.Fprintln(os.Stderr, "testsetgen:", err)
 		os.Exit(2)
 	}
 }
 
-func run(prop string, n, k int, inputs string, sizeOnly bool) error {
+func run(w io.Writer, prop string, n, k int, inputs string, sizeOnly bool) error {
 	if n < 1 {
 		return fmt.Errorf("n must be positive, got %d", n)
 	}
 	if sizeOnly {
-		return printSize(prop, n, k, inputs)
+		return printSize(w, prop, n, k, inputs)
 	}
 	if n > 24 {
 		return fmt.Errorf("enumeration for n=%d would be huge; use -sizeonly", n)
 	}
-	out := bufio.NewWriter(os.Stdout)
+	out := bufio.NewWriter(w)
 	defer out.Flush()
 
 	if inputs == "perm" {
@@ -93,26 +94,26 @@ func run(prop string, n, k int, inputs string, sizeOnly bool) error {
 	}
 }
 
-func printSize(prop string, n, k int, inputs string) error {
+func printSize(w io.Writer, prop string, n, k int, inputs string) error {
 	permIn := inputs == "perm"
 	switch prop {
 	case "sorter":
 		if permIn {
-			fmt.Println(comb.SorterPermTestSetSize(n))
+			fmt.Fprintln(w, comb.SorterPermTestSetSize(n))
 		} else {
-			fmt.Println(comb.SorterBinaryTestSetSize(n))
+			fmt.Fprintln(w, comb.SorterBinaryTestSetSize(n))
 		}
 	case "selector":
 		if permIn {
-			fmt.Println(comb.SelectorPermTestSetSize(n, k))
+			fmt.Fprintln(w, comb.SelectorPermTestSetSize(n, k))
 		} else {
-			fmt.Println(comb.SelectorBinaryTestSetSize(n, k))
+			fmt.Fprintln(w, comb.SelectorBinaryTestSetSize(n, k))
 		}
 	case "merger":
 		if permIn {
-			fmt.Println(comb.MergerPermTestSetSize(n))
+			fmt.Fprintln(w, comb.MergerPermTestSetSize(n))
 		} else {
-			fmt.Println(comb.MergerBinaryTestSetSize(n))
+			fmt.Fprintln(w, comb.MergerBinaryTestSetSize(n))
 		}
 	default:
 		return fmt.Errorf("unknown property %q", prop)

@@ -1,6 +1,88 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./cmd/testsetgen -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldens pins the emitted test sets for every property and both
+// input models (mirroring the cmd/tables golden pattern): the paper's
+// test sets are canonical, so their enumeration order and rendering
+// must never drift silently.
+func TestGoldens(t *testing.T) {
+	cases := []struct {
+		name   string
+		prop   string
+		n, k   int
+		inputs string
+		size   bool
+	}{
+		{"sorter_n4_binary.golden", "sorter", 4, 1, "binary", false},
+		{"sorter_n4_perm.golden", "sorter", 4, 1, "perm", false},
+		{"selector_n5_k2_binary.golden", "selector", 5, 2, "binary", false},
+		{"selector_n5_k2_perm.golden", "selector", 5, 2, "perm", false},
+		{"merger_n6_binary.golden", "merger", 6, 1, "binary", false},
+		{"merger_n6_perm.golden", "merger", 6, 1, "perm", false},
+		{"sizes.golden", "", 0, 0, "", false}, // handled below
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if c.name == "sizes.golden" {
+				// Theorem sizes at large n: exact closed forms, one
+				// line per (property, model).
+				for _, s := range []struct {
+					prop, inputs string
+					n, k         int
+				}{
+					{"sorter", "binary", 40, 1},
+					{"sorter", "perm", 40, 1},
+					{"selector", "binary", 100, 3},
+					{"selector", "perm", 100, 3},
+					{"merger", "binary", 100, 1},
+					{"merger", "perm", 100, 1},
+				} {
+					fmt.Fprintf(&out, "%s/%s n=%d k=%d: ", s.prop, s.inputs, s.n, s.k)
+					if err := run(&out, s.prop, s.n, s.k, s.inputs, true); err != nil {
+						t.Fatal(err)
+					}
+				}
+			} else if err := run(&out, c.prop, c.n, c.k, c.inputs, c.size); err != nil {
+				t.Fatal(err)
+			}
+			golden(t, c.name, out.Bytes())
+		})
+	}
+}
 
 func TestRunValidCombinations(t *testing.T) {
 	cases := []struct {
@@ -23,26 +105,49 @@ func TestRunValidCombinations(t *testing.T) {
 		{"merger", 100, 1, "perm", true},
 	}
 	for _, c := range cases {
-		if err := run(c.prop, c.n, c.k, c.inputs, c.size); err != nil {
+		if err := run(io.Discard, c.prop, c.n, c.k, c.inputs, c.size); err != nil {
 			t.Errorf("%+v: %v", c, err)
 		}
 	}
 }
 
+// TestGoldenCountsMatchTheorems cross-checks the golden enumerations
+// against the closed-form sizes, so the two can never drift apart.
+func TestGoldenCountsMatchTheorems(t *testing.T) {
+	counts := map[string]int{
+		"sorter_n4_binary.golden":      11, // 2⁴−4−1
+		"sorter_n4_perm.golden":        5,  // C(4,2)−1
+		"merger_n6_binary.golden":      9,  // 6²/4
+		"merger_n6_perm.golden":        3,  // 6/2
+		"selector_n5_k2_binary.golden": 13, // C(5,0)+C(5,1)+C(5,2)−2−1
+		"selector_n5_k2_perm.golden":   9,  // C(5,2)−1
+	}
+	for name, want := range counts {
+		data, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatalf("missing golden (run go test ./cmd/testsetgen -update): %v", err)
+		}
+		got := len(strings.Split(strings.TrimRight(string(data), "\n"), "\n"))
+		if got != want {
+			t.Errorf("%s holds %d tests, theorem says %d", name, got, want)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("sorter", 0, 1, "binary", false); err == nil {
+	if err := run(io.Discard, "sorter", 0, 1, "binary", false); err == nil {
 		t.Error("n=0 should error")
 	}
-	if err := run("sorter", 30, 1, "binary", false); err == nil {
+	if err := run(io.Discard, "sorter", 30, 1, "binary", false); err == nil {
 		t.Error("huge enumeration should error")
 	}
-	if err := run("unknown", 5, 1, "binary", false); err == nil {
+	if err := run(io.Discard, "unknown", 5, 1, "binary", false); err == nil {
 		t.Error("unknown property should error")
 	}
-	if err := run("unknown", 5, 1, "perm", false); err == nil {
+	if err := run(io.Discard, "unknown", 5, 1, "perm", false); err == nil {
 		t.Error("unknown perm property should error")
 	}
-	if err := run("unknown", 5, 1, "binary", true); err == nil {
+	if err := run(io.Discard, "unknown", 5, 1, "binary", true); err == nil {
 		t.Error("unknown sizeonly property should error")
 	}
 }

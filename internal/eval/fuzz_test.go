@@ -1,0 +1,89 @@
+package eval
+
+import (
+	"testing"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/network"
+)
+
+// FuzzEngine is the differential fuzz target for the compiled engine:
+// on random networks and random inputs, every compiled path — the
+// scalar Apply, the 64-lane transpose/batch path behind Run, and the
+// wholesale-loading RunUniverse — must agree bit-for-bit with the
+// scalar reference evaluator network.ApplyVec, which shares no code
+// with the engine's batch machinery.
+func FuzzEngine(f *testing.F) {
+	f.Add(byte(2), []byte{0, 1}, []byte{1})
+	f.Add(byte(4), []byte{0, 1, 2, 3, 0, 2, 1, 3, 1, 2}, []byte{5, 10, 3})
+	f.Add(byte(16), []byte{0, 15, 7, 8, 3, 12}, []byte{0xff, 0x0f, 0xf0, 0xaa})
+	f.Add(byte(6), []byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, nByte byte, compBytes, vecBytes []byte) {
+		n := 2 + int(nByte)%15 // 2..16 lines
+		w := network.New(n)
+		for i := 0; i+1 < len(compBytes) && w.Size() < 128; i += 2 {
+			a := int(compBytes[i]) % n
+			b := int(compBytes[i+1]) % n
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			w.AddPair(a, b)
+		}
+		prog := Compile(w)
+
+		// Inputs: every byte pair of vecBytes is one packed vector,
+		// plus the all-zero / all-one edges. Duplicates are fine — the
+		// engine must handle repeated lanes.
+		mask := uint64(1)<<uint(n) - 1
+		vecs := []bitvec.Vec{{N: n, Bits: 0}, {N: n, Bits: mask}}
+		for i := 0; i+1 < len(vecBytes) && len(vecs) < 300; i += 2 {
+			bits := (uint64(vecBytes[i])<<8 | uint64(vecBytes[i+1])) & mask
+			vecs = append(vecs, bitvec.Vec{N: n, Bits: bits})
+		}
+
+		// Scalar compiled path vs scalar reference.
+		for _, v := range vecs {
+			if got, want := prog.Apply(v), w.ApplyVec(v); got != want {
+				t.Fatalf("Apply(%s) = %s, reference %s (net %s)", v, got, want, w.Format())
+			}
+		}
+
+		// Batch path: a judge that rejects any lane whose engine
+		// output differs from the reference output forces Run to
+		// exercise the transpose + word-parallel evaluation and prove
+		// it equals the reference on every streamed lane.
+		differential := PerLaneJudge(func(in, out bitvec.Vec) bool {
+			return out == w.ApplyVec(in)
+		})
+		if v := New(prog, 1).Run(bitvec.Slice(vecs), differential); !v.Holds {
+			t.Fatalf("batch path diverges from reference on %s: engine %s, reference %s (net %s)",
+				v.In, v.Out, w.ApplyVec(v.In), w.Format())
+		}
+		if v := New(prog, 2).Run(bitvec.Slice(vecs), differential); !v.Holds {
+			t.Fatalf("pooled batch path diverges from reference on %s (net %s)", v.In, w.Format())
+		}
+
+		// Universe path (wholesale lane loading) vs a reference scan,
+		// kept to small n so the 2ⁿ sweep stays cheap.
+		if n <= 10 {
+			got := New(prog, 1).RunUniverse(SortedJudge())
+			wantHolds, wantFirst := true, bitvec.Vec{}
+			for x := uint64(0); x <= mask; x++ {
+				in := bitvec.Vec{N: n, Bits: x}
+				if !w.ApplyVec(in).IsSorted() {
+					wantHolds, wantFirst = false, in
+					break
+				}
+			}
+			if got.Holds != wantHolds {
+				t.Fatalf("RunUniverse holds=%v, reference %v (net %s)", got.Holds, wantHolds, w.Format())
+			}
+			if !got.Holds && got.In != wantFirst {
+				t.Fatalf("RunUniverse first failure %s, reference %s (net %s)", got.In, wantFirst, w.Format())
+			}
+		}
+	})
+}

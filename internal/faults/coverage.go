@@ -134,7 +134,15 @@ func (r Report) String() string {
 // safe for concurrent calls (all the package core test-set factories
 // are: each call returns a fresh iterator).
 func Measure(w *network.Network, fs []Fault, tests func() bitvec.Iterator, mode DetectMode) Report {
-	golden := eval.Compile(w)
+	return MeasureWith(w, eval.Compile(w), fs, tests, mode)
+}
+
+// MeasureWith is Measure with a caller-supplied compiled healthy
+// program — the cache-aware entry point: a caller holding w's program
+// already (the serving layer keeps one per canonical digest) skips
+// the recompilation. golden must be eval.Compile(w) (programs are
+// immutable, so sharing one across calls and goroutines is safe).
+func MeasureWith(w *network.Network, golden *eval.Program, fs []Fault, tests func() bitvec.Iterator, mode DetectMode) Report {
 	type outcome struct{ detectable, detected bool }
 	outcomes := make([]outcome, len(fs))
 	eval.ForEach(len(fs), 0, func(i int) {

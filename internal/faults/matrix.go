@@ -9,6 +9,7 @@ import (
 	"sortnets/internal/bitvec"
 	"sortnets/internal/eval"
 	"sortnets/internal/network"
+	"sortnets/internal/search"
 )
 
 // Matrix is the full test × fault detection table for one circuit
@@ -34,7 +35,13 @@ type Matrix struct {
 // collected vectors are replayed per fault — so it need not be safe
 // for concurrent calls.
 func DetectionMatrix(w *network.Network, fs []Fault, tests func() bitvec.Iterator, mode DetectMode) *Matrix {
-	golden := eval.Compile(w)
+	return DetectionMatrixWith(w, eval.Compile(w), fs, tests, mode)
+}
+
+// DetectionMatrixWith is DetectionMatrix with a caller-supplied
+// compiled healthy program (see MeasureWith): the cache-aware entry
+// point for callers that already hold w's program.
+func DetectionMatrixWith(w *network.Network, golden *eval.Program, fs []Fault, tests func() bitvec.Iterator, mode DetectMode) *Matrix {
 	vecs := bitvec.Collect(tests())
 	m := &Matrix{
 		Tests:      vecs,
@@ -122,6 +129,45 @@ func (m *Matrix) MinimalDetectingSet() []int {
 	// Greedy picks in coverage order; report in test-stream order.
 	slices.Sort(picks)
 	return picks
+}
+
+// ExactMinimalDetectingSet computes an exact minimum subset of the
+// tests that still detects every fault the full stream detects, by
+// handing the transposed matrix (per detected fault, the set of tests
+// exposing it) to the search package's hitting-set branch and bound.
+// nodeBudget caps the solve (≤ 0 = unlimited); if it is exhausted
+// before the search closes, ExactMinimalDetectingSet returns
+// (nil, false) and callers should fall back to the greedy
+// MinimalDetectingSet. workers ≤ 0 means GOMAXPROCS; the minimum
+// cardinality is worker-count-independent, but the identity of an
+// equal-size witness is only deterministic with workers == 1.
+// The returned indices (into Tests) are sorted ascending.
+func (m *Matrix) ExactMinimalDetectingSet(nodeBudget, workers int) ([]int, bool) {
+	detected := m.Detected()
+	fams := make([]*bitset.Set, 0, detected.Count())
+	detected.ForEach(func(f int) bool {
+		exposing := bitset.New(len(m.Tests))
+		for t, sig := range m.Sigs {
+			if sig.Contains(f) {
+				exposing.Add(t)
+			}
+		}
+		fams = append(fams, exposing)
+		return true
+	})
+	if len(fams) == 0 {
+		return []int{}, true
+	}
+	res := search.MinHittingSetBitsWorkers(len(m.Tests), fams, nodeBudget, workers)
+	if !res.Exact {
+		return nil, false
+	}
+	picks := make([]int, 0, res.Size)
+	res.Elements.ForEach(func(t int) bool {
+		picks = append(picks, t)
+		return true
+	})
+	return picks, true
 }
 
 // String renders a one-line summary.

@@ -1,0 +1,122 @@
+package search
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// Property test for the hitting-set solvers on RANDOMIZED instances
+// (the PR 2 cross-checks pinned only the E-series families): on every
+// generated family, the parallel solver and the sequential solver
+// must return the same minimum cardinality, and both witnesses must
+// actually hit every set. Small instances are additionally checked
+// against a brute-force optimum.
+
+// randomFamily draws m nonzero masks over e elements.
+func randomFamily(rng *rand.Rand, m, e int) []uint64 {
+	fam := make([]uint64, m)
+	for i := range fam {
+		for fam[i] == 0 {
+			// Mix dense and sparse sets: sparse families force deep
+			// branching, dense ones exercise the greedy/LB pruning.
+			width := 1 + rng.Intn(e)
+			var mask uint64
+			for b := 0; b < width; b++ {
+				mask |= 1 << uint(rng.Intn(e))
+			}
+			fam[i] = mask
+		}
+	}
+	return fam
+}
+
+func assertHits(t *testing.T, fam []uint64, picked uint64, label string) {
+	t.Helper()
+	for _, m := range fam {
+		if m&picked == 0 {
+			t.Fatalf("%s: set %b not hit by %b", label, m, picked)
+		}
+	}
+}
+
+// bruteMinimum finds the true minimum hitting-set size by enumerating
+// element subsets in cardinality order (e ≤ ~14 keeps this cheap).
+func bruteMinimum(fam []uint64, e int) int {
+	if len(fam) == 0 {
+		return 0
+	}
+	for k := 1; k <= e; k++ {
+		// All subsets of size k via Gosper's hack.
+		for s := uint64(1)<<uint(k) - 1; s < uint64(1)<<uint(e); {
+			hitsAll := true
+			for _, m := range fam {
+				if m&s == 0 {
+					hitsAll = false
+					break
+				}
+			}
+			if hitsAll {
+				return k
+			}
+			c := s & (^s + 1)
+			r := s + c
+			s = (((r ^ s) >> 2) / c) | r
+		}
+	}
+	return e
+}
+
+func TestMinHittingSetWorkersRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		e := 2 + rng.Intn(16) // elements
+		m := 1 + rng.Intn(24) // sets
+		fam := randomFamily(rng, m, e)
+
+		seq := MinHittingSet(fam)
+		assertHits(t, fam, seq, "sequential")
+		for _, workers := range []int{2, 4, 0} {
+			par := MinHittingSetWorkers(fam, workers)
+			assertHits(t, fam, par, "parallel")
+			if bits.OnesCount64(par) != bits.OnesCount64(seq) {
+				t.Fatalf("trial %d (e=%d, fam=%v): workers=%d found %d elements, sequential %d",
+					trial, e, fam, workers, bits.OnesCount64(par), bits.OnesCount64(seq))
+			}
+		}
+		if e <= 12 {
+			if want := bruteMinimum(fam, e); bits.OnesCount64(seq) != want {
+				t.Fatalf("trial %d: solver returned %d elements, brute-force optimum is %d (fam=%v)",
+					trial, bits.OnesCount64(seq), want, fam)
+			}
+		}
+	}
+}
+
+// TestMinHittingSetWorkersAdversarialShapes pins the cross-check on
+// structured instances where parallel work stealing is most likely to
+// race the incumbent: disjoint singletons (forced picks), identical
+// sets (maximal coalescing), and a pairwise-disjoint partition
+// matching the solver's lower bound exactly.
+func TestMinHittingSetWorkersAdversarialShapes(t *testing.T) {
+	cases := [][]uint64{
+		{1, 2, 4, 8, 16, 32},           // disjoint singletons: min = 6
+		{7, 7, 7, 7},                   // identical sets: min = 1
+		{3, 12, 48, 192},               // disjoint pairs: min = 4
+		{0b111, 0b111000, 0b111000000}, // disjoint triples: min = 3
+		{1, 3, 7, 15, 31},              // nested chain: min = 1
+		{0b101, 0b110, 0b011},          // triangle: min = 2
+	}
+	for _, fam := range cases {
+		seq := MinHittingSet(fam)
+		assertHits(t, fam, seq, "sequential")
+		par := MinHittingSetWorkers(fam, 4)
+		assertHits(t, fam, par, "parallel")
+		if bits.OnesCount64(seq) != bits.OnesCount64(par) {
+			t.Errorf("fam %v: sequential %d vs parallel %d", fam, bits.OnesCount64(seq), bits.OnesCount64(par))
+		}
+		if want := bruteMinimum(fam, 10); bits.OnesCount64(seq) != want {
+			t.Errorf("fam %v: solver %d, brute force %d", fam, bits.OnesCount64(seq), want)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// HTTP surface.
+//
+//	POST /verify   VerifyRequest  → VerifyResponse
+//	POST /faults   FaultsRequest  → FaultsResponse
+//	POST /minset   MinsetRequest  → MinsetResponse
+//	GET  /healthz  → "ok"
+//	GET  /stats    → StatsSnapshot
+//
+// Responses are application/json. The X-Sortnetd-Cache header reports
+// how a verdict was obtained: "hit" (verdict cache), "coalesced"
+// (joined an identical in-flight computation), or "miss" (computed).
+// Errors are {"error": "..."} with a 4xx/5xx status.
+
+// maxBodyBytes bounds request bodies; the largest legitimate request
+// is a few thousand comparator pairs.
+const maxBodyBytes = 1 << 20
+
+// Handler returns the service's HTTP mux.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/verify", func(w http.ResponseWriter, r *http.Request) {
+		endpoint(s, &s.stats.Verify, w, r, func(req *VerifyRequest) ([]byte, string, error) {
+			return s.verify(req)
+		})
+	})
+	mux.HandleFunc("/faults", func(w http.ResponseWriter, r *http.Request) {
+		endpoint(s, &s.stats.Faults, w, r, func(req *FaultsRequest) ([]byte, string, error) {
+			return s.faults(req)
+		})
+	})
+	mux.HandleFunc("/minset", func(w http.ResponseWriter, r *http.Request) {
+		endpoint(s, &s.stats.Minset, w, r, func(req *MinsetRequest) ([]byte, string, error) {
+			return s.minset(req)
+		})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "healthz is GET-only")
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "stats is GET-only")
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+// endpoint decodes one POST body into req, runs the endpoint logic,
+// and writes the verdict (or a typed error), keeping the counter
+// bookkeeping in one place.
+func endpoint[R any](s *Service, ep *EndpointStats, w http.ResponseWriter, r *http.Request, run func(*R) ([]byte, string, error)) {
+	ep.Requests.Add(1)
+	if r.Method != http.MethodPost {
+		ep.Errors.Add(1)
+		writeError(w, http.StatusMethodNotAllowed, "use POST with a JSON body")
+		return
+	}
+	var req R
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		ep.Errors.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	body, source, err := run(&req)
+	if err != nil {
+		ep.Errors.Add(1)
+		var re *requestError
+		if errors.As(err, &re) {
+			writeError(w, re.status, re.msg)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Sortnetd-Cache", source)
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+)
+
+// The compute plane is a SHARDED worker pool: one goroutine per
+// shard, with requests routed to a shard by the hash of their cache
+// key. Routing by key gives coalescing for free and without a global
+// lock — two concurrent identical requests always land on the same
+// shard, where an inflight table lets the second subscribe to the
+// first's result instead of recomputing it. The shard count bounds
+// the number of verdicts computing at once (the engines inside run
+// single-worker, so total CPU use stays ≈ shard count ≈ GOMAXPROCS).
+
+// call is one in-flight computation; waiters block on done and then
+// read body/err, which are written exactly once before the close.
+type call struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+type shard struct {
+	mu       sync.Mutex
+	inflight map[string]*call
+	jobs     chan func()
+}
+
+type pool struct {
+	shards []*shard
+	wg     sync.WaitGroup
+}
+
+// newPool starts n shard workers. Each shard's job queue is buffered;
+// a full queue blocks the submitting HTTP handler, which is the
+// intended backpressure.
+func newPool(n int) *pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &pool{shards: make([]*shard, n)}
+	for i := range p.shards {
+		sh := &shard{
+			inflight: make(map[string]*call),
+			jobs:     make(chan func(), 64),
+		}
+		p.shards[i] = sh
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for job := range sh.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// close drains the pool: no do calls may be in flight or follow.
+func (p *pool) close() {
+	for _, sh := range p.shards {
+		close(sh.jobs)
+	}
+	p.wg.Wait()
+}
+
+func (p *pool) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return p.shards[h.Sum32()%uint32(len(p.shards))]
+}
+
+// do runs compute for key on key's shard, coalescing with an
+// identical in-flight computation if one exists. It returns the
+// result and whether this caller merely joined an existing call.
+// onJoin, if non-nil, runs as soon as a caller registers as a waiter
+// (BEFORE blocking on the twin's result), so coalescing is
+// observable in /stats while the shared computation is still running.
+// onCompute, if non-nil, runs on the shard worker right before
+// compute — the test seam that lets tests hold a computation open.
+func (p *pool) do(key string, compute func() ([]byte, error), onCompute, onJoin func()) (body []byte, coalesced bool, err error) {
+	sh := p.shardFor(key)
+	sh.mu.Lock()
+	if c, ok := sh.inflight[key]; ok {
+		sh.mu.Unlock()
+		if onJoin != nil {
+			onJoin()
+		}
+		<-c.done
+		return c.body, true, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	sh.inflight[key] = c
+	sh.mu.Unlock()
+
+	sh.jobs <- func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = fmt.Errorf("serve: compute panicked: %v", r)
+			}
+			sh.mu.Lock()
+			delete(sh.inflight, key)
+			sh.mu.Unlock()
+			close(c.done)
+		}()
+		if onCompute != nil {
+			onCompute()
+		}
+		c.body, c.err = compute()
+	}
+	<-c.done
+	return c.body, false, c.err
+}

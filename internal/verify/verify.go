@@ -179,14 +179,14 @@ func engineFor(w *network.Network, p Property, workers int) *eval.Engine {
 	return eval.New(eval.Compile(w), workers)
 }
 
-// wholesale reports whether the ground-truth sweep for p on w may use
-// the engine's wholesale-loading universe path: one of the three
-// paper properties (whose exhaustive universe is exactly all 2ⁿ
-// inputs) within the width RunUniverse accepts. Wider networks fall
-// back to streaming ExhaustiveBinary, which completes (slowly) at
-// any n ≤ 64 rather than panicking.
-func wholesale(w *network.Network, p Property) bool {
-	if w.N > 30 {
+// wholesale reports whether the ground-truth sweep for p on an
+// n-line circuit may use the engine's wholesale-loading universe
+// path: one of the three paper properties (whose exhaustive universe
+// is exactly all 2ⁿ inputs) within the width RunUniverse accepts.
+// Wider networks fall back to streaming ExhaustiveBinary, which
+// completes (slowly) at any n ≤ 64 rather than panicking.
+func wholesale(n int, p Property) bool {
+	if n > 30 {
 		return false
 	}
 	switch p.(type) {
@@ -203,11 +203,37 @@ func Verdict(w *network.Network, p Property) Result {
 	return fromVerdict(engineFor(w, p, 1).Run(p.BinaryTests(), judgeFor(p)))
 }
 
+// VerdictProgram is Verdict for an already-compiled program — the
+// cache-aware entry point: a caller that verifies many properties of
+// one circuit (or the same circuit across many requests, like the
+// serving layer) compiles once and reuses the program. Verdicts are
+// deterministic: tests run in stream order on a single worker, so the
+// reported counterexample is stable call-to-call.
+func VerdictProgram(prog *eval.Program, p Property) Result {
+	if prog.N() != p.Lines() {
+		panic(fmt.Sprintf("verify: program has %d lines, property wants %d", prog.N(), p.Lines()))
+	}
+	return fromVerdict(eval.New(prog, 1).Run(p.BinaryTests(), judgeFor(p)))
+}
+
 // GroundTruth checks the property against the entire binary universe —
 // the exhaustive baseline the minimal test sets are measured against.
 func GroundTruth(w *network.Network, p Property) Result {
 	e := engineFor(w, p, 1)
-	if wholesale(w, p) {
+	if wholesale(w.N, p) {
+		return fromVerdict(e.RunUniverse(judgeFor(p)))
+	}
+	return fromVerdict(e.Run(p.ExhaustiveBinary(), judgeFor(p)))
+}
+
+// GroundTruthProgram is GroundTruth for an already-compiled program
+// (see VerdictProgram).
+func GroundTruthProgram(prog *eval.Program, p Property) Result {
+	if prog.N() != p.Lines() {
+		panic(fmt.Sprintf("verify: program has %d lines, property wants %d", prog.N(), p.Lines()))
+	}
+	e := eval.New(prog, 1)
+	if wholesale(prog.N(), p) {
 		return fromVerdict(e.RunUniverse(judgeFor(p)))
 	}
 	return fromVerdict(e.Run(p.ExhaustiveBinary(), judgeFor(p)))
@@ -240,7 +266,7 @@ func GroundTruthParallel(w *network.Network, p Property, workers int) Result {
 		workers = 0
 	}
 	e := engineFor(w, p, workers)
-	if wholesale(w, p) {
+	if wholesale(w.N, p) {
 		return fromVerdict(e.RunUniverse(judgeFor(p)))
 	}
 	return fromVerdict(e.Run(p.ExhaustiveBinary(), judgeFor(p)))

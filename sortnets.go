@@ -26,6 +26,7 @@ package sortnets
 
 import (
 	"sortnets/internal/bitvec"
+	"sortnets/internal/canon"
 	"sortnets/internal/chains"
 	"sortnets/internal/comb"
 	"sortnets/internal/core"
@@ -114,6 +115,18 @@ func BatcherMerger(n int) *Network { return gen.HalfMerger(n) }
 
 // SelectionNetwork returns a (k,n)-selection network.
 func SelectionNetwork(n, k int) *Network { return gen.Selection(n, k) }
+
+// CanonicalNetwork returns the canonical presentation of a network —
+// comparators grouped into greedy parallel layers and sorted within
+// each layer — computing the same function on every input. Two
+// networks that differ only in the interleaving of their parallel
+// layers share a canonical form (and a NetworkDigest); the sortnetd
+// service keys its verdict cache on it.
+func CanonicalNetwork(w *Network) *Network { return canon.Normalize(w) }
+
+// NetworkDigest returns the stable hex SHA-256 digest of the
+// network's canonical form.
+func NetworkDigest(w *Network) string { return canon.DigestString(w) }
 
 // --- The paper's test sets --------------------------------------------
 

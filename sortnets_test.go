@@ -45,6 +45,24 @@ func TestFacadeParseAndCheck(t *testing.T) {
 	}
 }
 
+func TestFacadeCanonicalDigest(t *testing.T) {
+	a := MustParseNetwork("n=4: [1,3][2,4][1,2][3,4]")
+	b := MustParseNetwork("n=4: [2,4][1,3][1,2][3,4]") // first layer interleaved
+	if NetworkDigest(a) != NetworkDigest(b) {
+		t.Error("within-layer reordering changed the digest")
+	}
+	c := CanonicalNetwork(a)
+	if NetworkDigest(c) != NetworkDigest(a) {
+		t.Error("canonicalization changed the digest")
+	}
+	for x := uint64(0); x < 16; x++ {
+		in := Vec{N: 4, Bits: x}
+		if c.ApplyVec(in) != a.ApplyVec(in) {
+			t.Fatalf("canonical form diverges on %s", in)
+		}
+	}
+}
+
 func TestFacadeSelectorAndMerger(t *testing.T) {
 	if r := CheckSelector(SelectionNetwork(8, 3), 3); !r.Holds {
 		t.Errorf("selection network rejected: %s", r)
