@@ -1,4 +1,4 @@
-package serve
+package sortnets
 
 import (
 	"container/list"
@@ -6,10 +6,10 @@ import (
 )
 
 // lru is a mutex-guarded least-recently-used cache with a fixed entry
-// capacity. The serving layer keeps two: the verdict cache (marshaled
-// response bodies, so hits are byte-identical replays) and the
-// compiled-program cache (one eval.Program per canonical digest,
-// shared across properties and endpoints).
+// capacity. A Session keeps two: the verdict cache (immutable
+// *Verdict / conveniences' typed results, shared by the in-process
+// and HTTP paths) and the compiled-program cache (one eval.Program
+// per canonical digest, shared across operations and properties).
 type lru[V any] struct {
 	mu        sync.Mutex
 	capacity  int

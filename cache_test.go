@@ -1,0 +1,32 @@
+package sortnets
+
+import "testing"
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU[[]byte](2)
+	c.Add("a", []byte("A"))
+	c.Add("b", []byte("B"))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Add("c", []byte("C")) // evicts b (least recently used)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should have survived")
+	}
+	if c.Len() != 2 || c.Evictions() != 1 {
+		t.Errorf("len=%d evictions=%d", c.Len(), c.Evictions())
+	}
+	c.Add("a", []byte("A2"))
+	if v, _ := c.Get("a"); string(v) != "A2" {
+		t.Errorf("update lost: %q", v)
+	}
+	if c.Len() != 2 {
+		t.Errorf("update grew the cache: %d", c.Len())
+	}
+	if c.Cap() != 2 {
+		t.Errorf("cap %d, want 2", c.Cap())
+	}
+}

@@ -1,0 +1,149 @@
+// Package client is the remote face of the one request model: a
+// *Client speaks the same sortnets.Request / sortnets.Verdict types
+// as an in-process sortnets.Session, against a running sortnetd URL.
+// Both satisfy sortnets.Doer, so a caller swaps local ↔ remote by
+// swapping a value:
+//
+//	var doer sortnets.Doer = sortnets.NewSession()
+//	// ... or ...
+//	doer = client.New("http://localhost:8357")
+//	v, err := doer.Do(ctx, sortnets.Request{Network: "n=4: [1,2][3,4][1,3][2,4][2,3]"})
+//
+// The request's context governs the whole round trip; cancelling it
+// tears down the HTTP request, which cancels the computation inside
+// the server and releases its pool slot. Verdicts decode to the same
+// bytes the Session would produce locally (asserted by the
+// round-trip property test), and 4xx failures come back as the same
+// *sortnets.RequestError a local Session returns.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"sortnets"
+)
+
+// Client calls a sortnetd instance. The zero value is not usable;
+// build one with New.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles). The default is http.DefaultClient —
+// deadlines are expected to arrive per-request via the context.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// New returns a Client against a sortnetd base URL such as
+// "http://localhost:8357".
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Client implements sortnets.Doer.
+var _ sortnets.Doer = (*Client)(nil)
+
+// maxResponseBytes bounds decoded response bodies (a minset verdict
+// lists at most a few thousand test strings).
+const maxResponseBytes = 8 << 20
+
+// Do posts the Request to the service's unified /do endpoint and
+// decodes the Verdict. Source is taken from the X-Sortnetd-Cache
+// header, so cache observability matches the in-process Session.
+func (c *Client) Do(ctx context.Context, req sortnets.Request) (*sortnets.Verdict, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/do", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(httpReq)
+	if err != nil {
+		// Surface the caller's own cancellation as the bare context
+		// error, exactly like a local Session.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" && resp.StatusCode < 500 {
+			return nil, &sortnets.RequestError{Status: resp.StatusCode, Msg: e.Error}
+		}
+		return nil, fmt.Errorf("sortnetd: status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var v sortnets.Verdict
+	if err := json.Unmarshal(body, &v); err != nil {
+		return nil, fmt.Errorf("sortnetd: undecodable verdict: %w", err)
+	}
+	v.Source = resp.Header.Get("X-Sortnetd-Cache")
+	return &v, nil
+}
+
+// Healthz probes the service's liveness endpoint.
+func (c *Client) Healthz(ctx context.Context) error {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(httpReq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("sortnetd: healthz status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Stats fetches the service's raw /stats body (shape:
+// serve.StatsSnapshot).
+func (c *Client) Stats(ctx context.Context) ([]byte, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("sortnetd: stats status %d", resp.StatusCode)
+	}
+	return body, nil
+}

@@ -1,0 +1,138 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"sortnets"
+	"sortnets/internal/network"
+	"sortnets/internal/serve"
+)
+
+// randomNetworkText grows a random standard network in the same
+// spirit as the canon fuzz decoder: every draw is a valid circuit,
+// so the property test explores circuit space, not parser space.
+func randomNetworkText(rng *rand.Rand, maxN, maxComps int) string {
+	n := 2 + rng.Intn(maxN-1)
+	w := network.New(n)
+	size := rng.Intn(maxComps + 1)
+	for i := 0; i < size; i++ {
+		a := rng.Intn(n)
+		b := rng.Intn(n)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		w.AddPair(a, b)
+	}
+	return w.Format()
+}
+
+// TestRoundTripMatchesLocalSession is the satellite property test:
+// for randomized networks and every operation, the remote path
+// (client → sortnetd HTTP → Session) must return byte-identical
+// Verdicts to a direct in-process Session.Do.
+func TestRoundTripMatchesLocalSession(t *testing.T) {
+	svc := serve.NewService(serve.Config{Workers: 2})
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		svc.Close()
+	}()
+	remote := New(ts.URL)
+	local := sortnets.NewSession()
+	defer local.Close()
+
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		net := randomNetworkText(rng, 8, 24)
+		reqs := []sortnets.Request{
+			{Op: sortnets.OpVerify, Network: net},
+			{Op: sortnets.OpVerify, Network: net, Exhaustive: true},
+			{Op: sortnets.OpFaults, Network: net},
+			{Op: sortnets.OpMinset, Network: net},
+		}
+		// Mergers need an even width; exercise the other properties on
+		// a subset of trials.
+		if trial%3 == 0 {
+			reqs = append(reqs, sortnets.Request{Op: sortnets.OpVerify, Network: net, Property: "selector", K: 1})
+		}
+		for _, req := range reqs {
+			lv, lerr := local.Do(ctx, req)
+			rv, rerr := remote.Do(ctx, req)
+			if (lerr == nil) != (rerr == nil) {
+				t.Fatalf("net %s op %s: local err %v, remote err %v", net, req.Op, lerr, rerr)
+			}
+			if lerr != nil {
+				// Errors must agree in type and status.
+				var lre, rre *sortnets.RequestError
+				if !errors.As(lerr, &lre) || !errors.As(rerr, &rre) || lre.Status != rre.Status {
+					t.Fatalf("net %s op %s: error divergence: local %v, remote %v", net, req.Op, lerr, rerr)
+				}
+				continue
+			}
+			lb, err := json.Marshal(lv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := json.Marshal(rv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(lb) != string(rb) {
+				t.Fatalf("net %s op %s: verdicts differ:\nlocal:  %s\nremote: %s", net, req.Op, lb, rb)
+			}
+		}
+	}
+}
+
+// TestRequestErrorsReconstructed: a 4xx from the service comes back
+// as the same typed *sortnets.RequestError a local Session returns.
+func TestRequestErrorsReconstructed(t *testing.T) {
+	svc := serve.NewService(serve.Config{})
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		svc.Close()
+	}()
+	c := New(ts.URL)
+
+	_, err := c.Do(context.Background(), sortnets.Request{Network: "n=4: [zap"})
+	var re *sortnets.RequestError
+	if !errors.As(err, &re) || re.Status != 400 {
+		t.Fatalf("want *RequestError with status 400, got %v", err)
+	}
+	_, err = c.Do(context.Background(), sortnets.Request{Lines: 2, Comparators: [][2]int{{2, 1}}})
+	if !errors.As(err, &re) || re.Status != 422 {
+		t.Fatalf("tangled network: want status 422, got %v", err)
+	}
+}
+
+// TestClientCancellation: a cancelled context surfaces as the bare
+// context error, like a local Session.
+func TestClientCancellation(t *testing.T) {
+	svc := serve.NewService(serve.Config{})
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		svc.Close()
+	}()
+	c := New(ts.URL)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.Do(ctx, sortnets.Request{Network: "n=2: [1,2]"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+}

@@ -12,14 +12,20 @@
 // With -load it turns adversarial in the operational sense instead: a
 // load generator that hammers a running sortnetd instance with random
 // networks and reports sustained requests/sec plus the server's own
-// /stats counters.
+// /stats counters. -timeout bounds the whole load run: requests carry
+// the deadline's context, so when it expires the in-flight HTTP
+// requests are torn down — and with them the verdict computations
+// inside the server, which observe the disconnect through the same
+// context plumbing and release their pool slots.
 //
 //	adversary -load http://localhost:8357 -requests 5000 -concurrency 16
 //	adversary -load http://localhost:8357 -distinct 4   # mostly cache hits
+//	adversary -load http://localhost:8357 -timeout 10s
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,11 +52,18 @@ func main() {
 	size := flag.Int("size", 19, "load mode: comparators per random network")
 	distinct := flag.Int("distinct", 32, "load mode: distinct networks cycled through (fewer = more cache hits)")
 	seed := flag.Int64("seed", 1, "load mode: random-network seed")
+	timeout := flag.Duration("timeout", 0, "load mode: overall deadline (0 = none); expiring aborts in-flight requests")
 	flag.Parse()
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	var err error
 	if *load != "" {
-		err = loadRun(os.Stdout, *load, *requests, *concurrency, *n, *size, *distinct, *seed)
+		err = loadRun(ctx, os.Stdout, *load, *requests, *concurrency, *n, *size, *distinct, *seed)
 	} else {
 		err = run(os.Stdout, *sigma, *quiet)
 	}
@@ -89,9 +102,11 @@ func run(out io.Writer, sigma string, quiet bool) error {
 
 // loadRun drives a sortnetd instance: distinct random networks are
 // pre-rendered, then concurrency workers cycle POSTs to /verify over
-// them. It reports client-side throughput and source breakdown (from
-// the X-Sortnetd-Cache header), then echoes the server's /stats.
-func loadRun(out io.Writer, base string, requests, concurrency, n, size, distinct int, seed int64) error {
+// them. Every request carries ctx, so an expired deadline aborts the
+// run (and the server-side computations) promptly. It reports
+// client-side throughput and source breakdown (from the
+// X-Sortnetd-Cache header), then echoes the server's /stats.
+func loadRun(ctx context.Context, out io.Writer, base string, requests, concurrency, n, size, distinct int, seed int64) error {
 	if requests < 1 || concurrency < 1 || distinct < 1 {
 		return fmt.Errorf("need positive -requests, -concurrency, -distinct")
 	}
@@ -130,10 +145,17 @@ func loadRun(out io.Writer, base string, requests, concurrency, n, size, distinc
 			defer wg.Done()
 			for {
 				i := next.Add(1) - 1
-				if i >= int64(requests) {
+				if i >= int64(requests) || ctx.Err() != nil {
 					return
 				}
-				resp, err := client.Post(base+"/verify", "application/json", bytes.NewReader(bodies[i%int64(distinct)]))
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/verify",
+					bytes.NewReader(bodies[i%int64(distinct)]))
+				if err != nil {
+					fail(err)
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
 				if err != nil {
 					fail(err)
 					continue
@@ -164,6 +186,9 @@ func loadRun(out io.Writer, base string, requests, concurrency, n, size, distinc
 	fmt.Fprintf(out, "done in %v: %.0f req/s, %d ok (%d hit / %d coalesced / %d computed), %d errors\n",
 		elapsed.Round(time.Millisecond), float64(requests)/elapsed.Seconds(),
 		ok, hits.Load(), coalesced.Load(), misses.Load(), errs.Load())
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("load aborted by deadline after %d requests: %w", next.Load(), err)
+	}
 	if firstErr != nil {
 		return fmt.Errorf("%d requests failed; first failure: %v", errs.Load(), firstErr)
 	}

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"sortnets/internal/serve"
 )
@@ -42,7 +45,7 @@ func TestLoadModeAgainstLiveService(t *testing.T) {
 
 	var sb strings.Builder
 	// 40 requests over 4 distinct networks: most must be cache hits.
-	if err := loadRun(&sb, ts.URL, 40, 4, 6, 8, 4, 1); err != nil {
+	if err := loadRun(context.Background(), &sb, ts.URL, 40, 4, 6, 8, 4, 1); err != nil {
 		t.Fatalf("loadRun: %v\n%s", err, sb.String())
 	}
 	out := sb.String()
@@ -62,10 +65,10 @@ func TestLoadModeAgainstLiveService(t *testing.T) {
 
 func TestLoadModeValidation(t *testing.T) {
 	var sb strings.Builder
-	if err := loadRun(&sb, "http://127.0.0.1:1", 0, 1, 6, 8, 1, 1); err == nil {
+	if err := loadRun(context.Background(), &sb, "http://127.0.0.1:1", 0, 1, 6, 8, 1, 1); err == nil {
 		t.Error("zero requests should error")
 	}
-	if err := loadRun(&sb, "http://127.0.0.1:1", 1, 1, 1, 8, 1, 1); err == nil {
+	if err := loadRun(context.Background(), &sb, "http://127.0.0.1:1", 1, 1, 1, 8, 1, 1); err == nil {
 		t.Error("n=1 should error")
 	}
 }
@@ -80,5 +83,24 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(&sb, "0011", false); err == nil {
 		t.Error("sorted sigma should error")
+	}
+}
+
+// TestLoadModeDeadline: an already-expired deadline aborts the run
+// with the context error instead of hammering the service.
+func TestLoadModeDeadline(t *testing.T) {
+	s := serve.NewService(serve.Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	var sb strings.Builder
+	err := loadRun(ctx, &sb, ts.URL, 50, 2, 6, 8, 2, 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", err)
 	}
 }

@@ -23,7 +23,7 @@ import (
 func main() {
 	n := flag.Int("n", 5, "number of lines (certificate has 2^n-n-1 entries)")
 	check := flag.String("check", "", "verify a certificate file instead of emitting one")
-	workers := flag.Int("workers", 1, "witness-verification workers (0 = all cores)")
+	workers := flag.Int("workers", 0, "witness-verification workers: 0 = automatic (all cores), 1 = sequential, k = exactly k")
 	flag.Parse()
 
 	if err := run(*n, *check, *workers); err != nil {

@@ -43,7 +43,7 @@ func main() {
 	inputs := flag.String("inputs", "binary", "input model: binary | perm")
 	limit := flag.Int("limit", 20_000_000, "behaviour closure cap")
 	show := flag.Bool("show", false, "print the minimum test set itself")
-	workers := flag.Int("workers", 0, "pipeline workers (0 = parallel closure + deterministic solve; >1 also parallelizes the solver)")
+	workers := flag.Int("workers", 0, "pipeline workers: 0 = automatic (parallel closure + deterministic solve), 1 = fully sequential, k > 1 also parallelizes the solver")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()

@@ -1,10 +1,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"sortnets"
 )
 
 func writeNet(t *testing.T, content string) string {
@@ -19,7 +24,7 @@ func writeNet(t *testing.T, content string) string {
 func TestRunSorterPass(t *testing.T) {
 	path := writeNet(t, "n=4: [1,2][3,4][1,3][2,4][2,3]")
 	var sb strings.Builder
-	code, err := run(&sb, path, "sorter", 1, "binary", 1, true, true)
+	code, err := run(&sb, path, "sorter", 1, "binary", 1, 0, false, true, true)
 	if err != nil || code != 0 {
 		t.Fatalf("code=%d err=%v", code, err)
 	}
@@ -35,7 +40,7 @@ func TestRunSorterPass(t *testing.T) {
 func TestRunSorterFail(t *testing.T) {
 	path := writeNet(t, "n=4: [1,3][2,4][1,2][3,4]")
 	var sb strings.Builder
-	code, err := run(&sb, path, "sorter", 1, "binary", 1, false, false)
+	code, err := run(&sb, path, "sorter", 1, "binary", 1, 0, false, false, false)
 	if err != nil || code != 1 {
 		t.Fatalf("code=%d err=%v", code, err)
 	}
@@ -47,7 +52,7 @@ func TestRunSorterFail(t *testing.T) {
 func TestRunPermInputs(t *testing.T) {
 	path := writeNet(t, "n=4: [1,2][3,4][1,3][2,4][2,3]")
 	var sb strings.Builder
-	code, err := run(&sb, path, "sorter", 1, "perm", 1, false, false)
+	code, err := run(&sb, path, "sorter", 1, "perm", 1, 0, false, false, false)
 	if err != nil || code != 0 {
 		t.Fatalf("code=%d err=%v", code, err)
 	}
@@ -59,38 +64,72 @@ func TestRunPermInputs(t *testing.T) {
 func TestRunSelectorAndMerger(t *testing.T) {
 	sel := writeNet(t, "n=4: [3,4][2,3][1,2]")
 	var sb strings.Builder
-	code, err := run(&sb, sel, "selector", 1, "binary", 1, false, false)
+	code, err := run(&sb, sel, "selector", 1, "binary", 1, 0, false, false, false)
 	if err != nil || code != 0 {
 		t.Fatalf("selector: code=%d err=%v out=%s", code, err, sb.String())
 	}
 	mrg := writeNet(t, "n=4: [1,3][2,4][2,3]")
 	sb.Reset()
-	code, err = run(&sb, mrg, "merger", 1, "binary", 2, false, false)
+	code, err = run(&sb, mrg, "merger", 1, "binary", 2, 0, false, false, false)
 	if err != nil || code != 0 {
 		t.Fatalf("merger: code=%d err=%v out=%s", code, err, sb.String())
 	}
 }
 
+func TestRunExhaustive(t *testing.T) {
+	path := writeNet(t, "n=4: [1,2][3,4][1,3][2,4][2,3]")
+	var sb strings.Builder
+	code, err := run(&sb, path, "sorter", 1, "binary", 1, 0, true, false, false)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v out=%s", code, err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "holds (16 tests)") { // 2⁴ ground-truth inputs
+		t.Errorf("missing exhaustive verdict:\n%s", sb.String())
+	}
+}
+
+// TestRunTimeoutGroundTruth is the satellite contract: a deliberately
+// huge exhaustive sweep under a tiny -timeout must return a deadline
+// error promptly, not hang.
+func TestRunTimeoutGroundTruth(t *testing.T) {
+	// 2³⁰ inputs through a few hundred comparators: seconds of work,
+	// cancelled within one engine block of the 50ms deadline.
+	path := writeNet(t, sortnets.BatcherSorter(30).Format())
+	var sb strings.Builder
+	start := time.Now()
+	_, err := run(&sb, path, "sorter", 1, "binary", 1, 50*time.Millisecond, true, false, false)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v (out=%s)", err, sb.String())
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("deadline honored only after %v", elapsed)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if _, err := run(&sb, "", "sorter", 1, "binary", 1, false, false); err == nil {
+	if _, err := run(&sb, "", "sorter", 1, "binary", 1, 0, false, false, false); err == nil {
 		t.Error("missing -net should error")
 	}
-	if _, err := run(&sb, "/nonexistent/net.txt", "sorter", 1, "binary", 1, false, false); err == nil {
+	if _, err := run(&sb, "/nonexistent/net.txt", "sorter", 1, "binary", 1, 0, false, false, false); err == nil {
 		t.Error("missing file should error")
 	}
 	bad := writeNet(t, "n=4: [4,1]")
-	if _, err := run(&sb, bad, "sorter", 1, "binary", 1, false, false); err == nil {
+	if _, err := run(&sb, bad, "sorter", 1, "binary", 1, 0, false, false, false); err == nil {
 		t.Error("invalid network should error")
 	}
 	good := writeNet(t, "n=3: [1,2]")
-	if _, err := run(&sb, good, "merger", 1, "binary", 1, false, false); err == nil {
+	if _, err := run(&sb, good, "merger", 1, "binary", 1, 0, false, false, false); err == nil {
 		t.Error("odd-width merger should error")
 	}
-	if _, err := run(&sb, good, "unknown", 1, "binary", 1, false, false); err == nil {
+	if _, err := run(&sb, good, "unknown", 1, "binary", 1, 0, false, false, false); err == nil {
 		t.Error("unknown property should error")
 	}
-	if _, err := run(&sb, good, "sorter", 1, "ternary", 1, false, false); err == nil {
+	if _, err := run(&sb, good, "sorter", 1, "ternary", 1, 0, false, false, false); err == nil {
 		t.Error("unknown input model should error")
+	}
+	if _, err := run(&sb, good, "sorter", 1, "perm", 1, 0, true, false, false); err == nil {
+		t.Error("exhaustive+perm should error")
 	}
 }

@@ -41,7 +41,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8357", "listen address")
-	workers := flag.Int("workers", 0, "compute-pool shards (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "concurrent verdict computations: 0 = automatic (all cores), k = exactly k")
 	cacheSize := flag.Int("cache-size", 4096, "verdict cache capacity in entries")
 	maxLines := flag.Int("max-lines", 20, "largest line count accepted by /verify")
 	maxFaultLines := flag.Int("max-fault-lines", 12, "largest line count accepted by /faults and /minset")

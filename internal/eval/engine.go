@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -114,6 +115,16 @@ const chunkLanes = 16 * network.LanesPerBatch
 // worker found, and TestsRun counts the vectors handed out before the
 // pool drained. Requires n ≤ 64 (use RunWide beyond).
 func (e *Engine) Run(it bitvec.Iterator, judge Judge) Verdict {
+	v, _ := e.RunCtx(context.Background(), it, judge)
+	return v
+}
+
+// RunCtx is Run under a context: cancellation is checked once per
+// 64-lane block (never per vector, so the hot loop stays word-
+// parallel). On cancellation it returns a zero Verdict and ctx.Err();
+// a failure found before the cancellation was observed is still
+// reported with a nil error.
+func (e *Engine) RunCtx(ctx context.Context, it bitvec.Iterator, judge Judge) (Verdict, error) {
 	if e.p.n > network.LanesPerBatch {
 		panic(fmt.Sprintf("eval: Run needs n ≤ 64, program has %d lines (use RunWide)", e.p.n))
 	}
@@ -137,14 +148,14 @@ func (e *Engine) Run(it bitvec.Iterator, judge Judge) Verdict {
 			staged = append(staged, v)
 		}
 		if exhausted {
-			return e.runSeq(bitvec.Slice(staged), judge)
+			return e.runSeq(ctx, bitvec.Slice(staged), judge)
 		}
-		return e.runPool(&chainIter{head: staged, tail: it}, judge, runtime.NumCPU())
+		return e.runPool(ctx, &chainIter{head: staged, tail: it}, judge, runtime.NumCPU())
 	}
 	if workers == 1 {
-		return e.runSeq(it, judge)
+		return e.runSeq(ctx, it, judge)
 	}
-	return e.runPool(it, judge, workers)
+	return e.runPool(ctx, it, judge, workers)
 }
 
 // chainIter replays a staged prefix, then drains the live tail.
@@ -204,10 +215,13 @@ func (e *Engine) verdictFrom(b *block, bad uint64, tests int) Verdict {
 	return Verdict{Holds: false, TestsRun: tests, In: b.lanes[lane], Out: b.out.Lane(lane)}
 }
 
-func (e *Engine) runSeq(it bitvec.Iterator, judge Judge) Verdict {
+func (e *Engine) runSeq(ctx context.Context, it bitvec.Iterator, judge Judge) (Verdict, error) {
 	b := newBlock(e.p.n)
 	tests := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return Verdict{}, err
+		}
 		k := 0
 		for k < network.LanesPerBatch {
 			v, ok := it.Next()
@@ -218,20 +232,20 @@ func (e *Engine) runSeq(it bitvec.Iterator, judge Judge) Verdict {
 			k++
 		}
 		if k == 0 {
-			return Verdict{Holds: true, TestsRun: tests}
+			return Verdict{Holds: true, TestsRun: tests}, nil
 		}
 		if bad := e.judgeLanes(b, k, judge); bad != 0 {
 			// The lowest rejected lane is the first failure in stream
 			// order; report the tests consumed up to and including it,
 			// exactly as a one-vector-at-a-time engine would.
 			lane := bits.TrailingZeros64(bad)
-			return e.verdictFrom(b, bad, tests+lane+1)
+			return e.verdictFrom(b, bad, tests+lane+1), nil
 		}
 		tests += k
 	}
 }
 
-func (e *Engine) runPool(it bitvec.Iterator, judge Judge, workers int) Verdict {
+func (e *Engine) runPool(ctx context.Context, it bitvec.Iterator, judge Judge, workers int) (Verdict, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -248,6 +262,9 @@ func (e *Engine) runPool(it bitvec.Iterator, judge Judge, workers int) Verdict {
 			b := newBlock(e.p.n)
 			for chunk := range chunks {
 				for off := 0; off < len(chunk); off += network.LanesPerBatch {
+					if ctx.Err() != nil {
+						return
+					}
 					k := len(chunk) - off
 					if k > network.LanesPerBatch {
 						k = network.LanesPerBatch
@@ -269,6 +286,9 @@ func (e *Engine) runPool(it bitvec.Iterator, judge Judge, workers int) Verdict {
 	tests := 0
 feed:
 	for {
+		if ctx.Err() != nil {
+			break
+		}
 		chunk := make([]bitvec.Vec, 0, chunkLanes)
 		for len(chunk) < chunkLanes {
 			v, ok := it.Next()
@@ -285,6 +305,8 @@ feed:
 		case chunks <- chunk:
 		case <-stop:
 			break feed
+		case <-ctx.Done():
+			break feed
 		}
 	}
 	close(chunks)
@@ -292,9 +314,12 @@ feed:
 	close(fails)
 	if f, ok := <-fails; ok {
 		f.TestsRun = tests
-		return f
+		return f, nil
 	}
-	return Verdict{Holds: true, TestsRun: tests}
+	if err := ctx.Err(); err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{Holds: true, TestsRun: tests}, nil
 }
 
 // Sweep streams the iterator's vectors through the program in 64-lane
@@ -305,12 +330,21 @@ feed:
 // counterpart of Run — fault signature extraction wants every
 // (test, verdict) bit, not just the first failure.
 func (e *Engine) Sweep(it bitvec.Iterator, judge Judge, visit func(offset int, rejected uint64)) int {
+	n, _ := e.SweepCtx(context.Background(), it, judge, visit)
+	return n
+}
+
+// SweepCtx is Sweep under a context, checked once per 64-lane block.
+func (e *Engine) SweepCtx(ctx context.Context, it bitvec.Iterator, judge Judge, visit func(offset int, rejected uint64)) (int, error) {
 	if e.p.n > network.LanesPerBatch {
 		panic(fmt.Sprintf("eval: Sweep needs n ≤ 64, program has %d lines", e.p.n))
 	}
 	b := newBlock(e.p.n)
 	tests := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return tests, err
+		}
 		k := 0
 		for k < network.LanesPerBatch {
 			v, ok := it.Next()
@@ -321,7 +355,7 @@ func (e *Engine) Sweep(it bitvec.Iterator, judge Judge, visit func(offset int, r
 			k++
 		}
 		if k == 0 {
-			return tests
+			return tests, nil
 		}
 		visit(tests, e.judgeLanes(b, k, judge))
 		tests += k
@@ -333,6 +367,14 @@ func (e *Engine) Sweep(it bitvec.Iterator, judge Judge, visit func(offset int, r
 // wholesale (six fixed masks and constant words) instead of
 // transposing lane by lane.
 func (e *Engine) RunUniverse(judge Judge) Verdict {
+	v, _ := e.RunUniverseCtx(context.Background(), judge)
+	return v
+}
+
+// RunUniverseCtx is RunUniverse under a context, checked once per
+// 64-lane block on the sequential path and once per slab under the
+// pool.
+func (e *Engine) RunUniverseCtx(ctx context.Context, judge Judge) (Verdict, error) {
 	n := e.p.n
 	if n > 30 {
 		panic(fmt.Sprintf("eval: RunUniverse sweeps 2^%d inputs; n is too wide", n))
@@ -347,26 +389,32 @@ func (e *Engine) RunUniverse(judge Judge) Verdict {
 			}
 		}
 		if workers > 1 {
-			return e.universePool(judge, workers)
+			return e.universePool(ctx, judge, workers)
 		}
 	}
 	total := uint64(bitvec.Universe(n))
-	v := e.universeRange(judge, 0, total)
+	v, err := e.universeRange(ctx, judge, 0, total)
+	if err != nil {
+		return Verdict{}, err
+	}
 	if v.Holds {
 		v.TestsRun = int(total)
 	}
-	return v
+	return v, nil
 }
 
 // universeRange sweeps inputs [from, to) in 64-lane blocks; from must
 // be a multiple of 64 (or 0). On failure TestsRun is the count swept
 // within this range up to and including the failing block.
-func (e *Engine) universeRange(judge Judge, from, to uint64) Verdict {
+func (e *Engine) universeRange(ctx context.Context, judge Judge, from, to uint64) (Verdict, error) {
 	n := e.p.n
 	in := network.NewBatch(n)
 	out := network.NewBatch(n)
 	tests := 0
 	for base := from; base < to; base += network.LanesPerBatch {
+		if err := ctx.Err(); err != nil {
+			return Verdict{}, err
+		}
 		k := int(to - base)
 		if k > network.LanesPerBatch {
 			k = network.LanesPerBatch
@@ -387,16 +435,16 @@ func (e *Engine) universeRange(judge Judge, from, to uint64) Verdict {
 				TestsRun: tests + lane + 1,
 				In:       bitvec.New(n, base+uint64(lane)),
 				Out:      out.Lane(lane),
-			}
+			}, nil
 		}
 		tests += k
 	}
-	return Verdict{Holds: true, TestsRun: tests}
+	return Verdict{Holds: true, TestsRun: tests}, nil
 }
 
 // universePool shards the universe into contiguous slabs handed to
 // NumCPU-bounded workers; the first failure (lowest slab) wins.
-func (e *Engine) universePool(judge Judge, workers int) Verdict {
+func (e *Engine) universePool(ctx context.Context, judge Judge, workers int) (Verdict, error) {
 	n := e.p.n
 	total := uint64(bitvec.Universe(n))
 	const slab = 1 << 12
@@ -404,14 +452,14 @@ func (e *Engine) universePool(judge Judge, workers int) Verdict {
 	var mu sync.Mutex
 	found := Verdict{Holds: true}
 	foundSlab := slabs
-	hit := ForEachUntil(slabs, workers, func(i int) bool {
+	hit, err := ForEachUntilCtx(ctx, slabs, workers, func(i int) bool {
 		from := uint64(i) * slab
 		to := from + slab
 		if to > total {
 			to = total
 		}
-		v := e.universeRange(judge, from, to)
-		if v.Holds {
+		v, err := e.universeRange(ctx, judge, from, to)
+		if err != nil || v.Holds {
 			return false
 		}
 		mu.Lock()
@@ -422,10 +470,13 @@ func (e *Engine) universePool(judge Judge, workers int) Verdict {
 		return true
 	})
 	if hit < 0 {
-		return Verdict{Holds: true, TestsRun: int(total)}
+		if err != nil {
+			return Verdict{}, err
+		}
+		return Verdict{Holds: true, TestsRun: int(total)}, nil
 	}
 	found.TestsRun = foundSlab*slab + found.TestsRun
-	return found
+	return found, nil
 }
 
 // laneMasks[i] is the bit pattern of input-bit i across 64 consecutive
@@ -459,6 +510,13 @@ func loadConsecutive(b *network.Batch, base uint64, k int) {
 // auto threshold exactly like Run. accepts sees the input and output
 // vector of one test.
 func (e *Engine) RunWide(it WideIterator, accepts func(in, out widevec.Vec) bool) WideVerdict {
+	v, _ := e.RunWideCtx(context.Background(), it, accepts)
+	return v
+}
+
+// RunWideCtx is RunWide under a context, checked between test vectors
+// (one wide evaluation is already a block's worth of work).
+func (e *Engine) RunWideCtx(ctx context.Context, it WideIterator, accepts func(in, out widevec.Vec) bool) (WideVerdict, error) {
 	pairs := e.p.Pairs() // also asserts purity once, up front
 	workers := e.workers
 	if workers == 0 {
@@ -478,14 +536,14 @@ func (e *Engine) RunWide(it WideIterator, accepts func(in, out widevec.Vec) bool
 			staged = append(staged, v)
 		}
 		if exhausted {
-			return e.runWideSeq(&wideChain{head: staged}, accepts)
+			return e.runWideSeq(ctx, &wideChain{head: staged}, accepts)
 		}
-		return e.runWidePool(&wideChain{head: staged, tail: it}, accepts, runtime.NumCPU())
+		return e.runWidePool(ctx, &wideChain{head: staged, tail: it}, accepts, runtime.NumCPU())
 	}
 	if workers == 1 {
-		return e.runWideSeq(it, accepts)
+		return e.runWideSeq(ctx, it, accepts)
 	}
-	return e.runWidePool(it, accepts, workers)
+	return e.runWidePool(ctx, it, accepts, workers)
 }
 
 type wideChain struct {
@@ -506,24 +564,27 @@ func (c *wideChain) Next() (widevec.Vec, bool) {
 	return c.tail.Next()
 }
 
-func (e *Engine) runWideSeq(it WideIterator, accepts func(in, out widevec.Vec) bool) WideVerdict {
+func (e *Engine) runWideSeq(ctx context.Context, it WideIterator, accepts func(in, out widevec.Vec) bool) (WideVerdict, error) {
 	tests := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return WideVerdict{}, err
+		}
 		v, ok := it.Next()
 		if !ok {
-			return WideVerdict{Holds: true, TestsRun: tests}
+			return WideVerdict{Holds: true, TestsRun: tests}, nil
 		}
 		tests++
 		out := e.p.ApplyWide(v)
 		if !accepts(v, out) {
-			return WideVerdict{Holds: false, TestsRun: tests, In: v, Out: out}
+			return WideVerdict{Holds: false, TestsRun: tests, In: v, Out: out}, nil
 		}
 	}
 }
 
 const wideChunk = 64
 
-func (e *Engine) runWidePool(it WideIterator, accepts func(in, out widevec.Vec) bool, workers int) WideVerdict {
+func (e *Engine) runWidePool(ctx context.Context, it WideIterator, accepts func(in, out widevec.Vec) bool, workers int) (WideVerdict, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -539,6 +600,9 @@ func (e *Engine) runWidePool(it WideIterator, accepts func(in, out widevec.Vec) 
 			defer wg.Done()
 			for chunk := range chunks {
 				for _, v := range chunk {
+					if ctx.Err() != nil {
+						return
+					}
 					out := e.p.ApplyWide(v)
 					if !accepts(v, out) {
 						select {
@@ -556,6 +620,9 @@ func (e *Engine) runWidePool(it WideIterator, accepts func(in, out widevec.Vec) 
 	tests := 0
 feed:
 	for {
+		if ctx.Err() != nil {
+			break
+		}
 		chunk := make([]widevec.Vec, 0, wideChunk)
 		for len(chunk) < wideChunk {
 			v, ok := it.Next()
@@ -572,6 +639,8 @@ feed:
 		case chunks <- chunk:
 		case <-stop:
 			break feed
+		case <-ctx.Done():
+			break feed
 		}
 	}
 	close(chunks)
@@ -579,9 +648,12 @@ feed:
 	close(fails)
 	if f, ok := <-fails; ok {
 		f.TestsRun = tests
-		return f
+		return f, nil
 	}
-	return WideVerdict{Holds: true, TestsRun: tests}
+	if err := ctx.Err(); err != nil {
+		return WideVerdict{}, err
+	}
+	return WideVerdict{Holds: true, TestsRun: tests}, nil
 }
 
 // transpose64 transposes a 64×64 bit matrix in place (the recursive

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"context"
 	"fmt"
 
 	"sortnets/internal/bitvec"
@@ -83,10 +84,28 @@ func (d *Detector) DetectedBy(it bitvec.Iterator) bool {
 	return !eval.New(d.prog, 1).Run(it, d.judge).Holds
 }
 
+// DetectedByCtx is DetectedBy under a context.
+func (d *Detector) DetectedByCtx(ctx context.Context, it bitvec.Iterator) (bool, error) {
+	v, err := eval.New(d.prog, 1).RunCtx(ctx, it, d.judge)
+	if err != nil {
+		return false, err
+	}
+	return !v.Holds, nil
+}
+
 // Detectable reports whether any binary input at all detects the
 // fault, sweeping the 2ⁿ universe with wholesale lane loading.
 func (d *Detector) Detectable() bool {
 	return !eval.New(d.prog, 1).RunUniverse(d.judge).Holds
+}
+
+// DetectableCtx is Detectable under a context.
+func (d *Detector) DetectableCtx(ctx context.Context) (bool, error) {
+	v, err := eval.New(d.prog, 1).RunUniverseCtx(ctx, d.judge)
+	if err != nil {
+		return false, err
+	}
+	return !v.Holds, nil
 }
 
 // Detects reports whether the test vector τ detects fault f on w.
@@ -143,16 +162,29 @@ func Measure(w *network.Network, fs []Fault, tests func() bitvec.Iterator, mode 
 // the recompilation. golden must be eval.Compile(w) (programs are
 // immutable, so sharing one across calls and goroutines is safe).
 func MeasureWith(w *network.Network, golden *eval.Program, fs []Fault, tests func() bitvec.Iterator, mode DetectMode) Report {
+	rep, _ := MeasureCtx(context.Background(), w, golden, fs, tests, mode)
+	return rep
+}
+
+// MeasureCtx is MeasureWith under a context: the fault sweep stops
+// claiming new faults once the context is cancelled, each per-fault
+// engine pass checks it per 64-lane block, and a cancelled run
+// returns the context's error with a zero report.
+func MeasureCtx(ctx context.Context, w *network.Network, golden *eval.Program, fs []Fault, tests func() bitvec.Iterator, mode DetectMode) (Report, error) {
 	type outcome struct{ detectable, detected bool }
 	outcomes := make([]outcome, len(fs))
-	eval.ForEach(len(fs), 0, func(i int) {
+	err := eval.ForEachCtx(ctx, len(fs), 0, func(i int) {
 		d := NewDetector(w, golden, fs[i], mode)
-		if !d.Detectable() {
+		detectable, err := d.DetectableCtx(ctx)
+		if err != nil || !detectable {
 			return
 		}
 		outcomes[i].detectable = true
-		outcomes[i].detected = d.DetectedBy(tests())
+		outcomes[i].detected, _ = d.DetectedByCtx(ctx, tests())
 	})
+	if err != nil {
+		return Report{}, err
+	}
 	rep := Report{Faults: len(fs)}
 	for _, o := range outcomes {
 		if o.detectable {
@@ -162,5 +194,5 @@ func MeasureWith(w *network.Network, golden *eval.Program, fs []Fault, tests fun
 			rep.Detected++
 		}
 	}
-	return rep
+	return rep, nil
 }

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"slices"
@@ -42,6 +43,14 @@ func DetectionMatrix(w *network.Network, fs []Fault, tests func() bitvec.Iterato
 // compiled healthy program (see MeasureWith): the cache-aware entry
 // point for callers that already hold w's program.
 func DetectionMatrixWith(w *network.Network, golden *eval.Program, fs []Fault, tests func() bitvec.Iterator, mode DetectMode) *Matrix {
+	m, _ := DetectionMatrixCtx(context.Background(), w, golden, fs, tests, mode)
+	return m
+}
+
+// DetectionMatrixCtx is DetectionMatrixWith under a context: the
+// per-fault sweeps check it per 64-lane block and a cancelled run
+// returns the context's error with a nil matrix.
+func DetectionMatrixCtx(ctx context.Context, w *network.Network, golden *eval.Program, fs []Fault, tests func() bitvec.Iterator, mode DetectMode) (*Matrix, error) {
 	vecs := bitvec.Collect(tests())
 	m := &Matrix{
 		Tests:      vecs,
@@ -57,19 +66,25 @@ func DetectionMatrixWith(w *network.Network, golden *eval.Program, fs []Fault, t
 	// row-to-column transpose into per-test signatures is sequential
 	// and cheap.
 	rows := make([]*bitset.Set, len(fs))
-	eval.ForEach(len(fs), 0, func(i int) {
+	err := eval.ForEachCtx(ctx, len(fs), 0, func(i int) {
 		d := NewDetector(w, golden, fs[i], mode)
-		if !d.Detectable() {
+		detectable, err := d.DetectableCtx(ctx)
+		if err != nil || !detectable {
 			return
 		}
 		row := bitset.New(len(vecs))
-		eval.New(d.prog, 1).Sweep(bitvec.Slice(vecs), d.judge, func(off int, bad uint64) {
+		if _, err := eval.New(d.prog, 1).SweepCtx(ctx, bitvec.Slice(vecs), d.judge, func(off int, bad uint64) {
 			for w := bad; w != 0; w &= w - 1 {
 				row.Add(off + bits.TrailingZeros64(w))
 			}
-		})
+		}); err != nil {
+			return
+		}
 		rows[i] = row
 	})
+	if err != nil {
+		return nil, err
+	}
 	for f, row := range rows {
 		if row == nil {
 			continue
@@ -80,7 +95,7 @@ func DetectionMatrixWith(w *network.Network, golden *eval.Program, fs []Fault, t
 			return true
 		})
 	}
-	return m
+	return m, nil
 }
 
 // Detected returns the set of faults at least one test exposes.
@@ -143,6 +158,14 @@ func (m *Matrix) MinimalDetectingSet() []int {
 // equal-size witness is only deterministic with workers == 1.
 // The returned indices (into Tests) are sorted ascending.
 func (m *Matrix) ExactMinimalDetectingSet(nodeBudget, workers int) ([]int, bool) {
+	picks, exact, _ := m.ExactMinimalDetectingSetCtx(context.Background(), nodeBudget, workers)
+	return picks, exact
+}
+
+// ExactMinimalDetectingSetCtx is ExactMinimalDetectingSet under a
+// context: the hitting-set branch and bound observes cancellation and
+// a cancelled run returns the context's error.
+func (m *Matrix) ExactMinimalDetectingSetCtx(ctx context.Context, nodeBudget, workers int) ([]int, bool, error) {
 	detected := m.Detected()
 	fams := make([]*bitset.Set, 0, detected.Count())
 	detected.ForEach(func(f int) bool {
@@ -156,18 +179,21 @@ func (m *Matrix) ExactMinimalDetectingSet(nodeBudget, workers int) ([]int, bool)
 		return true
 	})
 	if len(fams) == 0 {
-		return []int{}, true
+		return []int{}, true, nil
 	}
-	res := search.MinHittingSetBitsWorkers(len(m.Tests), fams, nodeBudget, workers)
+	res, err := search.MinHittingSetBitsCtx(ctx, len(m.Tests), fams, nodeBudget, workers)
+	if err != nil {
+		return nil, false, err
+	}
 	if !res.Exact {
-		return nil, false
+		return nil, false, nil
 	}
 	picks := make([]int, 0, res.Size)
 	res.Elements.ForEach(func(t int) bool {
 		picks = append(picks, t)
 		return true
 	})
-	return picks, true
+	return picks, true, nil
 }
 
 // String renders a one-line summary.

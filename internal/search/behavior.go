@@ -23,6 +23,7 @@
 package search
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -112,9 +113,9 @@ func Comparators(n, h int) []network.Comparator {
 }
 
 // binaryClosureStore enumerates the closure on the dense store.
-func binaryClosureStore(n int, alphabet []network.Comparator, limit, workers int) (*behaviorStore, error) {
+func binaryClosureStore(ctx context.Context, n int, alphabet []network.Comparator, limit, workers int) (*behaviorStore, error) {
 	seed := identityTable(n)
-	return closureStore(len(seed), seed, len(alphabet), func(dst, src []byte, c int) {
+	return closureStore(ctx, len(seed), seed, len(alphabet), func(dst, src []byte, c int) {
 		applyComparatorTable(dst, src, alphabet[c])
 	}, limit, workers)
 }
@@ -127,7 +128,7 @@ func binaryClosureStore(n int, alphabet []network.Comparator, limit, workers int
 // worker, preserving this legacy API's deterministic enumeration
 // order; the Opts pipelines parallelize the frontier internally.
 func Closure(n int, alphabet []network.Comparator, limit int) ([]Behavior, error) {
-	st, err := binaryClosureStore(n, alphabet, limit, 1)
+	st, err := binaryClosureStore(context.Background(), n, alphabet, limit, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -204,8 +205,9 @@ func FailureMask(n int, b Behavior, accepts Acceptance) uint64 {
 
 // failureMasks computes the deduplicated failure-mask family over the
 // dense store, fanning behaviours out to workers in contiguous chunks
-// (each with a local dedupe map, merged at the end).
-func (st *behaviorStore) failureMasks(n int, accepts Acceptance, workers int) []uint64 {
+// (each with a local dedupe map, merged at the end). A cancelled
+// context stops the chunk scans and returns the context's error.
+func (st *behaviorStore) failureMasks(ctx context.Context, n int, accepts Acceptance, workers int) ([]uint64, error) {
 	if bitvec.Universe(n) > 64 {
 		panic(fmt.Sprintf("search: failure masks need 2^%d ≤ 64 inputs", n))
 	}
@@ -222,6 +224,9 @@ func (st *behaviorStore) failureMasks(n int, accepts Acceptance, workers int) []
 		seen := make(map[uint64]struct{}, 64)
 		var out []uint64
 		for i := lo; i < hi; i++ {
+			if i&1023 == 0 && ctx.Err() != nil {
+				return
+			}
 			tab := st.at(i)
 			var mask uint64
 			for x, o := range tab {
@@ -237,6 +242,9 @@ func (st *behaviorStore) failureMasks(n int, accepts Acceptance, workers int) []
 		}
 		locals[w] = out
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	seen := make(map[uint64]struct{}, 256)
 	var fam []uint64
 	for _, local := range locals {
@@ -247,7 +255,7 @@ func (st *behaviorStore) failureMasks(n int, accepts Acceptance, workers int) []
 			}
 		}
 	}
-	return fam
+	return fam, nil
 }
 
 // FailureFamily computes the deduplicated, superset-pruned family of

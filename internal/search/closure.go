@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -61,7 +62,7 @@ func closureWorkers(w int) int { return eval.Workers(w) }
 // each BFS level is expanded concurrently and the order within a level
 // depends on scheduling (the closure is the same set either way —
 // downstream consumers canonicalize).
-func closureStore(stride int, seed []byte, degree int, expand expandFunc, limit, workers int) (*behaviorStore, error) {
+func closureStore(ctx context.Context, stride int, seed []byte, degree int, expand expandFunc, limit, workers int) (*behaviorStore, error) {
 	if len(seed) != stride {
 		panic(fmt.Sprintf("search: seed has %d bytes, stride is %d", len(seed), stride))
 	}
@@ -74,9 +75,9 @@ func closureStore(stride int, seed []byte, degree int, expand expandFunc, limit,
 	}
 	workers = closureWorkers(workers)
 	if workers == 1 || degree == 0 {
-		return st, st.bfsSeq(degree, expand, limit)
+		return st, st.bfsSeq(ctx, degree, expand, limit)
 	}
-	return st, st.bfsPar(degree, expand, limit, workers)
+	return st, st.bfsPar(ctx, degree, expand, limit, workers)
 }
 
 // internTable is an open-addressing dedupe index over the arena: slots
@@ -150,12 +151,18 @@ func (t *internTable) grow(st *behaviorStore) {
 }
 
 // bfsSeq is the lock-free single-worker path: one intern table, queue
-// order identical to the legacy map-backed BFS.
-func (st *behaviorStore) bfsSeq(degree int, expand expandFunc, limit int) error {
+// order identical to the legacy map-backed BFS. Cancellation is
+// checked once per dequeued behaviour (a block of degree expansions).
+func (st *behaviorStore) bfsSeq(ctx context.Context, degree int, expand expandFunc, limit int) error {
 	seen := newInternTable()
 	seen.lookupOrClaim(st, st.at(0), 0)
 	scratch := make([]byte, st.stride)
 	for head := 0; head < st.count; head++ {
+		if head&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		// The arena may be re-sliced by append below; entries already
 		// written stay valid in the old backing array, so src needs no
 		// refresh inside the inner loop.
@@ -200,7 +207,7 @@ func shardOf(key []byte) uint32 {
 // merged into the arena at the level barrier, where they receive their
 // dense IDs and form the next frontier. Workers only read the arena
 // while it is frozen, so expansion runs without any global lock.
-func (st *behaviorStore) bfsPar(degree int, expand expandFunc, limit, workers int) error {
+func (st *behaviorStore) bfsPar(ctx context.Context, degree int, expand expandFunc, limit, workers int) error {
 	var shards [internShards]internShard
 	for i := range shards {
 		shards[i].m = make(map[string]struct{}, 16)
@@ -231,7 +238,7 @@ func (st *behaviorStore) bfsPar(degree int, expand expandFunc, limit, workers in
 				scratch := make([]byte, st.stride)
 				for {
 					i := cursor.Add(1) - 1
-					if i >= int64(len(frontier)) || overflow.Load() {
+					if i >= int64(len(frontier)) || overflow.Load() || ctx.Err() != nil {
 						return
 					}
 					src := st.at(int(frontier[i]))
@@ -257,6 +264,9 @@ func (st *behaviorStore) bfsPar(degree int, expand expandFunc, limit, workers in
 		wg.Wait()
 		if overflow.Load() {
 			return errClosureLimit(limit)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 
 		// Barrier: merge the workers' finds into the arena in worker

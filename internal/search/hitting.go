@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"slices"
@@ -55,7 +56,7 @@ func MinHittingSetWorkers(family []uint64, workers int) uint64 {
 		}
 	}
 	fam := pruneSupersets(family)
-	elems, _ := solveHitting(maskElemLists(fam), 0, workers)
+	elems, _, _ := solveHitting(context.Background(), maskElemLists(fam), 0, workers)
 	var out uint64
 	for _, e := range elems {
 		out |= 1 << uint(e)
@@ -130,15 +131,30 @@ func MinimumTestSet(n, h int, accepts Acceptance, limit int) (TestSetResult, err
 
 // MinimumTestSetOpts is MinimumTestSet with full pipeline options.
 func MinimumTestSetOpts(n, h int, accepts Acceptance, opt Options) (TestSetResult, error) {
+	return MinimumTestSetCtx(context.Background(), n, h, accepts, opt)
+}
+
+// MinimumTestSetCtx is MinimumTestSetOpts under a context: the
+// closure BFS, failure-family build and hitting-set branch and bound
+// all observe cancellation and a cancelled run returns the context's
+// error.
+func MinimumTestSetCtx(ctx context.Context, n, h int, accepts Acceptance, opt Options) (TestSetResult, error) {
 	if bitvec.Universe(n) > 64 {
 		return TestSetResult{}, fmt.Errorf("search: n=%d too large for mask-based search", n)
 	}
-	st, err := binaryClosureStore(n, Comparators(n, h), opt.Limit, opt.Workers)
+	st, err := binaryClosureStore(ctx, n, Comparators(n, h), opt.Limit, opt.Workers)
 	if err != nil {
 		return TestSetResult{}, err
 	}
-	fam := pruneSupersets(st.failureMasks(n, accepts, opt.Workers))
-	elems, exact := solveHitting(maskElemLists(fam), int64(opt.NodeBudget), solverWorkers(opt.Workers))
+	masks, err := st.failureMasks(ctx, n, accepts, opt.Workers)
+	if err != nil {
+		return TestSetResult{}, err
+	}
+	fam := pruneSupersets(masks)
+	elems, exact, err := solveHitting(ctx, maskElemLists(fam), int64(opt.NodeBudget), solverWorkers(opt.Workers))
+	if err != nil {
+		return TestSetResult{}, err
+	}
 	res := TestSetResult{
 		N:         n,
 		Height:    h,

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"reflect"
@@ -92,11 +93,11 @@ func (b PermBehavior) Output(n, rank int) []byte {
 // replaying the BFS spanning tree — exactly ONE comparator
 // application per behaviour instead of one per (behaviour, alphabet
 // rule) candidate.
-func permClosureStore(n int, alphabet []network.Comparator, limit, workers int) (*behaviorStore, error) {
+func permClosureStore(ctx context.Context, n int, alphabet []network.Comparator, limit, workers int) (*behaviorStore, error) {
 	if n < 1 || n > MaxPermLines {
 		panic(fmt.Sprintf("search: n=%d out of range 1..%d", n, MaxPermLines))
 	}
-	bst, err := binaryClosureStore(n, alphabet, limit, workers)
+	bst, err := binaryClosureStore(ctx, n, alphabet, limit, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +126,7 @@ func permClosureStore(n int, alphabet []network.Comparator, limit, workers int) 
 // asserted in the tests. Like Closure, this legacy API runs one BFS
 // worker so its enumeration order stays deterministic.
 func PermClosure(n int, alphabet []network.Comparator, limit int) ([]PermBehavior, error) {
-	st, err := permClosureStore(n, alphabet, limit, 1)
+	st, err := permClosureStore(context.Background(), n, alphabet, limit, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +195,7 @@ func permInputBytes(n int) [][]byte {
 // over the n! input ranks, as raw words) of every incorrect behaviour
 // in the store, fanning behaviours out to workers in contiguous
 // chunks.
-func (st *behaviorStore) permFailureRows(n int, accepts PermAcceptance, workers int) []maskRow {
+func (st *behaviorStore) permFailureRows(ctx context.Context, n int, accepts PermAcceptance, workers int) ([]maskRow, error) {
 	inBytes := permInputBytes(n)
 	nw := wordsFor(len(inBytes))
 	// Devirtualized fast path for the sorting property (the pipeline's
@@ -223,6 +224,9 @@ func (st *behaviorStore) permFailureRows(n int, accepts PermAcceptance, workers 
 		var wordArena []uint64 // row storage, chunk-allocated
 		var out []maskRow
 		for i := lo; i < hi; i++ {
+			if i&255 == 0 && ctx.Err() != nil {
+				return
+			}
 			tab := st.at(i)
 			empty := true
 			for w := range scratch {
@@ -275,6 +279,9 @@ func (st *behaviorStore) permFailureRows(n int, accepts PermAcceptance, workers 
 		}
 		locals[w] = out
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	rows := locals[0]
 	if len(locals) > 1 {
 		// Merge the chunks, dropping cross-chunk duplicates (each
@@ -296,7 +303,7 @@ func (st *behaviorStore) permFailureRows(n int, accepts PermAcceptance, workers 
 	for i := range rows {
 		rows[i].src = i
 	}
-	return rows
+	return rows, nil
 }
 
 // PermFailureFamily computes the deduplicated, superset-pruned family
@@ -348,6 +355,14 @@ func MinHittingSetBits(universe int, family []*bitset.Set, nodeBudget int) Hitti
 // for the branch and bound (workers ≤ 0 means GOMAXPROCS). The
 // minimum cardinality matches the sequential solver's on every input.
 func MinHittingSetBitsWorkers(universe int, family []*bitset.Set, nodeBudget, workers int) HittingSetResult {
+	r, _ := MinHittingSetBitsCtx(context.Background(), universe, family, nodeBudget, workers)
+	return r
+}
+
+// MinHittingSetBitsCtx is MinHittingSetBitsWorkers under a context:
+// the branch and bound checks cancellation every nodeFlush nodes and
+// a cancelled run returns the context's error with a zero result.
+func MinHittingSetBitsCtx(ctx context.Context, universe int, family []*bitset.Set, nodeBudget, workers int) (HittingSetResult, error) {
 	for _, s := range family {
 		if s.Empty() {
 			panic("search: empty set can never be hit")
@@ -361,12 +376,15 @@ func MinHittingSetBitsWorkers(universe int, family []*bitset.Set, nodeBudget, wo
 			return true
 		})
 	}
-	elems, exact := solveHitting(lists, int64(nodeBudget), workers)
+	elems, exact, err := solveHitting(ctx, lists, int64(nodeBudget), workers)
+	if err != nil {
+		return HittingSetResult{}, err
+	}
 	chosen := bitset.New(universe)
 	for _, e := range elems {
 		chosen.Add(int(e))
 	}
-	return HittingSetResult{Elements: chosen, Size: chosen.Count(), Exact: exact}
+	return HittingSetResult{Elements: chosen, Size: chosen.Count(), Exact: exact}, nil
 }
 
 // greedyBits picks, repeatedly, the element covering the most sets,
@@ -437,14 +455,24 @@ func MinimumPermTestSet(n, h int, accepts PermAcceptance, limit, nodeBudget int)
 // MinimumPermTestSetOpts is MinimumPermTestSet with full pipeline
 // options.
 func MinimumPermTestSetOpts(n, h int, accepts PermAcceptance, opt Options) (PermTestSetResult, error) {
+	return MinimumPermTestSetCtx(context.Background(), n, h, accepts, opt)
+}
+
+// MinimumPermTestSetCtx is MinimumPermTestSetOpts under a context
+// (see MinimumTestSetCtx).
+func MinimumPermTestSetCtx(ctx context.Context, n, h int, accepts PermAcceptance, opt Options) (PermTestSetResult, error) {
 	if n > MaxPermLines {
 		return PermTestSetResult{}, fmt.Errorf("search: n=%d too large for permutation-space search", n)
 	}
-	st, err := permClosureStore(n, Comparators(n, h), opt.Limit, opt.Workers)
+	st, err := permClosureStore(ctx, n, Comparators(n, h), opt.Limit, opt.Workers)
 	if err != nil {
 		return PermTestSetResult{}, err
 	}
-	rows := pruneSupersetRows(st.permFailureRows(n, accepts, opt.Workers), false)
+	raw, err := st.permFailureRows(ctx, n, accepts, opt.Workers)
+	if err != nil {
+		return PermTestSetResult{}, err
+	}
+	rows := pruneSupersetRows(raw, false)
 	// 0 keeps the historical 5M-node default for the (deeper) perm
 	// search; a negative budget requests a genuinely unlimited run.
 	budget := int64(opt.NodeBudget)
@@ -453,7 +481,10 @@ func MinimumPermTestSetOpts(n, h int, accepts PermAcceptance, opt Options) (Perm
 	} else if budget < 0 {
 		budget = 0
 	}
-	elems, exact := solveHitting(rowElemLists(rows), budget, solverWorkers(opt.Workers))
+	elems, exact, err := solveHitting(ctx, rowElemLists(rows), budget, solverWorkers(opt.Workers))
+	if err != nil {
+		return PermTestSetResult{}, err
+	}
 	inputs := permInputs(n)
 	res := PermTestSetResult{
 		N: n, Height: h,

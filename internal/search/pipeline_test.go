@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math/bits"
 	"math/rand"
 	"testing"
@@ -297,11 +298,11 @@ func TestMinHittingSetBitsWorkers(t *testing.T) {
 func TestParallelClosureMatchesSequential(t *testing.T) {
 	for n := 2; n <= 5; n++ {
 		for h := 1; h < n; h++ {
-			seqSt, err := binaryClosureStore(n, Comparators(n, h), 0, 1)
+			seqSt, err := binaryClosureStore(context.Background(), n, Comparators(n, h), 0, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
-			parSt, err := binaryClosureStore(n, Comparators(n, h), 0, 4)
+			parSt, err := binaryClosureStore(context.Background(), n, Comparators(n, h), 0, 4)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -323,7 +324,7 @@ func TestParallelClosureMatchesSequential(t *testing.T) {
 
 // TestParallelClosureLimit: the limit must trip under the pool too.
 func TestParallelClosureLimit(t *testing.T) {
-	if _, err := binaryClosureStore(4, Comparators(4, 3), 10, 4); err == nil {
+	if _, err := binaryClosureStore(context.Background(), 4, Comparators(4, 3), 10, 4); err == nil {
 		t.Error("limit should trip with workers")
 	}
 }

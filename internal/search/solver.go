@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math/bits"
 	"slices"
 	"sync"
@@ -272,6 +273,7 @@ const (
 type hsWorker struct {
 	p        *coverProblem
 	best     *incumbent
+	ctx      context.Context
 	covStack [][]uint64
 	chosen   []int32
 	lbUsed   []uint64
@@ -281,12 +283,14 @@ type hsWorker struct {
 	budget   int64         // ≤ 0: unlimited
 	shared   *atomic.Int64 // parallel mode: global node count
 	aborted  bool
+	canceled bool // aborted because the context was cancelled
 }
 
-func newHsWorker(p *coverProblem, best *incumbent, budget int64, shared *atomic.Int64) *hsWorker {
+func newHsWorker(ctx context.Context, p *coverProblem, best *incumbent, budget int64, shared *atomic.Int64) *hsWorker {
 	return &hsWorker{
 		p:      p,
 		best:   best,
+		ctx:    ctx,
 		lbUsed: make([]uint64, p.ew),
 		polCov: make([]uint64, p.fw),
 		budget: budget,
@@ -315,9 +319,14 @@ func (w *hsWorker) overBudget() bool {
 }
 
 // dfs explores the subtree at depth (len(chosen) == depth, coverage in
-// covStack[depth]).
+// covStack[depth]). Cancellation is checked every nodeFlush nodes —
+// the same cadence the shared budget is flushed at.
 func (w *hsWorker) dfs(depth int) {
 	w.nodes++
+	if w.nodes%nodeFlush == 0 && w.ctx.Err() != nil {
+		w.aborted, w.canceled = true, true
+		return
+	}
 	if w.overBudget() {
 		w.aborted = true
 		return
@@ -381,10 +390,12 @@ type hsTask struct {
 
 // solveCover runs the exact search over a reduced problem, seeded with
 // the greedy incumbent. Returns the best element-index set found and
-// whether the search completed (false only on budget exhaustion).
-func solveCover(p *coverProblem, budget int64, workers int) ([]int32, bool) {
+// whether the search completed (false only on budget exhaustion). A
+// cancelled context aborts the branch and bound and returns the
+// context's error instead of a witness.
+func solveCover(ctx context.Context, p *coverProblem, budget int64, workers int) ([]int32, bool, error) {
 	best := &incumbent{}
-	seed := newHsWorker(p, best, 0, nil)
+	seed := newHsWorker(ctx, p, best, 0, nil)
 	ub := p.greedyComplete(seed.cov(0), seed.polCov, nil, -1)
 	best.set = append([]int32(nil), ub...)
 	best.size.Store(int32(len(ub)))
@@ -392,21 +403,27 @@ func solveCover(p *coverProblem, budget int64, workers int) ([]int32, bool) {
 		// Greedy met the disjoint bound: certified optimal without
 		// branching (the common case for the paper's structured
 		// families).
-		return best.set, true
+		return best.set, true, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
 	}
 
 	workers = closureWorkers(workers)
 	if workers == 1 {
-		w := newHsWorker(p, best, budget, nil)
+		w := newHsWorker(ctx, p, best, budget, nil)
 		w.cov(0) // stage the (all-zero) root coverage
 		w.dfs(0)
-		return best.set, !w.aborted
+		if w.canceled {
+			return nil, false, ctx.Err()
+		}
+		return best.set, !w.aborted, nil
 	}
 
 	// Carve the tree into tasks: expand the shallowest frontier node
 	// until the pool has a few tasks per worker to claim.
 	tasks := []hsTask{{cov: make([]uint64, p.fw)}}
-	scout := newHsWorker(p, best, 0, nil)
+	scout := newHsWorker(ctx, p, best, 0, nil)
 	for len(tasks) > 0 && len(tasks) < workers*8 {
 		t := tasks[0]
 		tasks = tasks[1:]
@@ -433,16 +450,16 @@ func solveCover(p *coverProblem, budget int64, workers int) ([]int32, bool) {
 	}
 
 	var cursor, sharedNodes atomic.Int64
-	var exhausted atomic.Bool
+	var exhausted, canceled atomic.Bool
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w := newHsWorker(p, best, budget, &sharedNodes)
+			w := newHsWorker(ctx, p, best, budget, &sharedNodes)
 			for {
 				ti := cursor.Add(1) - 1
-				if ti >= int64(len(tasks)) {
+				if ti >= int64(len(tasks)) || ctx.Err() != nil {
 					return
 				}
 				t := tasks[ti]
@@ -450,8 +467,12 @@ func solveCover(p *coverProblem, budget int64, workers int) ([]int32, bool) {
 				copy(w.cov(depth), t.cov)
 				w.chosen = append(w.chosen[:0], t.chosen...)
 				w.aborted = false
+				w.canceled = false
 				w.dfs(depth)
 				if w.aborted {
+					if w.canceled {
+						canceled.Store(true)
+					}
 					exhausted.Store(true)
 					return
 				}
@@ -459,7 +480,10 @@ func solveCover(p *coverProblem, budget int64, workers int) ([]int32, bool) {
 		}()
 	}
 	wg.Wait()
-	return best.set, !exhausted.Load()
+	if canceled.Load() || ctx.Err() != nil {
+		return nil, false, ctx.Err()
+	}
+	return best.set, !exhausted.Load(), nil
 }
 
 // maskElemLists converts single-word family masks to the element-id
@@ -490,8 +514,9 @@ func rowElemLists(rows []maskRow) [][]int32 {
 // solveHitting is the full pipeline over families given as element-id
 // lists: forced singletons, reduction, greedy bound, branch and bound.
 // It returns the chosen original element ids (ascending) and whether
-// the result is certified optimal.
-func solveHitting(fams [][]int32, budget int64, workers int) ([]int32, bool) {
+// the result is certified optimal. A cancelled context returns the
+// context's error and no witness.
+func solveHitting(ctx context.Context, fams [][]int32, budget int64, workers int) ([]int32, bool, error) {
 	var forced []int32
 	forcedSet := make(map[int32]bool)
 	for {
@@ -523,15 +548,18 @@ func solveHitting(fams [][]int32, budget int64, workers int) ([]int32, bool) {
 	}
 	if len(fams) == 0 {
 		slices.Sort(forced)
-		return forced, true
+		return forced, true, nil
 	}
 
 	p := newCoverProblem(fams)
-	idxs, exact := solveCover(p, budget, workers)
+	idxs, exact, err := solveCover(ctx, p, budget, workers)
+	if err != nil {
+		return nil, false, err
+	}
 	out := forced
 	for _, ei := range idxs {
 		out = append(out, p.elems[ei])
 	}
 	slices.Sort(out)
-	return out, exact
+	return out, exact, nil
 }

@@ -6,20 +6,26 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"sortnets"
 )
 
 // HTTP surface.
 //
-//	POST /verify   VerifyRequest  → VerifyResponse
-//	POST /faults   FaultsRequest  → FaultsResponse
-//	POST /minset   MinsetRequest  → MinsetResponse
+//	POST /do       sortnets.Request → sortnets.Verdict (op from the body; default verify)
+//	POST /verify   sortnets.Request → sortnets.Verdict (op forced to verify)
+//	POST /faults   sortnets.Request → sortnets.Verdict (op forced to faults)
+//	POST /minset   sortnets.Request → sortnets.Verdict (op forced to minset)
 //	GET  /healthz  → "ok"
 //	GET  /stats    → StatsSnapshot
 //
 // Responses are application/json. The X-Sortnetd-Cache header reports
 // how a verdict was obtained: "hit" (verdict cache), "coalesced"
 // (joined an identical in-flight computation), or "miss" (computed).
-// Errors are {"error": "..."} with a 4xx/5xx status.
+// Errors are {"error": "..."} with a 4xx/5xx status. The request's
+// context is the client connection: a disconnect or client-side
+// deadline cancels the computation inside the Session, releasing its
+// pool slot.
 
 // maxBodyBytes bounds request bodies; the largest legitimate request
 // is a few thousand comparator pairs.
@@ -28,21 +34,10 @@ const maxBodyBytes = 1 << 20
 // Handler returns the service's HTTP mux.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/verify", func(w http.ResponseWriter, r *http.Request) {
-		endpoint(s, &s.stats.Verify, w, r, func(req *VerifyRequest) ([]byte, string, error) {
-			return s.verify(req)
-		})
-	})
-	mux.HandleFunc("/faults", func(w http.ResponseWriter, r *http.Request) {
-		endpoint(s, &s.stats.Faults, w, r, func(req *FaultsRequest) ([]byte, string, error) {
-			return s.faults(req)
-		})
-	})
-	mux.HandleFunc("/minset", func(w http.ResponseWriter, r *http.Request) {
-		endpoint(s, &s.stats.Minset, w, r, func(req *MinsetRequest) ([]byte, string, error) {
-			return s.minset(req)
-		})
-	})
+	mux.HandleFunc("/do", func(w http.ResponseWriter, r *http.Request) { s.endpoint("", w, r) })
+	mux.HandleFunc("/verify", func(w http.ResponseWriter, r *http.Request) { s.endpoint(sortnets.OpVerify, w, r) })
+	mux.HandleFunc("/faults", func(w http.ResponseWriter, r *http.Request) { s.endpoint(sortnets.OpFaults, w, r) })
+	mux.HandleFunc("/minset", func(w http.ResponseWriter, r *http.Request) { s.endpoint(sortnets.OpMinset, w, r) })
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeError(w, http.StatusMethodNotAllowed, "healthz is GET-only")
@@ -61,37 +56,66 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
-// endpoint decodes one POST body into req, runs the endpoint logic,
-// and writes the verdict (or a typed error), keeping the counter
-// bookkeeping in one place.
-func endpoint[R any](s *Service, ep *EndpointStats, w http.ResponseWriter, r *http.Request, run func(*R) ([]byte, string, error)) {
-	ep.Requests.Add(1)
+// rejected counts a request that never reached the Session, against
+// the endpoint's op (or the body's op on /do when one was decoded).
+func (s *Service) rejected(op string) {
+	if c, ok := s.httpRejected[op]; ok {
+		c.Add(1)
+	} else {
+		s.httpRejected[sortnets.OpVerify].Add(1)
+	}
+}
+
+// endpoint decodes one POST body into the shared Request, forces the
+// path's op, and relays the Session's verdict — the entire service
+// layer in one screen.
+func (s *Service) endpoint(op string, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		ep.Errors.Add(1)
+		s.rejected(op)
 		writeError(w, http.StatusMethodNotAllowed, "use POST with a JSON body")
 		return
 	}
-	var req R
+	var req sortnets.Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		ep.Errors.Add(1)
+		s.rejected(op)
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
-	body, source, err := run(&req)
-	if err != nil {
-		ep.Errors.Add(1)
-		var re *requestError
-		if errors.As(err, &re) {
-			writeError(w, re.status, re.msg)
+	if op != "" {
+		if req.Op != "" && req.Op != op {
+			s.rejected(op)
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("body op %q disagrees with the %s endpoint", req.Op, op))
 			return
 		}
+		req.Op = op
+	}
+	v, err := s.sess.Do(r.Context(), req)
+	if err != nil {
+		var re *sortnets.RequestError
+		switch {
+		case errors.As(err, &re):
+			writeError(w, re.Status, re.Msg)
+		case r.Context().Err() != nil:
+			// Client gone or client deadline hit: the write is
+			// best-effort (499 in the nginx tradition); the important
+			// part — the engine stopped and the pool slot is free —
+			// already happened inside the Session.
+			writeError(w, 499, "request canceled")
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	body, err := sortnets.MarshalVerdict(v)
+	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Sortnetd-Cache", source)
+	w.Header().Set("X-Sortnetd-Cache", v.Source)
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
 }

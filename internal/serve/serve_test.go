@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -10,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"sortnets"
 )
 
 // sorter4 is the 5-comparator sorter on 4 lines (Batcher's shape).
@@ -50,18 +53,18 @@ func post(t *testing.T, url string, req any) (*http.Response, []byte) {
 
 func TestVerifySorterHolds(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	resp, body := post(t, ts.URL+"/verify", VerifyRequest{NetworkRequest: NetworkRequest{Network: sorter4}})
+	resp, body := post(t, ts.URL+"/verify", sortnets.Request{Network: sorter4})
 	if resp.StatusCode != 200 {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var v VerifyResponse
+	var v sortnets.Verdict
 	if err := json.Unmarshal(body, &v); err != nil {
 		t.Fatal(err)
 	}
-	if !v.Holds || v.TestsRun != 11 { // 2⁴−4−1 minimal sorter tests
-		t.Errorf("got holds=%v testsRun=%d, want holds over 11 tests", v.Holds, v.TestsRun)
+	if v.Check == nil || !v.Check.Holds || v.Check.TestsRun != 11 { // 2⁴−4−1 minimal sorter tests
+		t.Errorf("got %+v, want holds over 11 tests", v.Check)
 	}
-	if v.Property != "sorter" || len(v.Digest) != 64 {
+	if v.Op != sortnets.OpVerify || v.Property != "sorter" || len(v.Digest) != 64 {
 		t.Errorf("bad identity fields: %+v", v)
 	}
 	if got := resp.Header.Get("X-Sortnetd-Cache"); got != "miss" {
@@ -69,35 +72,62 @@ func TestVerifySorterHolds(t *testing.T) {
 	}
 }
 
+// TestDoEndpoint: the unified endpoint takes the op from the body and
+// produces the same verdict bytes as the per-op path.
+func TestDoEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, viaVerify := post(t, ts.URL+"/verify", sortnets.Request{Network: sorter4})
+	resp, viaDo := post(t, ts.URL+"/do", sortnets.Request{Op: sortnets.OpVerify, Network: sorter4})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, viaDo)
+	}
+	if !bytes.Equal(viaVerify, viaDo) {
+		t.Errorf("/do and /verify verdicts differ:\n%s\n%s", viaVerify, viaDo)
+	}
+	if got := resp.Header.Get("X-Sortnetd-Cache"); got != "hit" {
+		t.Errorf("/do after /verify: cache header %q, want hit (shared cache)", got)
+	}
+	// Empty op defaults to verify.
+	_, viaDefault := post(t, ts.URL+"/do", sortnets.Request{Network: sorter4})
+	if !bytes.Equal(viaVerify, viaDefault) {
+		t.Errorf("/do default op differs from verify")
+	}
+	// A body op that disagrees with a per-op endpoint is rejected.
+	resp, body := post(t, ts.URL+"/verify", sortnets.Request{Op: sortnets.OpFaults, Network: sorter4})
+	if resp.StatusCode != 400 {
+		t.Errorf("op mismatch: status %d (%s), want 400", resp.StatusCode, body)
+	}
+}
+
 func TestVerifyFailureHasCounterexample(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	req := VerifyRequest{NetworkRequest: NetworkRequest{Network: "n=4: [1,2][3,4]"}}
+	req := sortnets.Request{Network: "n=4: [1,2][3,4]"}
 	resp, body := post(t, ts.URL+"/verify", req)
 	if resp.StatusCode != 200 {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var v VerifyResponse
+	var v sortnets.Verdict
 	if err := json.Unmarshal(body, &v); err != nil {
 		t.Fatal(err)
 	}
-	if v.Holds || v.Counterexample == "" || v.Output == "" {
-		t.Errorf("failing verdict lacks counterexample: %+v", v)
+	if v.Check == nil || v.Check.Holds || v.Check.Counterexample == "" || v.Check.Output == "" {
+		t.Errorf("failing verdict lacks counterexample: %+v", v.Check)
 	}
 	// The exhaustive sweep must agree with the minimal test set.
 	req.Exhaustive = true
 	_, body2 := post(t, ts.URL+"/verify", req)
-	var g VerifyResponse
+	var g sortnets.Verdict
 	if err := json.Unmarshal(body2, &g); err != nil {
 		t.Fatal(err)
 	}
-	if g.Holds != v.Holds {
-		t.Errorf("exhaustive and minimal-test verdicts disagree: %+v vs %+v", g, v)
+	if g.Check == nil || g.Check.Holds != v.Check.Holds {
+		t.Errorf("exhaustive and minimal-test verdicts disagree: %+v vs %+v", g.Check, v.Check)
 	}
 }
 
 func TestCacheHitIsByteIdentical(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
-	req := VerifyRequest{NetworkRequest: NetworkRequest{Network: sorter4}}
+	req := sortnets.Request{Network: sorter4}
 	_, first := post(t, ts.URL+"/verify", req)
 	resp, second := post(t, ts.URL+"/verify", req)
 	if got := resp.Header.Get("X-Sortnetd-Cache"); got != "hit" {
@@ -118,9 +148,9 @@ func TestCacheHitIsByteIdentical(t *testing.T) {
 // share one digest and one cache entry.
 func TestCanonicalSharing(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
-	_, first := post(t, ts.URL+"/verify", VerifyRequest{NetworkRequest: NetworkRequest{Network: sorter4}})
+	_, first := post(t, ts.URL+"/verify", sortnets.Request{Network: sorter4})
 
-	resp, body := post(t, ts.URL+"/verify", VerifyRequest{NetworkRequest: NetworkRequest{Network: sorter4Reordered}})
+	resp, body := post(t, ts.URL+"/verify", sortnets.Request{Network: sorter4Reordered})
 	if got := resp.Header.Get("X-Sortnetd-Cache"); got != "hit" {
 		t.Errorf("reordered writing: cache header %q, want hit", got)
 	}
@@ -128,10 +158,10 @@ func TestCanonicalSharing(t *testing.T) {
 		t.Errorf("reordered writing not byte-identical")
 	}
 
-	resp, body = post(t, ts.URL+"/verify", VerifyRequest{NetworkRequest: NetworkRequest{
+	resp, body = post(t, ts.URL+"/verify", sortnets.Request{
 		Lines:       4,
 		Comparators: [][2]int{{3, 4}, {1, 2}, {1, 3}, {2, 4}, {2, 3}},
-	}})
+	})
 	if got := resp.Header.Get("X-Sortnetd-Cache"); got != "hit" {
 		t.Errorf("pair form: cache header %q, want hit", got)
 	}
@@ -147,11 +177,10 @@ func TestCanonicalSharing(t *testing.T) {
 // /verify requests produce ONE underlying engine run, observable via
 // /stats, and both callers get byte-identical verdicts.
 func TestCoalescing(t *testing.T) {
-	s, ts := newTestServer(t, Config{Workers: 4})
 	gate := make(chan struct{})
-	s.onCompute = func() { <-gate }
+	s, ts := newTestServer(t, Config{Workers: 4, OnCompute: func() { <-gate }})
 
-	req := VerifyRequest{NetworkRequest: NetworkRequest{Network: sorter4}}
+	req := sortnets.Request{Network: sorter4}
 	type outcome struct {
 		source string
 		body   []byte
@@ -169,7 +198,7 @@ func TestCoalescing(t *testing.T) {
 	// Release the gate only after the second request has joined the
 	// first's computation, so exactly one compute is possible.
 	deadline := time.Now().Add(5 * time.Second)
-	for s.stats.Verify.Coalesced.Load() < 1 {
+	for s.Stats().Endpoints["verify"].Coalesced < 1 {
 		if time.Now().After(deadline) {
 			t.Fatal("second request never coalesced")
 		}
@@ -204,12 +233,70 @@ func TestCoalescing(t *testing.T) {
 	}
 }
 
+// TestAbortedRequestReleasesSlot is the cancellation acceptance
+// contract: a client that disconnects mid-compute shows up in the
+// canceled counter, its computation stops, and the pool slot serves
+// the next request — all observable through /stats.
+func TestAbortedRequestReleasesSlot(t *testing.T) {
+	gate := make(chan struct{})
+	s, ts := newTestServer(t, Config{Workers: 1, OnCompute: func() { <-gate }})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(sortnets.Request{Network: sorter4})
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/verify", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(httpReq)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+
+	// Wait for the compute to start (it is parked on the gate), then
+	// hang up the client.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Endpoints["verify"].Computes < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("compute never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("canceled request unexpectedly succeeded")
+	}
+	for s.Stats().Endpoints["verify"].Canceled < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("cancellation never recorded: %+v", s.Stats().Endpoints["verify"])
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate) // the parked worker resumes, sees the dead context, frees the slot
+
+	// The single-shard pool must now serve a fresh request promptly.
+	resp, verdict := post(t, ts.URL+"/verify", sortnets.Request{Network: "n=4: [1,2][3,4]"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-abort request: status %d: %s", resp.StatusCode, verdict)
+	}
+	ep := s.Stats().Endpoints["verify"]
+	if ep.Canceled != 1 {
+		t.Errorf("canceled counter %d, want 1: %+v", ep.Canceled, ep)
+	}
+	if ep.Computes < 2 {
+		t.Errorf("slot not reused after abort: %+v", ep)
+	}
+}
+
 func TestTangledNetworkRejected(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	resp, body := post(t, ts.URL+"/verify", VerifyRequest{NetworkRequest: NetworkRequest{
+	resp, body := post(t, ts.URL+"/verify", sortnets.Request{
 		Lines:       2,
 		Comparators: [][2]int{{2, 1}}, // max-on-top: no standard equivalent
-	}})
+	})
 	if resp.StatusCode != 422 {
 		t.Fatalf("tangled network: status %d (%s), want 422", resp.StatusCode, body)
 	}
@@ -226,22 +313,23 @@ func TestRequestValidation(t *testing.T) {
 		req    any
 		status int
 	}{
-		{"missing network", "/verify", VerifyRequest{}, 400},
-		{"both forms", "/verify", VerifyRequest{NetworkRequest: NetworkRequest{Network: sorter4, Comparators: [][2]int{{1, 2}}, Lines: 4}}, 400},
-		{"text form plus stray lines", "/verify", VerifyRequest{NetworkRequest: NetworkRequest{Network: sorter4, Lines: 8}}, 400},
-		{"zero-based pair", "/verify", VerifyRequest{NetworkRequest: NetworkRequest{Lines: 2, Comparators: [][2]int{{0, 1}}}}, 400},
-		{"parse error", "/verify", VerifyRequest{NetworkRequest: NetworkRequest{Network: "n=4: [zap"}}, 400},
-		{"over line limit", "/verify", VerifyRequest{NetworkRequest: NetworkRequest{Network: "n=9:"}}, 400},
+		{"missing network", "/verify", sortnets.Request{}, 400},
+		{"both forms", "/verify", sortnets.Request{Network: sorter4, Comparators: [][2]int{{1, 2}}, Lines: 4}, 400},
+		{"text form plus stray lines", "/verify", sortnets.Request{Network: sorter4, Lines: 8}, 400},
+		{"zero-based pair", "/verify", sortnets.Request{Lines: 2, Comparators: [][2]int{{0, 1}}}, 400},
+		{"parse error", "/verify", sortnets.Request{Network: "n=4: [zap"}, 400},
+		{"over line limit", "/verify", sortnets.Request{Network: "n=9:"}, 400},
 		// The limit must reject BEFORE any O(lines) allocation: these
 		// would OOM the daemon if canonicalization ran first.
-		{"absurd n text form", "/verify", VerifyRequest{NetworkRequest: NetworkRequest{Network: "n=2000000000:"}}, 400},
-		{"absurd lines pair form", "/verify", VerifyRequest{NetworkRequest: NetworkRequest{Lines: 2000000000, Comparators: [][2]int{{1, 2}}}}, 400},
-		{"absurd lines faults", "/faults", FaultsRequest{NetworkRequest: NetworkRequest{Lines: 2000000000, Comparators: [][2]int{{1, 2}}}}, 400},
-		{"unknown property", "/verify", VerifyRequest{NetworkRequest: NetworkRequest{Network: sorter4}, Property: "widget"}, 400},
-		{"selector bad k", "/verify", VerifyRequest{NetworkRequest: NetworkRequest{Network: sorter4}, Property: "selector", K: 9}, 400},
-		{"merger odd lines", "/verify", VerifyRequest{NetworkRequest: NetworkRequest{Network: "n=3: [1,2]"}, Property: "merger"}, 400},
-		{"faults bad mode", "/faults", FaultsRequest{NetworkRequest: NetworkRequest{Network: sorter4}, Mode: "psychic"}, 400},
-		{"faults by-property non-sorter", "/faults", FaultsRequest{NetworkRequest: NetworkRequest{Network: sorter4}, Property: "selector", K: 1}, 400},
+		{"absurd n text form", "/verify", sortnets.Request{Network: "n=2000000000:"}, 400},
+		{"absurd lines pair form", "/verify", sortnets.Request{Lines: 2000000000, Comparators: [][2]int{{1, 2}}}, 400},
+		{"absurd lines faults", "/faults", sortnets.Request{Lines: 2000000000, Comparators: [][2]int{{1, 2}}}, 400},
+		{"unknown property", "/verify", sortnets.Request{Network: sorter4, Property: "widget"}, 400},
+		{"selector bad k", "/verify", sortnets.Request{Network: sorter4, Property: "selector", K: 9}, 400},
+		{"merger odd lines", "/verify", sortnets.Request{Network: "n=3: [1,2]", Property: "merger"}, 400},
+		{"faults bad mode", "/faults", sortnets.Request{Network: sorter4, Mode: "psychic"}, 400},
+		{"faults by-property non-sorter", "/faults", sortnets.Request{Network: sorter4, Property: "selector", K: 1}, 400},
+		{"unknown op", "/do", sortnets.Request{Op: "conjure", Network: sorter4}, 400},
 	}
 	for _, c := range cases {
 		resp, body := post(t, ts.URL+c.path, c.req)
@@ -277,13 +365,17 @@ func TestMethodAndBodyErrors(t *testing.T) {
 func TestFaultsEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	for _, mode := range []string{"by-property", "by-golden"} {
-		resp, body := post(t, ts.URL+"/faults", FaultsRequest{NetworkRequest: NetworkRequest{Network: sorter4}, Mode: mode})
+		resp, body := post(t, ts.URL+"/faults", sortnets.Request{Network: sorter4, Mode: mode})
 		if resp.StatusCode != 200 {
 			t.Fatalf("%s: status %d: %s", mode, resp.StatusCode, body)
 		}
-		var f FaultsResponse
-		if err := json.Unmarshal(body, &f); err != nil {
+		var v sortnets.Verdict
+		if err := json.Unmarshal(body, &v); err != nil {
 			t.Fatal(err)
+		}
+		f := v.Faults
+		if f == nil {
+			t.Fatalf("%s: missing faults section: %s", mode, body)
 		}
 		// Fig. 1: 5 comparators × 3 modes + 4 lines × 2 + 3 pairs × 2.
 		if f.Faults != 5*3+4*2+3*2 {
@@ -304,27 +396,29 @@ func TestFaultsEndpoint(t *testing.T) {
 
 func TestMinsetEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	resp, body := post(t, ts.URL+"/minset", MinsetRequest{NetworkRequest: NetworkRequest{Network: sorter4}})
+	resp, body := post(t, ts.URL+"/minset", sortnets.Request{Network: sorter4})
 	if resp.StatusCode != 200 {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var m MinsetResponse
-	if err := json.Unmarshal(body, &m); err != nil {
+	var v sortnets.Verdict
+	if err := json.Unmarshal(body, &v); err != nil {
 		t.Fatal(err)
 	}
-	if m.FullTests != 11 || m.Size == 0 || m.Size > m.FullTests || len(m.Tests) != m.Size {
+	m := v.Minset
+	if m == nil || m.FullTests != 11 || m.Size == 0 || m.Size > m.FullTests || len(m.Tests) != m.Size {
 		t.Errorf("degenerate minset: %+v", m)
 	}
 
-	resp, body = post(t, ts.URL+"/minset", MinsetRequest{NetworkRequest: NetworkRequest{Network: sorter4}, Exact: true})
+	resp, body = post(t, ts.URL+"/minset", sortnets.Request{Network: sorter4, Exact: true})
 	if resp.StatusCode != 200 {
 		t.Fatalf("exact: status %d: %s", resp.StatusCode, body)
 	}
-	var ex MinsetResponse
-	if err := json.Unmarshal(body, &ex); err != nil {
+	var vex sortnets.Verdict
+	if err := json.Unmarshal(body, &vex); err != nil {
 		t.Fatal(err)
 	}
-	if !ex.Exact {
+	ex := vex.Minset
+	if ex == nil || !ex.Exact {
 		t.Errorf("exact solve did not certify: %+v", ex)
 	}
 	if ex.Size > m.Size {
@@ -366,40 +460,13 @@ func TestHealthzAndStats(t *testing.T) {
 
 func TestDifferentPropertiesDifferentEntries(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
-	net := NetworkRequest{Network: "n=4: [1,2][3,4][1,3][2,4][2,3]"}
-	_, _ = post(t, ts.URL+"/verify", VerifyRequest{NetworkRequest: net})
-	resp, _ := post(t, ts.URL+"/verify", VerifyRequest{NetworkRequest: net, Property: "selector", K: 1})
+	_, _ = post(t, ts.URL+"/verify", sortnets.Request{Network: sorter4})
+	resp, _ := post(t, ts.URL+"/verify", sortnets.Request{Network: sorter4, Property: "selector", K: 1})
 	if got := resp.Header.Get("X-Sortnetd-Cache"); got != "miss" {
 		t.Errorf("different property served from cache: %q", got)
 	}
 	if got := s.Stats().Endpoints["verify"].Computes; got != 2 {
 		t.Errorf("computes %d, want 2", got)
-	}
-}
-
-func TestLRUEviction(t *testing.T) {
-	c := newLRU[[]byte](2)
-	c.Add("a", []byte("A"))
-	c.Add("b", []byte("B"))
-	if _, ok := c.Get("a"); !ok {
-		t.Fatal("a missing")
-	}
-	c.Add("c", []byte("C")) // evicts b (least recently used)
-	if _, ok := c.Get("b"); ok {
-		t.Error("b should have been evicted")
-	}
-	if _, ok := c.Get("a"); !ok {
-		t.Error("a should have survived")
-	}
-	if c.Len() != 2 || c.Evictions() != 1 {
-		t.Errorf("len=%d evictions=%d", c.Len(), c.Evictions())
-	}
-	c.Add("a", []byte("A2"))
-	if v, _ := c.Get("a"); string(v) != "A2" {
-		t.Errorf("update lost: %q", v)
-	}
-	if c.Len() != 2 {
-		t.Errorf("update grew the cache: %d", c.Len())
 	}
 }
 
@@ -419,18 +486,18 @@ func TestConcurrentMixedLoad(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 12; i++ {
-				net := NetworkRequest{Network: nets[(g+i)%len(nets)]}
+				req := sortnets.Request{Network: nets[(g+i)%len(nets)]}
+				var path string
 				switch i % 3 {
 				case 0:
-					resp, _ := post(t, ts.URL+"/verify", VerifyRequest{NetworkRequest: net})
-					resp.Body.Close()
+					path = "/verify"
 				case 1:
-					resp, _ := post(t, ts.URL+"/faults", FaultsRequest{NetworkRequest: net})
-					resp.Body.Close()
-				case 2:
-					resp, _ := post(t, ts.URL+"/minset", MinsetRequest{NetworkRequest: net})
-					resp.Body.Close()
+					path = "/faults"
+				default:
+					path = "/minset"
 				}
+				resp, _ := post(t, ts.URL+path, req)
+				resp.Body.Close()
 			}
 		}(g)
 	}

@@ -1,112 +1,98 @@
-// Package serve is the long-running batch verification service over
-// the compiled evaluation stack: canonical-digest result caching
-// (internal/canon), request coalescing, and a sharded worker pool, in
-// front of the verify / faults / search machinery. The HTTP surface
-// (http.go) exposes /verify, /faults, /minset, /healthz and /stats.
+// Package serve is the HTTP face of the sortnets.Session: a thin
+// adapter that decodes request bodies into the shared
+// sortnets.Request, calls Session.Do under the request's context
+// (client disconnects cancel the underlying engines and release
+// their pool slot), and encodes the shared sortnets.Verdict back.
+// The service layer owns NO verdict logic of its own — caching,
+// coalescing, canonicalization and computation all live in the
+// Session, so the semantics are identical in-process and over the
+// wire.
 //
-// Caching contract: the verdict cache is keyed by (canonical digest,
-// property, fault model) and stores the marshaled response body, so a
-// cache hit replays a byte-identical verdict. Every computation that
-// feeds the cache is deterministic (single-worker engines, stream-
-// order counterexamples, deterministic greedy/solver tie-breaks), so
-// a coalesced or recomputed verdict can never disagree with a cached
-// one.
+// The HTTP surface (http.go) exposes /do, /verify, /faults, /minset,
+// /healthz and /stats.
 package serve
 
 import (
-	"encoding/json"
-	"fmt"
-	"runtime"
 	"sync/atomic"
 
-	"sortnets/internal/canon"
-	"sortnets/internal/eval"
-	"sortnets/internal/faults"
-	"sortnets/internal/network"
-	"sortnets/internal/verify"
+	"sortnets"
 )
 
 // Config sizes the service.
 type Config struct {
-	// Workers is the shard count of the compute pool; ≤ 0 means
-	// GOMAXPROCS. It bounds how many verdicts compute concurrently.
+	// Workers is the Session pool size; 0 or negative means
+	// automatic (GOMAXPROCS). It bounds how many verdicts compute
+	// concurrently.
 	Workers int
 	// CacheSize is the verdict-cache capacity in entries; ≤ 0 means
 	// 4096.
 	CacheSize int
-	// MaxLines caps the line count accepted by /verify (its minimal
-	// test sets grow like 2ⁿ for sorters); ≤ 0 means 20.
+	// MaxLines caps the line count accepted by verify requests (their
+	// minimal test sets grow like 2ⁿ for sorters); ≤ 0 means 20.
 	MaxLines int
-	// MaxFaultLines caps the line count accepted by /faults and
-	// /minset (fault detectability sweeps the 2ⁿ universe per fault);
-	// ≤ 0 means 12.
+	// MaxFaultLines caps the line count accepted by faults and minset
+	// requests (fault detectability sweeps the 2ⁿ universe per
+	// fault); ≤ 0 means 12.
 	MaxFaultLines int
+	// OnCompute, when set (tests only), runs on the Session's pool
+	// worker immediately before each underlying computation.
+	OnCompute func()
 }
 
-func (c Config) withDefaults() Config {
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
-	}
-	if c.CacheSize <= 0 {
-		c.CacheSize = 4096
-	}
-	if c.MaxLines <= 0 {
-		c.MaxLines = 20
-	}
-	if c.MaxFaultLines <= 0 {
-		c.MaxFaultLines = 12
-	}
-	return c
+// Service adapts HTTP to a sortnets.Session. Beyond decoding and
+// encoding, it only keeps the per-endpoint count of requests that
+// never reached the Session (wrong method, malformed body).
+type Service struct {
+	cfg  Config
+	sess *sortnets.Session
+
+	// httpRejected[op] counts requests rejected before Session.Do.
+	httpRejected map[string]*atomic.Int64
 }
 
-// maxComparators bounds accepted circuit size (memory and compile
-// time are linear in it; nothing legitimate is near this).
-const maxComparators = 1 << 14
-
-// EndpointStats counts one endpoint's traffic. All fields are
-// atomics; read them through Snapshot.
-type EndpointStats struct {
-	Requests  atomic.Int64 // requests reaching the endpoint handler
-	Hits      atomic.Int64 // served from the verdict cache
-	Misses    atomic.Int64 // not in cache at arrival
-	Coalesced atomic.Int64 // misses that joined an in-flight twin
-	Computes  atomic.Int64 // underlying engine computations started
-	Errors    atomic.Int64 // malformed requests or failed computes
+// NewService builds and starts a service; Close releases its
+// Session's pool.
+func NewService(cfg Config) *Service {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 4096
+	}
+	opts := []sortnets.Option{
+		sortnets.WithWorkers(cfg.Workers),
+		sortnets.WithCache(cfg.CacheSize),
+		sortnets.WithMaxLines(cfg.MaxLines),
+		sortnets.WithMaxFaultLines(cfg.MaxFaultLines),
+	}
+	if cfg.OnCompute != nil {
+		opts = append(opts, sortnets.WithComputeHook(cfg.OnCompute))
+	}
+	return &Service{
+		cfg:  cfg,
+		sess: sortnets.NewSession(opts...),
+		httpRejected: map[string]*atomic.Int64{
+			sortnets.OpVerify: new(atomic.Int64),
+			sortnets.OpFaults: new(atomic.Int64),
+			sortnets.OpMinset: new(atomic.Int64),
+		},
+	}
 }
 
-// EndpointSnapshot is the JSON form of EndpointStats.
+// Session exposes the underlying Session (the same handle an
+// in-process caller would use).
+func (s *Service) Session() *sortnets.Session { return s.sess }
+
+// Close stops the Session's pool workers. No requests may be in
+// flight.
+func (s *Service) Close() { s.sess.Close() }
+
+// EndpointSnapshot is the per-endpoint slice of the /stats body.
 type EndpointSnapshot struct {
 	Requests  int64 `json:"requests"`
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Coalesced int64 `json:"coalesced"`
 	Computes  int64 `json:"computes"`
+	Canceled  int64 `json:"canceled"`
 	Errors    int64 `json:"errors"`
-}
-
-func (s *EndpointStats) snapshot() EndpointSnapshot {
-	return EndpointSnapshot{
-		Requests:  s.Requests.Load(),
-		Hits:      s.Hits.Load(),
-		Misses:    s.Misses.Load(),
-		Coalesced: s.Coalesced.Load(),
-		Computes:  s.Computes.Load(),
-		Errors:    s.Errors.Load(),
-	}
-}
-
-// Stats aggregates the per-endpoint counters.
-type Stats struct {
-	Verify EndpointStats
-	Faults EndpointStats
-	Minset EndpointStats
-}
-
-// StatsSnapshot is the /stats response body.
-type StatsSnapshot struct {
-	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
-	Cache     CacheSnapshot               `json:"cache"`
-	Workers   int                         `json:"workers"`
 }
 
 // CacheSnapshot reports verdict-cache occupancy.
@@ -116,393 +102,41 @@ type CacheSnapshot struct {
 	Evictions int64 `json:"evictions"`
 }
 
-// Service is the verification service: parse/canonicalize requests,
-// route them through the cache, the coalescing sharded pool, and the
-// compiled-program cache, and shape JSON verdicts.
-type Service struct {
-	cfg   Config
-	cache *lru[[]byte]        // verdict cache: key → response body
-	progs *lru[*eval.Program] // digest → compiled healthy program
-	pool  *pool
-	stats Stats
-
-	// onCompute, when set (tests only), runs on the shard worker
-	// immediately before each underlying computation.
-	onCompute func()
+// StatsSnapshot is the /stats response body.
+type StatsSnapshot struct {
+	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
+	Cache     CacheSnapshot               `json:"cache"`
+	Workers   int                         `json:"workers"`
 }
 
-// NewService builds and starts a service; Close releases its pool.
-func NewService(cfg Config) *Service {
-	cfg = cfg.withDefaults()
-	return &Service{
-		cfg:   cfg,
-		cache: newLRU[[]byte](cfg.CacheSize),
-		progs: newLRU[*eval.Program](256),
-		pool:  newPool(cfg.Workers),
-	}
-}
-
-// Close stops the shard workers. No requests may be in flight.
-func (s *Service) Close() { s.pool.close() }
-
-// Stats returns a point-in-time snapshot of all counters.
+// Stats returns a point-in-time snapshot: the Session's counters
+// with the HTTP layer's pre-dispatch rejections folded into each
+// endpoint's Requests and Errors.
 func (s *Service) Stats() StatsSnapshot {
+	ss := s.sess.Stats()
+	eps := make(map[string]EndpointSnapshot, len(ss.Ops))
+	for op, st := range ss.Ops {
+		var rejected int64
+		if c, ok := s.httpRejected[op]; ok {
+			rejected = c.Load()
+		}
+		eps[op] = EndpointSnapshot{
+			Requests:  st.Requests + rejected,
+			Hits:      st.Hits,
+			Misses:    st.Misses,
+			Coalesced: st.Coalesced,
+			Computes:  st.Computes,
+			Canceled:  st.Canceled,
+			Errors:    st.Errors + rejected,
+		}
+	}
 	return StatsSnapshot{
-		Endpoints: map[string]EndpointSnapshot{
-			"verify": s.stats.Verify.snapshot(),
-			"faults": s.stats.Faults.snapshot(),
-			"minset": s.stats.Minset.snapshot(),
-		},
+		Endpoints: eps,
 		Cache: CacheSnapshot{
-			Entries:   s.cache.Len(),
-			Capacity:  s.cache.Cap(),
-			Evictions: s.cache.Evictions(),
+			Entries:   ss.Cache.Entries,
+			Capacity:  ss.Cache.Capacity,
+			Evictions: ss.Cache.Evictions,
 		},
-		Workers: s.cfg.Workers,
+		Workers: ss.Workers,
 	}
-}
-
-// requestError is a client-side (4xx) failure.
-type requestError struct {
-	status int
-	msg    string
-}
-
-func (e *requestError) Error() string { return e.msg }
-
-func badRequest(format string, args ...any) error {
-	return &requestError{status: 400, msg: fmt.Sprintf(format, args...)}
-}
-
-// NetworkRequest is the network half of every request body: either
-// the text form ("n=4: [1,3][2,4]...", standard comparators only) or
-// an explicit lines + comparators pair list. The pair form is
-// GENERALIZED: a pair [b,a] with b > a means min-to-b / max-to-a and
-// is untangled into standard form. Circuits whose untangling leaves a
-// non-identity lane relabeling are not equivalent to any standard
-// network and are rejected.
-type NetworkRequest struct {
-	Network     string   `json:"network,omitempty"`
-	Lines       int      `json:"lines,omitempty"`
-	Comparators [][2]int `json:"comparators,omitempty"`
-}
-
-// resolve parses, untangles, canonicalizes and digests the request's
-// network. maxLines is the endpoint's line-count cap and is enforced
-// BEFORE any O(lines) allocation (Untangle's lane map, Normalize's
-// layer schedule), so an absurd "n=2000000000:" request is rejected,
-// not materialized. The returned network is the canonical
-// (normalized) form.
-func (r *NetworkRequest) resolve(maxLines int) (*network.Network, string, error) {
-	var w *network.Network
-	switch {
-	case r.Network != "" && (r.Comparators != nil || r.Lines > 0):
-		return nil, "", badRequest("give either network text or lines+comparators, not both")
-	case r.Network != "":
-		parsed, err := network.Parse(r.Network)
-		if err != nil {
-			return nil, "", badRequest("%v", err)
-		}
-		if parsed.N > maxLines {
-			return nil, "", lineLimitError(parsed.N, maxLines)
-		}
-		w = parsed
-	case r.Comparators != nil || r.Lines > 0:
-		if r.Lines < 1 {
-			return nil, "", badRequest("comparator form needs a positive lines count")
-		}
-		if r.Lines > maxLines {
-			return nil, "", lineLimitError(r.Lines, maxLines)
-		}
-		// Validate in the client's 1-based coordinates before the
-		// 0-based conversion, so diagnostics quote the pair as sent.
-		pairs := make([][2]int, len(r.Comparators))
-		for i, p := range r.Comparators {
-			if p[0] < 1 || p[1] < 1 || p[0] > r.Lines || p[1] > r.Lines || p[0] == p[1] {
-				return nil, "", badRequest("comparator %d [%d,%d] invalid on %d lines (lines are 1-based)",
-					i, p[0], p[1], r.Lines)
-			}
-			pairs[i] = [2]int{p[0] - 1, p[1] - 1}
-		}
-		untangled, relabel, err := canon.Untangle(r.Lines, pairs)
-		if err != nil {
-			return nil, "", badRequest("%v", err)
-		}
-		if !canon.IsIdentity(relabel) {
-			return nil, "", &requestError{status: 422, msg: fmt.Sprintf(
-				"tangled network: outputs permuted by %v relative to any standard network (in particular it is not a sorter)", relabel)}
-		}
-		w = untangled
-	default:
-		return nil, "", badRequest("missing network")
-	}
-	if len(w.Comps) > maxComparators {
-		return nil, "", badRequest("network has %d comparators, limit %d", len(w.Comps), maxComparators)
-	}
-	c, digest := canon.Canonicalize(w)
-	return c, digest, nil
-}
-
-func lineLimitError(n, limit int) error {
-	return badRequest("network has %d lines, service limit is %d", n, limit)
-}
-
-// program returns the compiled healthy program for a canonical
-// network, sharing compilations across endpoints and properties via
-// the digest-keyed program cache. Programs are immutable, so a cached
-// one is safe for concurrent engines.
-func (s *Service) program(digest string, w *network.Network) *eval.Program {
-	if p, ok := s.progs.Get(digest); ok {
-		return p
-	}
-	p := eval.Compile(w)
-	s.progs.Add(digest, p)
-	return p
-}
-
-// propertyFor maps the request's property name to a verify.Property.
-func propertyFor(name string, n, k int) (verify.Property, error) {
-	switch name {
-	case "", "sorter":
-		return verify.Sorter{N: n}, nil
-	case "selector":
-		if k < 1 || k > n {
-			return nil, badRequest("selector needs 1 ≤ k ≤ n, got k=%d n=%d", k, n)
-		}
-		return verify.Selector{N: n, K: k}, nil
-	case "merger":
-		if n%2 != 0 {
-			return nil, badRequest("merger property needs an even line count, network has %d", n)
-		}
-		return verify.Merger{N: n}, nil
-	}
-	return nil, badRequest("unknown property %q", name)
-}
-
-func detectModeFor(name string) (faults.DetectMode, error) {
-	switch name {
-	case "", "by-property":
-		return faults.ByProperty, nil
-	case "by-golden":
-		return faults.ByGolden, nil
-	}
-	return 0, badRequest("unknown detection mode %q (want by-property or by-golden)", name)
-}
-
-// cached runs the cache → coalesce → compute pipeline for one request
-// and returns the response body plus how it was obtained ("hit",
-// "coalesced", or "miss"). compute must be deterministic: its body is
-// stored and replayed byte-identically.
-func (s *Service) cached(ep *EndpointStats, key string, compute func() ([]byte, error)) ([]byte, string, error) {
-	if body, ok := s.cache.Get(key); ok {
-		ep.Hits.Add(1)
-		return body, "hit", nil
-	}
-	ep.Misses.Add(1)
-	body, coalesced, err := s.pool.do(key, func() ([]byte, error) {
-		// Re-check the cache from inside the registered call: a twin
-		// that was in flight during our lookup may have filled the
-		// cache and left the inflight table in the gap before our
-		// registration. Its Add happens before its deregistration, so
-		// if we registered fresh, the result is already visible here —
-		// without this, two "concurrent identical" requests could both
-		// compute.
-		if body, ok := s.cache.Get(key); ok {
-			return body, nil
-		}
-		ep.Computes.Add(1)
-		body, err := compute()
-		if err == nil {
-			// Fill the cache on the shard worker, before the in-flight
-			// entry is dropped, so there is no window where neither
-			// the cache nor the inflight table knows the result.
-			s.cache.Add(key, body)
-		}
-		return body, err
-	}, s.onCompute, func() { ep.Coalesced.Add(1) })
-	if coalesced {
-		return body, "coalesced", err
-	}
-	return body, "miss", err
-}
-
-// VerifyRequest asks for a property verdict.
-type VerifyRequest struct {
-	NetworkRequest
-	Property   string `json:"property,omitempty"`
-	K          int    `json:"k,omitempty"`
-	Exhaustive bool   `json:"exhaustive,omitempty"` // ground-truth 2ⁿ sweep instead of the minimal test set
-}
-
-// VerifyResponse is the /verify verdict.
-type VerifyResponse struct {
-	Digest         string `json:"digest"`
-	Property       string `json:"property"`
-	Exhaustive     bool   `json:"exhaustive,omitempty"`
-	Holds          bool   `json:"holds"`
-	TestsRun       int    `json:"testsRun"`
-	Counterexample string `json:"counterexample,omitempty"`
-	Output         string `json:"output,omitempty"`
-}
-
-func (s *Service) verify(req *VerifyRequest) ([]byte, string, error) {
-	w, digest, err := req.resolve(s.cfg.MaxLines)
-	if err != nil {
-		return nil, "", err
-	}
-	p, err := propertyFor(req.Property, w.N, req.K)
-	if err != nil {
-		return nil, "", err
-	}
-	key := fmt.Sprintf("verify|%s|%s|exhaustive=%v", digest, p.Name(), req.Exhaustive)
-	return s.cached(&s.stats.Verify, key, func() ([]byte, error) {
-		prog := s.program(digest, w)
-		var r verify.Result
-		if req.Exhaustive {
-			r = verify.GroundTruthProgram(prog, p)
-		} else {
-			r = verify.VerdictProgram(prog, p)
-		}
-		resp := VerifyResponse{
-			Digest:     digest,
-			Property:   p.Name(),
-			Exhaustive: req.Exhaustive,
-			Holds:      r.Holds,
-			TestsRun:   r.TestsRun,
-		}
-		if !r.Holds {
-			resp.Counterexample = r.Counterexample.String()
-			resp.Output = r.Output.String()
-		}
-		return json.Marshal(resp)
-	})
-}
-
-// FaultsRequest asks for fault coverage of a property's minimal test
-// set over the standard single-fault universe.
-type FaultsRequest struct {
-	NetworkRequest
-	Property string `json:"property,omitempty"`
-	K        int    `json:"k,omitempty"`
-	Mode     string `json:"mode,omitempty"` // by-property | by-golden
-}
-
-// FaultsResponse is the /faults coverage report.
-type FaultsResponse struct {
-	Digest     string  `json:"digest"`
-	Property   string  `json:"property"`
-	Mode       string  `json:"mode"`
-	Faults     int     `json:"faults"`
-	Detectable int     `json:"detectable"`
-	Detected   int     `json:"detected"`
-	Coverage   float64 `json:"coverage"`
-}
-
-func (s *Service) faultReq(req *FaultsRequest) (*network.Network, string, verify.Property, faults.DetectMode, error) {
-	w, digest, err := req.resolve(s.cfg.MaxFaultLines)
-	if err != nil {
-		return nil, "", nil, 0, err
-	}
-	p, err := propertyFor(req.Property, w.N, req.K)
-	if err != nil {
-		return nil, "", nil, 0, err
-	}
-	mode, err := detectModeFor(req.Mode)
-	if err != nil {
-		return nil, "", nil, 0, err
-	}
-	if mode == faults.ByProperty {
-		if _, ok := p.(verify.Sorter); !ok {
-			return nil, "", nil, 0, badRequest("by-property detection judges outputs as a sorter; use property=sorter or mode=by-golden")
-		}
-	}
-	return w, digest, p, mode, nil
-}
-
-func (s *Service) faults(req *FaultsRequest) ([]byte, string, error) {
-	w, digest, p, mode, err := s.faultReq(req)
-	if err != nil {
-		return nil, "", err
-	}
-	key := fmt.Sprintf("faults|%s|%s|%s", digest, p.Name(), mode)
-	return s.cached(&s.stats.Faults, key, func() ([]byte, error) {
-		golden := s.program(digest, w)
-		rep := faults.MeasureWith(w, golden, faults.Enumerate(w), p.BinaryTests, mode)
-		return json.Marshal(FaultsResponse{
-			Digest:     digest,
-			Property:   p.Name(),
-			Mode:       mode.String(),
-			Faults:     rep.Faults,
-			Detectable: rep.Detectable,
-			Detected:   rep.Detected,
-			Coverage:   rep.Coverage(),
-		})
-	})
-}
-
-// MinsetRequest asks for a minimal subset of the property's test set
-// that still detects every fault the full set detects.
-type MinsetRequest struct {
-	NetworkRequest
-	Property string `json:"property,omitempty"`
-	K        int    `json:"k,omitempty"`
-	Mode     string `json:"mode,omitempty"`
-	Exact    bool   `json:"exact,omitempty"` // exact hitting-set solve instead of greedy
-}
-
-// MinsetResponse is the /minset selection.
-type MinsetResponse struct {
-	Digest     string   `json:"digest"`
-	Property   string   `json:"property"`
-	Mode       string   `json:"mode"`
-	Faults     int      `json:"faults"`
-	Detectable int      `json:"detectable"`
-	Detected   int      `json:"detected"`
-	FullTests  int      `json:"fullTests"`
-	Size       int      `json:"size"`
-	Exact      bool     `json:"exact"`
-	Tests      []string `json:"tests"`
-}
-
-// minsetNodeBudget caps the exact hitting-set branch and bound per
-// request; exhausted budgets fall back to the (still valid) greedy
-// witness with exact=false.
-const minsetNodeBudget = 2_000_000
-
-func (s *Service) minset(req *MinsetRequest) ([]byte, string, error) {
-	fr := FaultsRequest{NetworkRequest: req.NetworkRequest, Property: req.Property, K: req.K, Mode: req.Mode}
-	w, digest, p, mode, err := s.faultReq(&fr)
-	if err != nil {
-		return nil, "", err
-	}
-	key := fmt.Sprintf("minset|%s|%s|%s|exact=%v", digest, p.Name(), mode, req.Exact)
-	return s.cached(&s.stats.Minset, key, func() ([]byte, error) {
-		golden := s.program(digest, w)
-		m := faults.DetectionMatrixWith(w, golden, faults.Enumerate(w), p.BinaryTests, mode)
-		var picks []int
-		exact := false
-		if req.Exact {
-			// Deterministic witness: the exact solver runs sequential.
-			picks, exact = m.ExactMinimalDetectingSet(minsetNodeBudget, 1)
-		}
-		if picks == nil {
-			picks = m.MinimalDetectingSet()
-		}
-		resp := MinsetResponse{
-			Digest:     digest,
-			Property:   p.Name(),
-			Mode:       mode.String(),
-			Faults:     len(m.Faults),
-			Detectable: m.Detectable.Count(),
-			Detected:   m.Detected().Count(),
-			FullTests:  len(m.Tests),
-			Size:       len(picks),
-			Exact:      exact,
-			Tests:      make([]string, 0, len(picks)),
-		}
-		for _, t := range picks {
-			resp.Tests = append(resp.Tests, m.Tests[t].String())
-		}
-		return json.Marshal(resp)
-	})
 }

@@ -11,6 +11,11 @@ import (
 // adapter (the network evaluation — the expensive part — stays
 // word-parallel either way).
 
+// JudgeFor exposes the lowering for callers that stream custom test
+// families through an engine themselves (the Session's test-stream
+// override).
+func JudgeFor(p Property) eval.Judge { return judgeFor(p) }
+
 func judgeFor(p Property) eval.Judge {
 	switch prop := p.(type) {
 	case Sorter:

@@ -1,7 +1,7 @@
 package verify
 
 import (
-	"fmt"
+	"context"
 
 	"sortnets/internal/eval"
 	"sortnets/internal/network"
@@ -55,19 +55,11 @@ func halvesSorted(p perm.P) bool {
 // their threshold vectors on the word-parallel engine (see the
 // package comment above), with the scalar loop as fallback.
 func VerdictPerms(w *network.Network, p Property) PermResult {
-	if w.N != p.Lines() {
-		panic(fmt.Sprintf("verify: network has %d lines, property wants %d", w.N, p.Lines()))
-	}
-	if w.N-1 <= network.LanesPerBatch && w.N > 1 {
-		switch p.(type) {
-		case Sorter, Selector, Merger:
-			return verdictPermsBatch(w, p)
-		}
-	}
-	return verdictPermsScalar(w, p)
+	r, _ := VerdictPermsCtx(context.Background(), w, p)
+	return r
 }
 
-func verdictPermsBatch(w *network.Network, p Property) PermResult {
+func verdictPermsBatch(ctx context.Context, w *network.Network, p Property) (PermResult, error) {
 	n := w.N
 	tests := p.PermTests()
 	judged := tests
@@ -118,33 +110,41 @@ func verdictPermsBatch(w *network.Network, p Property) PermResult {
 		filled++
 		pi++
 		if filled == perBatch || pi == len(judged) {
+			if err := ctx.Err(); err != nil {
+				return PermResult{}, err
+			}
 			if !flush(filled * spread) {
 				// Some threshold failed, so some permutation test
 				// fails: re-run the scalar loop for the exact
 				// stream-order counterexample and count.
-				return verdictPermsScalar(w, p)
+				return verdictPermsScalar(ctx, w, p)
 			}
 			filled = 0
 		}
 	}
-	return PermResult{Holds: true, TestsRun: len(tests)}
+	return PermResult{Holds: true, TestsRun: len(tests)}, nil
 }
 
 // verdictPermsScalar is the one-permutation-at-a-time loop (compiled
 // program, in-place ApplyInts): the fallback for custom properties and
 // wide networks, and the counterexample reporter.
-func verdictPermsScalar(w *network.Network, p Property) PermResult {
+func verdictPermsScalar(ctx context.Context, w *network.Network, p Property) (PermResult, error) {
 	prog := eval.Compile(w)
 	out := make([]int, w.N)
 	tests := 0
 	for _, pm := range p.PermTests() {
+		if tests&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return PermResult{}, err
+			}
+		}
 		tests++
 		copy(out, pm)
 		prog.ApplyInts(out)
 		if !p.AcceptsInts(pm, out) {
 			return PermResult{Holds: false, TestsRun: tests, Counterexample: pm,
-				Output: append([]int(nil), out...)}
+				Output: append([]int(nil), out...)}, nil
 		}
 	}
-	return PermResult{Holds: true, TestsRun: tests}
+	return PermResult{Holds: true, TestsRun: tests}, nil
 }

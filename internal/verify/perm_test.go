@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -25,7 +26,7 @@ func TestVerdictPermsBatchAgreesWithScalar(t *testing.T) {
 		}
 		for _, p := range props {
 			got := VerdictPerms(w, p)
-			want := verdictPermsScalar(w, p)
+			want, _ := verdictPermsScalar(context.Background(), w, p)
 			if got.Holds != want.Holds || got.TestsRun != want.TestsRun {
 				t.Fatalf("%s on %s: batch %+v, scalar %+v", p.Name(), w, got, want)
 			}

@@ -1,0 +1,183 @@
+package sortnets
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+)
+
+// The Session's compute plane is a SHARDED worker pool: one goroutine
+// per shard, with requests routed to a shard by the hash of their
+// cache key. Routing by key gives coalescing for free and without a
+// global lock — two concurrent identical requests always land on the
+// same shard, where an inflight table lets the second subscribe to
+// the first's result instead of recomputing it. The shard count
+// bounds the number of verdicts computing at once (the engines inside
+// run single-worker, so total CPU use stays ≈ shard count).
+//
+// Cancellation: each in-flight call computes under its OWN context,
+// cancelled when the last subscribed waiter abandons it. A caller
+// whose context dies stops waiting immediately; the computation keeps
+// running only while someone still wants the result, and aborts at
+// its next engine block check otherwise — releasing the shard slot.
+// Caller deadlines and values are deliberately NOT propagated into
+// the compute context: a verdict may be shared by callers with
+// different deadlines.
+
+// call is one in-flight computation; waiters block on done and then
+// read verdict/err, which are written exactly once before the close.
+type call struct {
+	done    chan struct{}
+	verdict *Verdict
+	err     error
+	waiters int // guarded by the shard mutex
+	ctx     context.Context
+	cancel  context.CancelFunc
+}
+
+type shard struct {
+	mu       sync.Mutex
+	inflight map[string]*call
+	jobs     chan func()
+}
+
+type pool struct {
+	shards []*shard
+	wg     sync.WaitGroup
+}
+
+// newPool starts n shard workers. Each shard's job queue is buffered;
+// a full queue blocks the submitting caller, which is the intended
+// backpressure (the submitter still honours its context while
+// blocked).
+func newPool(n int) *pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &pool{shards: make([]*shard, n)}
+	for i := range p.shards {
+		sh := &shard{
+			inflight: make(map[string]*call),
+			jobs:     make(chan func(), 64),
+		}
+		p.shards[i] = sh
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for job := range sh.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// close drains the pool: no do calls may be in flight or follow.
+func (p *pool) close() {
+	for _, sh := range p.shards {
+		close(sh.jobs)
+	}
+	p.wg.Wait()
+}
+
+func (p *pool) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return p.shards[h.Sum32()%uint32(len(p.shards))]
+}
+
+// do runs compute for key on key's shard, coalescing with an
+// identical in-flight computation if one exists. It returns the
+// result and whether this caller merely joined an existing call.
+// onJoin, if non-nil, runs as soon as a caller registers as a waiter
+// (BEFORE blocking on the twin's result), so coalescing is observable
+// in stats while the shared computation is still running.
+func (p *pool) do(ctx context.Context, key string, compute func(context.Context) (*Verdict, error), onJoin func()) (*Verdict, bool, error) {
+	sh := p.shardFor(key)
+	sh.mu.Lock()
+	if c, ok := sh.inflight[key]; ok {
+		c.waiters++
+		sh.mu.Unlock()
+		if onJoin != nil {
+			onJoin()
+		}
+		return sh.wait(ctx, key, c, true)
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	c := &call{done: make(chan struct{}), waiters: 1, ctx: cctx, cancel: cancel}
+	sh.inflight[key] = c
+	sh.mu.Unlock()
+
+	job := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = fmt.Errorf("sortnets: verdict compute panicked: %v", r)
+			}
+			sh.drop(key, c)
+			c.cancel()
+			close(c.done)
+		}()
+		// All waiters may have abandoned the call while it sat in the
+		// queue: return the slot without touching an engine.
+		if err := c.ctx.Err(); err != nil {
+			c.err = err
+			return
+		}
+		c.verdict, c.err = compute(c.ctx)
+	}
+	select {
+	case sh.jobs <- job:
+	case <-ctx.Done():
+		// Queue full and the submitter gave up before the job was
+		// accepted: finish the call with a retryable sentinel — NOT
+		// the submitter's context error, which joined waiters with
+		// live contexts of their own must not inherit (the Session
+		// retries the pipeline for them).
+		sh.drop(key, c)
+		c.err = errSubmitterGone
+		c.cancel()
+		close(c.done)
+		return nil, false, ctx.Err()
+	}
+	return sh.wait(ctx, key, c, false)
+}
+
+// errSubmitterGone marks a call whose submitting caller abandoned it
+// before a pool worker accepted the job. Waiters that coalesced onto
+// it did nothing wrong — their caller retries the request.
+var errSubmitterGone = errors.New("sortnets: verdict submission abandoned before compute started")
+
+// drop removes the call from the inflight table if it still owns its
+// key (a successor may already have replaced it after an abandon).
+func (sh *shard) drop(key string, c *call) {
+	sh.mu.Lock()
+	if sh.inflight[key] == c {
+		delete(sh.inflight, key)
+	}
+	sh.mu.Unlock()
+}
+
+// wait blocks until the call completes or the caller's context dies.
+// The last waiter to abandon a call cancels its compute context and
+// retires it from the inflight table, so a later identical request
+// starts fresh instead of subscribing to a doomed computation.
+func (sh *shard) wait(ctx context.Context, key string, c *call, joined bool) (*Verdict, bool, error) {
+	select {
+	case <-c.done:
+		return c.verdict, joined, c.err
+	case <-ctx.Done():
+		sh.mu.Lock()
+		c.waiters--
+		abandoned := c.waiters == 0
+		if abandoned && sh.inflight[key] == c {
+			delete(sh.inflight, key)
+		}
+		sh.mu.Unlock()
+		if abandoned {
+			c.cancel()
+		}
+		return nil, joined, ctx.Err()
+	}
+}

@@ -1,0 +1,597 @@
+package sortnets
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sortnets/internal/canon"
+	"sortnets/internal/eval"
+	"sortnets/internal/faults"
+	"sortnets/internal/network"
+	"sortnets/internal/verify"
+)
+
+// Session is the context-aware verdict engine of the package: a
+// reusable handle owning a compiled-program cache (keyed on the
+// canonical digest of internal/canon), a verdict cache, a coalescing
+// worker pool, and default options. It unifies the three historical
+// request surfaces — the facade's Check* functions, the
+// program-reuse entry points, and sortnetd's HTTP bodies — behind
+// one request model:
+//
+//	sess := sortnets.NewSession(sortnets.WithWorkers(0))
+//	v, err := sess.Do(ctx, sortnets.Request{Network: "n=4: [1,2][3,4][1,3][2,4][2,3]"})
+//
+// plus typed conveniences (Check, CheckPerms, FaultCoverage, MinSet,
+// Wide, …) for library callers holding real *Network values.
+//
+// Cancellation: every entry point takes a context.Context that is
+// propagated into the engine loops, where it is checked once per
+// 64-lane block — deadlines and client disconnects actually stop
+// work, on the minimal-test, exhaustive-universe, wide, closure-BFS
+// and hitting-set-solver paths alike.
+//
+// Caching: verdicts are cached by (operation, canonical digest,
+// property, flags) and programs by digest, so repeated requests for
+// structurally equivalent circuits — same circuit, parallel layers
+// interleaved differently — share one compilation and one verdict.
+// Everything that feeds the cache is deterministic (single-worker
+// engines, stream-order counterexamples, deterministic greedy/solver
+// tie-breaks), so cached, coalesced and recomputed verdicts can
+// never disagree. Do's cache/coalescing pipeline is exactly the one
+// sortnetd serves over HTTP: the semantics are identical in-process
+// and over the wire.
+//
+// Worker semantics (the ONE rule, used by every option, flag and
+// function in the repository): 0 or negative means AUTOMATIC — a
+// plain worker pool uses all cores, the streaming engine stays
+// sequential below its work threshold and uses all cores above it; 1
+// pins strictly sequential, deterministic execution; k > 1 forces
+// exactly k workers.
+type Session struct {
+	workers       int
+	cacheSize     int
+	maxLines      int
+	maxFaultLines int
+	faultMode     faults.DetectMode
+	streamTag     string
+	stream        func(Property) VecIterator
+	computeHook   func()
+
+	results *lru[any]           // verdict cache: key → *Verdict or typed result
+	progs   *lru[*eval.Program] // digest → compiled healthy program
+
+	poolOnce sync.Once
+	pool     *pool
+
+	uncached atomic.Int64 // unique-key source for uncacheable requests
+	stats    sessionCounters
+}
+
+// Option configures a Session.
+type Option func(*Session)
+
+// WithWorkers sets the size of the Session's compute pool — how many
+// verdicts may compute concurrently through Do (each on a
+// deterministic single-worker engine). 0 or negative means automatic
+// (all cores); 1 serializes; k > 1 forces exactly k. The typed
+// conveniences compute on the caller's goroutine and are not bounded
+// by the pool.
+func WithWorkers(n int) Option { return func(s *Session) { s.workers = n } }
+
+// WithCache sets the verdict-cache capacity in entries. 0 or
+// negative disables verdict caching (request coalescing still
+// applies); the default is 4096.
+func WithCache(entries int) Option { return func(s *Session) { s.cacheSize = entries } }
+
+// WithMaxLines caps the line count Do accepts for OpVerify requests
+// (minimal sorter test sets grow like 2ⁿ). 0 or negative keeps the
+// default of 20. The typed conveniences are a trusted library
+// surface and are not capped.
+func WithMaxLines(n int) Option { return func(s *Session) { s.maxLines = n } }
+
+// WithMaxFaultLines caps the line count Do accepts for OpFaults and
+// OpMinset requests (fault detectability sweeps the 2ⁿ universe per
+// fault). 0 or negative keeps the default of 12.
+func WithMaxFaultLines(n int) Option { return func(s *Session) { s.maxFaultLines = n } }
+
+// WithFaultMode sets the default fault-detection mode used by
+// FaultCoverage/MinSet and by Do requests that omit one. The default
+// is ByProperty (the paper's observation model).
+func WithFaultMode(m DetectMode) Option { return func(s *Session) { s.faultMode = m } }
+
+// WithTestStream overrides the binary test stream the Session's
+// verify paths run, replacing each property's minimal test set with
+// factory(p). tag names the stream in cache keys, so verdicts under
+// different streams never alias; an empty tag disables verdict
+// caching for the overridden stream. Use it to score alternative
+// test families (e.g. a fault-selected subset) on the same engines.
+func WithTestStream(tag string, factory func(p Property) VecIterator) Option {
+	return func(s *Session) {
+		s.streamTag = tag
+		s.stream = factory
+	}
+}
+
+// WithComputeHook installs a function invoked on the pool worker
+// immediately before each underlying Do computation — an
+// instrumentation/test seam (hold it open to observe coalescing).
+func WithComputeHook(fn func()) Option { return func(s *Session) { s.computeHook = fn } }
+
+// NewSession builds a Session. The zero configuration — automatic
+// pool size, 4096 verdict entries, line caps 20/12, ByProperty fault
+// detection — is right for both library use and serving.
+func NewSession(opts ...Option) *Session {
+	s := &Session{
+		workers:       0,
+		cacheSize:     4096,
+		maxLines:      20,
+		maxFaultLines: 12,
+		faultMode:     faults.ByProperty,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.maxLines <= 0 {
+		s.maxLines = 20
+	}
+	if s.maxFaultLines <= 0 {
+		s.maxFaultLines = 12
+	}
+	if s.cacheSize > 0 {
+		s.results = newLRU[any](s.cacheSize)
+	}
+	s.progs = newLRU[*eval.Program](256)
+	return s
+}
+
+// Workers resolves the session's pool size under the one worker rule.
+func (s *Session) Workers() int {
+	if s.workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return s.workers
+}
+
+// startPool lazily spins up the compute pool: a Session used only
+// through the typed conveniences never spawns a goroutine.
+func (s *Session) startPool() *pool {
+	s.poolOnce.Do(func() { s.pool = newPool(s.Workers()) })
+	return s.pool
+}
+
+// Close stops the pool workers, if any were started. No Do calls may
+// be in flight or follow.
+func (s *Session) Close() {
+	if s.pool != nil {
+		s.pool.close()
+	}
+}
+
+// Doer is the one-request-model interface: *Session implements it
+// in-process and *client.Client implements it against a sortnetd
+// URL, so callers swap local ↔ remote by swapping a value.
+type Doer interface {
+	Do(ctx context.Context, req Request) (*Verdict, error)
+}
+
+// --- Stats --------------------------------------------------------------
+
+type opCounters struct {
+	requests  atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	computes  atomic.Int64
+	canceled  atomic.Int64
+	errors    atomic.Int64
+}
+
+type sessionCounters struct {
+	verify  opCounters
+	faults  opCounters
+	minset  opCounters
+	unknown opCounters // requests naming no known op (counted, then rejected)
+}
+
+func (s *sessionCounters) forOp(op string) *opCounters {
+	switch op {
+	case OpVerify:
+		return &s.verify
+	case OpFaults:
+		return &s.faults
+	case OpMinset:
+		return &s.minset
+	}
+	return nil
+}
+
+// OpStats is a point-in-time snapshot of one operation's counters.
+// Canceled counts callers that abandoned a verdict (context cancelled
+// or deadline exceeded) — their pool slot is released, not leaked.
+type OpStats struct {
+	Requests  int64 `json:"requests"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Computes  int64 `json:"computes"`
+	Canceled  int64 `json:"canceled"`
+	Errors    int64 `json:"errors"`
+}
+
+func (c *opCounters) snapshot() OpStats {
+	return OpStats{
+		Requests:  c.requests.Load(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Computes:  c.computes.Load(),
+		Canceled:  c.canceled.Load(),
+		Errors:    c.errors.Load(),
+	}
+}
+
+// CacheStats reports verdict-cache occupancy.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+	Evictions int64 `json:"evictions"`
+}
+
+// SessionStats is the Stats snapshot: per-operation counters, cache
+// occupancy, and the resolved pool size.
+type SessionStats struct {
+	Ops     map[string]OpStats `json:"ops"`
+	Cache   CacheStats         `json:"cache"`
+	Workers int                `json:"workers"`
+}
+
+// Stats returns a point-in-time snapshot of all counters.
+func (s *Session) Stats() SessionStats {
+	st := SessionStats{
+		Ops: map[string]OpStats{
+			OpVerify:  s.stats.verify.snapshot(),
+			OpFaults:  s.stats.faults.snapshot(),
+			OpMinset:  s.stats.minset.snapshot(),
+			"unknown": s.stats.unknown.snapshot(),
+		},
+		Workers: s.Workers(),
+	}
+	if s.results != nil {
+		st.Cache = CacheStats{
+			Entries:   s.results.Len(),
+			Capacity:  s.results.Cap(),
+			Evictions: s.results.Evictions(),
+		}
+	}
+	return st
+}
+
+// --- The single entry point ---------------------------------------------
+
+// Do renders the verdict for one Request: parse/untangle/canonicalize
+// the network, route through the verdict cache and the coalescing
+// pool, compute on a deterministic single-worker engine under the
+// call's context, and shape the unified Verdict. This is the exact
+// pipeline sortnetd serves: internal/serve decodes HTTP bodies into
+// the same Request and encodes the same Verdict.
+//
+// Errors: *RequestError for malformed requests (a 4xx over the
+// wire), the context's error when cancelled, and nothing else.
+func (s *Session) Do(ctx context.Context, req Request) (*Verdict, error) {
+	op := req.Op
+	if op == "" {
+		op = OpVerify
+	}
+	ctrs := s.stats.forOp(op)
+	if ctrs == nil {
+		s.stats.unknown.requests.Add(1)
+		s.stats.unknown.errors.Add(1)
+		return nil, badRequest("unknown op %q (want %s, %s or %s)", req.Op, OpVerify, OpFaults, OpMinset)
+	}
+	ctrs.requests.Add(1)
+	v, err := s.dispatch(ctx, op, &req, ctrs)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		ctrs.canceled.Add(1)
+	default:
+		ctrs.errors.Add(1)
+	}
+	return v, err
+}
+
+func (s *Session) dispatch(ctx context.Context, op string, req *Request, ctrs *opCounters) (*Verdict, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	switch op {
+	case OpVerify:
+		return s.doVerify(ctx, req, ctrs)
+	case OpFaults:
+		return s.doFaults(ctx, req, ctrs)
+	default:
+		return s.doMinset(ctx, req, ctrs)
+	}
+}
+
+func (s *Session) doVerify(ctx context.Context, req *Request, ctrs *opCounters) (*Verdict, error) {
+	w, digest, err := req.resolve(s.maxLines)
+	if err != nil {
+		return nil, err
+	}
+	p, err := propertyFor(req.Property, w.N, req.K)
+	if err != nil {
+		return nil, err
+	}
+	key := s.verifyKey(digest, p.Name(), req.Exhaustive)
+	return s.cached(ctx, ctrs, key, func(cctx context.Context) (*Verdict, error) {
+		r, err := s.checkProgram(cctx, s.program(digest, w), p, req.Exhaustive)
+		if err != nil {
+			return nil, err
+		}
+		return checkVerdict(digest, p.Name(), req.Exhaustive, r), nil
+	})
+}
+
+func (s *Session) verifyKey(digest, prop string, exhaustive bool) string {
+	key := fmt.Sprintf("verify|%s|%s|exhaustive=%v", digest, prop, exhaustive)
+	if s.stream != nil {
+		if s.streamTag == "" {
+			return "" // unnamed override: uncacheable
+		}
+		key += "|stream=" + s.streamTag
+	}
+	return key
+}
+
+// checkProgram runs the verify engine for one compiled program:
+// minimal test set (or the session's stream override) or the
+// exhaustive universe.
+func (s *Session) checkProgram(ctx context.Context, prog *eval.Program, p Property, exhaustive bool) (Result, error) {
+	if exhaustive {
+		return verify.GroundTruthProgramCtx(ctx, prog, p)
+	}
+	if s.stream != nil {
+		if prog.N() != p.Lines() {
+			panic(fmt.Sprintf("sortnets: program has %d lines, property wants %d", prog.N(), p.Lines()))
+		}
+		v, err := eval.New(prog, 1).RunCtx(ctx, s.stream(p), verify.JudgeFor(p))
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Holds: v.Holds, TestsRun: v.TestsRun, Counterexample: v.In, Output: v.Out}, nil
+	}
+	return verify.VerdictProgramCtx(ctx, prog, p)
+}
+
+func checkVerdict(digest, prop string, exhaustive bool, r Result) *Verdict {
+	cv := &CheckVerdict{Exhaustive: exhaustive, Holds: r.Holds, TestsRun: r.TestsRun}
+	if !r.Holds {
+		cv.Counterexample = r.Counterexample.String()
+		cv.Output = r.Output.String()
+	}
+	return &Verdict{Op: OpVerify, Digest: digest, Property: prop, Check: cv}
+}
+
+// faultArgs validates the shared OpFaults/OpMinset request shape.
+func (s *Session) faultArgs(req *Request) (*network.Network, string, Property, faults.DetectMode, error) {
+	w, digest, err := req.resolve(s.maxFaultLines)
+	if err != nil {
+		return nil, "", nil, 0, err
+	}
+	p, err := propertyFor(req.Property, w.N, req.K)
+	if err != nil {
+		return nil, "", nil, 0, err
+	}
+	mode := s.faultMode
+	if req.Mode != "" {
+		if mode, err = detectModeFor(req.Mode); err != nil {
+			return nil, "", nil, 0, err
+		}
+	}
+	if mode == faults.ByProperty {
+		if _, ok := p.(verify.Sorter); !ok {
+			return nil, "", nil, 0, badRequest("by-property detection judges outputs as a sorter; use property=sorter or mode=by-golden")
+		}
+	}
+	return w, digest, p, mode, nil
+}
+
+func (s *Session) doFaults(ctx context.Context, req *Request, ctrs *opCounters) (*Verdict, error) {
+	w, digest, p, mode, err := s.faultArgs(req)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("faults|%s|%s|%s", digest, p.Name(), mode)
+	return s.cached(ctx, ctrs, key, func(cctx context.Context) (*Verdict, error) {
+		rep, err := faults.MeasureCtx(cctx, w, s.program(digest, w), faults.Enumerate(w), p.BinaryTests, mode)
+		if err != nil {
+			return nil, err
+		}
+		return &Verdict{Op: OpFaults, Digest: digest, Property: p.Name(), Faults: &FaultsVerdict{
+			Mode:       mode.String(),
+			Faults:     rep.Faults,
+			Detectable: rep.Detectable,
+			Detected:   rep.Detected,
+			Coverage:   rep.Coverage(),
+		}}, nil
+	})
+}
+
+// minsetNodeBudget caps the exact hitting-set branch and bound per
+// request; exhausted budgets fall back to the (still valid) greedy
+// witness with exact=false.
+const minsetNodeBudget = 2_000_000
+
+func (s *Session) doMinset(ctx context.Context, req *Request, ctrs *opCounters) (*Verdict, error) {
+	w, digest, p, mode, err := s.faultArgs(req)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("minset|%s|%s|%s|exact=%v", digest, p.Name(), mode, req.Exact)
+	exactReq := req.Exact
+	return s.cached(ctx, ctrs, key, func(cctx context.Context) (*Verdict, error) {
+		m, err := faults.DetectionMatrixCtx(cctx, w, s.program(digest, w), faults.Enumerate(w), p.BinaryTests, mode)
+		if err != nil {
+			return nil, err
+		}
+		var picks []int
+		exact := false
+		if exactReq {
+			// Deterministic witness: the exact solver runs sequential.
+			picks, exact, err = m.ExactMinimalDetectingSetCtx(cctx, minsetNodeBudget, 1)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if picks == nil {
+			picks = m.MinimalDetectingSet()
+		}
+		mv := &MinsetVerdict{
+			Mode:       mode.String(),
+			Faults:     len(m.Faults),
+			Detectable: m.Detectable.Count(),
+			Detected:   m.Detected().Count(),
+			FullTests:  len(m.Tests),
+			Size:       len(picks),
+			Exact:      exact,
+			Tests:      make([]string, 0, len(picks)),
+		}
+		for _, t := range picks {
+			mv.Tests = append(mv.Tests, m.Tests[t].String())
+		}
+		return &Verdict{Op: OpMinset, Digest: digest, Property: p.Name(), Minset: mv}, nil
+	})
+}
+
+// cached runs the cache → coalesce → compute pipeline for one Do
+// request. compute must be deterministic: its verdict is stored and
+// replayed (and, over the wire, marshals byte-identically). An empty
+// key skips the cache AND coalescing (distinct uncacheable requests
+// must never share an in-flight result) but still runs on the pool.
+func (s *Session) cached(ctx context.Context, ctrs *opCounters, key string, compute func(context.Context) (*Verdict, error)) (*Verdict, error) {
+	cacheable := key != ""
+	if !cacheable {
+		// A unique key: uncacheable requests run on the pool but must
+		// never coalesce with each other.
+		key = fmt.Sprintf("!uncached|%d", s.uncached.Add(1))
+	}
+	if s.results != nil && cacheable {
+		if v, ok := s.results.Get(key); ok {
+			ctrs.hits.Add(1)
+			return withSource(v.(*Verdict), "hit"), nil
+		}
+	}
+	ctrs.misses.Add(1)
+	return s.pooled(ctx, ctrs, key, cacheable, compute)
+}
+
+// pooled is cached's coalesce → compute tail, re-entered on the rare
+// abandoned-submission retry.
+func (s *Session) pooled(ctx context.Context, ctrs *opCounters, key string, cacheable bool, compute func(context.Context) (*Verdict, error)) (*Verdict, error) {
+	v, coalesced, err := s.startPool().do(ctx, key, func(cctx context.Context) (*Verdict, error) {
+		// Re-check the cache from inside the registered call: a twin
+		// that was in flight during our lookup may have filled the
+		// cache and left the inflight table in the gap before our
+		// registration. Its Add happens before its deregistration, so
+		// if we registered fresh, the result is already visible here —
+		// without this, two "concurrent identical" requests could both
+		// compute.
+		if s.results != nil && cacheable {
+			if v, ok := s.results.Get(key); ok {
+				return v.(*Verdict), nil
+			}
+		}
+		ctrs.computes.Add(1)
+		if s.computeHook != nil {
+			s.computeHook()
+		}
+		v, err := compute(cctx)
+		if err == nil && s.results != nil && cacheable {
+			// Fill the cache on the pool worker, before the in-flight
+			// entry is dropped, so there is no window where neither
+			// the cache nor the inflight table knows the result.
+			s.results.Add(key, v)
+		}
+		return v, err
+	}, func() { ctrs.coalesced.Add(1) })
+	if err != nil {
+		// The compute context dies only when every waiter is gone; a
+		// waiter that is still here was cancelled itself. Either way
+		// the caller's context error is the honest answer.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		if errors.Is(err, errSubmitterGone) {
+			// We coalesced onto a call whose submitter abandoned it
+			// before a worker picked it up; our context is fine, so
+			// resubmit (the dead call has left the inflight table).
+			return s.pooled(ctx, ctrs, key, cacheable, compute)
+		}
+		return nil, err
+	}
+	if coalesced {
+		return withSource(v, "coalesced"), nil
+	}
+	return withSource(v, "miss"), nil
+}
+
+// withSource stamps how the verdict was obtained on a shallow copy
+// (cached Verdicts are shared and must stay immutable).
+func withSource(v *Verdict, source string) *Verdict {
+	cp := *v
+	cp.Source = source
+	return &cp
+}
+
+// program returns the compiled healthy program for a canonical
+// network, sharing compilations across operations and properties via
+// the digest-keyed program cache. Programs are immutable, so a cached
+// one is safe for concurrent engines.
+func (s *Session) program(digest string, w *network.Network) *eval.Program {
+	if p, ok := s.progs.Get(digest); ok {
+		return p
+	}
+	p := eval.Compile(w)
+	s.progs.Add(digest, p)
+	return p
+}
+
+// resolveNetwork canonicalizes a trusted in-process network and
+// returns its cached program: the convenience-path counterpart of
+// Request.resolve (no line caps — the caller already holds the
+// network).
+func (s *Session) resolveNetwork(w *network.Network) (*network.Network, string, *eval.Program) {
+	c, digest := canon.Canonicalize(w)
+	return c, digest, s.program(digest, c)
+}
+
+// MarshalVerdict renders the wire body of a Verdict (the exact bytes
+// sortnetd sends).
+func MarshalVerdict(v *Verdict) ([]byte, error) { return json.Marshal(v) }
+
+// --- Default session ----------------------------------------------------
+
+var (
+	defaultSessionOnce sync.Once
+	defaultSession     *Session
+)
+
+// DefaultSession returns the package-level Session backing the plain
+// facade functions (CheckSorter, GroundTruth, FaultCoverage, …). It
+// is built lazily with NewSession's defaults and is never closed.
+func DefaultSession() *Session {
+	defaultSessionOnce.Do(func() { defaultSession = NewSession() })
+	return defaultSession
+}
+
+// Do routes a Request through the default Session.
+func Do(ctx context.Context, req Request) (*Verdict, error) {
+	return DefaultSession().Do(ctx, req)
+}

@@ -1,0 +1,287 @@
+package sortnets
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+const sessSorter4 = "n=4: [1,2][3,4][1,3][2,4][2,3]"
+
+func sessCancelled() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+// TestDoCancelledPromptlyEveryPath is the acceptance criterion:
+// Session.Do with an already-cancelled context returns promptly
+// (< 50ms) on every engine path — minimal-test batch, width-12
+// exhaustive GroundTruth sweep, fault sweep, and the exact
+// hitting-set solve — and the session stays fully usable afterwards.
+func TestDoCancelledPromptlyEveryPath(t *testing.T) {
+	sess := NewSession()
+	defer sess.Close()
+	wide12 := BatcherSorter(12).Format()
+	reqs := []Request{
+		{Op: OpVerify, Network: sessSorter4},
+		{Op: OpVerify, Network: wide12, Exhaustive: true}, // width-12 GroundTruth sweep
+		{Op: OpFaults, Network: wide12},
+		{Op: OpMinset, Network: sessSorter4, Exact: true}, // exact-search solve
+	}
+	for _, req := range reqs {
+		before := runtime.NumGoroutine()
+		start := time.Now()
+		_, err := sess.Do(sessCancelled(), req)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("op %s: want context.Canceled, got %v", req.Op, err)
+		}
+		if d := time.Since(start); d > 50*time.Millisecond {
+			t.Errorf("op %s: cancelled Do took %v, want < 50ms", req.Op, d)
+		}
+		waitGoroutines(t, int64(before+sess.Workers()))
+	}
+	// The same requests must still compute under a live context.
+	for _, req := range reqs {
+		v, err := sess.Do(context.Background(), req)
+		if err != nil {
+			t.Fatalf("op %s after cancellation: %v", req.Op, err)
+		}
+		if v.Digest == "" || v.Source == "" {
+			t.Errorf("op %s: degenerate verdict %+v", req.Op, v)
+		}
+	}
+	st := sess.Stats()
+	var canceled int64
+	for _, op := range st.Ops {
+		canceled += op.Canceled
+	}
+	if canceled != int64(len(reqs)) {
+		t.Errorf("canceled counter %d, want %d: %+v", canceled, len(reqs), st.Ops)
+	}
+}
+
+func waitGoroutines(t *testing.T, most int64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if int64(runtime.NumGoroutine()) <= most {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("goroutines: %d, want ≤ %d", runtime.NumGoroutine(), most)
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDoDeadlineMidCompute: a deadline expiring inside a heavy
+// exhaustive sweep stops the engine within a block.
+func TestDoDeadlineMidCompute(t *testing.T) {
+	sess := NewSession(WithMaxLines(30))
+	defer sess.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := sess.Do(ctx, Request{Network: BatcherSorter(26).Format(), Exhaustive: true})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("deadline honored only after %v", d)
+	}
+}
+
+// TestDoCacheAndSources: miss → hit, byte-identical sections, and
+// canonical sharing between different writings of one circuit.
+func TestDoCacheAndSources(t *testing.T) {
+	sess := NewSession()
+	defer sess.Close()
+	ctx := context.Background()
+	v1, err := sess.Do(ctx, Request{Network: sessSorter4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Source != "miss" || v1.Check == nil || !v1.Check.Holds || v1.Check.TestsRun != 11 {
+		t.Fatalf("first verdict: %+v (source %s)", v1.Check, v1.Source)
+	}
+	v2, err := sess.Do(ctx, Request{Network: "n=4: [3,4][1,2][1,3][2,4][2,3]"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Source != "hit" || v2.Digest != v1.Digest {
+		t.Fatalf("reordered writing not shared: source %s, digests %s vs %s", v2.Source, v2.Digest, v1.Digest)
+	}
+	b1, _ := MarshalVerdict(v1)
+	b2, _ := MarshalVerdict(v2)
+	if string(b1) != string(b2) {
+		t.Fatalf("cached verdict not byte-identical:\n%s\n%s", b1, b2)
+	}
+}
+
+// TestConveniencesMatchLegacyFacade: the Session conveniences are the
+// engine behind the plain facade functions — results must agree
+// exactly.
+func TestConveniencesMatchLegacyFacade(t *testing.T) {
+	sess := NewSession()
+	defer sess.Close()
+	ctx := context.Background()
+	w := MustParseNetwork(sessSorter4)
+	p := SorterProp{N: 4}
+
+	r, err := sess.Check(ctx, w, p)
+	if err != nil || !r.Holds || r.TestsRun != 11 {
+		t.Fatalf("Check: %+v, %v", r, err)
+	}
+	g, err := sess.GroundTruth(ctx, w, p)
+	if err != nil || !g.Holds || g.TestsRun != 16 {
+		t.Fatalf("GroundTruth: %+v, %v", g, err)
+	}
+	pr, err := sess.CheckPerms(ctx, w, p)
+	if err != nil || !pr.Holds {
+		t.Fatalf("CheckPerms: %+v, %v", pr, err)
+	}
+	rep, err := sess.FaultCoverage(ctx, w)
+	if err != nil || rep.Faults == 0 {
+		t.Fatalf("FaultCoverage: %+v, %v", rep, err)
+	}
+	if legacy := FaultCoverage(w); rep != legacy {
+		t.Errorf("FaultCoverage diverges from facade: %+v vs %+v", rep, legacy)
+	}
+	picks, err := sess.MinSet(ctx, w)
+	if err != nil || len(picks) == 0 {
+		t.Fatalf("MinSet: %d picks, %v", len(picks), err)
+	}
+	m := BatcherMerger(256)
+	wr, err := sess.Wide(ctx, m, MergerProp{N: 256}, 0)
+	if err != nil || !wr.Holds {
+		t.Fatalf("Wide: %+v, %v", wr, err)
+	}
+	// A failing check through the cache keeps its counterexample.
+	bad := MustParseNetwork("n=4: [1,2][3,4]")
+	for i := 0; i < 2; i++ { // second round is the cached path
+		rb, err := sess.Check(ctx, bad, p)
+		if err != nil || rb.Holds || rb.Counterexample.String() == "" {
+			t.Fatalf("round %d: failing check %+v, %v", i, rb, err)
+		}
+		if legacy := Check(bad, p); rb != legacy {
+			t.Fatalf("round %d: cached result diverges from facade: %+v vs %+v", i, rb, legacy)
+		}
+	}
+}
+
+// TestConvenienceCancellation: conveniences observe the context too.
+func TestConvenienceCancellation(t *testing.T) {
+	sess := NewSession()
+	defer sess.Close()
+	w := BatcherSorter(30)
+	start := time.Now()
+	_, err := sess.GroundTruthParallel(sessCancelled(), w, SorterProp{N: 30}, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Errorf("cancelled convenience took %v", d)
+	}
+	if _, err := sess.CheckPerms(sessCancelled(), BatcherSorter(10), SorterProp{N: 10}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CheckPerms: want context.Canceled, got %v", err)
+	}
+	if _, err := sess.Wide(sessCancelled(), BatcherMerger(256), MergerProp{N: 256}, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wide: want context.Canceled, got %v", err)
+	}
+}
+
+// TestSessionDoerSwap: Session satisfies Doer (the client package
+// asserts the same for its Client), so the two are interchangeable.
+func TestSessionDoerSwap(t *testing.T) {
+	var d Doer = NewSession()
+	defer d.(*Session).Close()
+	v, err := d.Do(context.Background(), Request{Network: sessSorter4})
+	if err != nil || v.Check == nil || !v.Check.Holds {
+		t.Fatalf("Doer: %+v, %v", v, err)
+	}
+}
+
+// TestTestStreamOverride: WithTestStream replaces the minimal family
+// and keys the cache by the stream tag.
+func TestTestStreamOverride(t *testing.T) {
+	// A stream of just the all-ones-descending counterexample 1010:
+	// the override must change TestsRun and still find the failure.
+	sess := NewSession(WithTestStream("single", func(p Property) VecIterator {
+		return SliceIterator([]Vec{MustVec("1010")})
+	}))
+	defer sess.Close()
+	v, err := sess.Do(context.Background(), Request{Network: "n=4: [1,2][3,4]"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Check.Holds || v.Check.TestsRun != 1 || v.Check.Counterexample != "1010" {
+		t.Fatalf("override not applied: %+v", v.Check)
+	}
+}
+
+// TestUncacheableRequestsNeverCoalesce: with an unnamed stream
+// override every verdict is uncacheable — two concurrent DIFFERENT
+// requests must still compute independently, never share an
+// in-flight result.
+func TestUncacheableRequestsNeverCoalesce(t *testing.T) {
+	started := make(chan struct{}, 2)
+	gate := make(chan struct{})
+	sess := NewSession(
+		WithWorkers(2),
+		WithTestStream("", func(p Property) VecIterator { return SliceIterator([]Vec{MustVec("1010")}) }),
+		WithComputeHook(func() { started <- struct{}{}; <-gate }),
+	)
+	defer sess.Close()
+
+	nets := []string{"n=4: [1,2][3,4]", "n=4: [1,3][2,4]"}
+	verdicts := make(chan *Verdict, 2)
+	for _, net := range nets {
+		go func(net string) {
+			v, err := sess.Do(context.Background(), Request{Network: net})
+			if err != nil {
+				t.Errorf("%s: %v", net, err)
+				verdicts <- nil
+				return
+			}
+			verdicts <- v
+		}(net)
+	}
+	// Both computations must START concurrently: a coalesced second
+	// request would subscribe to the first instead, and this wait
+	// would time out.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatal("second uncacheable request coalesced instead of computing")
+		}
+	}
+	close(gate)
+	digests := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		if v := <-verdicts; v != nil {
+			digests[v.Digest] = true
+		}
+	}
+	if len(digests) != 2 {
+		t.Fatalf("distinct requests shared a verdict: digests %v", digests)
+	}
+}
+
+// TestUnknownOpRejected: Do validates the op before any work.
+func TestUnknownOpRejected(t *testing.T) {
+	sess := NewSession()
+	defer sess.Close()
+	_, err := sess.Do(context.Background(), Request{Op: "conjure", Network: sessSorter4})
+	var re *RequestError
+	if !errors.As(err, &re) || re.Status != 400 {
+		t.Fatalf("want *RequestError 400, got %v", err)
+	}
+	if u := sess.Stats().Ops["unknown"]; u.Requests != 1 || u.Errors != 1 {
+		t.Errorf("unknown-op counters %+v, want requests=errors=1", u)
+	}
+}

@@ -25,6 +25,8 @@
 package sortnets
 
 import (
+	"context"
+
 	"sortnets/internal/bitvec"
 	"sortnets/internal/canon"
 	"sortnets/internal/chains"
@@ -92,6 +94,10 @@ func ParseVec(s string) (Vec, error) { return bitvec.FromString(s) }
 
 // MustVec is ParseVec panicking on error.
 func MustVec(s string) Vec { return bitvec.MustFromString(s) }
+
+// SliceIterator adapts a materialized vector slice to the streaming
+// iterator the engines (and WithTestStream overrides) consume.
+func SliceIterator(vs []Vec) VecIterator { return bitvec.Slice(vs) }
 
 // ParsePerm reads a permutation such as "(4 1 3 2)".
 func ParsePerm(s string) (Perm, error) { return perm.Parse(s) }
@@ -209,36 +215,61 @@ func NewEngine(p *Program, workers int) *Engine { return eval.New(p, workers) }
 func CompileFault(w *Network, f Fault) *Program { return faults.Compile(w, f) }
 
 // --- Verdicts ----------------------------------------------------------
+//
+// The plain facade functions below are one-line wrappers over the
+// package-level default Session (see session.go): verdicts share the
+// default Session's compiled-program and verdict caches, and the
+// worker rule is the repository-wide one — 0 (or negative) means
+// automatic, 1 means strictly sequential, k > 1 means exactly k.
+// Context-aware callers should hold a Session and use its methods.
+
+// bg discards the impossible error of a Background-context Session
+// call (conveniences fail only on cancellation; programmer errors
+// still panic).
+func bg[T any](v T, err error) T {
+	if err != nil {
+		panic(err) // unreachable: context.Background() never cancels
+	}
+	return v
+}
 
 // CheckSorter decides whether w is a sorter using the minimal binary
 // test set.
-func CheckSorter(w *Network) Result { return verify.Verdict(w, verify.Sorter{N: w.N}) }
+func CheckSorter(w *Network) Result { return Check(w, verify.Sorter{N: w.N}) }
 
 // CheckSelector decides whether w is a (k,n)-selector using the
 // minimal binary test set.
 func CheckSelector(w *Network, k int) Result {
-	return verify.Verdict(w, verify.Selector{N: w.N, K: k})
+	return Check(w, verify.Selector{N: w.N, K: k})
 }
 
 // CheckMerger decides whether w is an (n/2,n/2)-merger using the
 // minimal binary test set.
-func CheckMerger(w *Network) Result { return verify.Verdict(w, verify.Merger{N: w.N}) }
+func CheckMerger(w *Network) Result { return Check(w, verify.Merger{N: w.N}) }
 
 // Check runs any property's minimal binary test set.
-func Check(w *Network, p Property) Result { return verify.Verdict(w, p) }
+func Check(w *Network, p Property) Result {
+	return bg(DefaultSession().Check(context.Background(), w, p))
+}
 
-// CheckParallel is Check with a goroutine pool (workers ≤ 0 means
-// GOMAXPROCS).
+// CheckParallel is Check with an explicit engine worker count under
+// the one rule: 0 (or negative) = automatic (sequential below the
+// engine's work threshold, all cores above), 1 = sequential, k > 1 =
+// exactly k workers.
 func CheckParallel(w *Network, p Property, workers int) Result {
-	return verify.VerdictParallel(w, p, workers)
+	return bg(DefaultSession().CheckParallel(context.Background(), w, p, workers))
 }
 
 // CheckPerms runs any property's minimal permutation test set.
-func CheckPerms(w *Network, p Property) PermResult { return verify.VerdictPerms(w, p) }
+func CheckPerms(w *Network, p Property) PermResult {
+	return bg(DefaultSession().CheckPerms(context.Background(), w, p))
+}
 
 // GroundTruth sweeps the full binary universe — the exhaustive
 // baseline the minimal test sets replace.
-func GroundTruth(w *Network, p Property) Result { return verify.GroundTruth(w, p) }
+func GroundTruth(w *Network, p Property) Result {
+	return bg(DefaultSession().GroundTruth(context.Background(), w, p))
+}
 
 // --- Bounds (closed forms) ----------------------------------------------
 
@@ -257,14 +288,24 @@ func MergerTestSetSize(n int) string { return comb.MergerBinaryTestSetSize(n).St
 
 // --- Faults --------------------------------------------------------------
 
+// DetectMode selects how a fault is observed: ByProperty (the
+// paper's model — outputs judged against the property) or ByGolden
+// (classical stuck-at testing against a fault-free reference).
+type DetectMode = faults.DetectMode
+
+// Detection modes.
+const (
+	ByProperty = faults.ByProperty
+	ByGolden   = faults.ByGolden
+)
+
 // EnumerateFaults lists the single-fault universe for a network.
 func EnumerateFaults(w *Network) []Fault { return faults.Enumerate(w) }
 
 // FaultCoverage measures how many detectable faults the minimal sorter
 // test set exposes on w.
 func FaultCoverage(w *Network) FaultReport {
-	return faults.Measure(w, faults.Enumerate(w),
-		func() VecIterator { return core.SorterBinaryTests(w.N) }, faults.ByProperty)
+	return bg(DefaultSession().FaultCoverage(context.Background(), w))
 }
 
 // FaultMatrix is the full test × fault detection table: per-test
@@ -286,13 +327,7 @@ func DetectionMatrix(w *Network) *FaultMatrix {
 // — stuck-at test-set selection on the same machinery that verifies
 // test sets.
 func MinimalDetectingTests(w *Network) []Vec {
-	m := DetectionMatrix(w)
-	idx := m.MinimalDetectingSet()
-	out := make([]Vec, len(idx))
-	for i, t := range idx {
-		out[i] = m.Tests[t]
-	}
-	return out
+	return bg(DefaultSession().MinSet(context.Background(), w))
 }
 
 // --- Wide networks (beyond 64 lines) ----------------------------------------
@@ -303,22 +338,26 @@ type WideResult = verify.WideResult
 // CheckMergerWide certifies the (n/2,n/2)-merger property at any
 // width up to 4096 lines with the n²/4-vector test set — the regime
 // where a zero-one sweep is physically impossible.
-func CheckMergerWide(w *Network) WideResult { return verify.VerdictMergerWide(w) }
+func CheckMergerWide(w *Network) WideResult {
+	return bg(DefaultSession().Wide(context.Background(), w, verify.Merger{N: w.N}, 1))
+}
 
 // CheckSelectorWide certifies the (k,n)-selector property at any
 // width with its polynomial test set.
-func CheckSelectorWide(w *Network, k int) WideResult { return verify.VerdictSelectorWide(w, k) }
-
-// CheckMergerWideParallel is CheckMergerWide on the engine's worker
-// pool (workers ≤ 0 lets the engine choose).
-func CheckMergerWideParallel(w *Network, workers int) WideResult {
-	return verify.VerdictMergerWideParallel(w, workers)
+func CheckSelectorWide(w *Network, k int) WideResult {
+	return bg(DefaultSession().Wide(context.Background(), w, verify.Selector{N: w.N, K: k}, 1))
 }
 
-// CheckSelectorWideParallel is CheckSelectorWide on the engine's
-// worker pool.
+// CheckMergerWideParallel is CheckMergerWide with an explicit worker
+// count under the one rule (0 = automatic).
+func CheckMergerWideParallel(w *Network, workers int) WideResult {
+	return bg(DefaultSession().Wide(context.Background(), w, verify.Merger{N: w.N}, workers))
+}
+
+// CheckSelectorWideParallel is CheckSelectorWide with an explicit
+// worker count under the one rule (0 = automatic).
 func CheckSelectorWideParallel(w *Network, k, workers int) WideResult {
-	return verify.VerdictSelectorWideParallel(w, k, workers)
+	return bg(DefaultSession().Wide(context.Background(), w, verify.Selector{N: w.N, K: k}, workers))
 }
 
 // --- Analysis -----------------------------------------------------------------
