@@ -1,0 +1,242 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"sortnets"
+	"sortnets/internal/serve"
+)
+
+func newBatchTestServer(t *testing.T, cfg serve.Config) (*Client, func()) {
+	t.Helper()
+	svc := serve.NewService(cfg)
+	ts := httptest.NewServer(svc.Handler())
+	return New(ts.URL), func() {
+		ts.Close()
+		svc.Close()
+	}
+}
+
+// TestDoBatchRoundTripMatchesLocalSession is the remote half of the
+// batch property test: randomized mixed-op batches — malformed
+// entries, duplicates and tagged IDs included — through client →
+// NDJSON → sortnetd → Session.DoBatch must return byte-identical
+// verdicts and the same typed per-entry errors as sequential local
+// Session.Do calls.
+func TestDoBatchRoundTripMatchesLocalSession(t *testing.T) {
+	remote, shutdown := newBatchTestServer(t, serve.Config{Workers: 2})
+	defer shutdown()
+	local := sortnets.NewSession()
+	defer local.Close()
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(23))
+
+	for trial := 0; trial < 20; trial++ {
+		var batch []sortnets.Request
+		size := 1 + rng.Intn(10)
+		for i := 0; i < size; i++ {
+			switch rng.Intn(8) {
+			case 0: // malformed entry
+				batch = append(batch, []sortnets.Request{
+					{Network: "n=4: [zap"},
+					{Op: "conjure", Network: "n=2: [1,2]"},
+					{},
+					{Lines: 2, Comparators: [][2]int{{2, 1}}},
+				}[rng.Intn(4)])
+			case 1: // duplicate of an earlier entry, retagged
+				if len(batch) > 0 {
+					dup := batch[rng.Intn(len(batch))]
+					dup.ID = randomNetworkText(rng, 3, 0) // any fresh short tag
+					batch = append(batch, dup)
+				}
+			case 2:
+				batch = append(batch, sortnets.Request{
+					Op: sortnets.OpFaults, Network: randomNetworkText(rng, 5, 12),
+				})
+			case 3:
+				batch = append(batch, sortnets.Request{
+					Op: sortnets.OpMinset, Network: randomNetworkText(rng, 5, 10), ID: "m",
+				})
+			default:
+				req := sortnets.Request{Network: randomNetworkText(rng, 8, 24)}
+				if rng.Intn(4) == 0 {
+					req.Exhaustive = true
+				}
+				if rng.Intn(2) == 0 {
+					req.ID = "v"
+				}
+				batch = append(batch, req)
+			}
+		}
+
+		wantV := make([]*sortnets.Verdict, len(batch))
+		wantE := make([]error, len(batch))
+		for i, req := range batch {
+			wantV[i], wantE[i] = local.Do(ctx, req)
+		}
+		gotV, err := remote.DoBatch(ctx, batch)
+		var be *sortnets.BatchError
+		if err != nil && !errors.As(err, &be) {
+			t.Fatalf("trial %d: whole-batch error: %v", trial, err)
+		}
+		for i := range batch {
+			var gotE error
+			if be != nil {
+				gotE = be.Errs[i]
+			}
+			if (wantE[i] == nil) != (gotE == nil) {
+				t.Fatalf("trial %d entry %d (%+v): local err %v, remote err %v", trial, i, batch[i], wantE[i], gotE)
+			}
+			if wantE[i] != nil {
+				var lre, rre *sortnets.RequestError
+				if !errors.As(wantE[i], &lre) || !errors.As(gotE, &rre) || lre.Status != rre.Status || lre.Msg != rre.Msg {
+					t.Fatalf("trial %d entry %d: error divergence: local %v, remote %v", trial, i, wantE[i], gotE)
+				}
+				continue
+			}
+			lb, _ := sortnets.MarshalVerdict(wantV[i])
+			rb, _ := sortnets.MarshalVerdict(gotV[i])
+			if string(lb) != string(rb) {
+				t.Fatalf("trial %d entry %d: verdicts differ:\nlocal:  %s\nremote: %s", trial, i, lb, rb)
+			}
+		}
+	}
+}
+
+// TestStreamPipelined drives the full-duplex path hard: the producer
+// refuses to send request k+1 until the verdict for request k has
+// arrived, so the test only completes if responses really stream
+// while the request body is still open.
+func TestStreamPipelined(t *testing.T) {
+	remote, shutdown := newBatchTestServer(t, serve.Config{})
+	defer shutdown()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	const total = 8
+	nets := []string{
+		"n=4: [1,2][3,4][1,3][2,4][2,3]",
+		"n=4: [1,2][3,4]",
+		"n=3: [1,2][2,3][1,2]",
+	}
+	acks := make(chan struct{}, total)
+	acks <- struct{}{} // the first send needs no ack
+	sent := 0
+	var got []sortnets.BatchVerdict
+	err := remote.Stream(ctx,
+		func() (sortnets.Request, bool) {
+			if sent == total {
+				return sortnets.Request{}, false
+			}
+			select {
+			case <-acks:
+			case <-ctx.Done():
+				return sortnets.Request{}, false
+			}
+			req := sortnets.Request{ID: string(rune('a' + sent)), Network: nets[sent%len(nets)]}
+			sent++
+			return req, true
+		},
+		func(line sortnets.BatchVerdict) error {
+			got = append(got, line)
+			acks <- struct{}{}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if len(got) != total {
+		t.Fatalf("%d response lines, want %d", len(got), total)
+	}
+	for i, line := range got {
+		wantID := string(rune('a' + i))
+		if line.ID != wantID || line.Verdict == nil {
+			t.Fatalf("line %d: id %q verdict %v, want id %q", i, line.ID, line.Verdict, wantID)
+		}
+	}
+	// One-at-a-time pipelining means the later repeats of each network
+	// were answered from the verdict cache, not recomputed.
+	if got[total-1].Source != "hit" {
+		t.Errorf("repeat request source %q, want hit", got[total-1].Source)
+	}
+}
+
+// TestStreamAbortsOnCancel: cancelling the context tears the stream
+// down promptly with the bare context error.
+func TestStreamAbortsOnCancel(t *testing.T) {
+	remote, shutdown := newBatchTestServer(t, serve.Config{})
+	defer shutdown()
+	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now()
+	err := remote.Stream(ctx,
+		func() (sortnets.Request, bool) {
+			return sortnets.Request{Network: "n=4: [1,2][3,4][1,3][2,4][2,3]"}, true // endless producer
+		},
+		func(line sortnets.BatchVerdict) error {
+			cancel() // first verdict pulls the plug
+			return nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("cancelled stream took %v", d)
+	}
+}
+
+// TestStreamAbortWithStuckProducer: aborting from on() must return
+// promptly even when the producer is blocked inside next() waiting
+// for a verdict that will never arrive — Stream never waits on the
+// producer goroutine.
+func TestStreamAbortWithStuckProducer(t *testing.T) {
+	remote, shutdown := newBatchTestServer(t, serve.Config{})
+	defer shutdown()
+	sentinel := errors.New("abort")
+	gate := make(chan struct{})
+	defer close(gate) // let the leaked-until-now producer wind down
+	first := true
+	done := make(chan error, 1)
+	go func() {
+		done <- remote.Stream(context.Background(),
+			func() (sortnets.Request, bool) {
+				if first {
+					first = false
+					return sortnets.Request{Network: "n=2: [1,2]"}, true
+				}
+				<-gate // stuck: the ack this producer waits for never comes
+				return sortnets.Request{}, false
+			},
+			func(sortnets.BatchVerdict) error { return sentinel })
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("want sentinel, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stream hung waiting for a producer stuck in next()")
+	}
+}
+
+// TestStreamOnError: the consumer can abort the stream by returning
+// an error, which Stream relays.
+func TestStreamOnError(t *testing.T) {
+	remote, shutdown := newBatchTestServer(t, serve.Config{})
+	defer shutdown()
+	sentinel := errors.New("enough")
+	n := 0
+	err := remote.Stream(context.Background(),
+		func() (sortnets.Request, bool) {
+			n++
+			return sortnets.Request{Network: "n=2: [1,2]"}, n <= 4
+		},
+		func(sortnets.BatchVerdict) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want sentinel, got %v", err)
+	}
+}

@@ -1,0 +1,87 @@
+package client
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"sortnets"
+	"sortnets/internal/network"
+	"sortnets/internal/serve"
+)
+
+// Serving benchmarks for the batch-first request model, all-miss by
+// construction (a 1-entry verdict cache and thousands of distinct
+// 8-line networks): every request pays parse + canonicalize + compile
+// + minimal-test-set evaluation. Both report ns per REQUEST —
+// BenchmarkServeBatch64 issues its b.N requests as NDJSON batches of
+// 64, so the ratio of the two is the round-trip + shared-enumeration
+// amortization the redesign buys. BENCH_PR5.json pins the two
+// numbers via cmd/benchjson -bench 'BenchmarkServe' -pkg ./client.
+
+const benchPool = 4096
+
+var (
+	benchNetsOnce sync.Once
+	benchNets     []string
+)
+
+func benchNetworks() []string {
+	benchNetsOnce.Do(func() {
+		rng := rand.New(rand.NewSource(99))
+		benchNets = make([]string, benchPool)
+		for i := range benchNets {
+			benchNets[i] = network.Random(8, 19, rng).Format()
+		}
+	})
+	return benchNets
+}
+
+func newBenchServer(b *testing.B) (*Client, func()) {
+	b.Helper()
+	svc := serve.NewService(serve.Config{CacheSize: 1})
+	ts := httptest.NewServer(svc.Handler())
+	return New(ts.URL), func() {
+		ts.Close()
+		svc.Close()
+	}
+}
+
+func BenchmarkServeSingleShot(b *testing.B) {
+	cl, shutdown := newBenchServer(b)
+	defer shutdown()
+	nets := benchNetworks()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := cl.Do(ctx, sortnets.Request{Network: nets[i%benchPool]})
+		if err != nil || v.Check == nil {
+			b.Fatalf("request %d: %+v, %v", i, v, err)
+		}
+	}
+}
+
+func BenchmarkServeBatch64(b *testing.B) {
+	cl, shutdown := newBenchServer(b)
+	defer shutdown()
+	nets := benchNetworks()
+	ctx := context.Background()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		k := 64
+		if b.N-done < k {
+			k = b.N - done
+		}
+		reqs := make([]sortnets.Request, k)
+		for j := range reqs {
+			reqs[j] = sortnets.Request{Network: nets[(done+j)%benchPool]}
+		}
+		vs, err := cl.DoBatch(ctx, reqs)
+		if err != nil || len(vs) != k {
+			b.Fatalf("batch at %d: %d verdicts, %v", done, len(vs), err)
+		}
+		done += k
+	}
+}

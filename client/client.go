@@ -1,20 +1,29 @@
 // Package client is the remote face of the one request model: a
 // *Client speaks the same sortnets.Request / sortnets.Verdict types
 // as an in-process sortnets.Session, against a running sortnetd URL.
-// Both satisfy sortnets.Doer, so a caller swaps local ↔ remote by
-// swapping a value:
+// Both satisfy sortnets.Doer — single-shot Do and batch-first
+// DoBatch alike — so a caller swaps local ↔ remote by swapping a
+// value:
 //
 //	var doer sortnets.Doer = sortnets.NewSession()
 //	// ... or ...
 //	doer = client.New("http://localhost:8357")
 //	v, err := doer.Do(ctx, sortnets.Request{Network: "n=4: [1,2][3,4][1,3][2,4][2,3]"})
+//	vs, err := doer.DoBatch(ctx, batch)
+//
+// DoBatch ships the whole batch as one NDJSON round trip to POST /do
+// (one Request per line) and decodes one sortnets.BatchVerdict per
+// line back; Stream is the pipelined form of the same protocol, for
+// callers that produce requests and consume verdicts concurrently
+// over one connection.
 //
 // The request's context governs the whole round trip; cancelling it
 // tears down the HTTP request, which cancels the computation inside
 // the server and releases its pool slot. Verdicts decode to the same
 // bytes the Session would produce locally (asserted by the
 // round-trip property test), and 4xx failures come back as the same
-// *sortnets.RequestError a local Session returns.
+// *sortnets.RequestError a local Session returns — per entry, for
+// batches.
 package client
 
 import (
@@ -106,6 +115,161 @@ func (c *Client) Do(ctx context.Context, req sortnets.Request) (*sortnets.Verdic
 	}
 	v.Source = resp.Header.Get("X-Sortnetd-Cache")
 	return &v, nil
+}
+
+// DoBatch posts the whole batch to /do as one NDJSON round trip (one
+// Request per line) and decodes the BatchVerdict lines back, with
+// Session.DoBatch's exact contract: the result is index-aligned with
+// reqs (the service answers in request order), per-entry failures
+// come back as *sortnets.RequestError inside a *sortnets.BatchError
+// alongside the partial verdicts, and each verdict's Source carries
+// the per-line cache provenance (hit / coalesced / miss).
+func (c *Client) DoBatch(ctx context.Context, reqs []sortnets.Request) ([]*sortnets.Verdict, error) {
+	if len(reqs) == 0 {
+		return []*sortnets.Verdict{}, nil
+	}
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for i := range reqs {
+		if err := enc.Encode(&reqs[i]); err != nil {
+			return nil, err
+		}
+	}
+	resp, err := c.postNDJSON(ctx, bytes.NewReader(body.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+
+	verdicts := make([]*sortnets.Verdict, len(reqs))
+	errs := make([]error, len(reqs))
+	failed := false
+	i := 0
+	dec := json.NewDecoder(resp.Body)
+	for ; ; i++ {
+		var line sortnets.BatchVerdict
+		if err := dec.Decode(&line); err == io.EOF {
+			break
+		} else if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			return nil, fmt.Errorf("sortnetd: undecodable batch line %d: %w", i, err)
+		}
+		if i >= len(reqs) {
+			return nil, fmt.Errorf("sortnetd: %d batch entries sent, more lines received", len(reqs))
+		}
+		switch {
+		case line.Error != nil:
+			errs[i], failed = line.Error, true
+		case line.Verdict != nil:
+			line.Verdict.Source = line.Source
+			verdicts[i] = line.Verdict
+		default:
+			return nil, fmt.Errorf("sortnetd: batch line %d has neither verdict nor error", i)
+		}
+	}
+	if i != len(reqs) {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, fmt.Errorf("sortnetd: %d batch entries sent, %d lines received", len(reqs), i)
+	}
+	if failed {
+		return verdicts, &sortnets.BatchError{Errs: errs}
+	}
+	return verdicts, nil
+}
+
+// Stream is the pipelined form of the NDJSON batch protocol: one
+// connection, requests flowing up while verdicts flow down. next is
+// called for each request to send and ends the upstream by returning
+// false; on receives every response line as it arrives, in request
+// order (tag requests with IDs to correlate without counting) — a
+// non-nil return aborts the stream with that error. Stream returns
+// when the response stream ends: after all requests are answered, on
+// abort, or on ctx cancellation.
+//
+// On early termination the producer goroutine is unblocked from its
+// pipe write and exits after its current next() call returns; Stream
+// deliberately does NOT wait for it, so a producer blocked inside
+// next() (e.g. gated on verdicts that will no longer arrive) can
+// never hang the caller. Gate any wait inside next() on ctx so the
+// goroutine winds down promptly.
+//
+// Unlike DoBatch, Stream applies the server's adaptive chunking:
+// whatever requests are pipelined when the server sweeps its reader
+// become one batch (deduped/grouped together), so a fast producer
+// gets batch throughput and a slow one per-request latency.
+func (c *Client) Stream(ctx context.Context, next func() (sortnets.Request, bool), on func(sortnets.BatchVerdict) error) error {
+	pr, pw := io.Pipe()
+	go func() {
+		enc := json.NewEncoder(pw)
+		for {
+			req, ok := next()
+			if !ok {
+				pw.Close()
+				return
+			}
+			if err := enc.Encode(&req); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+	}()
+	resp, err := c.postNDJSON(ctx, pr)
+	if err != nil {
+		pr.CloseWithError(err) // fail the producer's next pipe write
+		return err
+	}
+	defer func() {
+		resp.Body.Close()
+		pr.CloseWithError(context.Canceled)
+	}()
+	received := 0
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var line sortnets.BatchVerdict
+		if err := dec.Decode(&line); err == io.EOF {
+			break
+		} else if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return ctxErr
+			}
+			return fmt.Errorf("sortnetd: undecodable stream line %d: %w", received, err)
+		}
+		received++
+		if err := on(line); err != nil {
+			return err
+		}
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return ctxErr
+	}
+	return nil
+}
+
+// postNDJSON opens the batch protocol round trip and validates the
+// response envelope.
+func (c *Client) postNDJSON(ctx context.Context, body io.Reader) (*http.Response, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/do", body)
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.hc.Do(httpReq)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+		return nil, fmt.Errorf("sortnetd: batch status %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	return resp, nil
 }
 
 // Healthz probes the service's liveness endpoint.

@@ -21,12 +21,22 @@
 //	adversary -load http://localhost:8357 -requests 5000 -concurrency 16
 //	adversary -load http://localhost:8357 -distinct 4   # mostly cache hits
 //	adversary -load http://localhost:8357 -timeout 10s
+//
+// -batch N switches the generator to the batch-first request model:
+// each round trip ships N requests as one NDJSON batch through
+// client.Client.DoBatch, so the server deduplicates within the batch
+// and runs same-width verify entries through one grouped engine pass.
+// Compare the two modes on the same hardware:
+//
+//	adversary -load http://localhost:8357 -requests 20000 -distinct 20000            # single-shot, all miss
+//	adversary -load http://localhost:8357 -requests 20000 -distinct 20000 -batch 64  # batched, all miss
 package main
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -37,6 +47,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sortnets"
+	"sortnets/client"
 	"sortnets/internal/bitvec"
 	"sortnets/internal/core"
 	"sortnets/internal/network"
@@ -51,6 +63,7 @@ func main() {
 	n := flag.Int("n", 8, "load mode: lines per random network")
 	size := flag.Int("size", 19, "load mode: comparators per random network")
 	distinct := flag.Int("distinct", 32, "load mode: distinct networks cycled through (fewer = more cache hits)")
+	batch := flag.Int("batch", 1, "load mode: requests per round trip (1 = single-shot POSTs, >1 = NDJSON batches via DoBatch)")
 	seed := flag.Int64("seed", 1, "load mode: random-network seed")
 	timeout := flag.Duration("timeout", 0, "load mode: overall deadline (0 = none); expiring aborts in-flight requests")
 	flag.Parse()
@@ -63,7 +76,7 @@ func main() {
 	}
 	var err error
 	if *load != "" {
-		err = loadRun(ctx, os.Stdout, *load, *requests, *concurrency, *n, *size, *distinct, *seed)
+		err = loadRun(ctx, os.Stdout, *load, *requests, *concurrency, *n, *size, *distinct, *batch, *seed)
 	} else {
 		err = run(os.Stdout, *sigma, *quiet)
 	}
@@ -101,30 +114,30 @@ func run(out io.Writer, sigma string, quiet bool) error {
 }
 
 // loadRun drives a sortnetd instance: distinct random networks are
-// pre-rendered, then concurrency workers cycle POSTs to /verify over
-// them. Every request carries ctx, so an expired deadline aborts the
-// run (and the server-side computations) promptly. It reports
-// client-side throughput and source breakdown (from the
-// X-Sortnetd-Cache header), then echoes the server's /stats.
-func loadRun(ctx context.Context, out io.Writer, base string, requests, concurrency, n, size, distinct int, seed int64) error {
-	if requests < 1 || concurrency < 1 || distinct < 1 {
-		return fmt.Errorf("need positive -requests, -concurrency, -distinct")
+// pre-rendered, then concurrency workers push verify requests over
+// them — one POST per request with batch == 1, or NDJSON batches of
+// `batch` requests through client.Client.DoBatch otherwise. Every
+// request carries ctx, so an expired deadline aborts the run (and the
+// server-side computations) promptly. It reports client-side
+// throughput and source breakdown (the X-Sortnetd-Cache header, or
+// the per-line source field in batch mode), then echoes the server's
+// /stats.
+func loadRun(ctx context.Context, out io.Writer, base string, requests, concurrency, n, size, distinct, batch int, seed int64) error {
+	if requests < 1 || concurrency < 1 || distinct < 1 || batch < 1 {
+		return fmt.Errorf("need positive -requests, -concurrency, -distinct, -batch")
 	}
 	if n < 2 {
 		return fmt.Errorf("-n must be at least 2")
 	}
 	rng := rand.New(rand.NewSource(seed))
-	bodies := make([][]byte, distinct)
-	for i := range bodies {
-		w := network.Random(n, size, rng)
-		b, err := json.Marshal(map[string]string{"network": w.Format()})
-		if err != nil {
-			return err
-		}
-		bodies[i] = b
+	nets := make([]string, distinct)
+	bodies := make([][]byte, distinct) // pre-rendered single-shot bodies
+	for i := range nets {
+		nets[i] = network.Random(n, size, rng).Format()
+		bodies[i] = mustBody(nets[i])
 	}
 
-	client := &http.Client{Timeout: 30 * time.Second}
+	hc := &http.Client{Timeout: 30 * time.Second}
 	var next, errs atomic.Int64
 	var hits, misses, coalesced atomic.Int64
 	var errMu sync.Mutex
@@ -137,52 +150,95 @@ func loadRun(ctx context.Context, out io.Writer, base string, requests, concurre
 		}
 		errMu.Unlock()
 	}
+	tally := func(source string) {
+		switch source {
+		case "hit":
+			hits.Add(1)
+		case "coalesced":
+			coalesced.Add(1)
+		default:
+			misses.Add(1)
+		}
+	}
+	worker := func() {
+		for {
+			i := next.Add(1) - 1
+			if i >= int64(requests) || ctx.Err() != nil {
+				return
+			}
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/verify",
+				bytes.NewReader(bodies[i%int64(distinct)]))
+			if err != nil {
+				fail(err)
+				continue
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := hc.Do(req)
+			if err != nil {
+				fail(err)
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				fail(fmt.Errorf("status %d", resp.StatusCode))
+				continue
+			}
+			tally(resp.Header.Get("X-Sortnetd-Cache"))
+		}
+	}
+	if batch > 1 {
+		cl := client.New(base, client.WithHTTPClient(hc))
+		worker = func() {
+			for {
+				lo := next.Add(int64(batch)) - int64(batch)
+				if lo >= int64(requests) || ctx.Err() != nil {
+					return
+				}
+				hi := lo + int64(batch)
+				if hi > int64(requests) {
+					hi = int64(requests)
+				}
+				reqs := make([]sortnets.Request, 0, hi-lo)
+				for i := lo; i < hi; i++ {
+					reqs = append(reqs, sortnets.Request{Network: nets[i%int64(distinct)]})
+				}
+				vs, err := cl.DoBatch(ctx, reqs)
+				var be *sortnets.BatchError
+				if err != nil && !errors.As(err, &be) {
+					// A whole-batch failure (transport, deadline) lost
+					// every request in it — errs counts requests, not
+					// round trips, so ok/hit/miss still add up.
+					for range reqs {
+						fail(err)
+					}
+					continue
+				}
+				for j := range reqs {
+					if be != nil && be.Errs[j] != nil {
+						fail(be.Errs[j])
+						continue
+					}
+					tally(vs[j].Source)
+				}
+			}
+		}
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < concurrency; c++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				i := next.Add(1) - 1
-				if i >= int64(requests) || ctx.Err() != nil {
-					return
-				}
-				req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/verify",
-					bytes.NewReader(bodies[i%int64(distinct)]))
-				if err != nil {
-					fail(err)
-					continue
-				}
-				req.Header.Set("Content-Type", "application/json")
-				resp, err := client.Do(req)
-				if err != nil {
-					fail(err)
-					continue
-				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					fail(fmt.Errorf("status %d", resp.StatusCode))
-					continue
-				}
-				switch resp.Header.Get("X-Sortnetd-Cache") {
-				case "hit":
-					hits.Add(1)
-				case "coalesced":
-					coalesced.Add(1)
-				default:
-					misses.Add(1)
-				}
-			}
+			worker()
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	ok := int64(requests) - errs.Load()
-	fmt.Fprintf(out, "load: %d requests (%d distinct %d-line networks), %d workers\n",
-		requests, distinct, n, concurrency)
+	fmt.Fprintf(out, "load: %d requests (%d distinct %d-line networks), %d workers, batch=%d\n",
+		requests, distinct, n, concurrency, batch)
 	fmt.Fprintf(out, "done in %v: %.0f req/s, %d ok (%d hit / %d coalesced / %d computed), %d errors\n",
 		elapsed.Round(time.Millisecond), float64(requests)/elapsed.Seconds(),
 		ok, hits.Load(), coalesced.Load(), misses.Load(), errs.Load())
@@ -193,7 +249,7 @@ func loadRun(ctx context.Context, out io.Writer, base string, requests, concurre
 		return fmt.Errorf("%d requests failed; first failure: %v", errs.Load(), firstErr)
 	}
 
-	resp, err := client.Get(base + "/stats")
+	resp, err := hc.Get(base + "/stats")
 	if err != nil {
 		return err
 	}
@@ -204,4 +260,14 @@ func loadRun(ctx context.Context, out io.Writer, base string, requests, concurre
 	}
 	fmt.Fprintf(out, "server /stats: %s", stats)
 	return nil
+}
+
+// mustBody renders the single-shot JSON body for one network text
+// (marshaling a map[string]string cannot fail).
+func mustBody(net string) []byte {
+	b, err := json.Marshal(map[string]string{"network": net})
+	if err != nil {
+		panic(err)
+	}
+	return b
 }

@@ -45,7 +45,7 @@ func TestLoadModeAgainstLiveService(t *testing.T) {
 
 	var sb strings.Builder
 	// 40 requests over 4 distinct networks: most must be cache hits.
-	if err := loadRun(context.Background(), &sb, ts.URL, 40, 4, 6, 8, 4, 1); err != nil {
+	if err := loadRun(context.Background(), &sb, ts.URL, 40, 4, 6, 8, 4, 1, 1); err != nil {
 		t.Fatalf("loadRun: %v\n%s", err, sb.String())
 	}
 	out := sb.String()
@@ -63,12 +63,44 @@ func TestLoadModeAgainstLiveService(t *testing.T) {
 	}
 }
 
+// TestLoadModeBatchAgainstLiveService is the CI batch-path smoke
+// step: the pipelined -batch mode against an in-process sortnetd,
+// all-miss (every request distinct), must complete with zero errors
+// and actually exercise the server's dedup/grouped machinery.
+func TestLoadModeBatchAgainstLiveService(t *testing.T) {
+	s := serve.NewService(serve.Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	var sb strings.Builder
+	// 60 distinct networks in batches of 20: all computed, grouped.
+	if err := loadRun(context.Background(), &sb, ts.URL, 60, 2, 6, 8, 60, 20, 1); err != nil {
+		t.Fatalf("loadRun -batch: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, frag := range []string{"batch=20", "req/s", "0 errors", "server /stats"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+	st := s.Stats()
+	if ep := st.Endpoints["verify"]; ep.Requests != 60 {
+		t.Errorf("server saw %d verify requests, want 60", ep.Requests)
+	}
+	if st.Batch.Batches == 0 || st.Batch.Grouped == 0 {
+		t.Errorf("batch mode never hit the grouped pipeline: %+v", st.Batch)
+	}
+}
+
 func TestLoadModeValidation(t *testing.T) {
 	var sb strings.Builder
-	if err := loadRun(context.Background(), &sb, "http://127.0.0.1:1", 0, 1, 6, 8, 1, 1); err == nil {
+	if err := loadRun(context.Background(), &sb, "http://127.0.0.1:1", 0, 1, 6, 8, 1, 1, 1); err == nil {
 		t.Error("zero requests should error")
 	}
-	if err := loadRun(context.Background(), &sb, "http://127.0.0.1:1", 1, 1, 1, 8, 1, 1); err == nil {
+	if err := loadRun(context.Background(), &sb, "http://127.0.0.1:1", 1, 1, 1, 8, 1, 1, 1); err == nil {
 		t.Error("n=1 should error")
 	}
 }
@@ -99,7 +131,7 @@ func TestLoadModeDeadline(t *testing.T) {
 	defer cancel()
 	<-ctx.Done()
 	var sb strings.Builder
-	err := loadRun(ctx, &sb, ts.URL, 50, 2, 6, 8, 2, 1)
+	err := loadRun(ctx, &sb, ts.URL, 50, 2, 6, 8, 2, 1, 1)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("want deadline error, got %v", err)
 	}

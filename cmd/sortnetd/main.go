@@ -8,15 +8,26 @@
 //
 // Endpoints (POST JSON unless noted):
 //
+//	/do       any op (from the body; default verify) — with Content-Type
+//	          application/x-ndjson, a streaming batch: one Request per
+//	          line in, one BatchVerdict per line out as chunks complete
 //	/verify   property verdict (sorter | selector | merger)
 //	/faults   fault coverage of the property's minimal test set
 //	/minset   minimal detecting subset of that test set
 //	/healthz  GET liveness probe
-//	/stats    GET per-endpoint counters + cache occupancy
+//	/stats    GET per-endpoint counters + batch pipeline + cache occupancy
 //
-// Example:
+// Examples:
 //
 //	curl -s localhost:8357/verify -d '{"network":"n=4: [1,2][3,4][1,3][2,4][2,3]"}'
+//	printf '%s\n%s\n' '{"id":"a","network":"n=4: [1,2][3,4][1,3][2,4][2,3]"}' \
+//	                  '{"id":"b","network":"n=4: [1,2][3,4]"}' |
+//	  curl -s localhost:8357/do -H 'Content-Type: application/x-ndjson' --data-binary @-
+//
+// Batched submissions are deduplicated within the batch and verify
+// entries of one width and property share a single grouped engine
+// pass — the batch-first request model (see the client package's
+// DoBatch/Stream for the programmatic face).
 //
 // Results are cached by the canonical digest of the network
 // (internal/canon), so structurally equivalent submissions — the same

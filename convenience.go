@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"sortnets/internal/bitvec"
+	"sortnets/internal/eval"
 	"sortnets/internal/faults"
 	"sortnets/internal/verify"
 )
@@ -47,6 +48,85 @@ func (s *Session) Check(ctx context.Context, w *Network, p Property) (Result, er
 		return Result{}, err
 	}
 	return resultFrom(v.(*Verdict)), nil
+}
+
+// CheckMany decides ONE property for a whole fleet of networks in a
+// single shared engine pass — the library face of the batch-first
+// model. The property's minimal test set is enumerated and transposed
+// once per 64-lane block for every still-undecided program
+// (eval.RunMany), instead of once per network; cache hits and
+// canonical duplicates within the fleet skip the pass entirely. Each
+// Result is identical to what Check would return for that network.
+// Every network must have p.Lines() lines (≤ 64 — beyond that only
+// the polynomial Wide families are feasible anyway).
+func (s *Session) CheckMany(ctx context.Context, ws []*Network, p Property) ([]Result, error) {
+	if len(ws) == 0 {
+		return nil, nil
+	}
+	name, builtin := wireProperty(p)
+	results := make([]Result, len(ws))
+	// pending is one distinct circuit awaiting the shared pass, with
+	// every fleet index it answers (canonical duplicates collapse).
+	type pending struct {
+		key    string
+		digest string
+		prog   *eval.Program
+		idxs   []int
+	}
+	var order []*pending
+	byKey := make(map[string]*pending)
+	for i, w := range ws {
+		if w.N != p.Lines() {
+			panic(fmt.Sprintf("sortnets: network has %d lines, property wants %d", w.N, p.Lines()))
+		}
+		_, digest, prog := s.resolveNetwork(w)
+		key := ""
+		if builtin {
+			key = s.verifyKey(digest, name, false)
+		}
+		if key != "" {
+			if s.results != nil {
+				if v, ok := s.results.Get(key); ok {
+					results[i] = resultFrom(v.(*Verdict))
+					continue
+				}
+			}
+			if pe, ok := byKey[key]; ok {
+				pe.idxs = append(pe.idxs, i)
+				continue
+			}
+		}
+		pe := &pending{key: key, digest: digest, prog: prog, idxs: []int{i}}
+		if key != "" {
+			byKey[key] = pe
+		}
+		order = append(order, pe)
+	}
+	if len(order) == 0 {
+		return results, nil
+	}
+	progs := make([]*eval.Program, len(order))
+	for i, pe := range order {
+		progs[i] = pe.prog
+	}
+	stream := p.BinaryTests()
+	if s.stream != nil {
+		stream = s.stream(p)
+	}
+	evs, err := eval.RunManyCtx(ctx, progs, stream, verify.JudgeFor(p))
+	if err != nil {
+		return nil, err
+	}
+	for i, pe := range order {
+		r := Result{Holds: evs[i].Holds, TestsRun: evs[i].TestsRun, Counterexample: evs[i].In, Output: evs[i].Out}
+		if pe.key != "" && s.results != nil {
+			s.results.Add(pe.key, checkVerdict(pe.digest, name, false, r))
+		}
+		for _, idx := range pe.idxs {
+			results[idx] = r
+		}
+	}
+	return results, nil
 }
 
 // GroundTruth decides the property against the entire binary

@@ -1,0 +1,126 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/network"
+)
+
+// The multi-program pass of the batch-first request model: when many
+// candidate networks of one width are checked against one property,
+// the expensive shared work — enumerating the minimal test stream and
+// transposing it into the 64-lane word layout — is identical for
+// every program. RunMany does that work ONCE per 64-lane block and
+// feeds the block to every still-undecided program, so a fleet of k
+// networks pays one enumeration + one transpose instead of k.
+
+// RunMany streams the iterator's vectors once through every program,
+// judging each 64-lane block against all programs that have not yet
+// failed. All programs must share one width n ≤ 64 (the judge is per
+// property, which fixes n). The returned slice is indexed like progs;
+// each verdict is byte-identical to what New(progs[i], 1).Run(it,
+// judge) would report over a fresh iterator — the first failure in
+// stream order with the same TestsRun, or Holds with the full stream
+// count — because the block schedule is exactly the sequential one.
+func RunMany(progs []*Program, it bitvec.Iterator, judge Judge) []Verdict {
+	vs, _ := RunManyCtx(context.Background(), progs, it, judge)
+	return vs
+}
+
+// RunManyCtx is RunMany under a context, checked once per 64-lane
+// block (never per vector or per program). On cancellation it returns
+// nil and ctx.Err(): partial verdicts are withheld, exactly like the
+// single-program RunCtx.
+func RunManyCtx(ctx context.Context, progs []*Program, it bitvec.Iterator, judge Judge) ([]Verdict, error) {
+	if len(progs) == 0 {
+		return nil, nil
+	}
+	n := progs[0].n
+	if n > network.LanesPerBatch {
+		panic(fmt.Sprintf("eval: RunMany needs n ≤ 64, program has %d lines", n))
+	}
+	for i, p := range progs {
+		if p.n != n {
+			panic(fmt.Sprintf("eval: RunMany needs one width, program %d has %d lines, program 0 has %d", i, p.n, n))
+		}
+	}
+
+	verdicts := make([]Verdict, len(progs))
+	// active[i] — program i has not failed yet. Failed programs drop
+	// out of the per-block loop; the stream keeps going until every
+	// program has failed or it drains.
+	active := make([]int, len(progs))
+	for i := range active {
+		active[i] = i
+	}
+	outs := make([]*network.Batch, len(progs))
+	for i := range outs {
+		outs[i] = network.NewBatch(n)
+	}
+	in := network.NewBatch(n)
+
+	var lanes [network.LanesPerBatch]bitvec.Vec
+	var words [network.LanesPerBatch]uint64
+	tests := 0
+	for len(active) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		k := 0
+		for k < network.LanesPerBatch {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			lanes[k] = v
+			k++
+		}
+		if k == 0 {
+			break
+		}
+		// Shared per-block work: load + transpose once for all programs.
+		for i := 0; i < k; i++ {
+			words[i] = lanes[i].Bits
+		}
+		for i := k; i < network.LanesPerBatch; i++ {
+			words[i] = 0
+		}
+		transpose64(&words)
+		if judge.NeedsInput {
+			copy(in.Lines, words[:n])
+			in.Lanes = k
+		}
+		occupied := ^uint64(0)
+		if k < network.LanesPerBatch {
+			occupied = uint64(1)<<uint(k) - 1
+		}
+		// Per-program work: evaluate and judge this block.
+		keep := active[:0]
+		for _, pi := range active {
+			out := outs[pi]
+			copy(out.Lines, words[:n])
+			out.Lanes = k
+			progs[pi].ApplyBatch(out)
+			if bad := judge.rejects(in, out) & occupied; bad != 0 {
+				lane := bits.TrailingZeros64(bad)
+				verdicts[pi] = Verdict{
+					Holds:    false,
+					TestsRun: tests + lane + 1,
+					In:       lanes[lane],
+					Out:      out.Lane(lane),
+				}
+				continue
+			}
+			keep = append(keep, pi)
+		}
+		active = keep
+		tests += k
+	}
+	for _, pi := range active {
+		verdicts[pi] = Verdict{Holds: true, TestsRun: tests}
+	}
+	return verdicts, nil
+}

@@ -1,0 +1,98 @@
+package eval
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/network"
+)
+
+// nonSorted collects every non-sorted n-bit string — the sorter's
+// minimal test set — in stream order (core is not importable here:
+// it depends on eval).
+func nonSorted(n int) []bitvec.Vec {
+	var vs []bitvec.Vec
+	for bits := uint64(0); bits < uint64(1)<<uint(n); bits++ {
+		v := bitvec.New(n, bits)
+		if !v.IsSorted() {
+			vs = append(vs, v)
+		}
+	}
+	return vs
+}
+
+// TestRunManyMatchesSequential: every verdict of the shared-stream
+// pass must be identical — Holds, TestsRun, counterexample in/out —
+// to running each program alone on a fresh iterator with a
+// single-worker engine, across random fleets and both judge shapes.
+func TestRunManyMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(9)
+		fleet := 1 + rng.Intn(7)
+		progs := make([]*Program, fleet)
+		for i := range progs {
+			progs[i] = Compile(randomNet(n, rng.Intn(4*n), rng))
+		}
+		tests := nonSorted(n)
+		judge := SortedJudge()
+		stream := func() bitvec.Iterator { return bitvec.Slice(tests) }
+		if trial%3 == 1 { // per-lane judge shape (the selector path)
+			k := 1 + rng.Intn(n)
+			judge = PerLaneJudge(func(in, out bitvec.Vec) bool {
+				mask := uint64(1)<<uint(k) - 1
+				return out.Bits&mask == in.Sorted().Bits&mask
+			})
+		}
+		got := RunMany(progs, stream(), judge)
+		for i, p := range progs {
+			want := New(p, 1).Run(stream(), judge)
+			if got[i] != want {
+				t.Fatalf("trial %d n=%d fleet=%d program %d:\nRunMany %+v\nsolo    %+v", trial, n, fleet, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestRunManyEmptyAndSingle: degenerate fleets work.
+func TestRunManyEmptyAndSingle(t *testing.T) {
+	if vs := RunMany(nil, bitvec.Slice(nonSorted(4)), SortedJudge()); vs != nil {
+		t.Fatalf("empty fleet: %v", vs)
+	}
+	p := Compile(network.New(3)) // identity: fails fast on a sorter stream
+	vs := RunMany([]*Program{p}, bitvec.Slice(nonSorted(3)), SortedJudge())
+	want := New(p, 1).Run(bitvec.Slice(nonSorted(3)), SortedJudge())
+	if len(vs) != 1 || vs[0] != want {
+		t.Fatalf("single fleet: %+v, want %+v", vs, want)
+	}
+}
+
+// TestRunManyCtxCancelled: an already-cancelled context stops the
+// pass before any verdict and leaks no goroutines (the pass is
+// synchronous by construction; the check still pins that contract).
+func TestRunManyCtxCancelled(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n := 16
+	progs := []*Program{Compile(network.Random(n, 40, rand.New(rand.NewSource(3))))}
+	start := time.Now()
+	vs, err := RunManyCtx(ctx, progs, bitvec.Slice(nonSorted(n)), SortedJudge())
+	if err != context.Canceled || vs != nil {
+		t.Fatalf("got %v, %v; want nil, context.Canceled", vs, err)
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Errorf("cancelled RunMany took %v", d)
+	}
+	deadline := time.Now().Add(time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("goroutines: %d, started with %d", g, before)
+	}
+}

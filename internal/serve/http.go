@@ -13,6 +13,8 @@ import (
 // HTTP surface.
 //
 //	POST /do       sortnets.Request → sortnets.Verdict (op from the body; default verify)
+//	               with Content-Type application/x-ndjson: one Request per line in,
+//	               one sortnets.BatchVerdict per line out, streamed as chunks complete
 //	POST /verify   sortnets.Request → sortnets.Verdict (op forced to verify)
 //	POST /faults   sortnets.Request → sortnets.Verdict (op forced to faults)
 //	POST /minset   sortnets.Request → sortnets.Verdict (op forced to minset)
@@ -68,11 +70,16 @@ func (s *Service) rejected(op string) {
 
 // endpoint decodes one POST body into the shared Request, forces the
 // path's op, and relays the Session's verdict — the entire service
-// layer in one screen.
+// layer in one screen. On /do an application/x-ndjson body switches
+// to the streaming batch protocol (ndjson.go) instead.
 func (s *Service) endpoint(op string, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.rejected(op)
 		writeError(w, http.StatusMethodNotAllowed, "use POST with a JSON body")
+		return
+	}
+	if op == "" && ndjsonContentType(r) {
+		s.serveNDJSON(w, r)
 		return
 	}
 	var req sortnets.Request

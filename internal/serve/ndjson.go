@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+
+	"sortnets"
+)
+
+// NDJSON streaming: POST /do with Content-Type application/x-ndjson
+// carries one sortnets.Request per line and is answered, on the same
+// connection, by one sortnets.BatchVerdict per line in request order
+// (correlate by order, or by the echoed id when entries are tagged).
+// The handler reads adaptively — whatever lines the client has
+// pipelined are swept into one Session.DoBatch call (bounded by
+// maxChunkLines), so interactive callers get per-line latency while
+// pipelined load gets batch-sized dedup and grouped evaluation — and
+// flushes after every chunk. A malformed or oversized line yields a
+// per-line RequestError verdict and never tears down the connection:
+// the stream continues with the next line.
+
+// maxChunkLines bounds how many pipelined lines feed one DoBatch
+// call; it caps handler memory, not the stream length (a connection
+// may carry any number of chunks).
+const maxChunkLines = 256
+
+// maxLineBytes bounds one NDJSON line, matching the single-request
+// body bound. Longer lines are discarded to the newline and answered
+// with a per-line 400.
+const maxLineBytes = maxBodyBytes
+
+// ndjsonContentType reports whether the request declares an NDJSON
+// body (application/x-ndjson, case-insensitive, with or without
+// parameters — media types are case-insensitive per RFC 7231).
+func ndjsonContentType(r *http.Request) bool {
+	mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	return err == nil && mt == "application/x-ndjson"
+}
+
+// serveNDJSON streams batch verdicts for one NDJSON connection.
+func (s *Service) serveNDJSON(w http.ResponseWriter, r *http.Request) {
+	// Full duplex lets us write response lines while the client is
+	// still streaming request lines (HTTP/1.1 pipelining). Best
+	// effort: on transports that don't support it, the handler still
+	// works for clients that send the whole body first.
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+
+	br := bufio.NewReaderSize(r.Body, 64<<10)
+	enc := json.NewEncoder(w)
+	for {
+		chunk, done := s.readChunk(br)
+		if len(chunk) > 0 && !s.writeChunk(r, enc, chunk) {
+			return
+		}
+		if len(chunk) > 0 {
+			_ = rc.Flush()
+		}
+		if done {
+			return
+		}
+	}
+}
+
+// chunkLine is one decoded (or rejected) request line awaiting its
+// response line.
+type chunkLine struct {
+	req sortnets.Request
+	err *sortnets.RequestError // decode failure: answered without a Session trip
+}
+
+// readChunk reads one adaptive chunk: it blocks for the first line,
+// then keeps sweeping lines while the reader has buffered bytes, up
+// to maxChunkLines. done reports end of body (EOF or a read error —
+// either way the connection has no more requests).
+func (s *Service) readChunk(br *bufio.Reader) (chunk []chunkLine, done bool) {
+	for len(chunk) < maxChunkLines {
+		if len(chunk) > 0 && br.Buffered() == 0 {
+			return chunk, false // answer what's pipelined before blocking again
+		}
+		line, tooLong, err := readLine(br, maxLineBytes)
+		if tooLong {
+			s.rejected("")
+			chunk = append(chunk, chunkLine{err: &sortnets.RequestError{
+				Status: http.StatusBadRequest,
+				Msg:    fmt.Sprintf("request line exceeds %d bytes", maxLineBytes),
+			}})
+			continue
+		}
+		if len(bytes.TrimSpace(line)) > 0 {
+			chunk = append(chunk, s.decodeLine(line))
+		}
+		if err != nil {
+			return chunk, true
+		}
+	}
+	return chunk, false
+}
+
+// decodeLine decodes one request line, mapping failures to the
+// per-line error form.
+func (s *Service) decodeLine(line []byte) chunkLine {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var req sortnets.Request
+	if err := dec.Decode(&req); err != nil {
+		s.rejected("")
+		return chunkLine{err: &sortnets.RequestError{
+			Status: http.StatusBadRequest,
+			Msg:    fmt.Sprintf("bad request line: %v", err),
+		}}
+	}
+	// Trailing garbage after the JSON value on one line is malformed
+	// too (a second value belongs on its own line).
+	if _, err := dec.Token(); err != io.EOF {
+		s.rejected("")
+		return chunkLine{err: &sortnets.RequestError{
+			Status: http.StatusBadRequest,
+			Msg:    "bad request line: trailing data after JSON value",
+		}}
+	}
+	return chunkLine{req: req}
+}
+
+// writeChunk runs the chunk's decodable lines through one DoBatch and
+// writes every line's response in order. It returns false when the
+// connection is dead (context cancelled or a write failed).
+func (s *Service) writeChunk(r *http.Request, enc *json.Encoder, chunk []chunkLine) bool {
+	reqs := make([]sortnets.Request, 0, len(chunk))
+	for i := range chunk {
+		if chunk[i].err == nil {
+			reqs = append(reqs, chunk[i].req)
+		}
+	}
+	var verdicts []*sortnets.Verdict
+	entryErrs := make([]error, len(reqs))
+	if len(reqs) > 0 { // an all-malformed chunk never counts a batch
+		var err error
+		verdicts, err = s.sess.DoBatch(r.Context(), reqs)
+		var be *sortnets.BatchError
+		switch {
+		case err == nil:
+		case errors.As(err, &be):
+			entryErrs = be.Errs
+		default:
+			// Whole-batch failure: the client is gone (context);
+			// nothing left to write to.
+			return false
+		}
+	}
+	vi := 0
+	for i := range chunk {
+		var line sortnets.BatchVerdict
+		if chunk[i].err != nil {
+			line = sortnets.BatchVerdict{ID: chunk[i].req.ID, Error: chunk[i].err}
+		} else {
+			v, entryErr := verdicts[vi], entryErrs[vi]
+			vi++
+			switch {
+			case entryErr != nil:
+				var re *sortnets.RequestError
+				if !errors.As(entryErr, &re) {
+					re = &sortnets.RequestError{Status: http.StatusInternalServerError, Msg: entryErr.Error()}
+				}
+				line = sortnets.BatchVerdict{ID: chunk[i].req.ID, Error: re}
+			default:
+				line = sortnets.BatchVerdict{ID: v.ID, Verdict: v, Source: v.Source}
+			}
+		}
+		if err := enc.Encode(&line); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// readLine reads one newline-terminated line (without the newline),
+// accumulating at most max bytes. Longer lines are consumed to their
+// newline but reported tooLong with no content, so the stream can
+// continue at the next line. err is non-nil at end of body; a final
+// unterminated line is still returned.
+func readLine(br *bufio.Reader, max int) (line []byte, tooLong bool, err error) {
+	for {
+		frag, ferr := br.ReadSlice('\n')
+		if !tooLong {
+			if len(line)+len(frag) > max {
+				tooLong, line = true, nil
+			} else {
+				line = append(line, frag...)
+			}
+		}
+		switch ferr {
+		case nil:
+			if !tooLong {
+				line = bytes.TrimSuffix(line, []byte("\n"))
+				line = bytes.TrimSuffix(line, []byte("\r"))
+			}
+			return line, tooLong, nil
+		case bufio.ErrBufferFull:
+			continue
+		default:
+			return line, tooLong, ferr
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sortnets"
+)
+
+// postNDJSONBody posts raw bytes to /do as NDJSON and returns the
+// decoded response lines.
+func postNDJSONBody(t *testing.T, svc *Service, body []byte) []sortnets.BatchVerdict {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/do", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	rec := httptest.NewRecorder()
+	svc.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("response content type %q", ct)
+	}
+	var lines []sortnets.BatchVerdict
+	dec := json.NewDecoder(rec.Body)
+	for dec.More() {
+		var line sortnets.BatchVerdict
+		if err := dec.Decode(&line); err != nil {
+			t.Fatalf("undecodable response line %d: %v", len(lines), err)
+		}
+		lines = append(lines, line)
+	}
+	return lines
+}
+
+// TestNDJSONMixedLines: a stream mixing good requests, malformed
+// JSON, unknown fields, trailing garbage, blank lines and a bad
+// network must be answered line for line — errors per line, verdicts
+// for the rest, ids echoed — without ever failing the connection.
+func TestNDJSONMixedLines(t *testing.T) {
+	svc := NewService(Config{Workers: 2})
+	defer svc.Close()
+	sorter4 := `n=4: [1,2][3,4][1,3][2,4][2,3]`
+	body := strings.Join([]string{
+		`{"id":"a","network":"` + sorter4 + `"}`,
+		`{not json`,
+		``,
+		`{"id":"b","network":"n=4: [1,2]"} trailing`,
+		`{"id":"c","op":"faults","network":"` + sorter4 + `"}`,
+		`{"unknown_field":1}`,
+		`{"id":"d","network":"n=4: [zap"}`,
+		`{"id":"e","network":"` + sorter4 + `"}`, // duplicate of "a": deduped in-chunk
+	}, "\n")
+	lines := postNDJSONBody(t, svc, []byte(body))
+	if len(lines) != 7 { // the blank line is skipped
+		t.Fatalf("%d response lines, want 7: %+v", len(lines), lines)
+	}
+	wantErr := map[int]bool{1: true, 2: true, 4: true, 5: true}
+	wantID := map[int]string{0: "a", 3: "c", 6: "e"}
+	for i, line := range lines {
+		if wantErr[i] {
+			if line.Error == nil || line.Verdict != nil || line.Error.Status != 400 {
+				t.Errorf("line %d: want a 400 error line, got %+v", i, line)
+			}
+			continue
+		}
+		if line.Verdict == nil || line.Error != nil {
+			t.Errorf("line %d: want a verdict line, got %+v", i, line)
+			continue
+		}
+		if line.ID != wantID[i] || line.Verdict.ID != wantID[i] {
+			t.Errorf("line %d: ids %q/%q, want %q", i, line.ID, line.Verdict.ID, wantID[i])
+		}
+	}
+	if lines[6].Source != "coalesced" || lines[6].Verdict.Digest != lines[0].Verdict.Digest {
+		t.Errorf("in-chunk duplicate: source %q, digests %q vs %q",
+			lines[6].Source, lines[6].Verdict.Digest, lines[0].Verdict.Digest)
+	}
+	st := svc.Stats()
+	if st.Batch.Batches == 0 || st.Batch.Deduped != 1 {
+		t.Errorf("batch stats not surfaced in /stats: %+v", st.Batch)
+	}
+}
+
+// TestNDJSONOversizedLine: a line beyond the per-line bound is
+// answered with a 400 and the stream continues at the next line.
+func TestNDJSONOversizedLine(t *testing.T) {
+	svc := NewService(Config{})
+	defer svc.Close()
+	huge := `{"network":"` + strings.Repeat("x", maxLineBytes) + `"}`
+	body := huge + "\n" + `{"id":"after","network":"n=2: [1,2]"}` + "\n"
+	lines := postNDJSONBody(t, svc, []byte(body))
+	if len(lines) != 2 {
+		t.Fatalf("%d response lines, want 2: %+v", len(lines), lines)
+	}
+	if lines[0].Error == nil || lines[0].Error.Status != 400 || !strings.Contains(lines[0].Error.Msg, "exceeds") {
+		t.Fatalf("oversized line answer: %+v", lines[0])
+	}
+	if lines[1].Verdict == nil || lines[1].ID != "after" {
+		t.Fatalf("line after the oversized one: %+v", lines[1])
+	}
+}
+
+// TestNDJSONMatchesSingleRequestBytes: a verdict served over the
+// batch protocol is the same Verdict the single-request /do endpoint
+// returns, byte for byte once marshaled.
+func TestNDJSONMatchesSingleRequestBytes(t *testing.T) {
+	svc := NewService(Config{})
+	defer svc.Close()
+	reqBody := `{"network":"n=4: [1,2][3,4][1,3][2,4][2,3]"}`
+
+	single := httptest.NewRequest("POST", "/do", strings.NewReader(reqBody))
+	rec := httptest.NewRecorder()
+	svc.Handler().ServeHTTP(rec, single)
+	if rec.Code != 200 {
+		t.Fatalf("single status %d", rec.Code)
+	}
+	singleBytes := bytes.TrimSpace(rec.Body.Bytes())
+
+	lines := postNDJSONBody(t, svc, []byte(reqBody+"\n"))
+	if len(lines) != 1 || lines[0].Verdict == nil {
+		t.Fatalf("batch lines: %+v", lines)
+	}
+	if lines[0].Source != "hit" {
+		t.Errorf("second trip over one cache: source %q, want hit", lines[0].Source)
+	}
+	batchBytes, err := sortnets.MarshalVerdict(lines[0].Verdict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(batchBytes) != string(singleBytes) {
+		t.Fatalf("verdict bytes diverge:\nsingle: %s\nbatch:  %s", singleBytes, batchBytes)
+	}
+}
+
+// TestNDJSONContentTypeSpellings: media types are case-insensitive
+// and may carry parameters; every legal spelling must reach the
+// batch path, and an all-malformed chunk must not count as a batch.
+func TestNDJSONContentTypeSpellings(t *testing.T) {
+	svc := NewService(Config{})
+	defer svc.Close()
+	for _, ct := range []string{
+		"application/x-ndjson",
+		"Application/X-NDJSON",
+		"application/x-ndjson; charset=utf-8",
+	} {
+		req := httptest.NewRequest("POST", "/do", strings.NewReader("{bad\n"))
+		req.Header.Set("Content-Type", ct)
+		rec := httptest.NewRecorder()
+		svc.Handler().ServeHTTP(rec, req)
+		var line sortnets.BatchVerdict
+		if err := json.Unmarshal(bytes.TrimSpace(rec.Body.Bytes()), &line); err != nil || line.Error == nil {
+			t.Errorf("content type %q not routed to the batch path: status %d body %s", ct, rec.Code, rec.Body.Bytes())
+		}
+	}
+	if b := svc.Stats().Batch.Batches; b != 0 {
+		t.Errorf("all-malformed chunks counted %d batches, want 0", b)
+	}
+}
+
+// TestReadLine pins the per-line reader: CRLF trimming, unterminated
+// final lines, and too-long discard that resumes cleanly.
+func TestReadLine(t *testing.T) {
+	br := bufio.NewReaderSize(strings.NewReader("ab\r\n"+strings.Repeat("z", 100)+"\ncd"), 16)
+	line, tooLong, err := readLine(br, 50)
+	if string(line) != "ab" || tooLong || err != nil {
+		t.Fatalf("line 1: %q %v %v", line, tooLong, err)
+	}
+	line, tooLong, err = readLine(br, 50)
+	if !tooLong || err != nil {
+		t.Fatalf("line 2: %q %v %v", line, tooLong, err)
+	}
+	line, tooLong, err = readLine(br, 50)
+	if string(line) != "cd" || tooLong || err == nil {
+		t.Fatalf("line 3: %q %v %v", line, tooLong, err)
+	}
+}
+
+// FuzzNDJSONBatch is the satellite fuzz target: arbitrary bytes fed
+// to the NDJSON endpoint must never panic or tear down the handler,
+// and every response line must be a well-formed BatchVerdict carrying
+// exactly one of verdict or error.
+func FuzzNDJSONBatch(f *testing.F) {
+	f.Add([]byte(`{"network":"n=4: [1,2][3,4][1,3][2,4][2,3]"}` + "\n"))
+	f.Add([]byte("{not json\n\n{}\n"))
+	f.Add([]byte(`{"op":"minset","network":"n=3: [1,2][2,3][1,2]","exact":true}` + "\n{\n"))
+	f.Add([]byte(`{"id":"x","lines":2,"comparators":[[2,1]]}` + "\n"))
+	f.Add(bytes.Repeat([]byte("a"), 4096))
+	svc := NewService(Config{Workers: 1, MaxLines: 10, MaxFaultLines: 6})
+	f.Cleanup(svc.Close)
+	handler := svc.Handler()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/do", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req) // must not panic
+		if rec.Code != 200 {
+			t.Fatalf("status %d on %q", rec.Code, body)
+		}
+		dec := json.NewDecoder(rec.Body)
+		for i := 0; dec.More(); i++ {
+			var line sortnets.BatchVerdict
+			if err := dec.Decode(&line); err != nil {
+				t.Fatalf("line %d undecodable: %v", i, err)
+			}
+			if (line.Verdict == nil) == (line.Error == nil) {
+				t.Fatalf("line %d: want exactly one of verdict/error: %+v", i, line)
+			}
+		}
+	})
+}

@@ -102,9 +102,12 @@ type CacheSnapshot struct {
 	Evictions int64 `json:"evictions"`
 }
 
-// StatsSnapshot is the /stats response body.
+// StatsSnapshot is the /stats response body. Batch reports the NDJSON
+// pipeline: batches/entries seen, entries deduplicated within a
+// batch, and entries computed through a shared grouped engine pass.
 type StatsSnapshot struct {
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
+	Batch     sortnets.BatchStats         `json:"batch"`
 	Cache     CacheSnapshot               `json:"cache"`
 	Workers   int                         `json:"workers"`
 }
@@ -132,6 +135,7 @@ func (s *Service) Stats() StatsSnapshot {
 	}
 	return StatsSnapshot{
 		Endpoints: eps,
+		Batch:     ss.Batch,
 		Cache: CacheSnapshot{
 			Entries:   ss.Cache.Entries,
 			Capacity:  ss.Cache.Capacity,

@@ -40,7 +40,13 @@ const (
 // untangled into standard form — circuits whose untangling leaves a
 // non-identity lane relabeling are rejected). An empty Op means
 // OpVerify; an empty Property means "sorter".
+//
+// ID is an optional caller-chosen tag, echoed verbatim on the Verdict
+// (and on the BatchVerdict line in NDJSON streaming) and omitted from
+// the wire when empty. It is correlation only: it never enters cache
+// keys, so two requests differing only in ID share one verdict.
 type Request struct {
+	ID          string   `json:"id,omitempty"`
 	Op          string   `json:"op,omitempty"`
 	Network     string   `json:"network,omitempty"`
 	Lines       int      `json:"lines,omitempty"`
@@ -54,8 +60,11 @@ type Request struct {
 
 // Verdict is the unified verdict: identity fields plus exactly one
 // populated operation section. Marshaling a Verdict is deterministic,
-// so a cached verdict replays byte-identically over the wire.
+// so a cached verdict replays byte-identically over the wire (modulo
+// ID, which echoes the request's tag and is stamped per reply, never
+// stored in the cache).
 type Verdict struct {
+	ID       string         `json:"id,omitempty"`
 	Op       string         `json:"op"`
 	Digest   string         `json:"digest"`
 	Property string         `json:"property"`
@@ -104,13 +113,36 @@ type MinsetVerdict struct {
 // RequestError is a caller-side failure (malformed network, unknown
 // property, line limit, …). Status is an HTTP status code; the
 // serving layer writes it verbatim and the client reconstructs it, so
-// local and remote callers see the same typed error.
+// local and remote callers see the same typed error. The JSON tags
+// are the NDJSON per-line error form ({"status":400,"error":"..."});
+// the single-request JSON endpoints keep their historical
+// {"error":"..."} body with the status on the HTTP response line.
 type RequestError struct {
-	Status int
-	Msg    string
+	Status int    `json:"status"`
+	Msg    string `json:"error"`
 }
 
 func (e *RequestError) Error() string { return e.Msg }
+
+// Batch is a slice of Requests submitted as one round trip — the wire
+// unit of the batch-first request model. Over HTTP it is encoded as
+// NDJSON: one Request per line on POST /do with Content-Type
+// application/x-ndjson, answered by one BatchVerdict per line.
+type Batch []Request
+
+// BatchVerdict is one batch entry's outcome on the wire: the entry's
+// echoed id plus exactly one of Verdict (success) or Error (a
+// per-entry *RequestError — a malformed entry never fails its
+// neighbours or the connection). Source reports how a successful
+// verdict was obtained ("hit", "coalesced", "miss"): NDJSON lines
+// have no per-line headers, so the X-Sortnetd-Cache value rides in
+// the body here.
+type BatchVerdict struct {
+	ID      string        `json:"id,omitempty"`
+	Verdict *Verdict      `json:"verdict,omitempty"`
+	Error   *RequestError `json:"error,omitempty"`
+	Source  string        `json:"source,omitempty"`
+}
 
 func badRequest(format string, args ...any) error {
 	return &RequestError{Status: 400, Msg: fmt.Sprintf(format, args...)}

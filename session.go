@@ -175,9 +175,61 @@ func (s *Session) Close() {
 
 // Doer is the one-request-model interface: *Session implements it
 // in-process and *client.Client implements it against a sortnetd
-// URL, so callers swap local ↔ remote by swapping a value.
+// URL, so callers swap local ↔ remote by swapping a value. The
+// batch-first redesign grew it a second method; an implementation
+// that only has Do (the PR 4 shape) is adapted losslessly with
+// AdaptDoer, whose DoBatch loops Do — callers of either method are
+// untouched.
 type Doer interface {
 	Do(ctx context.Context, req Request) (*Verdict, error)
+	// DoBatch renders verdicts for a whole batch in one call, with
+	// Session.DoBatch's contract: the result is index-aligned with
+	// reqs, per-entry failures land in a *BatchError, and every
+	// verdict is byte-identical to what sequential Do calls would
+	// produce.
+	DoBatch(ctx context.Context, reqs []Request) ([]*Verdict, error)
+}
+
+// SingleDoer is the historical one-method surface of the request
+// model, kept so PR 4-era implementations still have a name.
+type SingleDoer interface {
+	Do(ctx context.Context, req Request) (*Verdict, error)
+}
+
+// AdaptDoer upgrades a single-shot implementation to the batched Doer
+// interface: DoBatch loops Do sequentially, collecting per-entry
+// failures into a *BatchError exactly like Session.DoBatch (minus the
+// dedup/grouping — an adapter cannot see inside its delegate).
+func AdaptDoer(d SingleDoer) Doer { return &adaptedDoer{d} }
+
+type adaptedDoer struct{ d SingleDoer }
+
+func (a *adaptedDoer) Do(ctx context.Context, req Request) (*Verdict, error) {
+	return a.d.Do(ctx, req)
+}
+
+func (a *adaptedDoer) DoBatch(ctx context.Context, reqs []Request) ([]*Verdict, error) {
+	verdicts := make([]*Verdict, len(reqs))
+	errs := make([]error, len(reqs))
+	failed := false
+	for i := range reqs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		v, err := a.d.Do(ctx, reqs[i])
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			errs[i], failed = err, true
+			continue
+		}
+		verdicts[i] = v
+	}
+	if failed {
+		return verdicts, &BatchError{Errs: errs}
+	}
+	return verdicts, nil
 }
 
 // --- Stats --------------------------------------------------------------
@@ -197,6 +249,19 @@ type sessionCounters struct {
 	faults  opCounters
 	minset  opCounters
 	unknown opCounters // requests naming no known op (counted, then rejected)
+	batch   batchCounters
+}
+
+// batchCounters observe the DoBatch pipeline: how many batches and
+// entries arrived, how many entries were deduplicated against an
+// identical entry in the same batch, and how many computed through a
+// shared eval.RunMany pass (groups counts the passes themselves).
+type batchCounters struct {
+	batches atomic.Int64
+	entries atomic.Int64
+	deduped atomic.Int64
+	grouped atomic.Int64
+	groups  atomic.Int64
 }
 
 func (s *sessionCounters) forOp(op string) *opCounters {
@@ -243,10 +308,24 @@ type CacheStats struct {
 	Evictions int64 `json:"evictions"`
 }
 
-// SessionStats is the Stats snapshot: per-operation counters, cache
-// occupancy, and the resolved pool size.
+// BatchStats is a point-in-time snapshot of the DoBatch counters.
+// Deduped entries were answered by an identical entry in the same
+// batch; Grouped entries computed through a shared eval.RunMany pass
+// (Groups counts the passes), so Grouped − Groups is the number of
+// program runs the batch-first model saved enumeration work for.
+type BatchStats struct {
+	Batches int64 `json:"batches"`
+	Entries int64 `json:"entries"`
+	Deduped int64 `json:"deduped"`
+	Grouped int64 `json:"grouped"`
+	Groups  int64 `json:"groups"`
+}
+
+// SessionStats is the Stats snapshot: per-operation counters, batch
+// pipeline counters, cache occupancy, and the resolved pool size.
 type SessionStats struct {
 	Ops     map[string]OpStats `json:"ops"`
+	Batch   BatchStats         `json:"batch"`
 	Cache   CacheStats         `json:"cache"`
 	Workers int                `json:"workers"`
 }
@@ -259,6 +338,13 @@ func (s *Session) Stats() SessionStats {
 			OpFaults:  s.stats.faults.snapshot(),
 			OpMinset:  s.stats.minset.snapshot(),
 			"unknown": s.stats.unknown.snapshot(),
+		},
+		Batch: BatchStats{
+			Batches: s.stats.batch.batches.Load(),
+			Entries: s.stats.batch.entries.Load(),
+			Deduped: s.stats.batch.deduped.Load(),
+			Grouped: s.stats.batch.grouped.Load(),
+			Groups:  s.stats.batch.groups.Load(),
 		},
 		Workers: s.Workers(),
 	}
@@ -298,12 +384,23 @@ func (s *Session) Do(ctx context.Context, req Request) (*Verdict, error) {
 	v, err := s.dispatch(ctx, op, &req, ctrs)
 	switch {
 	case err == nil:
+		stampID(v, req.ID)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		ctrs.canceled.Add(1)
 	default:
 		ctrs.errors.Add(1)
 	}
 	return v, err
+}
+
+// stampID echoes the request's tag onto a verdict. v is always the
+// per-caller shallow copy made by withSource — cached verdicts are
+// shared and stored ID-less, so two requests differing only in ID
+// share one cache entry yet each hears its own tag back.
+func stampID(v *Verdict, id string) {
+	if v != nil && id != "" {
+		v.ID = id
+	}
 }
 
 func (s *Session) dispatch(ctx context.Context, op string, req *Request, ctrs *opCounters) (*Verdict, error) {
@@ -329,13 +426,20 @@ func (s *Session) doVerify(ctx context.Context, req *Request, ctrs *opCounters) 
 	if err != nil {
 		return nil, err
 	}
-	key := s.verifyKey(digest, p.Name(), req.Exhaustive)
+	return s.doVerifyResolved(ctx, ctrs, w, digest, p, req.Exhaustive)
+}
+
+// doVerifyResolved is doVerify past resolution — the entry point
+// DoBatch uses for verify entries it has already canonicalized (and
+// decided not to group), so a batch never parses a network twice.
+func (s *Session) doVerifyResolved(ctx context.Context, ctrs *opCounters, w *network.Network, digest string, p verify.Property, exhaustive bool) (*Verdict, error) {
+	key := s.verifyKey(digest, p.Name(), exhaustive)
 	return s.cached(ctx, ctrs, key, func(cctx context.Context) (*Verdict, error) {
-		r, err := s.checkProgram(cctx, s.program(digest, w), p, req.Exhaustive)
+		r, err := s.checkProgram(cctx, s.program(digest, w), p, exhaustive)
 		if err != nil {
 			return nil, err
 		}
-		return checkVerdict(digest, p.Name(), req.Exhaustive, r), nil
+		return checkVerdict(digest, p.Name(), exhaustive, r), nil
 	})
 }
 
@@ -348,6 +452,14 @@ func (s *Session) verifyKey(digest, prop string, exhaustive bool) string {
 		key += "|stream=" + s.streamTag
 	}
 	return key
+}
+
+func faultsKey(digest string, p verify.Property, mode faults.DetectMode) string {
+	return fmt.Sprintf("faults|%s|%s|%s", digest, p.Name(), mode)
+}
+
+func minsetKey(digest string, p verify.Property, mode faults.DetectMode, exact bool) string {
+	return fmt.Sprintf("minset|%s|%s|%s|exact=%v", digest, p.Name(), mode, exact)
 }
 
 // checkProgram runs the verify engine for one compiled program:
@@ -408,7 +520,12 @@ func (s *Session) doFaults(ctx context.Context, req *Request, ctrs *opCounters) 
 	if err != nil {
 		return nil, err
 	}
-	key := fmt.Sprintf("faults|%s|%s|%s", digest, p.Name(), mode)
+	return s.doFaultsResolved(ctx, ctrs, w, digest, p, mode)
+}
+
+// doFaultsResolved is doFaults past resolution (see doVerifyResolved).
+func (s *Session) doFaultsResolved(ctx context.Context, ctrs *opCounters, w *network.Network, digest string, p verify.Property, mode faults.DetectMode) (*Verdict, error) {
+	key := faultsKey(digest, p, mode)
 	return s.cached(ctx, ctrs, key, func(cctx context.Context) (*Verdict, error) {
 		rep, err := faults.MeasureCtx(cctx, w, s.program(digest, w), faults.Enumerate(w), p.BinaryTests, mode)
 		if err != nil {
@@ -434,8 +551,12 @@ func (s *Session) doMinset(ctx context.Context, req *Request, ctrs *opCounters) 
 	if err != nil {
 		return nil, err
 	}
-	key := fmt.Sprintf("minset|%s|%s|%s|exact=%v", digest, p.Name(), mode, req.Exact)
-	exactReq := req.Exact
+	return s.doMinsetResolved(ctx, ctrs, w, digest, p, mode, req.Exact)
+}
+
+// doMinsetResolved is doMinset past resolution (see doVerifyResolved).
+func (s *Session) doMinsetResolved(ctx context.Context, ctrs *opCounters, w *network.Network, digest string, p verify.Property, mode faults.DetectMode, exactReq bool) (*Verdict, error) {
+	key := minsetKey(digest, p, mode, exactReq)
 	return s.cached(ctx, ctrs, key, func(cctx context.Context) (*Verdict, error) {
 		m, err := faults.DetectionMatrixCtx(cctx, w, s.program(digest, w), faults.Enumerate(w), p.BinaryTests, mode)
 		if err != nil {
