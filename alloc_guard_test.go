@@ -1,0 +1,44 @@
+package sortnets
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"sortnets/internal/network"
+)
+
+// TestDoBatchCacheHitAllocs guards the Session's batched cache-hit
+// path: once every verdict in a batch is cached, DoBatch must cost a
+// small constant number of allocations per request (key building,
+// entry bookkeeping) — not a parse, compile or encode per entry. The
+// bound is ~4x the measured value (≈2.2/request on go1.24), loose
+// enough for scheduler noise, tight enough to catch a regression to
+// per-request resolution.
+func TestDoBatchCacheHitAllocs(t *testing.T) {
+	sess := NewSession(WithWorkers(1))
+	defer sess.Close()
+
+	const batch = 64
+	rng := rand.New(rand.NewSource(5))
+	reqs := make([]Request, batch)
+	for i := range reqs {
+		reqs[i] = Request{Network: network.Random(8, 15+i%6, rng).Format()}
+	}
+	ctx := context.Background()
+	// Warm: every verdict and resolution enters its cache.
+	if _, err := sess.DoBatch(ctx, reqs); err != nil {
+		t.Fatalf("warm batch: %v", err)
+	}
+
+	perBatch := testing.AllocsPerRun(100, func() {
+		if _, err := sess.DoBatch(ctx, reqs); err != nil {
+			t.Fatalf("hit batch: %v", err)
+		}
+	})
+	perReq := perBatch / batch
+	t.Logf("cache-hit DoBatch: %.1f allocs per %d-request batch, %.2f per request", perBatch, batch, perReq)
+	if perReq > 8 {
+		t.Fatalf("cache-hit DoBatch allocates %.2f per request (%.1f per batch); the batched hit path has regressed", perReq, perBatch)
+	}
+}

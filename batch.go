@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 
 	"sortnets/internal/eval"
 	"sortnets/internal/faults"
@@ -47,6 +48,13 @@ func (e *BatchError) Error() string {
 		}
 	}
 	return fmt.Sprintf("sortnets: %d of %d batch entries failed; first: %v", n, len(e.Errs), first)
+}
+
+// groupKey partitions phase 3's groupable verify entries by (width,
+// property) without building a key string per entry.
+type groupKey struct {
+	n    int
+	prop string
 }
 
 // batchEntry is one request's resolved state inside DoBatch.
@@ -134,12 +142,12 @@ func (s *Session) DoBatch(ctx context.Context, reqs []Request) ([]*Verdict, erro
 	// shared eval.RunMany pass, everything else (singletons,
 	// exhaustive sweeps, faults, minset) falls back to the
 	// per-request pipeline.
-	groups := make(map[string][]*batchEntry)
-	var order []string // deterministic group order
+	groups := make(map[groupKey][]*batchEntry)
+	var order []groupKey // deterministic group order
 	var single []*batchEntry
 	for _, e := range pending {
 		if e.op == OpVerify && !e.req.Exhaustive && e.w.N <= network.LanesPerBatch {
-			gk := fmt.Sprintf("%d|%s", e.w.N, e.p.Name())
+			gk := groupKey{n: e.w.N, prop: e.p.Name()}
 			if _, ok := groups[gk]; !ok {
 				order = append(order, gk)
 			}
@@ -241,7 +249,7 @@ func (s *Session) resolveEntry(e *batchEntry) error {
 	}
 	switch op {
 	case OpVerify:
-		w, digest, err := e.req.resolve(s.maxLines)
+		w, digest, err := s.resolveRequest(e.req, s.maxLines)
 		if err != nil {
 			return fail(err)
 		}
@@ -298,7 +306,7 @@ func (s *Session) computeGroup(ctx context.Context, members []*batchEntry, verdi
 	// A unique key: group passes never coalesce with each other (two
 	// identical concurrent groups would waste, not corrupt — verdicts
 	// are deterministic — and distinct batches rarely align anyway).
-	key := fmt.Sprintf("!group|%d", s.uncached.Add(1))
+	key := "!group|" + strconv.FormatInt(s.uncached.Add(1), 10)
 	_, _, err := s.startPool().do(ctx, key, func(cctx context.Context) (*Verdict, error) {
 		for _, m := range members {
 			m.ctrs.misses.Add(1)
@@ -309,11 +317,7 @@ func (s *Session) computeGroup(ctx context.Context, members []*batchEntry, verdi
 		if s.computeHook != nil {
 			s.computeHook()
 		}
-		stream := p.BinaryTests()
-		if s.stream != nil {
-			stream = s.stream(p)
-		}
-		evs, err := eval.RunManyCtx(cctx, progs, stream, verify.JudgeFor(p))
+		evs, err := eval.RunManyCtx(cctx, progs, s.binaryTests(p), verify.JudgeFor(p))
 		if err != nil {
 			return nil, err
 		}

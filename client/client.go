@@ -27,6 +27,7 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -34,6 +35,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 
 	"sortnets"
 )
@@ -128,14 +130,14 @@ func (c *Client) DoBatch(ctx context.Context, reqs []sortnets.Request) ([]*sortn
 	if len(reqs) == 0 {
 		return []*sortnets.Verdict{}, nil
 	}
-	var body bytes.Buffer
-	enc := json.NewEncoder(&body)
+	sc := batchScratchPool.Get().(*batchScratch)
+	defer batchScratchPool.Put(sc)
+	sc.body = sc.body[:0]
 	for i := range reqs {
-		if err := enc.Encode(&reqs[i]); err != nil {
-			return nil, err
-		}
+		sc.body = sortnets.AppendRequest(sc.body, &reqs[i])
+		sc.body = append(sc.body, '\n')
 	}
-	resp, err := c.postNDJSON(ctx, bytes.NewReader(body.Bytes()))
+	resp, err := c.postNDJSON(ctx, bytes.NewReader(sc.body))
 	if err != nil {
 		return nil, err
 	}
@@ -145,12 +147,19 @@ func (c *Client) DoBatch(ctx context.Context, reqs []sortnets.Request) ([]*sortn
 	errs := make([]error, len(reqs))
 	failed := false
 	i := 0
-	dec := json.NewDecoder(resp.Body)
-	for ; ; i++ {
+	sc.br.Reset(resp.Body)
+	defer sc.br.Reset(nil)
+	for {
+		var readErr error
+		sc.line, readErr = readResponseLine(sc.br, sc.line[:0])
+		if len(bytes.TrimSpace(sc.line)) == 0 {
+			if readErr != nil {
+				break
+			}
+			continue
+		}
 		var line sortnets.BatchVerdict
-		if err := dec.Decode(&line); err == io.EOF {
-			break
-		} else if err != nil {
+		if err := sortnets.UnmarshalBatchVerdictLine(sc.line, &line); err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
 				return nil, ctxErr
 			}
@@ -168,6 +177,10 @@ func (c *Client) DoBatch(ctx context.Context, reqs []sortnets.Request) ([]*sortn
 		default:
 			return nil, fmt.Errorf("sortnetd: batch line %d has neither verdict nor error", i)
 		}
+		i++
+		if readErr != nil {
+			break
+		}
 	}
 	if i != len(reqs) {
 		if ctxErr := ctx.Err(); ctxErr != nil {
@@ -179,6 +192,38 @@ func (c *Client) DoBatch(ctx context.Context, reqs []sortnets.Request) ([]*sortn
 		return verdicts, &sortnets.BatchError{Errs: errs}
 	}
 	return verdicts, nil
+}
+
+// batchScratch is DoBatch's reusable working set: the request body
+// under construction, the response reader, and the current response
+// line. Pooled so a steady stream of batches allocates neither
+// buffers nor readers.
+type batchScratch struct {
+	body []byte
+	br   *bufio.Reader
+	line []byte
+}
+
+var batchScratchPool = sync.Pool{New: func() any {
+	return &batchScratch{br: bufio.NewReaderSize(nil, 64<<10)}
+}}
+
+// readResponseLine appends one newline-terminated response line
+// (without the newline) to buf. A non-nil error means the stream is
+// done; any partial final line is still returned.
+func readResponseLine(br *bufio.Reader, buf []byte) ([]byte, error) {
+	for {
+		frag, err := br.ReadSlice('\n')
+		buf = append(buf, frag...)
+		switch err {
+		case bufio.ErrBufferFull:
+			continue
+		case nil:
+			return bytes.TrimSuffix(buf, []byte("\n")), nil
+		default:
+			return buf, err
+		}
+	}
 }
 
 // Stream is the pipelined form of the NDJSON batch protocol: one

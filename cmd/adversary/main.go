@@ -30,6 +30,13 @@
 //
 //	adversary -load http://localhost:8357 -requests 20000 -distinct 20000            # single-shot, all miss
 //	adversary -load http://localhost:8357 -requests 20000 -distinct 20000 -batch 64  # batched, all miss
+//
+// Alongside req/s, load mode reports the CLIENT process's allocation
+// cost from runtime.ReadMemStats deltas — allocs per request, bytes
+// per request, GC cycles and total GC pause — so a zero-alloc serve
+// path can be verified end to end from the consuming side. -width
+// pins this process's evaluation kernel width (the server pins its
+// own with sortnetd -lanes).
 package main
 
 import (
@@ -43,6 +50,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +59,7 @@ import (
 	"sortnets/client"
 	"sortnets/internal/bitvec"
 	"sortnets/internal/core"
+	"sortnets/internal/eval"
 	"sortnets/internal/network"
 )
 
@@ -66,7 +75,15 @@ func main() {
 	batch := flag.Int("batch", 1, "load mode: requests per round trip (1 = single-shot POSTs, >1 = NDJSON batches via DoBatch)")
 	seed := flag.Int64("seed", 1, "load mode: random-network seed")
 	timeout := flag.Duration("timeout", 0, "load mode: overall deadline (0 = none); expiring aborts in-flight requests")
+	width := flag.Int("width", 0, "evaluation kernel width in lanes for THIS process (64, 256, 512; 0 = default); the server pins its own with sortnetd -lanes")
 	flag.Parse()
+
+	if *width != 0 {
+		if err := eval.SetKernelLanes(*width); err != nil {
+			fmt.Fprintln(os.Stderr, "adversary:", err)
+			os.Exit(2)
+		}
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -224,6 +241,8 @@ func loadRun(ctx context.Context, out io.Writer, base string, requests, concurre
 			}
 		}
 	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < concurrency; c++ {
@@ -235,6 +254,7 @@ func loadRun(ctx context.Context, out io.Writer, base string, requests, concurre
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
 
 	ok := int64(requests) - errs.Load()
 	fmt.Fprintf(out, "load: %d requests (%d distinct %d-line networks), %d workers, batch=%d\n",
@@ -242,6 +262,14 @@ func loadRun(ctx context.Context, out io.Writer, base string, requests, concurre
 	fmt.Fprintf(out, "done in %v: %.0f req/s, %d ok (%d hit / %d coalesced / %d computed), %d errors\n",
 		elapsed.Round(time.Millisecond), float64(requests)/elapsed.Seconds(),
 		ok, hits.Load(), coalesced.Load(), misses.Load(), errs.Load())
+	// Client-side allocation cost of the run, from MemStats deltas:
+	// the generator shares the zero-alloc wire path with the server,
+	// so allocs/req here is the end-to-end client-library figure.
+	fmt.Fprintf(out, "client mem: %.1f allocs/req, %.0f B/req, %d GCs, %v total GC pause\n",
+		float64(m1.Mallocs-m0.Mallocs)/float64(requests),
+		float64(m1.TotalAlloc-m0.TotalAlloc)/float64(requests),
+		m1.NumGC-m0.NumGC,
+		time.Duration(m1.PauseTotalNs-m0.PauseTotalNs).Round(time.Microsecond))
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("load aborted by deadline after %d requests: %w", next.Load(), err)
 	}

@@ -47,7 +47,9 @@ import (
 	"os/signal"
 	"syscall"
 
+	"sortnets/internal/eval"
 	"sortnets/internal/serve"
+	"sortnets/internal/streamtab"
 )
 
 func main() {
@@ -56,13 +58,22 @@ func main() {
 	cacheSize := flag.Int("cache-size", 4096, "verdict cache capacity in entries")
 	maxLines := flag.Int("max-lines", 20, "largest line count accepted by /verify")
 	maxFaultLines := flag.Int("max-fault-lines", 12, "largest line count accepted by /faults and /minset")
+	lanes := flag.Int("lanes", 0, "evaluation kernel width in lanes: 64, 256 or 512; 0 keeps the process default (SORTNETS_LANES or 256)")
+	streamTabDir := flag.String("streamtab-dir", "", "directory of persisted test-stream tables (see cmd/streamtab); empty disables")
 	flag.Parse()
 
+	if *lanes != 0 {
+		if err := eval.SetKernelLanes(*lanes); err != nil {
+			fmt.Fprintln(os.Stderr, "sortnetd:", err)
+			os.Exit(2)
+		}
+	}
 	cfg := serve.Config{
 		Workers:       *workers,
 		CacheSize:     *cacheSize,
 		MaxLines:      *maxLines,
 		MaxFaultLines: *maxFaultLines,
+		StreamTabDir:  *streamTabDir,
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -91,8 +102,11 @@ func main() {
 func run(ln net.Listener, cfg serve.Config, logf func(string, ...any)) error {
 	svc := serve.NewService(cfg)
 	defer svc.Close()
-	logf("sortnetd: listening on %s (workers=%d, cache=%d entries, max-lines=%d)",
-		ln.Addr(), svc.Stats().Workers, cfg.CacheSize, cfg.MaxLines)
+	logf("sortnetd: listening on %s (workers=%d, cache=%d entries, max-lines=%d, lanes=%d)",
+		ln.Addr(), svc.Stats().Workers, cfg.CacheSize, cfg.MaxLines, eval.KernelLanes())
+	if cfg.StreamTabDir != "" {
+		logStreamTables(cfg.StreamTabDir, logf)
+	}
 	srv := &http.Server{Handler: svc.Handler()}
 	err := srv.Serve(ln)
 	if shutdownErr := srv.Shutdown(context.Background()); shutdownErr != nil && err == nil {
@@ -102,6 +116,27 @@ func run(ln net.Listener, cfg serve.Config, logf func(string, ...any)) error {
 		return nil
 	}
 	return err
+}
+
+// logStreamTables reports at startup which persisted test-stream
+// tables the service will actually use — the operator's confirmation
+// that a -streamtab-dir deployment took effect (lookups themselves
+// are silent: a broken table just falls back to live enumeration).
+func logStreamTables(dir string, logf func(string, ...any)) {
+	infos, err := streamtab.List(dir)
+	if err != nil {
+		logf("sortnetd: streamtab dir %s: %v (serving with live enumeration)", dir, err)
+		return
+	}
+	valid := 0
+	for _, info := range infos {
+		if info.Err != nil {
+			logf("sortnetd: streamtab %s: %v (ignored)", info.File, info.Err)
+			continue
+		}
+		valid++
+	}
+	logf("sortnetd: streamtab dir %s: %d of %d tables valid", dir, valid, len(infos))
 }
 
 // isClosedListener reports whether err is the accept error http.Serve

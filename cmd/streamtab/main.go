@@ -1,0 +1,192 @@
+// Command streamtab generates and inspects persisted test-stream
+// tables (package streamtab): the paper's minimal binary test sets,
+// pre-enumerated once and stored with a digest header so a serving
+// process (sortnetd -streamtab-dir) can replay them mmap-backed
+// instead of re-deriving the stream on every verdict.
+//
+// Usage:
+//
+//	streamtab gen  -dir tables -prop sorter   -n 8        # one table
+//	streamtab gen  -dir tables -prop sorter   -n 4..16    # a range of n
+//	streamtab gen  -dir tables -prop selector -n 12 -k 3
+//	streamtab gen  -dir tables -prop merger   -n 8..12
+//	streamtab list -dir tables                            # validate + describe
+//
+// gen writes <prop>_n<N>.snstab (selector_k<K>_n<N>.snstab for
+// selectors) atomically, overwriting an existing table of the same
+// identity. list opens every *.snstab in the directory with full
+// digest verification — exactly the check the server performs — and
+// reports each table's identity, vector count and size.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/core"
+	"sortnets/internal/streamtab"
+)
+
+// maxGenLines caps enumeration: a sorter table for n has 2ⁿ−n−1
+// vectors (n=24 is already a 128 MiB payload).
+const maxGenLines = 24
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "streamtab: usage: streamtab <gen|list> [flags]")
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "gen":
+		err = runGen(os.Stdout, args)
+	case "list":
+		err = runList(os.Stdout, args)
+	default:
+		err = fmt.Errorf("unknown subcommand %q (want gen or list)", cmd)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamtab:", err)
+		os.Exit(2)
+	}
+}
+
+func runGen(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	dir := fs.String("dir", "tables", "output directory")
+	prop := fs.String("prop", "sorter", "property: sorter | selector | merger")
+	nSpec := fs.String("n", "8", "line count, or an inclusive range like 4..16")
+	k := fs.Int("k", 1, "selection arity (selector only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lo, hi, err := parseRange(*nSpec)
+	if err != nil {
+		return err
+	}
+	out := bufio.NewWriter(w)
+	defer out.Flush()
+	for n := lo; n <= hi; n++ {
+		skip, err := checkShape(*prop, n, *k)
+		if err != nil {
+			return err
+		}
+		if skip {
+			continue
+		}
+		it, err := streamFor(*prop, n, *k)
+		if err != nil {
+			return err
+		}
+		h, err := streamtab.Write(*dir, streamtab.Header{
+			Property: *prop, N: n, K: kFor(*prop, *k), Tool: "streamtab gen",
+		}, it)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s: %d vectors, %d payload bytes, sha256 %s\n",
+			streamtab.FileName(h.Property, h.N, h.K), h.Count, h.PayloadBytes, h.SHA256[:12])
+	}
+	return nil
+}
+
+// checkShape validates (prop, n, k) and reports whether a range
+// generation should silently skip this n (odd n for mergers).
+func checkShape(prop string, n, k int) (skip bool, err error) {
+	if n < 1 || n > maxGenLines {
+		return false, fmt.Errorf("n=%d out of range [1, %d]", n, maxGenLines)
+	}
+	switch prop {
+	case "selector":
+		if k < 1 || k > n {
+			return false, fmt.Errorf("selector k=%d out of range [1, n=%d]", k, n)
+		}
+	case "merger":
+		if n%2 != 0 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func kFor(prop string, k int) int {
+	if prop == "selector" {
+		return k
+	}
+	return 0
+}
+
+func streamFor(prop string, n, k int) (bitvec.Iterator, error) {
+	switch prop {
+	case "sorter":
+		return core.SorterBinaryTests(n), nil
+	case "selector":
+		return core.SelectorBinaryTests(n, k), nil
+	case "merger":
+		return core.MergerBinaryTests(n), nil
+	}
+	return nil, fmt.Errorf("unknown property %q (want sorter, selector or merger)", prop)
+}
+
+// parseRange parses "8" or "4..16" into an inclusive [lo, hi].
+func parseRange(spec string) (lo, hi int, err error) {
+	if a, b, ok := strings.Cut(spec, ".."); ok {
+		lo, err = strconv.Atoi(a)
+		if err == nil {
+			hi, err = strconv.Atoi(b)
+		}
+		if err != nil || lo > hi {
+			return 0, 0, fmt.Errorf("bad range %q (want lo..hi)", spec)
+		}
+		return lo, hi, nil
+	}
+	lo, err = strconv.Atoi(spec)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad n %q", spec)
+	}
+	return lo, lo, nil
+}
+
+func runList(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	dir := fs.String("dir", "tables", "table directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	infos, err := streamtab.List(*dir)
+	if err != nil {
+		return err
+	}
+	out := bufio.NewWriter(w)
+	defer out.Flush()
+	if len(infos) == 0 {
+		fmt.Fprintf(out, "no tables in %s\n", *dir)
+		return nil
+	}
+	bad := 0
+	for _, info := range infos {
+		if info.Err != nil {
+			bad++
+			fmt.Fprintf(out, "%-28s INVALID: %v\n", info.File, info.Err)
+			continue
+		}
+		h := info.Header
+		id := fmt.Sprintf("%s n=%d", h.Property, h.N)
+		if h.Property == "selector" {
+			id = fmt.Sprintf("%s n=%d k=%d", h.Property, h.N, h.K)
+		}
+		fmt.Fprintf(out, "%-28s %-22s %8d vectors %10d bytes  sha256 %s\n",
+			info.File, id, h.Count, info.Bytes, h.SHA256[:12])
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d tables invalid", bad, len(infos))
+	}
+	return nil
+}

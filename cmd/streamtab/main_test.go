@@ -1,0 +1,81 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/core"
+	"sortnets/internal/streamtab"
+)
+
+func TestGenAndList(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := runGen(&out, []string{"-dir", dir, "-prop", "sorter", "-n", "4..8"}); err != nil {
+		t.Fatalf("gen sorter: %v", err)
+	}
+	if err := runGen(&out, []string{"-dir", dir, "-prop", "selector", "-n", "10", "-k", "3"}); err != nil {
+		t.Fatalf("gen selector: %v", err)
+	}
+	// The merger range skips odd n rather than failing.
+	if err := runGen(&out, []string{"-dir", dir, "-prop", "merger", "-n", "6..9"}); err != nil {
+		t.Fatalf("gen merger: %v", err)
+	}
+
+	infos, err := streamtab.List(dir)
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	// sorter n=4..8 (5) + selector (1) + merger n=6,8 (2).
+	if len(infos) != 8 {
+		t.Fatalf("generated %d tables, want 8", len(infos))
+	}
+	for _, info := range infos {
+		if info.Err != nil {
+			t.Fatalf("%s: %v", info.File, info.Err)
+		}
+	}
+
+	// Spot-check one table against live enumeration.
+	tab, err := streamtab.Open(filepath.Join(dir, streamtab.FileName("selector", 10, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tab.Close()
+	want := bitvec.Collect(core.SelectorBinaryTests(10, 3))
+	got := bitvec.Collect(tab.Iter())
+	if len(got) != len(want) {
+		t.Fatalf("selector table: %d vectors, live %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("selector table vector %d: %s, live %s", i, got[i], want[i])
+		}
+	}
+
+	var listOut strings.Builder
+	if err := runList(&listOut, []string{"-dir", dir}); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if !strings.Contains(listOut.String(), "selector_k3_n10.snstab") {
+		t.Fatalf("list output missing selector table:\n%s", listOut.String())
+	}
+}
+
+func TestGenRejectsBadShapes(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	for _, args := range [][]string{
+		{"-dir", dir, "-prop", "sorter", "-n", "0"},
+		{"-dir", dir, "-prop", "sorter", "-n", "25"},
+		{"-dir", dir, "-prop", "sorter", "-n", "9..4"},
+		{"-dir", dir, "-prop", "selector", "-n", "8", "-k", "9"},
+		{"-dir", dir, "-prop", "mystery", "-n", "8"},
+	} {
+		if err := runGen(&out, args); err == nil {
+			t.Fatalf("gen %v: accepted", args)
+		}
+	}
+}

@@ -18,21 +18,33 @@ import (
 // the pre-evaluation lane contents and is only loaded when NeedsInput
 // is set (the sorter judge never looks at it, so the engine skips the
 // second transpose entirely).
+//
+// RejectsWide is the word-vector lift of Rejects for the multi-word
+// kernels (256/512 lanes): it fills bad (one word per 64 lanes) with
+// the rejected-lane mask; the engine masks it to the occupied lanes.
+// A judge without a wide form still works — the engine drops that
+// judge to the 64-lane path — so hand-built Judge literals keep
+// their historical behavior.
 type Judge struct {
-	NeedsInput bool
-	Rejects    func(in, out *network.Batch) uint64
-	sorted     bool // devirtualized fast path: reject = out.UnsortedLanes()
+	NeedsInput  bool
+	Rejects     func(in, out *network.Batch) uint64
+	RejectsWide func(in, out *network.WideBatch, bad []uint64)
+	sorted      bool // devirtualized fast path: reject = out.UnsortedLanes()
 }
 
 // SortedJudge rejects lanes whose outputs are not sorted — the
 // sorting property, judged in one word-parallel pass with no input
 // batch. The engine special-cases it to avoid the closure call on
-// the hottest loop.
+// the hottest loop, at every kernel width.
 func SortedJudge() Judge {
-	return Judge{sorted: true, Rejects: func(_, out *network.Batch) uint64 { return out.UnsortedLanes() }}
+	return Judge{
+		sorted:      true,
+		Rejects:     func(_, out *network.Batch) uint64 { return out.UnsortedLanes() },
+		RejectsWide: func(_, out *network.WideBatch, bad []uint64) { out.UnsortedLanes(bad) },
+	}
 }
 
-// rejects applies the judge to one evaluated block.
+// rejects applies the judge to one evaluated 64-lane block.
 func (j *Judge) rejects(in, out *network.Batch) uint64 {
 	if j.sorted {
 		return out.UnsortedLanes()
@@ -40,9 +52,18 @@ func (j *Judge) rejects(in, out *network.Batch) uint64 {
 	return j.Rejects(in, out)
 }
 
+// rejectsWide applies the judge to one evaluated multi-word block.
+func (j *Judge) rejectsWide(in, out *network.WideBatch, bad []uint64) {
+	if j.sorted {
+		out.UnsortedLanes(bad)
+		return
+	}
+	j.RejectsWide(in, out, bad)
+}
+
 // PerLaneJudge adapts a scalar acceptance predicate to the batch
 // engine: the network evaluation — the expensive part — stays
-// word-parallel, only the judgment is per lane.
+// word-parallel, only the judgment is per lane (at any kernel width).
 func PerLaneJudge(accepts func(in, out bitvec.Vec) bool) Judge {
 	return Judge{
 		NeedsInput: true,
@@ -54,6 +75,16 @@ func PerLaneJudge(accepts func(in, out bitvec.Vec) bool) Judge {
 				}
 			}
 			return bad
+		},
+		RejectsWide: func(in, out *network.WideBatch, bad []uint64) {
+			for g := range bad {
+				bad[g] = 0
+			}
+			for lane := 0; lane < out.Lanes; lane++ {
+				if !accepts(in.Lane(lane), out.Lane(lane)) {
+					bad[lane>>6] |= 1 << uint(lane&63)
+				}
+			}
 		},
 	}
 }
@@ -89,14 +120,33 @@ type WideIterator interface {
 type Engine struct {
 	p       *Program
 	workers int // 0 = auto
+	lanes   int // 0 = process default (KernelLanes)
 }
 
-// New returns an engine over p. workers ≤ 0 selects auto mode.
+// New returns an engine over p. workers ≤ 0 selects auto mode. The
+// kernel width is the process default (KernelLanes).
 func New(p *Program, workers int) *Engine {
 	if workers < 0 {
 		workers = 0
 	}
 	return &Engine{p: p, workers: workers}
+}
+
+// NewLanes returns an engine pinned to the given kernel width (64,
+// 256 or 512 lanes), independent of the process default — the
+// differential width tests and A/B runs use this. lanes ≤ 0 selects
+// the process default; other unsupported widths panic.
+func NewLanes(p *Program, workers, lanes int) *Engine {
+	e := New(p, workers)
+	if lanes > 0 {
+		switch lanes {
+		case Lanes64, Lanes256, Lanes512:
+			e.lanes = lanes
+		default:
+			panic(fmt.Sprintf("eval: unsupported kernel width %d lanes (want 64, 256 or 512)", lanes))
+		}
+	}
+	return e
 }
 
 // Sequential-vs-parallel threshold for auto mode, in units of
@@ -128,6 +178,7 @@ func (e *Engine) RunCtx(ctx context.Context, it bitvec.Iterator, judge Judge) (V
 	if e.p.n > network.LanesPerBatch {
 		panic(fmt.Sprintf("eval: Run needs n ≤ 64, program has %d lines (use RunWide)", e.p.n))
 	}
+	W := e.wordsFor(judge)
 	workers := e.workers
 	if workers == 0 {
 		// Auto: stage vectors until the work estimate crosses the
@@ -148,14 +199,31 @@ func (e *Engine) RunCtx(ctx context.Context, it bitvec.Iterator, judge Judge) (V
 			staged = append(staged, v)
 		}
 		if exhausted {
-			return e.runSeq(ctx, bitvec.Slice(staged), judge)
+			return e.runSeqW(ctx, bitvec.Slice(staged), judge, W)
 		}
-		return e.runPool(ctx, &chainIter{head: staged, tail: it}, judge, runtime.NumCPU())
+		return e.runPoolW(ctx, &chainIter{head: staged, tail: it}, judge, W, runtime.NumCPU())
 	}
 	if workers == 1 {
+		return e.runSeqW(ctx, it, judge, W)
+	}
+	return e.runPoolW(ctx, it, judge, W, workers)
+}
+
+// runSeqW and runPoolW dispatch between the classic single-word path
+// and the multi-word kernels. The W == 1 code is untouched — wide
+// kernels are a parallel path, not a rewrite.
+func (e *Engine) runSeqW(ctx context.Context, it bitvec.Iterator, judge Judge, W int) (Verdict, error) {
+	if W == 1 {
 		return e.runSeq(ctx, it, judge)
 	}
-	return e.runPool(ctx, it, judge, workers)
+	return e.runSeqWide(ctx, it, judge, W)
+}
+
+func (e *Engine) runPoolW(ctx context.Context, it bitvec.Iterator, judge Judge, W, workers int) (Verdict, error) {
+	if W == 1 {
+		return e.runPool(ctx, it, judge, workers)
+	}
+	return e.runPoolWide(ctx, it, judge, W, workers)
 }
 
 // chainIter replays a staged prefix, then drains the live tail.
@@ -379,6 +447,7 @@ func (e *Engine) RunUniverseCtx(ctx context.Context, judge Judge) (Verdict, erro
 	if n > 30 {
 		panic(fmt.Sprintf("eval: RunUniverse sweeps 2^%d inputs; n is too wide", n))
 	}
+	W := e.wordsFor(judge)
 	if n > 6 && e.workers != 1 {
 		workers := e.workers
 		if workers == 0 {
@@ -389,11 +458,11 @@ func (e *Engine) RunUniverseCtx(ctx context.Context, judge Judge) (Verdict, erro
 			}
 		}
 		if workers > 1 {
-			return e.universePool(ctx, judge, workers)
+			return e.universePool(ctx, judge, W, workers)
 		}
 	}
 	total := uint64(bitvec.Universe(n))
-	v, err := e.universeRange(ctx, judge, 0, total)
+	v, err := e.universeRangeW(ctx, judge, 0, total, W)
 	if err != nil {
 		return Verdict{}, err
 	}
@@ -443,8 +512,10 @@ func (e *Engine) universeRange(ctx context.Context, judge Judge, from, to uint64
 }
 
 // universePool shards the universe into contiguous slabs handed to
-// NumCPU-bounded workers; the first failure (lowest slab) wins.
-func (e *Engine) universePool(ctx context.Context, judge Judge, workers int) (Verdict, error) {
+// NumCPU-bounded workers; the first failure (lowest slab) wins. The
+// slab size is a multiple of every kernel width, so slab boundaries
+// stay block-aligned at any W.
+func (e *Engine) universePool(ctx context.Context, judge Judge, W, workers int) (Verdict, error) {
 	n := e.p.n
 	total := uint64(bitvec.Universe(n))
 	const slab = 1 << 12
@@ -458,7 +529,7 @@ func (e *Engine) universePool(ctx context.Context, judge Judge, workers int) (Ve
 		if to > total {
 			to = total
 		}
-		v, err := e.universeRange(ctx, judge, from, to)
+		v, err := e.universeRangeW(ctx, judge, from, to, W)
 		if err != nil || v.Holds {
 			return false
 		}

@@ -51,25 +51,30 @@ func FuzzEngine(f *testing.F) {
 			}
 		}
 
-		// Batch path: a judge that rejects any lane whose engine
-		// output differs from the reference output forces Run to
-		// exercise the transpose + word-parallel evaluation and prove
-		// it equals the reference on every streamed lane.
+		// Batch path, at every kernel width: a judge that rejects any
+		// lane whose engine output differs from the reference output
+		// forces Run to exercise the transpose + word-parallel
+		// evaluation — single-word and multi-word kernels alike — and
+		// prove it equals the reference on every streamed lane. The
+		// vector count is rarely a multiple of 256/512, so the wide
+		// kernels see ragged final blocks on almost every input.
 		differential := PerLaneJudge(func(in, out bitvec.Vec) bool {
 			return out == w.ApplyVec(in)
 		})
-		if v := New(prog, 1).Run(bitvec.Slice(vecs), differential); !v.Holds {
-			t.Fatalf("batch path diverges from reference on %s: engine %s, reference %s (net %s)",
-				v.In, v.Out, w.ApplyVec(v.In), w.Format())
-		}
-		if v := New(prog, 2).Run(bitvec.Slice(vecs), differential); !v.Holds {
-			t.Fatalf("pooled batch path diverges from reference on %s (net %s)", v.In, w.Format())
+		for _, lanes := range []int{Lanes64, Lanes256, Lanes512} {
+			if v := NewLanes(prog, 1, lanes).Run(bitvec.Slice(vecs), differential); !v.Holds {
+				t.Fatalf("%d-lane batch path diverges from reference on %s: engine %s, reference %s (net %s)",
+					lanes, v.In, v.Out, w.ApplyVec(v.In), w.Format())
+			}
+			if v := NewLanes(prog, 2, lanes).Run(bitvec.Slice(vecs), differential); !v.Holds {
+				t.Fatalf("%d-lane pooled batch path diverges from reference on %s (net %s)", lanes, v.In, w.Format())
+			}
 		}
 
 		// Universe path (wholesale lane loading) vs a reference scan,
-		// kept to small n so the 2ⁿ sweep stays cheap.
+		// kept to small n so the 2ⁿ sweep stays cheap; all widths must
+		// report the identical verdict.
 		if n <= 10 {
-			got := New(prog, 1).RunUniverse(SortedJudge())
 			wantHolds, wantFirst := true, bitvec.Vec{}
 			for x := uint64(0); x <= mask; x++ {
 				in := bitvec.Vec{N: n, Bits: x}
@@ -78,11 +83,14 @@ func FuzzEngine(f *testing.F) {
 					break
 				}
 			}
-			if got.Holds != wantHolds {
-				t.Fatalf("RunUniverse holds=%v, reference %v (net %s)", got.Holds, wantHolds, w.Format())
-			}
-			if !got.Holds && got.In != wantFirst {
-				t.Fatalf("RunUniverse first failure %s, reference %s (net %s)", got.In, wantFirst, w.Format())
+			for _, lanes := range []int{Lanes64, Lanes256, Lanes512} {
+				got := NewLanes(prog, 1, lanes).RunUniverse(SortedJudge())
+				if got.Holds != wantHolds {
+					t.Fatalf("%d-lane RunUniverse holds=%v, reference %v (net %s)", lanes, got.Holds, wantHolds, w.Format())
+				}
+				if !got.Holds && got.In != wantFirst {
+					t.Fatalf("%d-lane RunUniverse first failure %s, reference %s (net %s)", lanes, got.In, wantFirst, w.Format())
+				}
 			}
 		}
 	})

@@ -30,11 +30,19 @@ func RunMany(progs []*Program, it bitvec.Iterator, judge Judge) []Verdict {
 	return vs
 }
 
-// RunManyCtx is RunMany under a context, checked once per 64-lane
-// block (never per vector or per program). On cancellation it returns
+// RunManyCtx is RunMany under a context, checked once per block
+// (never per vector or per program). On cancellation it returns
 // nil and ctx.Err(): partial verdicts are withheld, exactly like the
-// single-program RunCtx.
+// single-program RunCtx. The block width is the process kernel width
+// (KernelLanes); use RunManyCtxLanes to pin one.
 func RunManyCtx(ctx context.Context, progs []*Program, it bitvec.Iterator, judge Judge) ([]Verdict, error) {
+	return RunManyCtxLanes(ctx, progs, it, judge, 0)
+}
+
+// RunManyCtxLanes is RunManyCtx at a pinned kernel width (64, 256 or
+// 512 lanes; ≤ 0 selects the process default). Verdicts are
+// byte-identical at every width.
+func RunManyCtxLanes(ctx context.Context, progs []*Program, it bitvec.Iterator, judge Judge, lanes int) ([]Verdict, error) {
 	if len(progs) == 0 {
 		return nil, nil
 	}
@@ -46,6 +54,9 @@ func RunManyCtx(ctx context.Context, progs []*Program, it bitvec.Iterator, judge
 		if p.n != n {
 			panic(fmt.Sprintf("eval: RunMany needs one width, program %d has %d lines, program 0 has %d", i, p.n, n))
 		}
+	}
+	if W := wordsForLanes(lanes, judge); W > 1 {
+		return runManyWide(ctx, progs, it, judge, W)
 	}
 
 	verdicts := make([]Verdict, len(progs))
@@ -62,7 +73,7 @@ func RunManyCtx(ctx context.Context, progs []*Program, it bitvec.Iterator, judge
 	}
 	in := network.NewBatch(n)
 
-	var lanes [network.LanesPerBatch]bitvec.Vec
+	var laneVecs [network.LanesPerBatch]bitvec.Vec
 	var words [network.LanesPerBatch]uint64
 	tests := 0
 	for len(active) > 0 {
@@ -75,7 +86,7 @@ func RunManyCtx(ctx context.Context, progs []*Program, it bitvec.Iterator, judge
 			if !ok {
 				break
 			}
-			lanes[k] = v
+			laneVecs[k] = v
 			k++
 		}
 		if k == 0 {
@@ -83,7 +94,7 @@ func RunManyCtx(ctx context.Context, progs []*Program, it bitvec.Iterator, judge
 		}
 		// Shared per-block work: load + transpose once for all programs.
 		for i := 0; i < k; i++ {
-			words[i] = lanes[i].Bits
+			words[i] = laneVecs[i].Bits
 		}
 		for i := k; i < network.LanesPerBatch; i++ {
 			words[i] = 0
@@ -106,6 +117,100 @@ func RunManyCtx(ctx context.Context, progs []*Program, it bitvec.Iterator, judge
 			progs[pi].ApplyBatch(out)
 			if bad := judge.rejects(in, out) & occupied; bad != 0 {
 				lane := bits.TrailingZeros64(bad)
+				verdicts[pi] = Verdict{
+					Holds:    false,
+					TestsRun: tests + lane + 1,
+					In:       laneVecs[lane],
+					Out:      out.Lane(lane),
+				}
+				continue
+			}
+			keep = append(keep, pi)
+		}
+		active = keep
+		tests += k
+	}
+	for _, pi := range active {
+		verdicts[pi] = Verdict{Holds: true, TestsRun: tests}
+	}
+	return verdicts, nil
+}
+
+// runManyWide is the multi-word RunMany body: one load + W transposes
+// per 64·W-lane block, shared by every still-active program. The
+// block schedule is the sequential stream order, so verdicts match
+// the 64-lane path byte for byte.
+func runManyWide(ctx context.Context, progs []*Program, it bitvec.Iterator, judge Judge, W int) ([]Verdict, error) {
+	n := progs[0].n
+	blockLanes := 64 * W
+
+	verdicts := make([]Verdict, len(progs))
+	active := make([]int, len(progs))
+	for i := range active {
+		active[i] = i
+	}
+	outs := make([]*network.WideBatch, len(progs))
+	for i := range outs {
+		outs[i] = network.NewWideBatch(n, W)
+	}
+	in := network.NewWideBatch(n, W)
+	// master holds this block's transposed lines in the line-major
+	// wide layout; each program's out batch starts as a copy of it.
+	master := make([]uint64, n*W)
+	lanes := make([]bitvec.Vec, blockLanes)
+	words := make([]uint64, blockLanes)
+	bad := make([]uint64, W)
+
+	tests := 0
+	for len(active) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		k := 0
+		for k < blockLanes {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			lanes[k] = v
+			k++
+		}
+		if k == 0 {
+			break
+		}
+		// Shared per-block work: load + transpose once for all programs.
+		for i := 0; i < k; i++ {
+			words[i] = lanes[i].Bits
+		}
+		for i := k; i < blockLanes; i++ {
+			words[i] = 0
+		}
+		for g := 0; g < W; g++ {
+			transpose64((*[64]uint64)(words[g*64:]))
+		}
+		for i := 0; i < n; i++ {
+			row := master[i*W : i*W+W]
+			for g := 0; g < W; g++ {
+				row[g] = words[g*64+i]
+			}
+		}
+		if judge.NeedsInput {
+			copy(in.Lines, master)
+			in.Lanes = k
+		}
+		// Per-program work: evaluate and judge this block.
+		keep := active[:0]
+		for _, pi := range active {
+			out := outs[pi]
+			copy(out.Lines, master)
+			out.Lanes = k
+			progs[pi].ApplyWideBatch(out)
+			judge.rejectsWide(in, out, bad)
+			if k < blockLanes {
+				network.MaskLanes(bad, k)
+			}
+			if anyLane(bad) {
+				lane := firstLane(bad)
 				verdicts[pi] = Verdict{
 					Holds:    false,
 					TestsRun: tests + lane + 1,

@@ -1,0 +1,340 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/network"
+)
+
+// Multi-word (256/512-lane) run paths. These mirror runSeq/runPool/
+// universeRange exactly — same block schedule in stream order, same
+// first-failure accounting (lane g·64+tz within the block, TestsRun =
+// tests + lane + 1) — so verdicts are byte-identical to the 64-lane
+// engine at every width. The only difference is that one block now
+// carries W words per line and the judge returns a word-vector mask.
+
+// wideBlock is a worker's reusable evaluation state at W words per
+// line: one 64·W-lane window of the stream, the transpose scratch,
+// and the in/out wide batches.
+type wideBlock struct {
+	W       int
+	lanes   []bitvec.Vec // 64·W stream vectors
+	words   []uint64     // transpose scratch, W groups of 64
+	in, out *network.WideBatch
+	bad     []uint64 // rejected-lane word vector, W words
+}
+
+func newWideBlock(n, W int) *wideBlock {
+	return &wideBlock{
+		W:     W,
+		lanes: make([]bitvec.Vec, W*network.LanesPerBatch),
+		words: make([]uint64, W*network.LanesPerBatch),
+		in:    network.NewWideBatch(n, W),
+		out:   network.NewWideBatch(n, W),
+		bad:   make([]uint64, W),
+	}
+}
+
+// wideBlockPool recycles wide blocks per width (index 0: W=4, 1:
+// W=8). A block is ~10 KiB of slices; a serve path running one short
+// verify per request would otherwise make that garbage per request.
+var wideBlockPool [2]sync.Pool
+
+func widePoolIdx(W int) int {
+	if W == 4 {
+		return 0
+	}
+	return 1
+}
+
+// getWideBlock checks a block out of the pool, resizing the n-sized
+// batches when the program width differs from the previous user's.
+// Only W ∈ {4, 8} (the supported kernel widths) are poolable.
+func getWideBlock(n, W int) *wideBlock {
+	if W != 4 && W != 8 {
+		return newWideBlock(n, W)
+	}
+	b, _ := wideBlockPool[widePoolIdx(W)].Get().(*wideBlock)
+	if b == nil {
+		return newWideBlock(n, W)
+	}
+	if cap(b.in.Lines) < n*W {
+		b.in.Lines = make([]uint64, n*W)
+		b.out.Lines = make([]uint64, n*W)
+	}
+	b.in.N, b.in.W, b.in.Lines = n, W, b.in.Lines[:n*W]
+	b.out.N, b.out.W, b.out.Lines = n, W, b.out.Lines[:n*W]
+	return b
+}
+
+func putWideBlock(b *wideBlock) {
+	if b.W == 4 || b.W == 8 {
+		wideBlockPool[widePoolIdx(b.W)].Put(b)
+	}
+}
+
+// judgeLanesWide loads k stream vectors, evaluates them through the
+// wide kernel, and judges them; b.bad holds the rejected-lane mask
+// (masked to the k occupied lanes). It reports whether any lane was
+// rejected.
+func (e *Engine) judgeLanesWide(b *wideBlock, k int, judge Judge) bool {
+	W := b.W
+	for i := 0; i < k; i++ {
+		b.words[i] = b.lanes[i].Bits
+	}
+	for i := k; i < len(b.words); i++ {
+		b.words[i] = 0
+	}
+	// W independent 64×64 transposes, then scatter group g's line
+	// words into the line-major wide layout.
+	for g := 0; g < W; g++ {
+		transpose64((*[64]uint64)(b.words[g*64:]))
+	}
+	n := e.p.n
+	for i := 0; i < n; i++ {
+		row := b.out.Lines[i*W : i*W+W]
+		for g := 0; g < W; g++ {
+			row[g] = b.words[g*64+i]
+		}
+	}
+	b.out.Lanes = k
+	if judge.NeedsInput {
+		copy(b.in.Lines, b.out.Lines)
+		b.in.Lanes = k
+	}
+	e.p.ApplyWideBatch(b.out)
+	judge.rejectsWide(b.in, b.out, b.bad)
+	if k < 64*W {
+		network.MaskLanes(b.bad, k)
+	}
+	return anyLane(b.bad)
+}
+
+// anyLane reports whether the word-vector mask has any bit set.
+func anyLane(mask []uint64) bool {
+	var or uint64
+	for _, w := range mask {
+		or |= w
+	}
+	return or != 0
+}
+
+// firstLane returns the lowest set lane of the word-vector mask — the
+// first failure in stream order — or -1 if none.
+func firstLane(mask []uint64) int {
+	for g, w := range mask {
+		if w != 0 {
+			return g*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+func (e *Engine) runSeqWide(ctx context.Context, it bitvec.Iterator, judge Judge, W int) (Verdict, error) {
+	b := getWideBlock(e.p.n, W)
+	defer putWideBlock(b)
+	blockLanes := 64 * W
+	// Ramp the block size 64 → 128 → … → 64·W: a stream that fails in
+	// its first tests (the common case for random networks) should not
+	// pay a full wide block of enumeration before the engine looks.
+	// The schedule stays sequential, so the first failure in stream
+	// order — and therefore the whole Verdict — is identical at every
+	// width and every ramp step.
+	lim := network.LanesPerBatch
+	tests := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return Verdict{}, err
+		}
+		k := 0
+		for k < lim {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			b.lanes[k] = v
+			k++
+		}
+		if k == 0 {
+			return Verdict{Holds: true, TestsRun: tests}, nil
+		}
+		if e.judgeLanesWide(b, k, judge) {
+			lane := firstLane(b.bad)
+			return Verdict{Holds: false, TestsRun: tests + lane + 1, In: b.lanes[lane], Out: b.out.Lane(lane)}, nil
+		}
+		tests += k
+		if lim < blockLanes {
+			lim *= 2
+			if lim > blockLanes {
+				lim = blockLanes
+			}
+		}
+	}
+}
+
+func (e *Engine) runPoolWide(ctx context.Context, it bitvec.Iterator, judge Judge, W, workers int) (Verdict, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	blockLanes := 64 * W
+	chunkSize := 16 * blockLanes // 16 blocks per handoff, as on the 64-lane path
+	chunks := make(chan []bitvec.Vec, workers)
+	fails := make(chan Verdict, workers)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := getWideBlock(e.p.n, W)
+			defer putWideBlock(b)
+			for chunk := range chunks {
+				for off := 0; off < len(chunk); off += blockLanes {
+					if ctx.Err() != nil {
+						return
+					}
+					k := len(chunk) - off
+					if k > blockLanes {
+						k = blockLanes
+					}
+					copy(b.lanes[:k], chunk[off:off+k])
+					if e.judgeLanesWide(b, k, judge) {
+						lane := firstLane(b.bad)
+						select {
+						case fails <- Verdict{Holds: false, In: b.lanes[lane], Out: b.out.Lane(lane)}:
+						default:
+						}
+						stopOnce.Do(func() { close(stop) })
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	tests := 0
+feed:
+	for {
+		if ctx.Err() != nil {
+			break
+		}
+		chunk := make([]bitvec.Vec, 0, chunkSize)
+		for len(chunk) < chunkSize {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			chunk = append(chunk, v)
+		}
+		if len(chunk) == 0 {
+			break
+		}
+		tests += len(chunk)
+		select {
+		case chunks <- chunk:
+		case <-stop:
+			break feed
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(chunks)
+	wg.Wait()
+	close(fails)
+	if f, ok := <-fails; ok {
+		f.TestsRun = tests
+		return f, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return Verdict{}, err
+	}
+	return Verdict{Holds: true, TestsRun: tests}, nil
+}
+
+// universeRangeW dispatches the universe sweep of [from, to) to the
+// single-word or multi-word kernel. from must be a multiple of 64·W
+// (slab boundaries are).
+func (e *Engine) universeRangeW(ctx context.Context, judge Judge, from, to uint64, W int) (Verdict, error) {
+	if W == 1 {
+		return e.universeRange(ctx, judge, from, to)
+	}
+	return e.universeRangeWide(ctx, judge, from, to, W)
+}
+
+// universeRangeWide sweeps inputs [from, to) in 64·W-lane blocks,
+// loading consecutive inputs wholesale exactly like loadConsecutive.
+func (e *Engine) universeRangeWide(ctx context.Context, judge Judge, from, to uint64, W int) (Verdict, error) {
+	n := e.p.n
+	blockLanes := uint64(64 * W)
+	// The universe sweep only needs the block's batches and mask; the
+	// lane/word scratch rides along unused (pooling one object beats
+	// allocating three).
+	blk := getWideBlock(n, W)
+	defer putWideBlock(blk)
+	in, out, bad := blk.in, blk.out, blk.bad
+	tests := 0
+	for base := from; base < to; base += blockLanes {
+		if err := ctx.Err(); err != nil {
+			return Verdict{}, err
+		}
+		k := int(to - base)
+		if k > int(blockLanes) {
+			k = int(blockLanes)
+		}
+		loadConsecutiveWide(out, base, k)
+		if judge.NeedsInput {
+			loadConsecutiveWide(in, base, k)
+		}
+		e.p.ApplyWideBatch(out)
+		judge.rejectsWide(in, out, bad)
+		if k < int(blockLanes) {
+			network.MaskLanes(bad, k)
+		}
+		if anyLane(bad) {
+			lane := firstLane(bad)
+			return Verdict{
+				Holds:    false,
+				TestsRun: tests + lane + 1,
+				In:       bitvec.New(n, base+uint64(lane)),
+				Out:      out.Lane(lane),
+			}, nil
+		}
+		tests += k
+	}
+	return Verdict{Holds: true, TestsRun: tests}, nil
+}
+
+// loadConsecutiveWide fills the wide batch with inputs
+// base..base+k-1 (base a multiple of 64·W). Input bits below 6 repeat
+// the fixed 64-lane masks in every word; bit i ≥ 6 of word g is
+// constant across the word, set iff (base + 64g) has it.
+func loadConsecutiveWide(b *network.WideBatch, base uint64, k int) {
+	W := b.W
+	if base%uint64(64*W) != 0 {
+		panic(fmt.Sprintf("eval: wide universe base %d not a multiple of %d", base, 64*W))
+	}
+	for i := 0; i < b.N; i++ {
+		row := b.Lines[i*W : i*W+W]
+		if i < 6 {
+			m := laneMasks[i]
+			for g := range row {
+				row[g] = m
+			}
+			continue
+		}
+		for g := range row {
+			if (base+uint64(g)*64)>>uint(i)&1 == 1 {
+				row[g] = ^uint64(0)
+			} else {
+				row[g] = 0
+			}
+		}
+	}
+	b.Lanes = k
+}

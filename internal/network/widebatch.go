@@ -1,0 +1,127 @@
+package network
+
+import (
+	"fmt"
+
+	"sortnets/internal/bitvec"
+)
+
+// WideBatch is the multi-word generalization of Batch: W words per
+// line carry up to 64·W test vectors through the network at once. The
+// layout is line-major — line i owns the W consecutive words
+// Lines[i·W : (i+1)·W], and lane j lives in word j>>6 (bit j&63) of
+// every line — so one comparator advances all 64·W lanes with W ANDs
+// and W ORs over contiguous memory. W = 1 is exactly the classic
+// Batch layout; the evaluation engine selects W from the configured
+// kernel width (64, 256 or 512 lanes).
+type WideBatch struct {
+	N     int      // lines
+	W     int      // words per line (1, 4 or 8)
+	Lanes int      // occupied lanes, 1..64·W
+	Lines []uint64 // line i at [i*W, (i+1)*W)
+}
+
+// NewWideBatch returns an empty batch for n lines and w words per
+// line (capacity 64·w lanes).
+func NewWideBatch(n, w int) *WideBatch {
+	if w < 1 {
+		panic(fmt.Sprintf("network: %d words per line invalid", w))
+	}
+	return &WideBatch{N: n, W: w, Lines: make([]uint64, n*w)}
+}
+
+// Line returns line i's W words.
+func (b *WideBatch) Line(i int) []uint64 { return b.Lines[i*b.W : (i+1)*b.W] }
+
+// SetLane installs vector v in the given lane (transposing it into
+// the per-line words).
+func (b *WideBatch) SetLane(lane int, v bitvec.Vec) {
+	if v.N != b.N {
+		panic(fmt.Sprintf("network: lane vector length %d, want %d", v.N, b.N))
+	}
+	if lane < 0 || lane >= 64*b.W {
+		panic(fmt.Sprintf("network: lane %d out of range", lane))
+	}
+	word, mask := lane>>6, uint64(1)<<uint(lane&63)
+	for i := 0; i < b.N; i++ {
+		if v.Bit(i) == 1 {
+			b.Lines[i*b.W+word] |= mask
+		} else {
+			b.Lines[i*b.W+word] &^= mask
+		}
+	}
+	if lane >= b.Lanes {
+		b.Lanes = lane + 1
+	}
+}
+
+// Lane extracts the vector currently in the given lane.
+func (b *WideBatch) Lane(lane int) bitvec.Vec {
+	word, shift := lane>>6, uint(lane&63)
+	var w uint64
+	for i := 0; i < b.N; i++ {
+		w |= (b.Lines[i*b.W+word] >> shift & 1) << uint(i)
+	}
+	return bitvec.New(b.N, w)
+}
+
+// UnsortedLanes writes, into viol (length ≥ W), the per-word bitmask
+// of occupied lanes whose current contents are NOT sorted — the
+// word-vector lift of Batch.UnsortedLanes. The scan is the same 0^a
+// 1^b criterion, run on W lane-words at a time.
+func (b *WideBatch) UnsortedLanes(viol []uint64) {
+	W := b.W
+	viol = viol[:W]
+	var onesArr [8]uint64
+	ones := onesArr[:]
+	if W > len(ones) {
+		ones = make([]uint64, W)
+	}
+	ones = ones[:W]
+	for g := range viol {
+		viol[g], ones[g] = 0, 0
+	}
+	for i := 0; i < b.N; i++ {
+		row := b.Lines[i*W : i*W+W]
+		for g, w := range row {
+			viol[g] |= ones[g] &^ w
+			ones[g] |= w
+		}
+	}
+	MaskLanes(viol, b.Lanes)
+}
+
+// MaskLanes clears every bit of the word-vector mask at or above the
+// given lane count — the multi-word form of masking a uint64 to the
+// occupied lanes.
+func MaskLanes(mask []uint64, lanes int) {
+	full, rem := lanes>>6, lanes&63
+	if rem != 0 {
+		mask[full] &= uint64(1)<<uint(rem) - 1
+		full++
+	}
+	for g := full; g < len(mask); g++ {
+		mask[g] = 0
+	}
+}
+
+// ApplyWideBatch advances all lanes through the network in place: W
+// ANDs and W ORs per comparator. (The compiled engine has unrolled
+// per-width kernels; this is the reference form for the network
+// type itself.)
+func (w *Network) ApplyWideBatch(b *WideBatch) {
+	if b.N != w.N {
+		panic(fmt.Sprintf("network: batch has %d lines, want %d", b.N, w.N))
+	}
+	W := b.W
+	lines := b.Lines
+	for _, c := range w.Comps {
+		la := lines[c.A*W : c.A*W+W]
+		lb := lines[c.B*W : c.B*W+W]
+		for g := 0; g < W; g++ {
+			x, y := la[g], lb[g]
+			la[g] = x & y
+			lb[g] = x | y
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"sortnets/internal/bitvec"
+)
+
+// TestWideBatchLaneRoundTrip: SetLane/Lane must round-trip every lane
+// position at every supported width, including the high words.
+func TestWideBatchLaneRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, w := range []int{1, 4, 8} {
+		n := 1 + rng.Intn(30)
+		b := NewWideBatch(n, w)
+		vecs := make([]bitvec.Vec, 64*w)
+		for lane := range vecs {
+			vecs[lane] = bitvec.New(n, rng.Uint64()&(uint64(1)<<uint(n)-1))
+			b.SetLane(lane, vecs[lane])
+		}
+		for lane, want := range vecs {
+			if got := b.Lane(lane); got != want {
+				t.Fatalf("W=%d n=%d lane %d: got %s, want %s", w, n, lane, got, want)
+			}
+		}
+		if b.Lanes != 64*w {
+			t.Fatalf("W=%d: Lanes = %d, want %d", w, b.Lanes, 64*w)
+		}
+	}
+}
+
+// TestApplyWideBatchMatchesApplyVec: pushing 64·W random vectors
+// through ApplyWideBatch must equal the scalar reference evaluator on
+// every lane.
+func TestApplyWideBatchMatchesApplyVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(15)
+		net := Random(n, rng.Intn(4*n), rng)
+		for _, w := range []int{1, 4, 8} {
+			b := NewWideBatch(n, w)
+			ins := make([]bitvec.Vec, 64*w)
+			for lane := range ins {
+				ins[lane] = bitvec.New(n, rng.Uint64()&(uint64(1)<<uint(n)-1))
+				b.SetLane(lane, ins[lane])
+			}
+			net.ApplyWideBatch(b)
+			for lane, in := range ins {
+				if got, want := b.Lane(lane), net.ApplyVec(in); got != want {
+					t.Fatalf("trial %d W=%d lane %d: ApplyWideBatch %s, ApplyVec %s (net %s)",
+						trial, w, lane, got, want, net.Format())
+				}
+			}
+		}
+	}
+}
+
+// TestWideUnsortedLanes: the word-vector violation mask must agree
+// with the scalar IsSorted on every occupied lane and stay clear
+// beyond Lanes.
+func TestWideUnsortedLanes(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	viol := make([]uint64, 8)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(30)
+		for _, w := range []int{1, 4, 8} {
+			b := NewWideBatch(n, w)
+			occupied := 1 + rng.Intn(64*w)
+			vecs := make([]bitvec.Vec, occupied)
+			for lane := range vecs {
+				vecs[lane] = bitvec.New(n, rng.Uint64()&(uint64(1)<<uint(n)-1))
+				b.SetLane(lane, vecs[lane])
+			}
+			b.Lanes = occupied
+			b.UnsortedLanes(viol[:w])
+			for lane := 0; lane < 64*w; lane++ {
+				got := viol[lane>>6]>>uint(lane&63)&1 == 1
+				want := lane < occupied && !vecs[lane].IsSorted()
+				if got != want {
+					t.Fatalf("trial %d W=%d n=%d occupied=%d lane %d: violation=%v, want %v",
+						trial, w, n, occupied, lane, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMaskLanes: every lane at or above the count must clear, every
+// lane below must survive.
+func TestMaskLanes(t *testing.T) {
+	for _, w := range []int{1, 4, 8} {
+		for _, lanes := range []int{1, 63, 64, 65, 64*w - 1, 64 * w} {
+			if lanes > 64*w {
+				continue
+			}
+			mask := make([]uint64, w)
+			for g := range mask {
+				mask[g] = ^uint64(0)
+			}
+			MaskLanes(mask, lanes)
+			for lane := 0; lane < 64*w; lane++ {
+				got := mask[lane>>6]>>uint(lane&63)&1 == 1
+				if got != (lane < lanes) {
+					t.Fatalf("W=%d lanes=%d: bit %d = %v", w, lanes, lane, got)
+				}
+			}
+		}
+	}
+}

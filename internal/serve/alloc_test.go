@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"sortnets/internal/network"
+)
+
+// discardRW is a reusable no-op ResponseWriter, so the allocation
+// guards measure the serve path, not the test recorder.
+type discardRW struct {
+	h      http.Header
+	status int
+}
+
+func (w *discardRW) Header() http.Header         { return w.h }
+func (w *discardRW) Write(p []byte) (int, error) { return len(p), nil }
+func (w *discardRW) WriteHeader(s int)           { w.status = s }
+
+// TestNDJSONPerLineAllocsSteadyState is the zero-alloc regression
+// guard for the batched serve path: at steady state (pools warm,
+// verdict cache hit) the whole NDJSON pipeline — read, decode,
+// DoBatch, encode, write — must stay under a small constant number of
+// allocations per request line. The bound is ~2x the measured value
+// (≈4.3/line on go1.24: cache key, entry bookkeeping, dedup map) so
+// it catches a regression to per-line marshaling (tens of allocs per
+// line), not scheduler noise.
+func TestNDJSONPerLineAllocsSteadyState(t *testing.T) {
+	svc := NewService(Config{Workers: 1})
+	defer svc.Close()
+	handler := svc.Handler()
+
+	const lines = 64
+	rng := rand.New(rand.NewSource(3))
+	var body []byte
+	for i := 0; i < lines; i++ {
+		body = append(body, []byte(`{"network":"`+network.Random(8, 17, rng).Format()+`"}`+"\n")...)
+	}
+
+	req := httptest.NewRequest("POST", "/do", nil)
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	rd := bytes.NewReader(body)
+	w := &discardRW{h: make(http.Header)}
+	serveOnce := func() {
+		rd.Reset(body)
+		req.Body = io.NopCloser(rd)
+		for k := range w.h {
+			delete(w.h, k)
+		}
+		w.status = 0
+		handler.ServeHTTP(w, req)
+		if w.status != 0 && w.status != http.StatusOK {
+			t.Fatalf("status %d", w.status)
+		}
+	}
+	// Warm: populate the verdict cache and the scratch pools.
+	serveOnce()
+	serveOnce()
+
+	perBatch := testing.AllocsPerRun(50, serveOnce)
+	perLine := perBatch / lines
+	t.Logf("steady-state: %.1f allocs per 64-line batch, %.2f per line", perBatch, perLine)
+	if perLine > 8 {
+		t.Fatalf("NDJSON hot path allocates %.2f per line (%.1f per 64-line batch); the zero-alloc serve path has regressed", perLine, perBatch)
+	}
+}

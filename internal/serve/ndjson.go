@@ -3,12 +3,14 @@ package serve
 import (
 	"bufio"
 	"bytes"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"mime"
 	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"sortnets"
 )
@@ -24,6 +26,16 @@ import (
 // flushes after every chunk. A malformed or oversized line yields a
 // per-line RequestError verdict and never tears down the connection:
 // the stream continues with the next line.
+//
+// The pipeline is allocation-free at steady state: every connection
+// checks one connScratch out of a pool — the line buffer, decoded
+// chunk, request/error slices, response encode buffer and the 64 KiB
+// body reader all live there and are reused across chunks and across
+// connections. Request lines decode through the hand-rolled
+// sortnets.UnmarshalRequestLine (same strict semantics as the old
+// json.Decoder path); response lines encode through
+// sortnets.AppendBatchVerdict (byte-identical to encoding/json) into
+// one buffer written with a single Write per chunk.
 
 // maxChunkLines bounds how many pipelined lines feed one DoBatch
 // call; it caps handler memory, not the stream length (a connection
@@ -34,6 +46,76 @@ const maxChunkLines = 256
 // body bound. Longer lines are discarded to the newline and answered
 // with a per-line 400.
 const maxLineBytes = maxBodyBytes
+
+// connScratch is the per-connection working set. Everything a chunk
+// cycle touches lives here so the steady-state serve path performs no
+// per-line or per-chunk allocation.
+type connScratch struct {
+	br        *bufio.Reader
+	line      []byte
+	chunk     []chunkLine
+	reqs      []sortnets.Request
+	entryErrs []error
+	out       []byte
+
+	// accounted is this scratch's last contribution to the
+	// pooledBytes gauge; the finalizer retires it when the pool drops
+	// the scratch. It is a separate allocation so the finalizer
+	// closure does not retain the scratch.
+	accounted *int64
+}
+
+// pooledBytes gauges the buffer bytes currently parked in (or checked
+// out of) the connection-scratch pool, surfaced on /stats as
+// pooled_bytes.
+var pooledBytes atomic.Int64
+
+var scratchPool = sync.Pool{New: func() any {
+	sc := &connScratch{
+		br:        bufio.NewReaderSize(nil, 64<<10),
+		accounted: new(int64),
+	}
+	acct := sc.accounted
+	runtime.SetFinalizer(sc, func(*connScratch) {
+		pooledBytes.Add(-atomic.LoadInt64(acct))
+	})
+	return sc
+}}
+
+// size reports the retained buffer bytes (the reader's fixed 64 KiB
+// plus the grown slices).
+func (sc *connScratch) size() int64 {
+	return int64(64<<10 + cap(sc.line) + cap(sc.out) +
+		cap(sc.chunk)*int(unsafeSizeofChunkLine) +
+		cap(sc.reqs)*int(unsafeSizeofRequest) +
+		cap(sc.entryErrs)*16)
+}
+
+// Element sizes for the gauge, kept as constants so size() stays
+// arithmetic (unsafe.Sizeof would drag unsafe into the import graph
+// for a stats nicety; these only need to be order-of-magnitude
+// honest).
+const (
+	unsafeSizeofChunkLine = 136
+	unsafeSizeofRequest   = 128
+)
+
+func getScratch(body io.Reader) *connScratch {
+	sc := scratchPool.Get().(*connScratch)
+	sc.br.Reset(body)
+	return sc
+}
+
+func putScratch(sc *connScratch) {
+	sc.br.Reset(nil)
+	n := sc.size()
+	pooledBytes.Add(n - atomic.LoadInt64(sc.accounted))
+	atomic.StoreInt64(sc.accounted, n)
+	scratchPool.Put(sc)
+}
+
+// PooledBytes reports the gauge (exported for /stats).
+func PooledBytes() int64 { return pooledBytes.Load() }
 
 // ndjsonContentType reports whether the request declares an NDJSON
 // body (application/x-ndjson, case-insensitive, with or without
@@ -54,14 +136,14 @@ func (s *Service) serveNDJSON(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 
-	br := bufio.NewReaderSize(r.Body, 64<<10)
-	enc := json.NewEncoder(w)
+	sc := getScratch(r.Body)
+	defer putScratch(sc)
 	for {
-		chunk, done := s.readChunk(br)
-		if len(chunk) > 0 && !s.writeChunk(r, enc, chunk) {
+		done := s.readChunk(sc)
+		if len(sc.chunk) > 0 && !s.writeChunk(r, w, sc) {
 			return
 		}
-		if len(chunk) > 0 {
+		if len(sc.chunk) > 0 {
 			_ = rc.Flush()
 		}
 		if done {
@@ -77,74 +159,76 @@ type chunkLine struct {
 	err *sortnets.RequestError // decode failure: answered without a Session trip
 }
 
-// readChunk reads one adaptive chunk: it blocks for the first line,
-// then keeps sweeping lines while the reader has buffered bytes, up
-// to maxChunkLines. done reports end of body (EOF or a read error —
-// either way the connection has no more requests).
-func (s *Service) readChunk(br *bufio.Reader) (chunk []chunkLine, done bool) {
-	for len(chunk) < maxChunkLines {
-		if len(chunk) > 0 && br.Buffered() == 0 {
-			return chunk, false // answer what's pipelined before blocking again
+// readChunk reads one adaptive chunk into sc.chunk: it blocks for the
+// first line, then keeps sweeping lines while the reader has buffered
+// bytes, up to maxChunkLines. done reports end of body (EOF or a read
+// error — either way the connection has no more requests).
+func (s *Service) readChunk(sc *connScratch) (done bool) {
+	sc.chunk = sc.chunk[:0]
+	for len(sc.chunk) < maxChunkLines {
+		if len(sc.chunk) > 0 && sc.br.Buffered() == 0 {
+			return false // answer what's pipelined before blocking again
 		}
-		line, tooLong, err := readLine(br, maxLineBytes)
+		var tooLong bool
+		var err error
+		sc.line, tooLong, err = readLine(sc.br, sc.line[:0], maxLineBytes)
 		if tooLong {
 			s.rejected("")
-			chunk = append(chunk, chunkLine{err: &sortnets.RequestError{
+			sc.chunk = append(sc.chunk, chunkLine{err: &sortnets.RequestError{
 				Status: http.StatusBadRequest,
 				Msg:    fmt.Sprintf("request line exceeds %d bytes", maxLineBytes),
 			}})
 			continue
 		}
-		if len(bytes.TrimSpace(line)) > 0 {
-			chunk = append(chunk, s.decodeLine(line))
+		if len(bytes.TrimSpace(sc.line)) > 0 {
+			sc.chunk = append(sc.chunk, chunkLine{})
+			s.decodeLine(sc.line, &sc.chunk[len(sc.chunk)-1])
 		}
 		if err != nil {
-			return chunk, true
+			return true
 		}
 	}
-	return chunk, false
+	return false
 }
 
-// decodeLine decodes one request line, mapping failures to the
-// per-line error form.
-func (s *Service) decodeLine(line []byte) chunkLine {
-	dec := json.NewDecoder(bytes.NewReader(line))
-	dec.DisallowUnknownFields()
-	var req sortnets.Request
-	if err := dec.Decode(&req); err != nil {
+// decodeLine decodes one request line into cl, mapping failures to
+// the per-line error form. The target is reused scratch; the decoder
+// fully resets it.
+func (s *Service) decodeLine(line []byte, cl *chunkLine) {
+	cl.err = nil
+	if err := sortnets.UnmarshalRequestLine(line, &cl.req); err != nil {
 		s.rejected("")
-		return chunkLine{err: &sortnets.RequestError{
+		cl.err = &sortnets.RequestError{
 			Status: http.StatusBadRequest,
 			Msg:    fmt.Sprintf("bad request line: %v", err),
-		}}
-	}
-	// Trailing garbage after the JSON value on one line is malformed
-	// too (a second value belongs on its own line).
-	if _, err := dec.Token(); err != io.EOF {
-		s.rejected("")
-		return chunkLine{err: &sortnets.RequestError{
-			Status: http.StatusBadRequest,
-			Msg:    "bad request line: trailing data after JSON value",
-		}}
-	}
-	return chunkLine{req: req}
-}
-
-// writeChunk runs the chunk's decodable lines through one DoBatch and
-// writes every line's response in order. It returns false when the
-// connection is dead (context cancelled or a write failed).
-func (s *Service) writeChunk(r *http.Request, enc *json.Encoder, chunk []chunkLine) bool {
-	reqs := make([]sortnets.Request, 0, len(chunk))
-	for i := range chunk {
-		if chunk[i].err == nil {
-			reqs = append(reqs, chunk[i].req)
 		}
 	}
+}
+
+// writeChunk runs the chunk's decodable lines through one DoBatch,
+// encodes every line's response in request order into the scratch
+// buffer, and writes it with one Write. It returns false when the
+// connection is dead (context cancelled or a write failed).
+func (s *Service) writeChunk(r *http.Request, w io.Writer, sc *connScratch) bool {
+	sc.reqs = sc.reqs[:0]
+	for i := range sc.chunk {
+		if sc.chunk[i].err == nil {
+			sc.reqs = append(sc.reqs, sc.chunk[i].req)
+		}
+	}
+	if cap(sc.entryErrs) < len(sc.reqs) {
+		sc.entryErrs = make([]error, len(sc.reqs))
+	} else {
+		sc.entryErrs = sc.entryErrs[:len(sc.reqs)]
+		for i := range sc.entryErrs {
+			sc.entryErrs[i] = nil
+		}
+	}
+	entryErrs := sc.entryErrs
 	var verdicts []*sortnets.Verdict
-	entryErrs := make([]error, len(reqs))
-	if len(reqs) > 0 { // an all-malformed chunk never counts a batch
+	if len(sc.reqs) > 0 { // an all-malformed chunk never counts a batch
 		var err error
-		verdicts, err = s.sess.DoBatch(r.Context(), reqs)
+		verdicts, err = s.sess.DoBatch(r.Context(), sc.reqs)
 		var be *sortnets.BatchError
 		switch {
 		case err == nil:
@@ -156,11 +240,12 @@ func (s *Service) writeChunk(r *http.Request, enc *json.Encoder, chunk []chunkLi
 			return false
 		}
 	}
+	sc.out = sc.out[:0]
 	vi := 0
-	for i := range chunk {
+	for i := range sc.chunk {
 		var line sortnets.BatchVerdict
-		if chunk[i].err != nil {
-			line = sortnets.BatchVerdict{ID: chunk[i].req.ID, Error: chunk[i].err}
+		if sc.chunk[i].err != nil {
+			line = sortnets.BatchVerdict{ID: sc.chunk[i].req.ID, Error: sc.chunk[i].err}
 		} else {
 			v, entryErr := verdicts[vi], entryErrs[vi]
 			vi++
@@ -170,29 +255,30 @@ func (s *Service) writeChunk(r *http.Request, enc *json.Encoder, chunk []chunkLi
 				if !errors.As(entryErr, &re) {
 					re = &sortnets.RequestError{Status: http.StatusInternalServerError, Msg: entryErr.Error()}
 				}
-				line = sortnets.BatchVerdict{ID: chunk[i].req.ID, Error: re}
+				line = sortnets.BatchVerdict{ID: sc.chunk[i].req.ID, Error: re}
 			default:
 				line = sortnets.BatchVerdict{ID: v.ID, Verdict: v, Source: v.Source}
 			}
 		}
-		if err := enc.Encode(&line); err != nil {
-			return false
-		}
+		sc.out = sortnets.AppendBatchVerdict(sc.out, &line)
+		sc.out = append(sc.out, '\n')
 	}
-	return true
+	_, err := w.Write(sc.out)
+	return err == nil
 }
 
-// readLine reads one newline-terminated line (without the newline),
-// accumulating at most max bytes. Longer lines are consumed to their
-// newline but reported tooLong with no content, so the stream can
-// continue at the next line. err is non-nil at end of body; a final
-// unterminated line is still returned.
-func readLine(br *bufio.Reader, max int) (line []byte, tooLong bool, err error) {
+// readLine reads one newline-terminated line (without the newline)
+// into buf, accumulating at most max bytes. Longer lines are consumed
+// to their newline but reported tooLong with no content, so the
+// stream can continue at the next line. err is non-nil at end of
+// body; a final unterminated line is still returned.
+func readLine(br *bufio.Reader, buf []byte, max int) (line []byte, tooLong bool, err error) {
+	line = buf
 	for {
 		frag, ferr := br.ReadSlice('\n')
 		if !tooLong {
 			if len(line)+len(frag) > max {
-				tooLong, line = true, nil
+				tooLong, line = true, line[:0]
 			} else {
 				line = append(line, frag...)
 			}

@@ -166,15 +166,15 @@ func TestNDJSONContentTypeSpellings(t *testing.T) {
 // final lines, and too-long discard that resumes cleanly.
 func TestReadLine(t *testing.T) {
 	br := bufio.NewReaderSize(strings.NewReader("ab\r\n"+strings.Repeat("z", 100)+"\ncd"), 16)
-	line, tooLong, err := readLine(br, 50)
+	line, tooLong, err := readLine(br, nil, 50)
 	if string(line) != "ab" || tooLong || err != nil {
 		t.Fatalf("line 1: %q %v %v", line, tooLong, err)
 	}
-	line, tooLong, err = readLine(br, 50)
+	line, tooLong, err = readLine(br, nil, 50)
 	if !tooLong || err != nil {
 		t.Fatalf("line 2: %q %v %v", line, tooLong, err)
 	}
-	line, tooLong, err = readLine(br, 50)
+	line, tooLong, err = readLine(br, nil, 50)
 	if string(line) != "cd" || tooLong || err == nil {
 		t.Fatalf("line 3: %q %v %v", line, tooLong, err)
 	}

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"sortnets"
+	"sortnets/internal/streamtab"
 )
 
 // Config sizes the service.
@@ -34,6 +35,12 @@ type Config struct {
 	// requests (fault detectability sweeps the 2ⁿ universe per
 	// fault); ≤ 0 means 12.
 	MaxFaultLines int
+	// StreamTabDir, when non-empty, is a directory of persisted
+	// minimal-test-stream tables (package streamtab); properties with
+	// a valid table on disk replay its pre-enumerated stream instead
+	// of live enumeration. Missing or invalid tables fall back
+	// transparently.
+	StreamTabDir string
 	// OnCompute, when set (tests only), runs on the Session's pool
 	// worker immediately before each underlying computation.
 	OnCompute func()
@@ -43,8 +50,9 @@ type Config struct {
 // encoding, it only keeps the per-endpoint count of requests that
 // never reached the Session (wrong method, malformed body).
 type Service struct {
-	cfg  Config
-	sess *sortnets.Session
+	cfg    Config
+	sess   *sortnets.Session
+	tables *streamtab.Dir // non-nil iff cfg.StreamTabDir was set
 
 	// httpRejected[op] counts requests rejected before Session.Do.
 	httpRejected map[string]*atomic.Int64
@@ -65,9 +73,15 @@ func NewService(cfg Config) *Service {
 	if cfg.OnCompute != nil {
 		opts = append(opts, sortnets.WithComputeHook(cfg.OnCompute))
 	}
+	var tables *streamtab.Dir
+	if cfg.StreamTabDir != "" {
+		tables = streamtab.OpenDir(cfg.StreamTabDir)
+		opts = append(opts, sortnets.WithStreamTables(tables))
+	}
 	return &Service{
-		cfg:  cfg,
-		sess: sortnets.NewSession(opts...),
+		cfg:    cfg,
+		sess:   sortnets.NewSession(opts...),
+		tables: tables,
 		httpRejected: map[string]*atomic.Int64{
 			sortnets.OpVerify: new(atomic.Int64),
 			sortnets.OpFaults: new(atomic.Int64),
@@ -80,9 +94,14 @@ func NewService(cfg Config) *Service {
 // in-process caller would use).
 func (s *Service) Session() *sortnets.Session { return s.sess }
 
-// Close stops the Session's pool workers. No requests may be in
-// flight.
-func (s *Service) Close() { s.sess.Close() }
+// Close stops the Session's pool workers and releases any stream-
+// table mappings. No requests may be in flight.
+func (s *Service) Close() {
+	s.sess.Close()
+	if s.tables != nil {
+		s.tables.Close()
+	}
+}
 
 // EndpointSnapshot is the per-endpoint slice of the /stats body.
 type EndpointSnapshot struct {
@@ -105,11 +124,14 @@ type CacheSnapshot struct {
 // StatsSnapshot is the /stats response body. Batch reports the NDJSON
 // pipeline: batches/entries seen, entries deduplicated within a
 // batch, and entries computed through a shared grouped engine pass.
+// PooledBytes gauges the buffer bytes retained by the NDJSON
+// connection-scratch pool.
 type StatsSnapshot struct {
-	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
-	Batch     sortnets.BatchStats         `json:"batch"`
-	Cache     CacheSnapshot               `json:"cache"`
-	Workers   int                         `json:"workers"`
+	Endpoints   map[string]EndpointSnapshot `json:"endpoints"`
+	Batch       sortnets.BatchStats         `json:"batch"`
+	Cache       CacheSnapshot               `json:"cache"`
+	Workers     int                         `json:"workers"`
+	PooledBytes int64                       `json:"pooled_bytes"`
 }
 
 // Stats returns a point-in-time snapshot: the Session's counters
@@ -141,6 +163,7 @@ func (s *Service) Stats() StatsSnapshot {
 			Capacity:  ss.Cache.Capacity,
 			Evictions: ss.Cache.Evictions,
 		},
-		Workers: ss.Workers,
+		Workers:     ss.Workers,
+		PooledBytes: PooledBytes(),
 	}
 }

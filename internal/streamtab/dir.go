@@ -1,0 +1,127 @@
+package streamtab
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Dir is a directory of stream tables with lazy, cached lookup. A
+// lookup that finds no valid table (missing file, wrong version, bad
+// digest, identity mismatch) is remembered as absent, so the serving
+// hot path pays one os.Open attempt per identity per process, not per
+// request. Opening the Dir itself never fails: a nonexistent
+// directory is simply a Dir where every Lookup misses — the caller's
+// fallback to live enumeration is what makes tables transparent.
+type Dir struct {
+	path string
+
+	mu     sync.Mutex
+	tables map[string]*Table // key → opened table
+	absent map[string]error  // key → why the lookup failed (nil file error for "no file")
+}
+
+// OpenDir returns a lazy handle on a table directory.
+func OpenDir(path string) *Dir {
+	return &Dir{
+		path:   path,
+		tables: make(map[string]*Table),
+		absent: make(map[string]error),
+	}
+}
+
+// Path returns the directory the Dir reads.
+func (d *Dir) Path() string { return d.path }
+
+// Lookup returns the table for (property, n, k) if a valid one is on
+// disk. The table is opened (and fully digest-checked) on first use
+// and cached; a failed lookup is cached as absent. The returned Table
+// is shared — do not Close it; Close the Dir instead.
+func (d *Dir) Lookup(property string, n, k int) (*Table, bool) {
+	key := Key(property, n, k)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if t, ok := d.tables[key]; ok {
+		return t, true
+	}
+	if _, ok := d.absent[key]; ok {
+		return nil, false
+	}
+	t, err := Open(filepath.Join(d.path, key+".snstab"))
+	if err == nil {
+		h := t.Header
+		if h.Property != property || h.N != n || (property == "selector" && h.K != k) {
+			// A misfiled table must not serve the wrong stream.
+			t.Close()
+			t, err = nil, errIdentity{}
+		}
+	}
+	if err != nil {
+		d.absent[key] = err
+		return nil, false
+	}
+	d.tables[key] = t
+	return t, true
+}
+
+type errIdentity struct{}
+
+func (errIdentity) Error() string { return "table identity does not match its file name" }
+
+// Info describes one table file found by List.
+type Info struct {
+	File   string // file name within the directory
+	Header Header // parsed header (valid only when Err == nil)
+	Bytes  int64  // file size
+	Err    error  // non-nil when the table failed validation
+}
+
+// List scans the directory for *.snstab files and fully validates
+// each (digest included) — the operator's view of what a serving
+// process would actually use. Results are sorted by file name. A
+// missing directory yields an empty list and no error.
+func List(path string) ([]Info, error) {
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var infos []Info
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".snstab" {
+			continue
+		}
+		info := Info{File: e.Name()}
+		if fi, err := e.Info(); err == nil {
+			info.Bytes = fi.Size()
+		}
+		t, err := Open(filepath.Join(path, e.Name()))
+		if err != nil {
+			info.Err = err
+		} else {
+			info.Header = t.Header
+			t.Close()
+		}
+		infos = append(infos, info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].File < infos[j].File })
+	return infos, nil
+}
+
+// Close releases every opened table. The Dir must not be used
+// afterwards.
+func (d *Dir) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var first error
+	for key, t := range d.tables {
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(d.tables, key)
+	}
+	return first
+}

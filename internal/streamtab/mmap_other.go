@@ -1,0 +1,14 @@
+//go:build !unix
+
+package streamtab
+
+import "os"
+
+// readOrMap reads the whole file on platforms without the unix mmap
+// path; the mapping result is always nil here.
+func readOrMap(f *os.File, size int64) (data, mapping []byte, err error) {
+	data, err = os.ReadFile(f.Name())
+	return data, nil, err
+}
+
+func unmap(mapping []byte) error { return nil }

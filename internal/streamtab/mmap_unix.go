@@ -1,0 +1,29 @@
+//go:build unix
+
+package streamtab
+
+import (
+	"os"
+	"syscall"
+)
+
+// readOrMap maps the whole file read-only, falling back to a plain
+// read if the mapping fails (some filesystems refuse mmap). The
+// returned mapping is nil on the fallback path.
+func readOrMap(f *os.File, size int64) (data, mapping []byte, err error) {
+	if size > 0 && int64(int(size)) == size {
+		m, merr := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+		if merr == nil {
+			return m, m, nil
+		}
+	}
+	data, err = os.ReadFile(f.Name())
+	return data, nil, err
+}
+
+func unmap(mapping []byte) error {
+	if mapping == nil {
+		return nil
+	}
+	return syscall.Munmap(mapping)
+}

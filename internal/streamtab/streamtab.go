@@ -1,0 +1,254 @@
+// Package streamtab persists the paper's minimal binary test streams
+// as versioned on-disk tables, so a serving process can replay a
+// pre-enumerated stream (mmap-backed where the platform allows)
+// instead of re-deriving it — Gosper stepping, sortedness filtering
+// and weight scheduling — on every verdict. A table holds EXACTLY the
+// vectors of the property's live enumeration in EXACTLY stream order,
+// so verdicts computed from a table are byte-identical to live ones
+// and share their cache entries; a missing or unreadable table simply
+// falls back to live enumeration.
+//
+// # On-disk format (version 1)
+//
+//	offset 0   magic "SNSTAB1\n"                      (8 bytes)
+//	offset 8   header length H, little-endian uint32  (4 bytes)
+//	offset 12  header: H bytes of JSON (see Header)
+//	           zero padding to the next 8-byte boundary
+//	           payload: Count little-endian uint64 test vectors
+//
+// The header records the identity key (property, n, k), the format
+// version, the payload vector count and byte length, and the SHA-256
+// hex digest of the payload. Open verifies the digest in full, so a
+// truncated or bit-rotted table is rejected (and the caller falls
+// back) rather than silently yielding wrong verdicts. All integers in
+// the binary framing are little-endian; the payload is 8-byte aligned
+// so a mapped table can be walked as whole words.
+package streamtab
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sortnets/internal/bitvec"
+)
+
+// Magic opens every stream table file.
+const Magic = "SNSTAB1\n"
+
+// FormatVersion is the current on-disk format version; Open rejects
+// any other (the version is inside the JSON header, so readers can
+// always parse far enough to know they should refuse).
+const FormatVersion = 1
+
+// maxHeaderBytes bounds the declared header length when reading, so a
+// corrupt length field cannot drive an absurd allocation.
+const maxHeaderBytes = 1 << 20
+
+// Header is the JSON header of a stream table. Property, N and K are
+// the identity key (K is meaningful only for selectors); Count,
+// PayloadBytes and SHA256 pin the payload.
+type Header struct {
+	Version      int    `json:"version"`
+	Property     string `json:"property"` // sorter | selector | merger
+	N            int    `json:"n"`
+	K            int    `json:"k,omitempty"`
+	Count        int    `json:"count"`
+	PayloadBytes int64  `json:"payload_bytes"`
+	SHA256       string `json:"sha256"` // hex digest of the payload
+	Tool         string `json:"tool,omitempty"`
+}
+
+// Key is the canonical identity of a table: sorter_n8, selector_k2_n8,
+// merger_n8. It names files (Key + ".snstab") and Dir cache entries.
+func Key(property string, n, k int) string {
+	if property == "selector" {
+		return fmt.Sprintf("selector_k%d_n%d", k, n)
+	}
+	return fmt.Sprintf("%s_n%d", property, n)
+}
+
+// FileName is the table file name for an identity key.
+func FileName(property string, n, k int) string {
+	return Key(property, n, k) + ".snstab"
+}
+
+// payloadOffset is where the payload starts for a header of hlen
+// bytes: magic + length word + header, rounded up to 8 bytes.
+func payloadOffset(hlen int) int {
+	off := len(Magic) + 4 + hlen
+	return (off + 7) &^ 7
+}
+
+// Write enumerates it to completion and writes the table for the
+// given identity atomically (temp file + rename) into dir, returning
+// the final header. Identity fields of h (Property, N, K, Tool) are
+// kept; Version, Count, PayloadBytes and SHA256 are computed here.
+func Write(dir string, h Header, it bitvec.Iterator) (Header, error) {
+	var payload []byte
+	count := 0
+	for {
+		v, ok := it.Next()
+		if !ok {
+			break
+		}
+		payload = binary.LittleEndian.AppendUint64(payload, v.Bits)
+		count++
+	}
+	sum := sha256.Sum256(payload)
+	h.Version = FormatVersion
+	h.Count = count
+	h.PayloadBytes = int64(len(payload))
+	h.SHA256 = hex.EncodeToString(sum[:])
+
+	hdr, err := json.Marshal(h)
+	if err != nil {
+		return Header{}, err
+	}
+	buf := make([]byte, 0, payloadOffset(len(hdr))+len(payload))
+	buf = append(buf, Magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hdr)))
+	buf = append(buf, hdr...)
+	for len(buf) < payloadOffset(len(hdr)) {
+		buf = append(buf, 0)
+	}
+	buf = append(buf, payload...)
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Header{}, err
+	}
+	final := filepath.Join(dir, FileName(h.Property, h.N, h.K))
+	tmp, err := os.CreateTemp(dir, ".snstab-*")
+	if err != nil {
+		return Header{}, err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return Header{}, err
+	}
+	if err := tmp.Close(); err != nil {
+		return Header{}, err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return Header{}, err
+	}
+	return h, nil
+}
+
+// Table is an opened stream table. The payload is either a read-only
+// file mapping (unix) or a heap copy (fallback); either way it is
+// immutable and safe for concurrent iteration.
+type Table struct {
+	Header Header
+	Path   string
+
+	payload []byte // the Count test-vector words, little-endian
+	mapping []byte // whole-file mapping when mmap-backed, else nil
+}
+
+// Open reads and fully validates a table: magic, version, framing
+// consistency (count·8 == payload bytes == what the file holds) and
+// the payload's SHA-256 digest. Any mismatch is an error — a caller
+// that wants transparent fallback treats the error as "no table".
+func Open(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < int64(len(Magic))+4 {
+		return nil, fmt.Errorf("streamtab: %s: too short for a table", path)
+	}
+
+	data, mapping, err := readOrMap(f, size)
+	if err != nil {
+		return nil, err
+	}
+	t, err := parse(path, data)
+	if err != nil {
+		unmap(mapping)
+		return nil, err
+	}
+	t.mapping = mapping
+	return t, nil
+}
+
+// parse validates the framed bytes of a whole table file and slices
+// out the payload (no copies; the Table aliases data).
+func parse(path string, data []byte) (*Table, error) {
+	if string(data[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("streamtab: %s: bad magic", path)
+	}
+	hlen := int(binary.LittleEndian.Uint32(data[len(Magic):]))
+	if hlen <= 0 || hlen > maxHeaderBytes || payloadOffset(hlen) > len(data) {
+		return nil, fmt.Errorf("streamtab: %s: implausible header length %d", path, hlen)
+	}
+	var h Header
+	if err := json.Unmarshal(data[len(Magic)+4:len(Magic)+4+hlen], &h); err != nil {
+		return nil, fmt.Errorf("streamtab: %s: header: %v", path, err)
+	}
+	if h.Version != FormatVersion {
+		return nil, fmt.Errorf("streamtab: %s: format version %d, want %d", path, h.Version, FormatVersion)
+	}
+	if h.Count < 0 || h.PayloadBytes != int64(h.Count)*8 {
+		return nil, fmt.Errorf("streamtab: %s: count %d inconsistent with payload_bytes %d", path, h.Count, h.PayloadBytes)
+	}
+	off := payloadOffset(hlen)
+	if int64(len(data)-off) != h.PayloadBytes {
+		return nil, fmt.Errorf("streamtab: %s: file holds %d payload bytes, header says %d", path, len(data)-off, h.PayloadBytes)
+	}
+	payload := data[off:]
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != h.SHA256 {
+		return nil, fmt.Errorf("streamtab: %s: payload digest mismatch", path)
+	}
+	return &Table{Header: h, Path: path, payload: payload}, nil
+}
+
+// Count is the number of test vectors in the table.
+func (t *Table) Count() int { return t.Header.Count }
+
+// Vec returns the i-th test vector in stream order.
+func (t *Table) Vec(i int) bitvec.Vec {
+	return bitvec.New(t.Header.N, binary.LittleEndian.Uint64(t.payload[i*8:]))
+}
+
+// Mapped reports whether the payload is a file mapping (as opposed to
+// a heap copy read on the fallback path).
+func (t *Table) Mapped() bool { return t.mapping != nil }
+
+// Iter streams the table in stored order. Iterators are independent;
+// any number may run concurrently over one Table.
+func (t *Table) Iter() bitvec.Iterator { return &tableIter{t: t} }
+
+type tableIter struct {
+	t *Table
+	i int
+}
+
+func (it *tableIter) Next() (bitvec.Vec, bool) {
+	if it.i >= it.t.Header.Count {
+		return bitvec.Vec{}, false
+	}
+	v := it.t.Vec(it.i)
+	it.i++
+	return v, true
+}
+
+// Close releases the file mapping, if any. The Table (and any live
+// iterators) must not be used afterwards.
+func (t *Table) Close() error {
+	m := t.mapping
+	t.mapping, t.payload = nil, nil
+	return unmap(m)
+}

@@ -1,0 +1,193 @@
+package streamtab
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sortnets/internal/bitvec"
+	"sortnets/internal/core"
+)
+
+func writeSorter(t *testing.T, dir string, n int) Header {
+	t.Helper()
+	h, err := Write(dir, Header{Property: "sorter", N: n}, core.SorterBinaryTests(n))
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return h
+}
+
+func TestRoundTripMatchesLiveEnumeration(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		prop string
+		n, k int
+		live func() bitvec.Iterator
+	}{
+		{"sorter", 8, 0, func() bitvec.Iterator { return core.SorterBinaryTests(8) }},
+		{"selector", 10, 3, func() bitvec.Iterator { return core.SelectorBinaryTests(10, 3) }},
+		{"merger", 8, 0, func() bitvec.Iterator { return core.MergerBinaryTests(8) }},
+	}
+	for _, tc := range cases {
+		h, err := Write(dir, Header{Property: tc.prop, N: tc.n, K: tc.k}, tc.live())
+		if err != nil {
+			t.Fatalf("%s: Write: %v", tc.prop, err)
+		}
+		want := bitvec.Collect(tc.live())
+		if h.Count != len(want) {
+			t.Fatalf("%s: header count %d, live %d", tc.prop, h.Count, len(want))
+		}
+		tab, err := Open(filepath.Join(dir, FileName(tc.prop, tc.n, tc.k)))
+		if err != nil {
+			t.Fatalf("%s: Open: %v", tc.prop, err)
+		}
+		got := bitvec.Collect(tab.Iter())
+		if len(got) != len(want) {
+			t.Fatalf("%s: table has %d vectors, live %d", tc.prop, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: vector %d: table %s, live %s", tc.prop, i, got[i], want[i])
+			}
+		}
+		tab.Close()
+	}
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	writeSorter(t, dir, 8)
+	path := filepath.Join(dir, FileName("sorter", 8, 0))
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutate := func(name string, f func([]byte) []byte) {
+		t.Helper()
+		if err := os.WriteFile(path, f(append([]byte(nil), orig...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(path); err == nil {
+			t.Fatalf("%s: Open accepted a corrupt table", name)
+		}
+	}
+	mutate("flipped payload byte", func(b []byte) []byte { b[len(b)-1] ^= 1; return b })
+	mutate("truncated payload", func(b []byte) []byte { return b[:len(b)-8] })
+	mutate("bad magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	mutate("flipped header byte", func(b []byte) []byte { b[20] ^= 1; return b })
+
+	// And the pristine bytes still open.
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Open(path)
+	if err != nil {
+		t.Fatalf("pristine reopen: %v", err)
+	}
+	tab.Close()
+}
+
+func TestDirLookup(t *testing.T) {
+	dir := t.TempDir()
+	writeSorter(t, dir, 8)
+	d := OpenDir(dir)
+	defer d.Close()
+
+	tab, ok := d.Lookup("sorter", 8, 0)
+	if !ok {
+		t.Fatal("Lookup missed a valid table")
+	}
+	if tab.Count() != 1<<8-8-1 {
+		t.Fatalf("sorter n=8 table has %d vectors, want %d", tab.Count(), 1<<8-8-1)
+	}
+	// Cached: same *Table back.
+	again, ok := d.Lookup("sorter", 8, 0)
+	if !ok || again != tab {
+		t.Fatal("second Lookup did not return the cached table")
+	}
+	if _, ok := d.Lookup("sorter", 9, 0); ok {
+		t.Fatal("Lookup invented a table that is not on disk")
+	}
+	if _, ok := d.Lookup("merger", 8, 0); ok {
+		t.Fatal("Lookup returned a sorter table for a merger key")
+	}
+}
+
+func TestDirLookupRejectsMisnamedTable(t *testing.T) {
+	dir := t.TempDir()
+	writeSorter(t, dir, 8)
+	// File says merger, header says sorter: must not serve.
+	if err := os.Rename(
+		filepath.Join(dir, FileName("sorter", 8, 0)),
+		filepath.Join(dir, FileName("merger", 8, 0)),
+	); err != nil {
+		t.Fatal(err)
+	}
+	d := OpenDir(dir)
+	defer d.Close()
+	if _, ok := d.Lookup("merger", 8, 0); ok {
+		t.Fatal("Lookup served a table whose header identity disagrees with its file name")
+	}
+}
+
+func TestDirOnMissingDirectory(t *testing.T) {
+	d := OpenDir(filepath.Join(t.TempDir(), "nope"))
+	defer d.Close()
+	if _, ok := d.Lookup("sorter", 8, 0); ok {
+		t.Fatal("Lookup found a table in a nonexistent directory")
+	}
+	infos, err := List(d.Path())
+	if err != nil || len(infos) != 0 {
+		t.Fatalf("List on missing dir: %v, %d infos", err, len(infos))
+	}
+}
+
+func TestList(t *testing.T) {
+	dir := t.TempDir()
+	writeSorter(t, dir, 6)
+	writeSorter(t, dir, 8)
+	// One corrupt straggler.
+	bad := filepath.Join(dir, FileName("sorter", 7, 0))
+	if err := os.WriteFile(bad, []byte("not a table at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := List(dir)
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(infos) != 3 {
+		t.Fatalf("List found %d tables, want 3", len(infos))
+	}
+	valid, broken := 0, 0
+	for _, info := range infos {
+		if info.Err != nil {
+			broken++
+		} else {
+			valid++
+			if info.Header.Property != "sorter" {
+				t.Fatalf("%s: property %q", info.File, info.Header.Property)
+			}
+		}
+	}
+	if valid != 2 || broken != 1 {
+		t.Fatalf("List: %d valid + %d broken, want 2 + 1", valid, broken)
+	}
+}
+
+func TestTableVecRandomAccess(t *testing.T) {
+	dir := t.TempDir()
+	writeSorter(t, dir, 8)
+	tab, err := Open(filepath.Join(dir, FileName("sorter", 8, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tab.Close()
+	want := bitvec.Collect(core.SorterBinaryTests(8))
+	for _, i := range []int{0, 1, len(want) / 2, len(want) - 1} {
+		if tab.Vec(i) != want[i] {
+			t.Fatalf("Vec(%d) = %s, want %s", i, tab.Vec(i), want[i])
+		}
+	}
+}

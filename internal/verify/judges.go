@@ -1,6 +1,8 @@
 package verify
 
 import (
+	"math/bits"
+
 	"sortnets/internal/eval"
 	"sortnets/internal/network"
 )
@@ -35,7 +37,7 @@ func judgeFor(p Property) eval.Judge {
 // mergerJudge rejects in-contract lanes (both input halves sorted)
 // whose outputs are not sorted; out-of-contract lanes are accepted
 // vacuously. The common all-lanes-sorted case needs one word-parallel
-// pass and no per-lane work at all.
+// pass and no per-lane work at all, at any kernel width.
 func mergerJudge(n int) eval.Judge {
 	h := n / 2
 	return eval.Judge{
@@ -53,6 +55,30 @@ func mergerJudge(n int) eval.Judge {
 				}
 			}
 			return unsorted & inContract
+		},
+		RejectsWide: func(in, out *network.WideBatch, bad []uint64) {
+			out.UnsortedLanes(bad)
+			any := false
+			for _, w := range bad {
+				if w != 0 {
+					any = true
+					break
+				}
+			}
+			if !any {
+				return
+			}
+			// Per-lane contract check only on the rare unsorted lanes.
+			for g, w := range bad {
+				for w != 0 {
+					lane := g*64 + bits.TrailingZeros64(w)
+					w &= w - 1
+					v := in.Lane(lane)
+					if !(v.Slice(0, h).IsSorted() && v.Slice(h, n).IsSorted()) {
+						bad[g] &^= 1 << uint(lane&63)
+					}
+				}
+			}
 		},
 	}
 }

@@ -2,10 +2,10 @@ package sortnets
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -13,6 +13,7 @@ import (
 	"sortnets/internal/eval"
 	"sortnets/internal/faults"
 	"sortnets/internal/network"
+	"sortnets/internal/streamtab"
 	"sortnets/internal/verify"
 )
 
@@ -61,10 +62,12 @@ type Session struct {
 	faultMode     faults.DetectMode
 	streamTag     string
 	stream        func(Property) VecIterator
+	tables        *streamtab.Dir
 	computeHook   func()
 
-	results *lru[any]           // verdict cache: key → *Verdict or typed result
-	progs   *lru[*eval.Program] // digest → compiled healthy program
+	results  *lru[any]           // verdict cache: key → *Verdict or typed result
+	progs    *lru[*eval.Program] // digest → compiled healthy program
+	resolved *lru[resolvedNet]   // network text → canonical form + digest
 
 	poolOnce sync.Once
 	pool     *pool
@@ -118,6 +121,17 @@ func WithTestStream(tag string, factory func(p Property) VecIterator) Option {
 	}
 }
 
+// WithStreamTables points the Session at a directory of persisted
+// minimal-test-stream tables (package streamtab). When the property
+// of a verify, faults or minset request has a table on disk, its
+// pre-enumerated (mmap-backed) stream replaces live enumeration —
+// same vectors, same order, so verdicts and cache keys are unchanged;
+// properties without a table fall back transparently. An explicit
+// WithTestStream override always wins over tables.
+func WithStreamTables(d *streamtab.Dir) Option {
+	return func(s *Session) { s.tables = d }
+}
+
 // WithComputeHook installs a function invoked on the pool worker
 // immediately before each underlying Do computation — an
 // instrumentation/test seam (hold it open to observe coalescing).
@@ -146,8 +160,47 @@ func NewSession(opts ...Option) *Session {
 	if s.cacheSize > 0 {
 		s.results = newLRU[any](s.cacheSize)
 	}
-	s.progs = newLRU[*eval.Program](256)
+	// Programs and resolutions are tiny next to verdict payloads and
+	// cap the serve path's hot-loop allocations (compilation and
+	// parse/canonicalize/digest respectively), so they get serving-
+	// sized caches regardless of the verdict-cache setting.
+	s.progs = newLRU[*eval.Program](4096)
+	s.resolved = newLRU[resolvedNet](8192)
 	return s
+}
+
+// resolvedNet is one resolve-memo entry: the canonical network and
+// digest for a network-text request form. Canonical networks are
+// immutable once built (every downstream consumer — compile, fault
+// enumeration, canonical formatting — only reads), so one entry is
+// safe to share across requests and goroutines.
+type resolvedNet struct {
+	w      *network.Network
+	digest string
+}
+
+// resolveRequest is Request.resolve behind the session's resolve
+// memo: the text form's parse → untangle → canonicalize → sha256
+// pipeline runs once per distinct network string, not once per
+// request. The line cap is re-checked on every hit because the caps
+// differ per op (verify vs faults/minset), with the error
+// byte-identical to resolve's. Comparator-form and malformed
+// requests pass straight through uncached.
+func (s *Session) resolveRequest(req *Request, maxLines int) (*network.Network, string, error) {
+	if req.Network == "" || req.Comparators != nil || req.Lines > 0 {
+		return req.resolve(maxLines)
+	}
+	if r, ok := s.resolved.Get(req.Network); ok {
+		if r.w.N > maxLines {
+			return nil, "", lineLimitError(r.w.N, maxLines)
+		}
+		return r.w, r.digest, nil
+	}
+	w, digest, err := req.resolve(maxLines)
+	if err == nil {
+		s.resolved.Add(req.Network, resolvedNet{w: w, digest: digest})
+	}
+	return w, digest, err
 }
 
 // Workers resolves the session's pool size under the one worker rule.
@@ -418,7 +471,7 @@ func (s *Session) dispatch(ctx context.Context, op string, req *Request, ctrs *o
 }
 
 func (s *Session) doVerify(ctx context.Context, req *Request, ctrs *opCounters) (*Verdict, error) {
-	w, digest, err := req.resolve(s.maxLines)
+	w, digest, err := s.resolveRequest(req, s.maxLines)
 	if err != nil {
 		return nil, err
 	}
@@ -443,8 +496,12 @@ func (s *Session) doVerifyResolved(ctx context.Context, ctrs *opCounters, w *net
 	})
 }
 
+// The cache keys are plain concatenations (byte-identical to the
+// historical fmt.Sprintf forms, without the reflection allocations —
+// they are built once per request on the serve hot path).
+
 func (s *Session) verifyKey(digest, prop string, exhaustive bool) string {
-	key := fmt.Sprintf("verify|%s|%s|exhaustive=%v", digest, prop, exhaustive)
+	key := "verify|" + digest + "|" + prop + "|exhaustive=" + strconv.FormatBool(exhaustive)
 	if s.stream != nil {
 		if s.streamTag == "" {
 			return "" // unnamed override: uncacheable
@@ -455,25 +512,69 @@ func (s *Session) verifyKey(digest, prop string, exhaustive bool) string {
 }
 
 func faultsKey(digest string, p verify.Property, mode faults.DetectMode) string {
-	return fmt.Sprintf("faults|%s|%s|%s", digest, p.Name(), mode)
+	return "faults|" + digest + "|" + p.Name() + "|" + mode.String()
 }
 
 func minsetKey(digest string, p verify.Property, mode faults.DetectMode, exact bool) string {
-	return fmt.Sprintf("minset|%s|%s|%s|exact=%v", digest, p.Name(), mode, exact)
+	return "minset|" + digest + "|" + p.Name() + "|" + mode.String() + "|exact=" + strconv.FormatBool(exact)
+}
+
+// tableFor maps a paper property to its persisted stream table, when
+// the session has a table directory and the directory has the table.
+func (s *Session) tableFor(p Property) (*streamtab.Table, bool) {
+	if s.tables == nil {
+		return nil, false
+	}
+	switch q := p.(type) {
+	case verify.Sorter:
+		return s.tables.Lookup("sorter", q.N, 0)
+	case verify.Selector:
+		return s.tables.Lookup("selector", q.N, q.K)
+	case verify.Merger:
+		return s.tables.Lookup("merger", q.N, 0)
+	}
+	return nil, false
+}
+
+// binaryTests picks the minimal binary test stream for p: an explicit
+// WithTestStream override first, then a persisted stream table, then
+// live enumeration. Tables hold exactly the live stream in exactly
+// stream order, so the choice never changes a verdict.
+func (s *Session) binaryTests(p Property) VecIterator {
+	if s.stream != nil {
+		return s.stream(p)
+	}
+	if t, ok := s.tableFor(p); ok {
+		return t.Iter()
+	}
+	return p.BinaryTests()
+}
+
+// binaryTestsFactory is binaryTests as a restartable factory, for the
+// fault paths that replay the stream once per fault. WithTestStream
+// overrides deliberately do NOT apply here (they never have: the
+// option scores alternative VERIFY streams; fault coverage is defined
+// over the paper's minimal test set), but tables do — the replay per
+// fault is exactly where skipping re-enumeration pays most.
+func (s *Session) binaryTestsFactory(p Property) func() VecIterator {
+	if t, ok := s.tableFor(p); ok {
+		return t.Iter
+	}
+	return p.BinaryTests
 }
 
 // checkProgram runs the verify engine for one compiled program:
-// minimal test set (or the session's stream override) or the
-// exhaustive universe.
+// minimal test set (table-backed when available, or the session's
+// stream override) or the exhaustive universe.
 func (s *Session) checkProgram(ctx context.Context, prog *eval.Program, p Property, exhaustive bool) (Result, error) {
 	if exhaustive {
 		return verify.GroundTruthProgramCtx(ctx, prog, p)
 	}
-	if s.stream != nil {
+	if s.stream != nil || s.tables != nil {
 		if prog.N() != p.Lines() {
 			panic(fmt.Sprintf("sortnets: program has %d lines, property wants %d", prog.N(), p.Lines()))
 		}
-		v, err := eval.New(prog, 1).RunCtx(ctx, s.stream(p), verify.JudgeFor(p))
+		v, err := eval.New(prog, 1).RunCtx(ctx, s.binaryTests(p), verify.JudgeFor(p))
 		if err != nil {
 			return Result{}, err
 		}
@@ -493,7 +594,7 @@ func checkVerdict(digest, prop string, exhaustive bool, r Result) *Verdict {
 
 // faultArgs validates the shared OpFaults/OpMinset request shape.
 func (s *Session) faultArgs(req *Request) (*network.Network, string, Property, faults.DetectMode, error) {
-	w, digest, err := req.resolve(s.maxFaultLines)
+	w, digest, err := s.resolveRequest(req, s.maxFaultLines)
 	if err != nil {
 		return nil, "", nil, 0, err
 	}
@@ -527,7 +628,7 @@ func (s *Session) doFaults(ctx context.Context, req *Request, ctrs *opCounters) 
 func (s *Session) doFaultsResolved(ctx context.Context, ctrs *opCounters, w *network.Network, digest string, p verify.Property, mode faults.DetectMode) (*Verdict, error) {
 	key := faultsKey(digest, p, mode)
 	return s.cached(ctx, ctrs, key, func(cctx context.Context) (*Verdict, error) {
-		rep, err := faults.MeasureCtx(cctx, w, s.program(digest, w), faults.Enumerate(w), p.BinaryTests, mode)
+		rep, err := faults.MeasureCtx(cctx, w, s.program(digest, w), faults.Enumerate(w), s.binaryTestsFactory(p), mode)
 		if err != nil {
 			return nil, err
 		}
@@ -558,7 +659,7 @@ func (s *Session) doMinset(ctx context.Context, req *Request, ctrs *opCounters) 
 func (s *Session) doMinsetResolved(ctx context.Context, ctrs *opCounters, w *network.Network, digest string, p verify.Property, mode faults.DetectMode, exactReq bool) (*Verdict, error) {
 	key := minsetKey(digest, p, mode, exactReq)
 	return s.cached(ctx, ctrs, key, func(cctx context.Context) (*Verdict, error) {
-		m, err := faults.DetectionMatrixCtx(cctx, w, s.program(digest, w), faults.Enumerate(w), p.BinaryTests, mode)
+		m, err := faults.DetectionMatrixCtx(cctx, w, s.program(digest, w), faults.Enumerate(w), s.binaryTestsFactory(p), mode)
 		if err != nil {
 			return nil, err
 		}
@@ -601,7 +702,7 @@ func (s *Session) cached(ctx context.Context, ctrs *opCounters, key string, comp
 	if !cacheable {
 		// A unique key: uncacheable requests run on the pool but must
 		// never coalesce with each other.
-		key = fmt.Sprintf("!uncached|%d", s.uncached.Add(1))
+		key = "!uncached|" + strconv.FormatInt(s.uncached.Add(1), 10)
 	}
 	if s.results != nil && cacheable {
 		if v, ok := s.results.Get(key); ok {
@@ -694,8 +795,9 @@ func (s *Session) resolveNetwork(w *network.Network) (*network.Network, string, 
 }
 
 // MarshalVerdict renders the wire body of a Verdict (the exact bytes
-// sortnetd sends).
-func MarshalVerdict(v *Verdict) ([]byte, error) { return json.Marshal(v) }
+// sortnetd sends). It uses the hand-rolled append encoder, which the
+// wire tests pin byte-identical to json.Marshal.
+func MarshalVerdict(v *Verdict) ([]byte, error) { return AppendVerdict(nil, v), nil }
 
 // --- Default session ----------------------------------------------------
 
