@@ -1,0 +1,116 @@
+package client
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-backend circuit breaker:
+//
+//	closed ──(threshold consecutive failures)──▶ open
+//	open ──(cooldown elapses)──▶ half-open, admitting ONE trial
+//	half-open ──trial succeeds──▶ closed
+//	half-open ──trial fails──▶ open again (cooldown restarts)
+//
+// While open, Allow reports false and the Pool routes around the
+// backend; the background health prober's /healthz results feed
+// Success/Failure exactly like live requests do, so a recovered
+// backend is readmitted within one probe interval (health-gated
+// retry) instead of waiting for a caller to gamble a request on it.
+type breaker struct {
+	threshold int           // consecutive failures that open the breaker
+	cooldown  time.Duration // open → half-open delay
+
+	mu       sync.Mutex
+	state    int
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	trial    bool      // a half-open trial is in flight
+}
+
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a request may be sent through this breaker
+// now. In the half-open state exactly one caller is admitted as the
+// trial; the rest are refused until its Success/Failure lands.
+func (b *breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.trial = true
+		return true
+	default: // half-open
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	}
+}
+
+// Success records a healthy exchange (any valid HTTP response,
+// including semantic 4xx errors): the breaker closes from any state.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.trial = false
+	b.mu.Unlock()
+}
+
+// Failure records a failed exchange (transport error, 5xx, 429/503
+// shed). The threshold applies to consecutive failures while closed;
+// a half-open trial failure re-opens immediately.
+func (b *breaker) Failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+		}
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = now
+		b.trial = false
+	default: // open: a forced request failed; restart the cooldown
+		b.openedAt = now
+	}
+}
+
+// State reports the breaker's state name for stats.
+func (b *breaker) State(now time.Time) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return "closed"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		if now.Sub(b.openedAt) >= b.cooldown {
+			return "half-open" // next Allow will admit a trial
+		}
+		return "open"
+	}
+}

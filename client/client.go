@@ -33,9 +33,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"sortnets"
 )
@@ -50,20 +53,85 @@ type Client struct {
 // Option configures a Client.
 type Option func(*Client)
 
-// WithHTTPClient substitutes the underlying *http.Client (timeouts,
-// transports, test doubles). The default is http.DefaultClient —
-// deadlines are expected to arrive per-request via the context.
+// WithHTTPClient substitutes the underlying *http.Client (transports,
+// test doubles, different timeouts). The default client (see
+// defaultHTTPClient) bounds dialing, TLS handshakes and the wait for
+// response headers so a blackholed backend fails instead of hanging
+// forever; per-request deadlines still arrive via the context.
 func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// defaultTransport is shared by every Client built without
+// WithHTTPClient, so they pool connections together. Unlike
+// http.DefaultTransport it bounds every phase that can hang on a dead
+// or blackholed backend: dialing, the TLS handshake, and the wait for
+// response headers. There is deliberately NO whole-response timeout —
+// NDJSON streams are long-lived by design; cancel via the context.
+var defaultTransport = &http.Transport{
+	DialContext: (&net.Dialer{
+		Timeout:   5 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	TLSHandshakeTimeout:   5 * time.Second,
+	ResponseHeaderTimeout: 30 * time.Second,
+	ExpectContinueTimeout: 1 * time.Second,
+	MaxIdleConnsPerHost:   32,
+	IdleConnTimeout:       90 * time.Second,
+	ForceAttemptHTTP2:     true,
+}
+
+var defaultHTTPClient = &http.Client{Transport: defaultTransport}
 
 // New returns a Client against a sortnetd base URL such as
 // "http://localhost:8357".
 func New(baseURL string, opts ...Option) *Client {
-	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: defaultHTTPClient}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
 }
+
+// Unavailable is a backend that answered but declined the work: 429
+// (admission control shed the request) or 503 (draining). It is
+// transient by construction — the request never reached a verdict —
+// so a Pool retries it on another backend, honoring RetryAfter when
+// the server sent one.
+type Unavailable struct {
+	Status     int
+	RetryAfter time.Duration // 0 when the server sent no Retry-After
+	Msg        string
+}
+
+func (e *Unavailable) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("sortnetd: status %d: %s", e.Status, e.Msg)
+	}
+	return fmt.Sprintf("sortnetd: status %d", e.Status)
+}
+
+// unavailableStatus reports whether an HTTP status means "healthy
+// protocol, backend declining work right now".
+func unavailableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// retryAfter parses the response's Retry-After header (delta-seconds
+// form only; sortnetd never sends HTTP-dates).
+func retryAfter(resp *http.Response) time.Duration {
+	s := resp.Header.Get("Retry-After")
+	if s == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// retryHeader marks re-sent requests so the server's retries_seen
+// counter can attribute load to failover/retry traffic.
+const retryHeader = "X-Sortnetd-Retry"
 
 // Client implements sortnets.Doer.
 var _ sortnets.Doer = (*Client)(nil)
@@ -76,6 +144,13 @@ const maxResponseBytes = 8 << 20
 // decodes the Verdict. Source is taken from the X-Sortnetd-Cache
 // header, so cache observability matches the in-process Session.
 func (c *Client) Do(ctx context.Context, req sortnets.Request) (*sortnets.Verdict, error) {
+	return c.doAttempt(ctx, req, 0)
+}
+
+// doAttempt is Do with the retry attempt number (0 = first send); a
+// Pool's re-sends stamp it into the retry header so the server can
+// count failover traffic.
+func (c *Client) doAttempt(ctx context.Context, req sortnets.Request, attempt int) (*sortnets.Verdict, error) {
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
@@ -85,6 +160,9 @@ func (c *Client) Do(ctx context.Context, req sortnets.Request) (*sortnets.Verdic
 		return nil, err
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	if attempt > 0 {
+		httpReq.Header.Set(retryHeader, strconv.Itoa(attempt))
+	}
 	resp, err := c.hc.Do(httpReq)
 	if err != nil {
 		// Surface the caller's own cancellation as the bare context
@@ -106,7 +184,11 @@ func (c *Client) Do(ctx context.Context, req sortnets.Request) (*sortnets.Verdic
 		var e struct {
 			Error string `json:"error"`
 		}
-		if json.Unmarshal(body, &e) == nil && e.Error != "" && resp.StatusCode < 500 {
+		hasMsg := json.Unmarshal(body, &e) == nil && e.Error != ""
+		if unavailableStatus(resp.StatusCode) {
+			return nil, &Unavailable{Status: resp.StatusCode, RetryAfter: retryAfter(resp), Msg: e.Error}
+		}
+		if hasMsg && resp.StatusCode < 500 {
 			return nil, &sortnets.RequestError{Status: resp.StatusCode, Msg: e.Error}
 		}
 		return nil, fmt.Errorf("sortnetd: status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
@@ -127,6 +209,12 @@ func (c *Client) Do(ctx context.Context, req sortnets.Request) (*sortnets.Verdic
 // alongside the partial verdicts, and each verdict's Source carries
 // the per-line cache provenance (hit / coalesced / miss).
 func (c *Client) DoBatch(ctx context.Context, reqs []sortnets.Request) ([]*sortnets.Verdict, error) {
+	return c.doBatchAttempt(ctx, reqs, 0)
+}
+
+// doBatchAttempt is DoBatch with the retry attempt number (0 = first
+// send), stamped into the retry header on re-sends.
+func (c *Client) doBatchAttempt(ctx context.Context, reqs []sortnets.Request, attempt int) ([]*sortnets.Verdict, error) {
 	if len(reqs) == 0 {
 		return []*sortnets.Verdict{}, nil
 	}
@@ -137,7 +225,7 @@ func (c *Client) DoBatch(ctx context.Context, reqs []sortnets.Request) ([]*sortn
 		sc.body = sortnets.AppendRequest(sc.body, &reqs[i])
 		sc.body = append(sc.body, '\n')
 	}
-	resp, err := c.postNDJSON(ctx, bytes.NewReader(sc.body))
+	resp, err := c.postNDJSON(ctx, bytes.NewReader(sc.body), attempt)
 	if err != nil {
 		return nil, err
 	}
@@ -262,7 +350,7 @@ func (c *Client) Stream(ctx context.Context, next func() (sortnets.Request, bool
 			}
 		}
 	}()
-	resp, err := c.postNDJSON(ctx, pr)
+	resp, err := c.postNDJSON(ctx, pr, 0)
 	if err != nil {
 		pr.CloseWithError(err) // fail the producer's next pipe write
 		return err
@@ -296,12 +384,15 @@ func (c *Client) Stream(ctx context.Context, next func() (sortnets.Request, bool
 
 // postNDJSON opens the batch protocol round trip and validates the
 // response envelope.
-func (c *Client) postNDJSON(ctx context.Context, body io.Reader) (*http.Response, error) {
+func (c *Client) postNDJSON(ctx context.Context, body io.Reader, attempt int) (*http.Response, error) {
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/do", body)
 	if err != nil {
 		return nil, err
 	}
 	httpReq.Header.Set("Content-Type", "application/x-ndjson")
+	if attempt > 0 {
+		httpReq.Header.Set(retryHeader, strconv.Itoa(attempt))
+	}
 	resp, err := c.hc.Do(httpReq)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
@@ -312,6 +403,9 @@ func (c *Client) postNDJSON(ctx context.Context, body io.Reader) (*http.Response
 	if resp.StatusCode != http.StatusOK {
 		defer resp.Body.Close()
 		raw, _ := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+		if unavailableStatus(resp.StatusCode) {
+			return nil, &Unavailable{Status: resp.StatusCode, RetryAfter: retryAfter(resp), Msg: string(bytes.TrimSpace(raw))}
+		}
 		return nil, fmt.Errorf("sortnetd: batch status %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
 	}
 	return resp, nil

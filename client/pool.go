@@ -1,0 +1,586 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sortnets"
+)
+
+// Pool is the resilient face of the one request model: a
+// sortnets.Doer over N sortnetd replicas. Every operation is a pure
+// function of the request (verdicts are deterministic and
+// byte-identical across replicas, proven by the round-trip property
+// tests), so the Pool may re-send a request as aggressively as it
+// likes — to the same backend after a backoff, to the next healthy
+// backend on failover, or speculatively to a second backend as a
+// hedge — without ever changing the answer.
+//
+// Health plane: each backend carries a circuit breaker (closed →
+// open after consecutive failures → half-open trial → closed), fed
+// by live traffic AND by a background /healthz prober, so a replica
+// that dies is routed around within the breaker threshold and one
+// that recovers (or finishes draining) is readmitted within a probe
+// interval. Retries use capped exponential backoff with full jitter,
+// honour the caller's context deadline, and respect a server's
+// Retry-After when it sheds with 429 or declines with 503.
+//
+// DoBatch retries are PARTIAL: entries already answered keep their
+// verdicts, and only the failed remainder is re-sent — so one shed
+// line in a 256-entry batch costs one small follow-up round trip,
+// not a re-computation of the world.
+type Pool struct {
+	backends []*backend
+	cfg      poolConfig
+
+	rr      atomic.Uint64 // round-robin cursor
+	rngMu   sync.Mutex
+	rng     *rand.Rand // jitter source
+	now     func() time.Time
+	probeWG sync.WaitGroup
+	stop    chan struct{}
+	stopped sync.Once
+
+	retries     atomic.Int64 // re-sent attempts (beyond each first try)
+	failovers   atomic.Int64 // retries that switched backend
+	hedges      atomic.Int64 // speculative second sends launched
+	hedgeWins   atomic.Int64 // hedges whose response was used
+	unavailable atomic.Int64 // 429/503 responses observed
+}
+
+type backend struct {
+	url string
+	c   *Client
+	br  *breaker
+
+	requests   atomic.Int64
+	failures   atomic.Int64
+	probes     atomic.Int64
+	probeFails atomic.Int64
+}
+
+type poolConfig struct {
+	hc               *http.Client
+	maxAttempts      int
+	backoffBase      time.Duration
+	backoffCap       time.Duration
+	probeInterval    time.Duration
+	probeTimeout     time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	hedgeDelay       time.Duration
+	attemptTimeout   time.Duration
+	seed             int64
+}
+
+// PoolOption configures a Pool.
+type PoolOption func(*poolConfig)
+
+// WithPoolHTTPClient substitutes the *http.Client shared by every
+// backend (the per-backend default is the package default transport).
+func WithPoolHTTPClient(hc *http.Client) PoolOption {
+	return func(c *poolConfig) { c.hc = hc }
+}
+
+// WithMaxAttempts bounds the sends per logical Do/DoBatch, across all
+// backends (first try included). Default 6.
+func WithMaxAttempts(n int) PoolOption {
+	return func(c *poolConfig) { c.maxAttempts = n }
+}
+
+// WithBackoff sets the retry backoff's base and cap. Sleep before
+// attempt k is uniform in (0, min(cap, base·2^(k-1))] — full jitter —
+// floored by any server Retry-After. Defaults 5ms / 500ms.
+func WithBackoff(base, cap time.Duration) PoolOption {
+	return func(c *poolConfig) { c.backoffBase, c.backoffCap = base, cap }
+}
+
+// WithHealthInterval sets the background /healthz probe cadence;
+// 0 disables probing (breakers then learn only from live traffic).
+// Default 500ms.
+func WithHealthInterval(d time.Duration) PoolOption {
+	return func(c *poolConfig) { c.probeInterval = d }
+}
+
+// WithBreaker tunes the per-backend circuit breaker: consecutive
+// failures to open, and the open → half-open cooldown. Defaults 3 /
+// 500ms.
+func WithBreaker(threshold int, cooldown time.Duration) PoolOption {
+	return func(c *poolConfig) { c.breakerThreshold, c.breakerCooldown = threshold, cooldown }
+}
+
+// WithHedge enables hedged single-shot reads: if a Do's primary send
+// has not answered within d, the same request is speculatively sent
+// to a second healthy backend and the first answer wins. Idempotency
+// makes this safe; the tail-latency win costs at most one duplicate
+// compute (usually a cache hit on the loser). 0 disables (default).
+func WithHedge(d time.Duration) PoolOption {
+	return func(c *poolConfig) { c.hedgeDelay = d }
+}
+
+// WithAttemptTimeout bounds each individual send; 0 (default) leaves
+// only the caller's context and the transport's header timeout. Set
+// it when retrying elsewhere beats waiting out a slow backend.
+func WithAttemptTimeout(d time.Duration) PoolOption {
+	return func(c *poolConfig) { c.attemptTimeout = d }
+}
+
+// WithJitterSeed seeds the backoff jitter (default 1; any fixed seed
+// makes retry schedules reproducible for tests and chaos campaigns).
+func WithJitterSeed(seed int64) PoolOption {
+	return func(c *poolConfig) { c.seed = seed }
+}
+
+// NewPool builds a Pool over the given sortnetd base URLs and starts
+// its health prober (stop it with Close).
+func NewPool(urls []string, opts ...PoolOption) (*Pool, error) {
+	if len(urls) == 0 {
+		return nil, errors.New("client: pool needs at least one backend URL")
+	}
+	cfg := poolConfig{
+		maxAttempts:      6,
+		backoffBase:      5 * time.Millisecond,
+		backoffCap:       500 * time.Millisecond,
+		probeInterval:    500 * time.Millisecond,
+		probeTimeout:     2 * time.Second,
+		breakerThreshold: 3,
+		breakerCooldown:  500 * time.Millisecond,
+		seed:             1,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.maxAttempts < 1 {
+		cfg.maxAttempts = 1
+	}
+	if cfg.backoffBase <= 0 {
+		cfg.backoffBase = time.Millisecond
+	}
+	if cfg.backoffCap < cfg.backoffBase {
+		cfg.backoffCap = cfg.backoffBase
+	}
+	p := &Pool{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.seed)),
+		now:  time.Now,
+		stop: make(chan struct{}),
+	}
+	for _, u := range urls {
+		var copts []Option
+		if cfg.hc != nil {
+			copts = append(copts, WithHTTPClient(cfg.hc))
+		}
+		p.backends = append(p.backends, &backend{
+			url: u,
+			c:   New(u, copts...),
+			br:  newBreaker(cfg.breakerThreshold, cfg.breakerCooldown),
+		})
+	}
+	if cfg.probeInterval > 0 {
+		p.probeWG.Add(1)
+		go p.probeLoop()
+	}
+	return p, nil
+}
+
+// Pool implements sortnets.Doer.
+var _ sortnets.Doer = (*Pool)(nil)
+
+// Close stops the health prober. In-flight requests finish normally.
+func (p *Pool) Close() {
+	p.stopped.Do(func() { close(p.stop) })
+	p.probeWG.Wait()
+}
+
+// probeLoop probes every backend's /healthz each interval. Probe
+// outcomes drive the same breakers as live traffic: a dead backend
+// opens without costing a caller, a recovered one closes within one
+// interval. Ticks overlap-protect themselves: a slow probe round
+// simply absorbs the next tick.
+func (p *Pool) probeLoop() {
+	defer p.probeWG.Done()
+	t := time.NewTicker(p.cfg.probeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			var wg sync.WaitGroup
+			for _, b := range p.backends {
+				wg.Add(1)
+				go func(b *backend) {
+					defer wg.Done()
+					p.probe(b)
+				}(b)
+			}
+			wg.Wait()
+		}
+	}
+}
+
+func (p *Pool) probe(b *backend) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.probeTimeout)
+	defer cancel()
+	b.probes.Add(1)
+	if err := b.c.Healthz(ctx); err != nil {
+		b.probeFails.Add(1)
+		b.br.Failure(p.now())
+		return
+	}
+	b.br.Success()
+}
+
+// pick chooses the backend for one attempt: round-robin over backends
+// whose breaker admits traffic, avoiding the backend that just failed
+// when any alternative exists. With every breaker open it still
+// returns SOMETHING — a forced attempt doubles as a live probe, so an
+// all-down pool recovers the instant any replica does.
+func (p *Pool) pick(avoid *backend) *backend {
+	n := len(p.backends)
+	start := int(p.rr.Add(1)-1) % n
+	now := p.now()
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < n; i++ {
+			b := p.backends[(start+i)%n]
+			if pass == 0 && (b == avoid && n > 1 || !b.br.Allow(now)) {
+				continue // healthy backends that aren't the one that just failed
+			}
+			if pass == 1 && b == avoid && n > 1 {
+				continue // any backend but the failed one
+			}
+			return b
+		}
+	}
+	return p.backends[start]
+}
+
+// retryable reports whether an error may be cured by re-sending:
+// transport failures, 5xx, and 429/503 sheds are; a semantic
+// *sortnets.RequestError (the request itself is wrong) is not.
+func retryable(err error) bool {
+	var re *sortnets.RequestError
+	if errors.As(err, &re) {
+		return re.Status == http.StatusTooManyRequests || re.Status >= 500
+	}
+	return true
+}
+
+// sleep blocks for the attempt's backoff: full jitter over the capped
+// exponential window, floored by the server's Retry-After, aborted by
+// ctx.
+func (p *Pool) sleep(ctx context.Context, attempt int, floor time.Duration) error {
+	d := p.cfg.backoffCap
+	if shift := attempt - 1; shift < 20 { // beyond 2^20·base the cap rules anyway
+		if w := p.cfg.backoffBase << shift; w < d {
+			d = w
+		}
+	}
+	p.rngMu.Lock()
+	d = time.Duration(p.rng.Int63n(int64(d)) + 1)
+	p.rngMu.Unlock()
+	if d < floor {
+		d = floor
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// observe folds one exchange's outcome into the backend's breaker and
+// counters, and extracts the Retry-After floor for the next backoff.
+func (p *Pool) observe(b *backend, err error) (floor time.Duration) {
+	if err == nil {
+		b.br.Success()
+		return 0
+	}
+	var ua *Unavailable
+	if errors.As(err, &ua) {
+		p.unavailable.Add(1)
+		b.failures.Add(1)
+		b.br.Failure(p.now())
+		return ua.RetryAfter
+	}
+	var re *sortnets.RequestError
+	if errors.As(err, &re) && re.Status < 500 && re.Status != http.StatusTooManyRequests {
+		// A semantic rejection is a HEALTHY backend: the wire worked.
+		b.br.Success()
+		return 0
+	}
+	b.failures.Add(1)
+	b.br.Failure(p.now())
+	return 0
+}
+
+// sendOne performs one single-shot attempt against one backend.
+func (p *Pool) sendOne(ctx context.Context, b *backend, req sortnets.Request, attempt int) (*sortnets.Verdict, time.Duration, error) {
+	actx := ctx
+	if p.cfg.attemptTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, p.cfg.attemptTimeout)
+		defer cancel()
+	}
+	b.requests.Add(1)
+	v, err := b.c.doAttempt(actx, req, attempt)
+	floor := p.observe(b, err)
+	return v, floor, err
+}
+
+// Do renders one verdict through the pool: pick a healthy backend,
+// send, and on a retryable failure back off and fail over — the
+// request is idempotent, so re-sending is always safe. With hedging
+// enabled, a slow primary is raced by a second backend.
+func (p *Pool) Do(ctx context.Context, req sortnets.Request) (*sortnets.Verdict, error) {
+	var lastErr error
+	var prev *backend
+	var floor time.Duration
+	for attempt := 0; attempt < p.cfg.maxAttempts; attempt++ {
+		if attempt > 0 {
+			p.retries.Add(1)
+			if err := p.sleep(ctx, attempt, floor); err != nil {
+				return nil, err
+			}
+		}
+		b := p.pick(prev)
+		if prev != nil && b != prev {
+			p.failovers.Add(1)
+		}
+		var v *sortnets.Verdict
+		var err error
+		if p.cfg.hedgeDelay > 0 {
+			v, floor, err = p.sendHedged(ctx, b, req, attempt)
+		} else {
+			v, floor, err = p.sendOne(ctx, b, req, attempt)
+		}
+		if err == nil {
+			return v, nil
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		if !retryable(err) {
+			return nil, err
+		}
+		lastErr, prev = err, b
+	}
+	return nil, fmt.Errorf("client: %d attempts exhausted: %w", p.cfg.maxAttempts, lastErr)
+}
+
+// sendHedged races the primary against one speculative send to a
+// second healthy backend, launched if the primary hasn't answered
+// within the hedge delay. First usable answer wins; the loser is
+// cancelled through the shared context.
+func (p *Pool) sendHedged(ctx context.Context, primary *backend, req sortnets.Request, attempt int) (*sortnets.Verdict, time.Duration, error) {
+	type result struct {
+		v     *sortnets.Verdict
+		floor time.Duration
+		err   error
+		from  *backend
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan result, 2)
+	launch := func(b *backend) {
+		go func() {
+			v, floor, err := p.sendOne(hctx, b, req, attempt)
+			ch <- result{v, floor, err, b}
+		}()
+	}
+	launch(primary)
+	outstanding := 1
+	timer := time.NewTimer(p.cfg.hedgeDelay)
+	defer timer.Stop()
+	var lastErr result
+	for {
+		select {
+		case <-timer.C:
+			if hb := p.pick(primary); hb != primary {
+				p.hedges.Add(1)
+				launch(hb)
+				outstanding++
+			}
+		case r := <-ch:
+			outstanding--
+			if r.err == nil || !retryable(r.err) {
+				if r.err == nil && r.from != primary {
+					p.hedgeWins.Add(1)
+				}
+				return r.v, r.floor, r.err
+			}
+			lastErr = r
+			if outstanding == 0 {
+				return nil, lastErr.floor, lastErr.err
+			}
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		}
+	}
+}
+
+// entryRetryable reports whether a per-entry batch error may be cured
+// by re-sending that entry: per-line sheds (429) and server-side
+// failures (5xx, panic lines, compute timeouts) are; semantic 4xx are
+// final.
+func entryRetryable(err error) bool {
+	var re *sortnets.RequestError
+	if errors.As(err, &re) {
+		return re.Status == http.StatusTooManyRequests || re.Status >= 500
+	}
+	return true
+}
+
+// DoBatch renders a whole batch through the pool with partial retry:
+// entries that already have verdicts keep them, and only the failed
+// remainder is re-sent (to the next healthy backend) each round. The
+// result keeps Session.DoBatch's contract — index-aligned with reqs,
+// per-entry failures inside a *sortnets.BatchError.
+func (p *Pool) DoBatch(ctx context.Context, reqs []sortnets.Request) ([]*sortnets.Verdict, error) {
+	if len(reqs) == 0 {
+		return []*sortnets.Verdict{}, nil
+	}
+	out := make([]*sortnets.Verdict, len(reqs))
+	finalErrs := make([]error, len(reqs))
+	pending := make([]int, len(reqs))
+	for i := range pending {
+		pending[i] = i
+	}
+	var lastErr error
+	var prev *backend
+	var floor time.Duration
+	sub := make([]sortnets.Request, 0, len(reqs))
+	for attempt := 0; attempt < p.cfg.maxAttempts && len(pending) > 0; attempt++ {
+		if attempt > 0 {
+			p.retries.Add(1)
+			if err := p.sleep(ctx, attempt, floor); err != nil {
+				return nil, err
+			}
+		}
+		b := p.pick(prev)
+		if prev != nil && b != prev {
+			p.failovers.Add(1)
+		}
+		sub = sub[:0]
+		for _, idx := range pending {
+			sub = append(sub, reqs[idx])
+		}
+		actx := ctx
+		var cancel context.CancelFunc
+		if p.cfg.attemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, p.cfg.attemptTimeout)
+		}
+		b.requests.Add(1)
+		vs, err := b.c.doBatchAttempt(actx, sub, attempt)
+		if cancel != nil {
+			cancel()
+		}
+		var be *sortnets.BatchError
+		switch {
+		case err == nil:
+			p.observe(b, nil)
+			for k, idx := range pending {
+				out[idx], finalErrs[idx] = vs[k], nil
+			}
+			pending = pending[:0]
+		case errors.As(err, &be):
+			// A healthy response with per-entry outcomes: keep the
+			// successes, requeue only the transient failures.
+			p.observe(b, nil)
+			next := pending[:0]
+			for k, idx := range pending {
+				switch {
+				case be.Errs[k] == nil:
+					out[idx], finalErrs[idx] = vs[k], nil
+				case entryRetryable(be.Errs[k]):
+					finalErrs[idx] = be.Errs[k]
+					next = append(next, idx)
+				default:
+					finalErrs[idx] = be.Errs[k]
+				}
+			}
+			pending = next
+			lastErr, prev = err, b
+		default:
+			floor = p.observe(b, err)
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			lastErr, prev = err, b
+		}
+	}
+	failed := false
+	for _, idx := range pending {
+		if finalErrs[idx] == nil {
+			finalErrs[idx] = lastErr
+		}
+	}
+	for i := range finalErrs {
+		if finalErrs[i] != nil {
+			// Wrap non-Request errors so BatchError consumers get the
+			// typed per-entry shape they already handle.
+			var re *sortnets.RequestError
+			if !errors.As(finalErrs[i], &re) {
+				finalErrs[i] = &sortnets.RequestError{Status: http.StatusBadGateway, Msg: finalErrs[i].Error()}
+			}
+			failed = true
+		}
+	}
+	if failed {
+		return out, &sortnets.BatchError{Errs: finalErrs}
+	}
+	return out, nil
+}
+
+// BackendStats is one backend's slice of PoolStats.
+type BackendStats struct {
+	URL        string `json:"url"`
+	State      string `json:"state"` // closed | open | half-open
+	Requests   int64  `json:"requests"`
+	Failures   int64  `json:"failures"`
+	Probes     int64  `json:"probes"`
+	ProbeFails int64  `json:"probe_fails"`
+}
+
+// PoolStats is a point-in-time snapshot of the pool's resilience
+// counters.
+type PoolStats struct {
+	Backends    []BackendStats `json:"backends"`
+	Retries     int64          `json:"retries"`
+	Failovers   int64          `json:"failovers"`
+	Hedges      int64          `json:"hedges"`
+	HedgeWins   int64          `json:"hedge_wins"`
+	Unavailable int64          `json:"unavailable"`
+}
+
+// Stats snapshots the pool.
+func (p *Pool) Stats() PoolStats {
+	st := PoolStats{
+		Retries:     p.retries.Load(),
+		Failovers:   p.failovers.Load(),
+		Hedges:      p.hedges.Load(),
+		HedgeWins:   p.hedgeWins.Load(),
+		Unavailable: p.unavailable.Load(),
+	}
+	now := p.now()
+	for _, b := range p.backends {
+		st.Backends = append(st.Backends, BackendStats{
+			URL:        b.url,
+			State:      b.br.State(now),
+			Requests:   b.requests.Load(),
+			Failures:   b.failures.Load(),
+			Probes:     b.probes.Load(),
+			ProbeFails: b.probeFails.Load(),
+		})
+	}
+	return st
+}

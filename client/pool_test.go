@@ -1,0 +1,411 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sortnets"
+)
+
+// TestBreakerStateMachine walks the full circuit: closed holds through
+// threshold-1 failures, opens on the threshold-th, refuses while the
+// cooldown runs, admits exactly one half-open trial after it, re-opens
+// on a failed trial and closes on a successful one.
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(3, 100*time.Millisecond)
+
+	if !b.Allow(now) {
+		t.Fatal("new breaker must be closed")
+	}
+	b.Failure(now)
+	b.Failure(now)
+	if !b.Allow(now) {
+		t.Fatal("two of three failures must not open the breaker")
+	}
+	b.Success()
+	b.Failure(now)
+	b.Failure(now)
+	if !b.Allow(now) {
+		t.Fatal("Success must reset the consecutive-failure count")
+	}
+
+	// Third consecutive failure: open.
+	b.Failure(now)
+	b.Failure(now)
+	b.Failure(now)
+	if b.Allow(now) {
+		t.Fatal("threshold consecutive failures must open the breaker")
+	}
+	if got := b.State(now); got != "open" {
+		t.Fatalf("state = %q, want open", got)
+	}
+	if b.Allow(now.Add(99 * time.Millisecond)) {
+		t.Fatal("breaker admitted traffic before the cooldown elapsed")
+	}
+
+	// Cooldown over: exactly one trial is admitted.
+	later := now.Add(100 * time.Millisecond)
+	if !b.Allow(later) {
+		t.Fatal("cooldown elapsed: the trial must be admitted")
+	}
+	if b.Allow(later) {
+		t.Fatal("half-open must admit only ONE trial at a time")
+	}
+	if got := b.State(later); got != "half-open" {
+		t.Fatalf("state = %q, want half-open", got)
+	}
+
+	// Failed trial: open again, full cooldown restarts.
+	b.Failure(later)
+	if b.Allow(later.Add(99 * time.Millisecond)) {
+		t.Fatal("failed trial must restart the cooldown")
+	}
+	again := later.Add(100 * time.Millisecond)
+	if !b.Allow(again) {
+		t.Fatal("second cooldown elapsed: trial must be admitted")
+	}
+
+	// Successful trial: closed, failures forgotten.
+	b.Success()
+	if got := b.State(again); got != "closed" {
+		t.Fatalf("state = %q, want closed", got)
+	}
+	b.Failure(again)
+	b.Failure(again)
+	if !b.Allow(again) {
+		t.Fatal("counts from before the close must not linger")
+	}
+}
+
+// verdictHandler answers every /do POST with a fixed verdict and 200s
+// the /healthz probe.
+func verdictHandler(digest string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
+		json.NewEncoder(w).Encode(&sortnets.Verdict{Op: "verify", Digest: digest})
+	})
+}
+
+// TestPoolFailoverOn500: a backend answering 500 is abandoned and the
+// request re-sent to the healthy one — same verdict, one failover.
+func TestPoolFailoverOn500(t *testing.T) {
+	var badHits atomic.Int64
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		badHits.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	good := httptest.NewServer(verdictHandler("d-good"))
+	defer good.Close()
+
+	p, err := NewPool([]string{bad.URL, good.URL},
+		WithHealthInterval(0), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	v, err := p.Do(context.Background(), sortnets.Request{Network: "n=2: [1,2]"})
+	if err != nil {
+		t.Fatalf("Do through a half-broken pool: %v", err)
+	}
+	if v.Digest != "d-good" {
+		t.Fatalf("verdict digest %q, want d-good", v.Digest)
+	}
+	if badHits.Load() != 1 {
+		t.Errorf("bad backend hit %d times, want exactly 1 (then failover)", badHits.Load())
+	}
+	st := p.Stats()
+	if st.Failovers < 1 || st.Retries < 1 {
+		t.Errorf("stats %+v: want at least one retry and one failover", st)
+	}
+}
+
+// TestPoolRetriesShed429: 429 sheds are transient — the pool backs off
+// and re-sends until the backend admits the request, counting each
+// shed as unavailable.
+func TestPoolRetriesShed429(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"server saturated"}`, http.StatusTooManyRequests)
+			return
+		}
+		if got := r.Header.Get("X-Sortnetd-Retry"); got == "" {
+			t.Error("re-sent request missing the retry header")
+		}
+		json.NewEncoder(w).Encode(&sortnets.Verdict{Op: "verify", Digest: "d-after-shed"})
+	}))
+	defer srv.Close()
+
+	p, err := NewPool([]string{srv.URL},
+		WithHealthInterval(0), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	v, err := p.Do(context.Background(), sortnets.Request{Network: "n=2: [1,2]"})
+	if err != nil {
+		t.Fatalf("Do against a shedding backend: %v", err)
+	}
+	if v.Digest != "d-after-shed" {
+		t.Fatalf("digest %q, want d-after-shed", v.Digest)
+	}
+	if st := p.Stats(); st.Unavailable != 2 || st.Retries != 2 {
+		t.Errorf("stats %+v: want unavailable=2 retries=2", st)
+	}
+}
+
+// TestPoolSemanticErrorNotRetried: a 400 means the request itself is
+// wrong — re-sending cannot cure it, so the pool must not try.
+func TestPoolSemanticErrorNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"bad network"}`, http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	p, err := NewPool([]string{srv.URL}, WithHealthInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	_, err = p.Do(context.Background(), sortnets.Request{Network: "nonsense"})
+	var re *sortnets.RequestError
+	if !errors.As(err, &re) || re.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want *sortnets.RequestError status 400", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("backend hit %d times for a semantic error, want 1", calls.Load())
+	}
+}
+
+// TestPoolBatchPartialRetry: one shed line in a batch costs one small
+// follow-up round trip carrying ONLY the failed entry; the verdicts
+// already delivered are kept.
+func TestPoolBatchPartialRetry(t *testing.T) {
+	var call atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := call.Add(1)
+		var reqs []sortnets.Request
+		dec := json.NewDecoder(r.Body)
+		for {
+			var req sortnets.Request
+			if err := dec.Decode(&req); err != nil {
+				break
+			}
+			reqs = append(reqs, req)
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		var out []byte
+		for _, req := range reqs {
+			line := sortnets.BatchVerdict{ID: req.ID}
+			if n == 1 && req.ID == "b" {
+				line.Error = &sortnets.RequestError{Status: http.StatusTooManyRequests, Msg: "shed"}
+			} else {
+				line.Verdict = &sortnets.Verdict{ID: req.ID, Op: "verify", Digest: "d-" + req.ID}
+			}
+			out = sortnets.AppendBatchVerdict(out, &line)
+			out = append(out, '\n')
+		}
+		if n == 2 {
+			if len(reqs) != 1 || reqs[0].ID != "b" {
+				t.Errorf("retry round carried %d entries %v, want only the failed one", len(reqs), reqs)
+			}
+			if r.Header.Get("X-Sortnetd-Retry") == "" {
+				t.Error("batch re-send missing the retry header")
+			}
+		}
+		w.Write(out)
+	}))
+	defer srv.Close()
+
+	p, err := NewPool([]string{srv.URL},
+		WithHealthInterval(0), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	reqs := []sortnets.Request{
+		{ID: "a", Network: "n=2: [1,2]"},
+		{ID: "b", Network: "n=2: [1,2]"},
+		{ID: "c", Network: "n=2: [1,2]"},
+	}
+	vs, err := p.DoBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatalf("DoBatch with a retryable entry: %v", err)
+	}
+	for i, want := range []string{"d-a", "d-b", "d-c"} {
+		if vs[i] == nil || vs[i].Digest != want {
+			t.Errorf("verdict %d = %+v, want digest %s", i, vs[i], want)
+		}
+	}
+	if call.Load() != 2 {
+		t.Errorf("backend saw %d rounds, want 2 (batch + partial retry)", call.Load())
+	}
+}
+
+// TestPoolBatchSemanticEntryFinal: a 400 entry is not re-sent — it
+// comes back inside the BatchError while its siblings keep verdicts.
+func TestPoolBatchSemanticEntryFinal(t *testing.T) {
+	var call atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		call.Add(1)
+		var reqs []sortnets.Request
+		dec := json.NewDecoder(r.Body)
+		for {
+			var req sortnets.Request
+			if err := dec.Decode(&req); err != nil {
+				break
+			}
+			reqs = append(reqs, req)
+		}
+		var out []byte
+		for _, req := range reqs {
+			line := sortnets.BatchVerdict{ID: req.ID}
+			if req.ID == "bad" {
+				line.Error = &sortnets.RequestError{Status: http.StatusBadRequest, Msg: "bad network"}
+			} else {
+				line.Verdict = &sortnets.Verdict{ID: req.ID, Op: "verify", Digest: "d-" + req.ID}
+			}
+			out = sortnets.AppendBatchVerdict(out, &line)
+			out = append(out, '\n')
+		}
+		w.Write(out)
+	}))
+	defer srv.Close()
+
+	p, err := NewPool([]string{srv.URL}, WithHealthInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	vs, err := p.DoBatch(context.Background(), []sortnets.Request{
+		{ID: "ok", Network: "n=2: [1,2]"},
+		{ID: "bad", Network: "nonsense"},
+	})
+	var be *sortnets.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *sortnets.BatchError", err)
+	}
+	if vs[0] == nil || vs[0].Digest != "d-ok" {
+		t.Errorf("healthy sibling verdict = %+v, want d-ok", vs[0])
+	}
+	var re *sortnets.RequestError
+	if !errors.As(be.Errs[1], &re) || re.Status != http.StatusBadRequest {
+		t.Errorf("entry error = %v, want status 400", be.Errs[1])
+	}
+	if call.Load() != 1 {
+		t.Errorf("backend saw %d rounds for a semantic failure, want 1", call.Load())
+	}
+}
+
+// TestPoolHedgedRead: with hedging on, a slow primary is raced by a
+// second backend and the fast answer wins well before the primary
+// would have returned.
+func TestPoolHedgedRead(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
+		time.Sleep(400 * time.Millisecond)
+		json.NewEncoder(w).Encode(&sortnets.Verdict{Op: "verify", Digest: "d-slow"})
+	}))
+	defer slow.Close()
+	fast := httptest.NewServer(verdictHandler("d-fast"))
+	defer fast.Close()
+
+	// The round-robin cursor starts at the first backend, so the slow
+	// replica is the primary of the first Do.
+	p, err := NewPool([]string{slow.URL, fast.URL},
+		WithHealthInterval(0), WithHedge(20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	start := time.Now()
+	v, err := p.Do(context.Background(), sortnets.Request{Network: "n=2: [1,2]"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Digest != "d-fast" {
+		t.Fatalf("digest %q, want the hedge's d-fast", v.Digest)
+	}
+	if elapsed := time.Since(start); elapsed > 300*time.Millisecond {
+		t.Errorf("hedged Do took %v, should beat the %v primary", elapsed, 400*time.Millisecond)
+	}
+	if st := p.Stats(); st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Errorf("stats %+v: want hedges=1 hedge_wins=1", st)
+	}
+}
+
+// TestPoolProbeDrivesBreaker: the background /healthz prober opens the
+// breaker of a dead backend without costing any caller a request, and
+// readmits it within a probe interval of its recovery.
+func TestPoolProbeDrivesBreaker(t *testing.T) {
+	var healthy atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" && !healthy.Load() {
+			http.Error(w, `{"status":"draining"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer srv.Close()
+
+	p, err := NewPool([]string{srv.URL},
+		WithHealthInterval(10*time.Millisecond), WithBreaker(2, 20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	waitState := func(want string) {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		for {
+			if st := p.Stats(); st.Backends[0].State == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("backend never reached state %q: %+v", want, p.Stats())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitState("open") // probes alone must open it
+	healthy.Store(true)
+	waitState("closed") // and readmit it on recovery
+
+	if st := p.Stats(); st.Backends[0].Probes == 0 || st.Backends[0].ProbeFails == 0 {
+		t.Errorf("probe counters missing: %+v", st.Backends[0])
+	}
+}
+
+// TestPoolNeedsBackends: an empty URL list is a construction error.
+func TestPoolNeedsBackends(t *testing.T) {
+	if _, err := NewPool(nil); err == nil {
+		t.Fatal("NewPool(nil) must fail")
+	}
+	if _, err := NewPool([]string{}); err == nil {
+		t.Fatal("NewPool(empty) must fail")
+	}
+}

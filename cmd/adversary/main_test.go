@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"net/http/httptest"
+	"regexp"
 	"strings"
 	"testing"
 	"time"
 
+	"sortnets/internal/chaos"
 	"sortnets/internal/serve"
 )
 
@@ -45,11 +47,13 @@ func TestLoadModeAgainstLiveService(t *testing.T) {
 
 	var sb strings.Builder
 	// 40 requests over 4 distinct networks: most must be cache hits.
-	if err := loadRun(context.Background(), &sb, ts.URL, 40, 4, 6, 8, 4, 1, 1); err != nil {
+	cfg := loadCfg{targets: []string{ts.URL}, requests: 40, concurrency: 4,
+		n: 6, size: 8, distinct: 4, batch: 1, seed: 1}
+	if err := loadRun(context.Background(), &sb, cfg); err != nil {
 		t.Fatalf("loadRun: %v\n%s", err, sb.String())
 	}
 	out := sb.String()
-	for _, frag := range []string{"req/s", "0 errors", "server /stats"} {
+	for _, frag := range []string{"req/s", "0 failed", "verdict checksum", "server /stats"} {
 		if !strings.Contains(out, frag) {
 			t.Errorf("missing %q in:\n%s", frag, out)
 		}
@@ -65,7 +69,7 @@ func TestLoadModeAgainstLiveService(t *testing.T) {
 
 // TestLoadModeBatchAgainstLiveService is the CI batch-path smoke
 // step: the pipelined -batch mode against an in-process sortnetd,
-// all-miss (every request distinct), must complete with zero errors
+// all-miss (every request distinct), must complete with zero failures
 // and actually exercise the server's dedup/grouped machinery.
 func TestLoadModeBatchAgainstLiveService(t *testing.T) {
 	s := serve.NewService(serve.Config{Workers: 2})
@@ -77,11 +81,13 @@ func TestLoadModeBatchAgainstLiveService(t *testing.T) {
 
 	var sb strings.Builder
 	// 60 distinct networks in batches of 20: all computed, grouped.
-	if err := loadRun(context.Background(), &sb, ts.URL, 60, 2, 6, 8, 60, 20, 1); err != nil {
+	cfg := loadCfg{targets: []string{ts.URL}, requests: 60, concurrency: 2,
+		n: 6, size: 8, distinct: 60, batch: 20, seed: 1}
+	if err := loadRun(context.Background(), &sb, cfg); err != nil {
 		t.Fatalf("loadRun -batch: %v\n%s", err, sb.String())
 	}
 	out := sb.String()
-	for _, frag := range []string{"batch=20", "req/s", "0 errors", "server /stats"} {
+	for _, frag := range []string{"batch=20", "req/s", "0 failed", "server /stats"} {
 		if !strings.Contains(out, frag) {
 			t.Errorf("missing %q in:\n%s", frag, out)
 		}
@@ -97,11 +103,28 @@ func TestLoadModeBatchAgainstLiveService(t *testing.T) {
 
 func TestLoadModeValidation(t *testing.T) {
 	var sb strings.Builder
-	if err := loadRun(context.Background(), &sb, "http://127.0.0.1:1", 0, 1, 6, 8, 1, 1, 1); err == nil {
+	base := loadCfg{targets: []string{"http://127.0.0.1:1"}, requests: 1,
+		concurrency: 1, n: 6, size: 8, distinct: 1, batch: 1, seed: 1}
+
+	cfg := base
+	cfg.requests = 0
+	if err := loadRun(context.Background(), &sb, cfg); err == nil {
 		t.Error("zero requests should error")
 	}
-	if err := loadRun(context.Background(), &sb, "http://127.0.0.1:1", 1, 1, 1, 8, 1, 1, 1); err == nil {
+	cfg = base
+	cfg.n = 1
+	if err := loadRun(context.Background(), &sb, cfg); err == nil {
 		t.Error("n=1 should error")
+	}
+	cfg = base
+	cfg.targets = nil
+	if err := loadRun(context.Background(), &sb, cfg); err == nil {
+		t.Error("no targets should error")
+	}
+	cfg = base
+	cfg.chaosSpec = "explode@0.5"
+	if err := loadRun(context.Background(), &sb, cfg); err == nil {
+		t.Error("unknown chaos fault should error")
 	}
 }
 
@@ -131,8 +154,119 @@ func TestLoadModeDeadline(t *testing.T) {
 	defer cancel()
 	<-ctx.Done()
 	var sb strings.Builder
-	err := loadRun(ctx, &sb, ts.URL, 50, 2, 6, 8, 2, 1, 1)
+	cfg := loadCfg{targets: []string{ts.URL}, requests: 50, concurrency: 2,
+		n: 6, size: 8, distinct: 2, batch: 1, seed: 1}
+	err := loadRun(ctx, &sb, cfg)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("want deadline error, got %v", err)
+	}
+}
+
+// TestParseChaosPlan covers the -chaos spec grammar.
+func TestParseChaosPlan(t *testing.T) {
+	plan, err := parseChaosPlan("latency=5ms@0.5, reset@0.02,truncate@0.01,partial@0.2,blackhole@0.003", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 7 || plan.Latency != 5*time.Millisecond || plan.LatencyProb != 0.5 ||
+		plan.ResetProb != 0.02 || plan.TruncateProb != 0.01 ||
+		plan.PartialProb != 0.2 || plan.BlackholeProb != 0.003 {
+		t.Errorf("plan = %+v", plan)
+	}
+	for _, bad := range []string{"latency@0.5", "reset@1.5", "reset", "warp@0.1", "latency=xyz@0.5"} {
+		if _, err := parseChaosPlan(bad, 1); err == nil {
+			t.Errorf("spec %q should fail to parse", bad)
+		}
+	}
+}
+
+var checksumRE = regexp.MustCompile(`verdict checksum ([0-9a-f]{16}) over (\d+) verdicts`)
+
+func extractChecksum(t *testing.T, out string) string {
+	t.Helper()
+	m := checksumRE.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no checksum line in:\n%s", out)
+	}
+	return m[1]
+}
+
+// TestChaosFailoverCampaign is the acceptance run for the resilience
+// plane: a batched load run against TWO sortnetd replicas behind a
+// client.Pool, with one replica killed and restarted mid-run (via the
+// chaos proxy), must complete with ZERO failed requests and a verdict
+// checksum byte-identical to a fault-free run of the same seed.
+func TestChaosFailoverCampaign(t *testing.T) {
+	sA := serve.NewService(serve.Config{Workers: 2, CacheSize: 256})
+	tsA := httptest.NewServer(sA.Handler())
+	sB := serve.NewService(serve.Config{Workers: 2, CacheSize: 256})
+	tsB := httptest.NewServer(sB.Handler())
+	defer func() {
+		tsA.Close()
+		tsB.Close()
+		sA.Close()
+		sB.Close()
+	}()
+
+	cfg := loadCfg{targets: []string{tsA.URL, tsB.URL}, requests: 600,
+		concurrency: 4, n: 6, size: 8, distinct: 12, batch: 8, seed: 99}
+
+	// Fault-free reference run: both replicas healthy throughout.
+	var ref strings.Builder
+	if err := loadRun(context.Background(), &ref, cfg); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, ref.String())
+	}
+	if !strings.Contains(ref.String(), " 0 failed") {
+		t.Fatalf("reference run had failures:\n%s", ref.String())
+	}
+	want := extractChecksum(t, ref.String())
+
+	// Chaos run: same seed and request set, but through per-replica
+	// fault proxies (latency stretches the run so the kill window
+	// lands mid-flight), and replica A is killed and restarted.
+	pA, err := chaos.New(hostport(tsA.URL), chaos.Plan{Seed: 5, Latency: 2 * time.Millisecond, LatencyProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pA.Close()
+	pB, err := chaos.New(hostport(tsB.URL), chaos.Plan{Seed: 5, Latency: 2 * time.Millisecond, LatencyProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pB.Close()
+
+	chaosCfg := cfg
+	chaosCfg.targets = []string{pA.URL(), pB.URL()}
+	var out strings.Builder
+	done := make(chan error, 1)
+	go func() { done <- loadRun(context.Background(), &out, chaosCfg) }()
+
+	// Kill A once it is carrying traffic; restore it while the run is
+	// still going so it can be readmitted.
+	deadline := time.Now().Add(5 * time.Second)
+	for pA.Stats().Conns < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("replica A never saw traffic")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	pA.Kill()
+	time.Sleep(80 * time.Millisecond)
+	pA.Restore()
+
+	if err := <-done; err != nil {
+		t.Fatalf("chaos run: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, " 0 failed") {
+		t.Fatalf("chaos run lost requests:\n%s", s)
+	}
+	if got := extractChecksum(t, s); got != want {
+		t.Fatalf("verdict checksum diverged under chaos: %s vs fault-free %s\n%s", got, want, s)
+	}
+	// The campaign must actually have bitten: the pool had to retry.
+	m := regexp.MustCompile(`pool: (\d+) retries`).FindStringSubmatch(s)
+	if m == nil || m[1] == "0" {
+		t.Errorf("kill/restart drew no retries — campaign did not exercise failover:\n%s", s)
 	}
 }

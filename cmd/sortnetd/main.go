@@ -46,6 +46,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"sortnets/internal/eval"
 	"sortnets/internal/serve"
@@ -60,6 +61,11 @@ func main() {
 	maxFaultLines := flag.Int("max-fault-lines", 12, "largest line count accepted by /faults and /minset")
 	lanes := flag.Int("lanes", 0, "evaluation kernel width in lanes: 64, 256 or 512; 0 keeps the process default (SORTNETS_LANES or 256)")
 	streamTabDir := flag.String("streamtab-dir", "", "directory of persisted test-stream tables (see cmd/streamtab); empty disables")
+	maxInflight := flag.Int("max-inflight", 0, "admission gate: requests allowed past the HTTP layer at once; 0 = max(64, 8×workers)")
+	queueWait := flag.Duration("queue-wait", 100*time.Millisecond, "admission gate: longest a request may wait for a slot before a 429 shed")
+	computeTimeout := flag.Duration("compute-timeout", 0, "per-request compute deadline (504 past it); 0 disables")
+	drainGrace := flag.Duration("drain-grace", 250*time.Millisecond, "on SIGTERM: lame-duck window between failing readiness and closing the listener")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "on SIGTERM: hard deadline for in-flight work before connections are cut")
 	flag.Parse()
 
 	if *lanes != 0 {
@@ -69,37 +75,57 @@ func main() {
 		}
 	}
 	cfg := serve.Config{
-		Workers:       *workers,
-		CacheSize:     *cacheSize,
-		MaxLines:      *maxLines,
-		MaxFaultLines: *maxFaultLines,
-		StreamTabDir:  *streamTabDir,
+		Workers:        *workers,
+		CacheSize:      *cacheSize,
+		MaxLines:       *maxLines,
+		MaxFaultLines:  *maxFaultLines,
+		StreamTabDir:   *streamTabDir,
+		MaxInflight:    *maxInflight,
+		QueueWait:      *queueWait,
+		ComputeTimeout: *computeTimeout,
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sortnetd:", err)
 		os.Exit(2)
 	}
-	// SIGINT/SIGTERM close the listener; run() then drains in-flight
-	// handlers before tearing down the compute pool, so a deployed
-	// daemon exercises the same graceful path the tests do.
-	sigs := make(chan os.Signal, 1)
+	// SIGINT/SIGTERM start the graceful drain: readiness fails first
+	// (load balancers and client Pools route away), in-flight work
+	// finishes under the hard deadline, then listeners close and the
+	// compute pool is released. A second signal exits immediately.
+	drain := make(chan struct{})
+	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sigs
-		log.Printf("sortnetd: %v, shutting down", s)
-		ln.Close()
+		log.Printf("sortnetd: %v, draining (grace %v, hard deadline %v; signal again to exit now)",
+			s, *drainGrace, *drainTimeout)
+		close(drain)
+		s = <-sigs
+		log.Printf("sortnetd: %v again, exiting immediately", s)
+		os.Exit(1)
 	}()
-	if err := run(ln, cfg, log.Printf); err != nil {
+	opts := drainOptions{grace: *drainGrace, deadline: *drainTimeout}
+	if err := run(ln, cfg, opts, drain, log.Printf); err != nil {
 		fmt.Fprintln(os.Stderr, "sortnetd:", err)
 		os.Exit(1)
 	}
 }
 
-// run serves the verification API on ln until the listener closes,
-// then drains in-flight handlers before releasing the service's
-// compute pool (closing the pool under active requests would panic).
-func run(ln net.Listener, cfg serve.Config, logf func(string, ...any)) error {
+// drainOptions shapes the graceful-shutdown sequence: grace is the
+// lame-duck window between failing readiness and closing the
+// listener; deadline is the hard bound on in-flight work after that.
+type drainOptions struct {
+	grace    time.Duration
+	deadline time.Duration
+}
+
+// run serves the verification API on ln until the listener closes or
+// drain fires, then shuts down gracefully: readiness fails, in-flight
+// handlers (NDJSON chunks included) finish under the hard deadline,
+// and only then is the service's compute pool released (closing the
+// pool under active requests would panic).
+func run(ln net.Listener, cfg serve.Config, opts drainOptions, drain <-chan struct{}, logf func(string, ...any)) error {
 	svc := serve.NewService(cfg)
 	defer svc.Close()
 	logf("sortnetd: listening on %s (workers=%d, cache=%d entries, max-lines=%d, lanes=%d)",
@@ -108,11 +134,42 @@ func run(ln net.Listener, cfg serve.Config, logf func(string, ...any)) error {
 		logStreamTables(cfg.StreamTabDir, logf)
 	}
 	srv := &http.Server{Handler: svc.Handler()}
-	err := srv.Serve(ln)
-	if shutdownErr := srv.Shutdown(context.Background()); shutdownErr != nil && err == nil {
-		err = shutdownErr
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	var err error
+	select {
+	case <-drain:
+		// Phase 1: fail readiness so probers and client Pools route
+		// away while we still answer everything in flight.
+		svc.Drain()
+		logf("sortnetd: draining — readiness failing, in-flight work finishing")
+		if opts.grace > 0 {
+			time.Sleep(opts.grace)
+		}
+		// Phase 2: stop accepting, finish in-flight handlers under
+		// the hard deadline.
+		ctx, cancel := context.WithTimeout(context.Background(), opts.deadline)
+		err = srv.Shutdown(ctx)
+		cancel()
+		<-serveErr // Serve has returned ErrServerClosed
+		if err != nil {
+			// Phase 3: the deadline expired with handlers still
+			// running (e.g. an idle NDJSON stream waiting for client
+			// lines) — cut them.
+			logf("sortnetd: drain deadline exceeded, forcing close: %v", err)
+			srv.Close()
+		}
+	case err = <-serveErr:
+		// The listener was closed out from under us (tests do this)
+		// or accept failed: drain in-flight handlers the same way.
+		ctx, cancel := context.WithTimeout(context.Background(), opts.deadline)
+		if shutdownErr := srv.Shutdown(ctx); shutdownErr != nil && err == nil {
+			err = shutdownErr
+		}
+		cancel()
 	}
-	if err != nil && (errors.Is(err, http.ErrServerClosed) || isClosedListener(err)) {
+	if err != nil && (errors.Is(err, http.ErrServerClosed) || isClosedListener(err) || errors.Is(err, context.DeadlineExceeded)) {
 		return nil
 	}
 	return err

@@ -1,0 +1,330 @@
+// Package chaos is a deterministic TCP fault-injection proxy: it sits
+// between a client and a backend and misbehaves on purpose — injected
+// latency, connection resets mid-line, partial writes, byte
+// truncation, and blackholed connections — so the resilience plane
+// (client.Pool failover, server shedding and drain) is exercised by
+// repeatable failure campaigns instead of hand-waving.
+//
+// Determinism: every fault decision is drawn from a per-connection,
+// per-direction RNG seeded by (Plan.Seed, connection index), and
+// connection indexes are assigned in accept order. A single-client
+// campaign replays the same fault schedule for the same seed; there
+// is no global RNG whose draw order could race.
+//
+// Beyond the probabilistic plan, Kill/Restore model a backend dying
+// and coming back: Kill hard-closes every proxied connection (RST,
+// not FIN) and resets new ones at accept, exactly what a client sees
+// when a node is SIGKILLed mid-run; Restore resumes normal service.
+// The proxy is used from tests (go test -run Chaos) and from
+// cmd/adversary -chaos.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Plan is one campaign's fault mix. Probabilities are per decision
+// point: Blackhole per connection, the rest per forwarded fragment of
+// the backend's response stream (the direction whose corruption
+// actually exercises client-side recovery). Latency also applies,
+// independently, to request fragments.
+type Plan struct {
+	// Seed roots every per-connection RNG; campaigns with equal seeds
+	// and equal traffic replay equal fault schedules.
+	Seed int64
+
+	// Latency is injected before forwarding a fragment, with
+	// probability LatencyProb.
+	Latency     time.Duration
+	LatencyProb float64
+
+	// ResetProb hard-closes (RST) the client connection after
+	// forwarding a response fragment — the mid-line cut.
+	ResetProb float64
+
+	// TruncateProb forwards only the first half of a response
+	// fragment, then hard-closes — bytes lost mid-line.
+	TruncateProb float64
+
+	// PartialProb splits a response fragment into two writes with a
+	// pause between them — exercising every reader's resume path.
+	PartialProb float64
+
+	// BlackholeProb swallows a whole connection: accepted, request
+	// bytes read and discarded, nothing ever answered. The client's
+	// response-header timeout or context deadline is what saves it.
+	BlackholeProb float64
+}
+
+// Stats counts what the proxy actually did.
+type Stats struct {
+	Conns       int64 `json:"conns"`
+	Killed      int64 `json:"killed"`      // connections refused or cut by Kill
+	Blackholes  int64 `json:"blackholes"`  // connections swallowed whole
+	Delays      int64 `json:"delays"`      // latency injections
+	Resets      int64 `json:"resets"`      // mid-stream RSTs
+	Truncations int64 `json:"truncations"` // fragments cut short (then RST)
+	Partials    int64 `json:"partials"`    // fragments split in two
+}
+
+// Proxy is one listener fronting one backend address.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	plan   Plan
+
+	mu      sync.Mutex
+	killed  bool
+	conns   map[net.Conn]struct{}
+	connSeq int64
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	conNs, kill, holes, delays, resets, truncs, partials atomic.Int64
+}
+
+// New starts a proxy on an ephemeral localhost port forwarding to
+// target ("host:port"). Close releases it.
+func New(target string, plan Plan) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, plan: plan, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listen address ("127.0.0.1:port").
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// URL is the proxy's address as an HTTP base URL.
+func (p *Proxy) URL() string { return "http://" + p.Addr() }
+
+// Kill simulates the backend dying: every proxied connection is
+// hard-closed (RST) and new connections are reset at accept until
+// Restore. The backend process itself is untouched — from the
+// client's side the two are indistinguishable.
+func (p *Proxy) Kill() {
+	p.mu.Lock()
+	p.killed = true
+	for c := range p.conns {
+		hardClose(c)
+	}
+	p.mu.Unlock()
+}
+
+// Restore resumes normal proxying after a Kill.
+func (p *Proxy) Restore() {
+	p.mu.Lock()
+	p.killed = false
+	p.mu.Unlock()
+}
+
+// Close shuts the proxy down: listener closed, live connections cut,
+// goroutines joined.
+func (p *Proxy) Close() {
+	if !p.closed.CompareAndSwap(false, true) {
+		return
+	}
+	p.ln.Close()
+	p.mu.Lock()
+	for c := range p.conns {
+		hardClose(c)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Stats snapshots the campaign so far.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Conns:       p.conNs.Load(),
+		Killed:      p.kill.Load(),
+		Blackholes:  p.holes.Load(),
+		Delays:      p.delays.Load(),
+		Resets:      p.resets.Load(),
+		Truncations: p.truncs.Load(),
+		Partials:    p.partials.Load(),
+	}
+}
+
+func (p *Proxy) String() string {
+	st := p.Stats()
+	return fmt.Sprintf("chaos %s→%s: %d conns, %d killed, %d blackholed, %d delays, %d resets, %d truncations, %d partials",
+		p.Addr(), p.target, st.Conns, st.Killed, st.Blackholes, st.Delays, st.Resets, st.Truncations, st.Partials)
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		if p.killed {
+			p.mu.Unlock()
+			p.kill.Add(1)
+			hardClose(c)
+			continue
+		}
+		idx := p.connSeq
+		p.connSeq++
+		p.conns[c] = struct{}{}
+		p.mu.Unlock()
+		p.conNs.Add(1)
+		p.wg.Add(1)
+		go p.handle(c, idx)
+	}
+}
+
+// rngFor derives the deterministic RNG for one (connection,
+// direction) pair; splitting by direction keeps the draw order
+// independent of goroutine scheduling.
+func (p *Proxy) rngFor(idx int64, direction int64) *rand.Rand {
+	// SplitMix-style mixing so nearby (seed, idx) pairs don't
+	// correlate their low bits.
+	z := uint64(p.plan.Seed) + uint64(idx)*0x9E3779B97F4A7C15 + uint64(direction)*0xBF58476D1CE4E5B9
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	return rand.New(rand.NewSource(int64(z)))
+}
+
+func (p *Proxy) unregister(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+	c.Close()
+}
+
+func (p *Proxy) handle(client net.Conn, idx int64) {
+	defer p.wg.Done()
+	defer p.unregister(client)
+
+	hole := p.rngFor(idx, 2).Float64() < p.plan.BlackholeProb
+	if hole {
+		// Swallow the connection: read (so the client's writes
+		// succeed) but never answer — the failure mode timeouts exist
+		// for.
+		p.holes.Add(1)
+		io.Copy(io.Discard, client)
+		return
+	}
+	server, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		hardClose(client)
+		return
+	}
+	p.mu.Lock()
+	if p.killed {
+		p.mu.Unlock()
+		hardClose(server)
+		return
+	}
+	p.conns[server] = struct{}{}
+	p.mu.Unlock()
+	defer p.unregister(server)
+
+	done := make(chan struct{}, 2)
+	// Upstream (client → backend): latency only; corrupting requests
+	// would test the backend's parser, not the client's resilience.
+	go func() {
+		p.pump(server, client, p.rngFor(idx, 0), false)
+		if tc, ok := server.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	// Downstream (backend → client): the full fault mix.
+	p.pump(client, server, p.rngFor(idx, 1), true)
+	if tc, ok := client.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	<-done
+}
+
+// pump forwards src→dst fragment by fragment, applying the plan's
+// faults (downstream only, latency in both directions). It returns
+// when either side dies or a fault kills the connection.
+func (p *Proxy) pump(dst, src net.Conn, rng *rand.Rand, faulty bool) {
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			frag := buf[:n]
+			if p.plan.LatencyProb > 0 && rng.Float64() < p.plan.LatencyProb {
+				p.delays.Add(1)
+				time.Sleep(p.plan.Latency)
+			}
+			if faulty && !p.forward(dst, frag, rng) {
+				return
+			}
+			if !faulty {
+				if _, werr := dst.Write(frag); werr != nil {
+					return
+				}
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// forward writes one downstream fragment under the fault plan,
+// reporting false when it killed the connection.
+func (p *Proxy) forward(dst net.Conn, frag []byte, rng *rand.Rand) bool {
+	f := rng.Float64()
+	switch {
+	case f < p.plan.TruncateProb:
+		p.truncs.Add(1)
+		dst.Write(frag[:len(frag)/2])
+		hardClose(dst)
+		return false
+	case f < p.plan.TruncateProb+p.plan.ResetProb:
+		p.resets.Add(1)
+		if _, err := dst.Write(frag); err != nil {
+			return false
+		}
+		hardClose(dst)
+		return false
+	case f < p.plan.TruncateProb+p.plan.ResetProb+p.plan.PartialProb:
+		p.partials.Add(1)
+		half := len(frag) / 2
+		if half == 0 {
+			half = len(frag)
+		}
+		if _, err := dst.Write(frag[:half]); err != nil {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+		if half < len(frag) {
+			if _, err := dst.Write(frag[half:]); err != nil {
+				return false
+			}
+		}
+		return true
+	default:
+		_, err := dst.Write(frag)
+		return err == nil
+	}
+}
+
+// hardClose cuts a connection with an RST instead of a graceful FIN —
+// what a peer observes when a process is SIGKILLed.
+func hardClose(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}

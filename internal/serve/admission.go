@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"sortnets"
+)
+
+// Admission control: the service refuses to melt. A bounded in-flight
+// gate caps the requests allowed past the HTTP layer at once; a
+// caller that cannot get a slot within the queue-wait deadline is
+// SHED with 429 + Retry-After (single-shot) or a per-line 429
+// (NDJSON) instead of joining an unbounded convoy whose latency
+// collapses for everyone. Per-request compute timeouts convert a
+// pathologically expensive verdict into a 504 for its caller instead
+// of a slot leak, and every Session call is panic-fenced: an engine
+// panic becomes an error response on a surviving connection, never a
+// dead process. Drain() flips readiness so load balancers and
+// client Pools route away while in-flight work finishes.
+
+// errShed is the admission gate's refusal; the HTTP layer maps it to
+// 429 + Retry-After.
+var errShed = errors.New("serve: admission gate full")
+
+// shedRetryAfter is the Retry-After hint on shed responses: long
+// enough for a convoy to clear, short enough that a healthy pool
+// retries promptly.
+const shedRetryAfter = 1 * time.Second
+
+// acquire takes one in-flight slot, waiting at most the configured
+// queue-wait. It returns errShed when the service is saturated (the
+// caller should be shed) or ctx.Err() when the caller left the queue.
+func (s *Service) acquire(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}:
+		s.inflight.Add(1)
+		return nil
+	default:
+	}
+	t := time.NewTimer(s.queueWait)
+	defer t.Stop()
+	select {
+	case s.slots <- struct{}{}:
+		s.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		s.shed.Add(1)
+		return errShed
+	}
+}
+
+func (s *Service) release() {
+	s.inflight.Add(-1)
+	<-s.slots
+}
+
+// Draining reports whether Drain has been called.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// Drain flips the service into lame-duck mode: /healthz (readiness)
+// starts answering 503 {"status":"draining"} so probers and client
+// Pools route away, and NDJSON streams end after their in-flight
+// chunk. In-flight requests are NOT interrupted — the caller
+// (cmd/sortnetd) keeps serving until they finish, then closes
+// listeners under its hard deadline.
+func (s *Service) Drain() { s.draining.Store(true) }
+
+// computeCtx derives the context a Session call runs under: the
+// request context bounded by the configured per-request compute
+// timeout (0 = none).
+func (s *Service) computeCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.cfg.ComputeTimeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, s.cfg.ComputeTimeout)
+}
+
+// do is the admission-controlled, panic-fenced form of Session.Do
+// used by every single-shot endpoint.
+func (s *Service) do(ctx context.Context, req sortnets.Request) (v *sortnets.Verdict, err error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	cctx, cancel := s.computeCtx(ctx)
+	defer cancel()
+	defer s.recoverPanic(&err)
+	v, err = s.sess.Do(cctx, req)
+	return v, s.mapComputeErr(ctx, cctx, err)
+}
+
+// doBatch is the admission-controlled, panic-fenced form of
+// Session.DoBatch used by the NDJSON chunk pipeline. One slot covers
+// the whole chunk: the Session bounds intra-batch concurrency itself,
+// so the gate's unit of admission is the grouped pass.
+func (s *Service) doBatch(ctx context.Context, reqs []sortnets.Request) (vs []*sortnets.Verdict, err error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	cctx, cancel := s.computeCtx(ctx)
+	defer cancel()
+	defer s.recoverPanic(&err)
+	vs, err = s.sess.DoBatch(cctx, reqs)
+	return vs, s.mapComputeErr(ctx, cctx, err)
+}
+
+// recoverPanic fences a Session call: a panic that escapes it (the
+// compute pool already converts worker panics to *sortnets.PanicError;
+// this catches the decode/canonicalize paths that run on the handler
+// goroutine) becomes an error on a surviving connection.
+func (s *Service) recoverPanic(err *error) {
+	if r := recover(); r != nil {
+		s.handlerPanics.Add(1)
+		*err = &sortnets.PanicError{Val: r}
+	}
+}
+
+// mapComputeErr distinguishes the compute timeout from the caller's
+// own cancellation: when the derived compute context expired but the
+// request context is still live, the verdict was too expensive — a
+// 504, not a 499.
+func (s *Service) mapComputeErr(reqCtx, computeCtx context.Context, err error) error {
+	if err == nil || reqCtx.Err() != nil {
+		return err
+	}
+	if errors.Is(err, context.DeadlineExceeded) && computeCtx.Err() != nil {
+		s.computeTimeouts.Add(1)
+		return &sortnets.RequestError{
+			Status: http.StatusGatewayTimeout,
+			Msg:    "verdict exceeded the server's compute deadline of " + s.cfg.ComputeTimeout.String(),
+		}
+	}
+	return err
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"sortnets"
 )
@@ -18,7 +20,10 @@ import (
 //	POST /verify   sortnets.Request → sortnets.Verdict (op forced to verify)
 //	POST /faults   sortnets.Request → sortnets.Verdict (op forced to faults)
 //	POST /minset   sortnets.Request → sortnets.Verdict (op forced to minset)
-//	GET  /healthz  → "ok"
+//	GET  /healthz  → readiness: 200 {"status":"ok"}, or 503
+//	               {"status":"draining"|"overloaded"} when the server
+//	               should receive no new traffic
+//	GET  /livez    → liveness: 200 "ok" for as long as the process serves
 //	GET  /stats    → StatsSnapshot
 //
 // Responses are application/json. The X-Sortnetd-Cache header reports
@@ -28,6 +33,12 @@ import (
 // context is the client connection: a disconnect or client-side
 // deadline cancels the computation inside the Session, releasing its
 // pool slot.
+//
+// Every verdict request passes the admission gate (admission.go): a
+// saturated server answers 429 with a Retry-After header instead of
+// queueing without bound. Requests re-sent by a failing-over
+// client.Pool carry X-Sortnetd-Retry and are counted as retries_seen
+// on /stats.
 
 // maxBodyBytes bounds request bodies; the largest legitimate request
 // is a few thousand comparator pairs.
@@ -43,6 +54,13 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeError(w, http.StatusMethodNotAllowed, "healthz is GET-only")
+			return
+		}
+		s.readiness(w)
+	})
+	mux.HandleFunc("/livez", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "livez is GET-only")
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -78,6 +96,9 @@ func (s *Service) endpoint(op string, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST with a JSON body")
 		return
 	}
+	if r.Header.Get("X-Sortnetd-Retry") != "" {
+		s.retriesSeen.Add(1)
+	}
 	if op == "" && ndjsonContentType(r) {
 		s.serveNDJSON(w, r)
 		return
@@ -99,10 +120,14 @@ func (s *Service) endpoint(op string, w http.ResponseWriter, r *http.Request) {
 		}
 		req.Op = op
 	}
-	v, err := s.sess.Do(r.Context(), req)
+	v, err := s.do(r.Context(), req)
 	if err != nil {
 		var re *sortnets.RequestError
 		switch {
+		case errors.Is(err, errShed):
+			w.Header().Set("Retry-After", strconv.Itoa(int(shedRetryAfter/time.Second)))
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("server saturated: %d requests in flight; retry after %v", s.cfg.MaxInflight, shedRetryAfter))
 		case errors.As(err, &re):
 			writeError(w, re.Status, re.Msg)
 		case r.Context().Err() != nil:
@@ -125,6 +150,22 @@ func (s *Service) endpoint(op string, w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Sortnetd-Cache", v.Source)
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
+}
+
+// readiness answers /healthz: 503 while draining (so load balancers
+// and client Pools route away before the listener closes) or while
+// the admission gate is saturated (shedding new arrivals anyway), 200
+// otherwise. Liveness is /livez; a draining server is still alive.
+func (s *Service) readiness(w http.ResponseWriter) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case s.inflight.Load() >= int64(s.cfg.MaxInflight):
+		w.Header().Set("Retry-After", strconv.Itoa(int(shedRetryAfter/time.Second)))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "overloaded"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -149,6 +149,13 @@ func (s *Service) serveNDJSON(w http.ResponseWriter, r *http.Request) {
 		if done {
 			return
 		}
+		// A draining server finishes the chunk in flight, then ends
+		// the stream: the client sees a short response, and its Pool
+		// re-sends the unanswered remainder to a backend whose
+		// readiness probe still passes.
+		if s.draining.Load() {
+			return
+		}
 	}
 }
 
@@ -228,16 +235,27 @@ func (s *Service) writeChunk(r *http.Request, w io.Writer, sc *connScratch) bool
 	var verdicts []*sortnets.Verdict
 	if len(sc.reqs) > 0 { // an all-malformed chunk never counts a batch
 		var err error
-		verdicts, err = s.sess.DoBatch(r.Context(), sc.reqs)
+		verdicts, err = s.doBatch(r.Context(), sc.reqs)
 		var be *sortnets.BatchError
 		switch {
 		case err == nil:
 		case errors.As(err, &be):
 			entryErrs = be.Errs
-		default:
-			// Whole-batch failure: the client is gone (context);
-			// nothing left to write to.
+		case r.Context().Err() != nil:
+			// Whole-batch failure with the client gone: nothing left
+			// to write to.
 			return false
+		default:
+			// Whole-batch failure on a LIVE connection — shed by the
+			// admission gate, the compute deadline, or a recovered
+			// panic. Answer every line with the typed error and keep
+			// the stream open: the client's Pool re-sends just these
+			// entries elsewhere.
+			re := wholeBatchError(err)
+			verdicts = make([]*sortnets.Verdict, len(sc.reqs))
+			for i := range entryErrs {
+				entryErrs[i] = re
+			}
 		}
 	}
 	sc.out = sc.out[:0]
@@ -265,6 +283,23 @@ func (s *Service) writeChunk(r *http.Request, w io.Writer, sc *connScratch) bool
 	}
 	_, err := w.Write(sc.out)
 	return err == nil
+}
+
+// wholeBatchError maps a whole-batch failure on a live NDJSON
+// connection to the per-line error every entry in the chunk gets.
+func wholeBatchError(err error) *sortnets.RequestError {
+	var re *sortnets.RequestError
+	switch {
+	case errors.Is(err, errShed):
+		return &sortnets.RequestError{
+			Status: http.StatusTooManyRequests,
+			Msg:    "server saturated; retry after " + shedRetryAfter.String(),
+		}
+	case errors.As(err, &re):
+		return re
+	default:
+		return &sortnets.RequestError{Status: http.StatusInternalServerError, Msg: err.Error()}
+	}
 }
 
 // readLine reads one newline-terminated line (without the newline)

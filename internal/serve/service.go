@@ -14,6 +14,7 @@ package serve
 
 import (
 	"sync/atomic"
+	"time"
 
 	"sortnets"
 	"sortnets/internal/streamtab"
@@ -41,6 +42,17 @@ type Config struct {
 	// of live enumeration. Missing or invalid tables fall back
 	// transparently.
 	StreamTabDir string
+	// MaxInflight bounds the requests admitted past the HTTP layer at
+	// once (the in-flight gate's slot count); ≤ 0 means
+	// max(64, 8 × workers). Callers beyond the bound wait up to
+	// QueueWait for a slot and are then shed with 429 + Retry-After.
+	MaxInflight int
+	// QueueWait is how long an over-admission request may wait for an
+	// in-flight slot before being shed; ≤ 0 means 100ms.
+	QueueWait time.Duration
+	// ComputeTimeout bounds each admitted request's computation;
+	// exceeding it answers 504 and releases the slot. 0 disables.
+	ComputeTimeout time.Duration
 	// OnCompute, when set (tests only), runs on the Session's pool
 	// worker immediately before each underlying computation.
 	OnCompute func()
@@ -56,6 +68,17 @@ type Service struct {
 
 	// httpRejected[op] counts requests rejected before Session.Do.
 	httpRejected map[string]*atomic.Int64
+
+	// Resilience plane (admission.go): the in-flight gate, drain
+	// state, and the counters behind /stats "resilience".
+	slots           chan struct{}
+	queueWait       time.Duration
+	draining        atomic.Bool
+	inflight        atomic.Int64 // gauge: slots currently held
+	shed            atomic.Int64 // requests refused with 429 by the gate
+	retriesSeen     atomic.Int64 // requests carrying a client retry marker
+	handlerPanics   atomic.Int64 // panics recovered on the handler goroutine
+	computeTimeouts atomic.Int64 // requests answered 504 by ComputeTimeout
 }
 
 // NewService builds and starts a service; Close releases its
@@ -78,7 +101,7 @@ func NewService(cfg Config) *Service {
 		tables = streamtab.OpenDir(cfg.StreamTabDir)
 		opts = append(opts, sortnets.WithStreamTables(tables))
 	}
-	return &Service{
+	s := &Service{
 		cfg:    cfg,
 		sess:   sortnets.NewSession(opts...),
 		tables: tables,
@@ -88,6 +111,19 @@ func NewService(cfg Config) *Service {
 			sortnets.OpMinset: new(atomic.Int64),
 		},
 	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 8 * s.sess.Workers()
+		if cfg.MaxInflight < 64 {
+			cfg.MaxInflight = 64
+		}
+		s.cfg.MaxInflight = cfg.MaxInflight
+	}
+	if cfg.QueueWait <= 0 {
+		s.cfg.QueueWait = 100 * time.Millisecond
+	}
+	s.slots = make(chan struct{}, s.cfg.MaxInflight)
+	s.queueWait = s.cfg.QueueWait
+	return s
 }
 
 // Session exposes the underlying Session (the same handle an
@@ -121,6 +157,30 @@ type CacheSnapshot struct {
 	Evictions int64 `json:"evictions"`
 }
 
+// ResilienceSnapshot is the /stats "resilience" section: the
+// admission gate, drain state, and failure-containment counters.
+type ResilienceSnapshot struct {
+	// Inflight is the gauge of requests currently holding an
+	// admission slot, bounded by MaxInflight.
+	Inflight    int64 `json:"inflight"`
+	MaxInflight int   `json:"max_inflight"`
+	// Shed counts requests refused with 429 + Retry-After because no
+	// slot freed within the queue-wait deadline.
+	Shed int64 `json:"shed"`
+	// RetriesSeen counts arriving requests that carried a client
+	// retry marker (X-Sortnetd-Retry) — failover/retry traffic as
+	// observed from the serving side.
+	RetriesSeen int64 `json:"retries_seen"`
+	// PanicsRecovered counts engine panics converted into error
+	// responses (pool workers and handler goroutines combined)
+	// instead of a process death.
+	PanicsRecovered int64 `json:"panics_recovered"`
+	// ComputeTimeouts counts requests answered 504 by the
+	// per-request compute deadline.
+	ComputeTimeouts int64 `json:"compute_timeouts"`
+	Draining        bool  `json:"draining"`
+}
+
 // StatsSnapshot is the /stats response body. Batch reports the NDJSON
 // pipeline: batches/entries seen, entries deduplicated within a
 // batch, and entries computed through a shared grouped engine pass.
@@ -132,6 +192,7 @@ type StatsSnapshot struct {
 	Cache       CacheSnapshot               `json:"cache"`
 	Workers     int                         `json:"workers"`
 	PooledBytes int64                       `json:"pooled_bytes"`
+	Resilience  ResilienceSnapshot          `json:"resilience"`
 }
 
 // Stats returns a point-in-time snapshot: the Session's counters
@@ -165,5 +226,14 @@ func (s *Service) Stats() StatsSnapshot {
 		},
 		Workers:     ss.Workers,
 		PooledBytes: PooledBytes(),
+		Resilience: ResilienceSnapshot{
+			Inflight:        s.inflight.Load(),
+			MaxInflight:     s.cfg.MaxInflight,
+			Shed:            s.shed.Load(),
+			RetriesSeen:     s.retriesSeen.Load(),
+			PanicsRecovered: ss.Panics + s.handlerPanics.Load(),
+			ComputeTimeouts: s.computeTimeouts.Load(),
+			Draining:        s.draining.Load(),
+		},
 	}
 }

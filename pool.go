@@ -3,7 +3,6 @@ package sortnets
 import (
 	"context"
 	"errors"
-	"fmt"
 	"hash/fnv"
 	"sync"
 )
@@ -44,19 +43,21 @@ type shard struct {
 }
 
 type pool struct {
-	shards []*shard
-	wg     sync.WaitGroup
+	shards  []*shard
+	wg      sync.WaitGroup
+	onPanic func() // observes each recovered compute panic (may be nil)
 }
 
 // newPool starts n shard workers. Each shard's job queue is buffered;
 // a full queue blocks the submitting caller, which is the intended
 // backpressure (the submitter still honours its context while
-// blocked).
-func newPool(n int) *pool {
+// blocked). onPanic, if non-nil, runs once per recovered compute
+// panic (the job's error becomes a *PanicError either way).
+func newPool(n int, onPanic func()) *pool {
 	if n < 1 {
 		n = 1
 	}
-	p := &pool{shards: make([]*shard, n)}
+	p := &pool{shards: make([]*shard, n), onPanic: onPanic}
 	for i := range p.shards {
 		sh := &shard{
 			inflight: make(map[string]*call),
@@ -113,7 +114,10 @@ func (p *pool) do(ctx context.Context, key string, compute func(context.Context)
 	job := func() {
 		defer func() {
 			if r := recover(); r != nil {
-				c.err = fmt.Errorf("sortnets: verdict compute panicked: %v", r)
+				c.err = &PanicError{Val: r}
+				if p.onPanic != nil {
+					p.onPanic()
+				}
 			}
 			sh.drop(key, c)
 			c.cancel()

@@ -124,6 +124,19 @@ type RequestError struct {
 
 func (e *RequestError) Error() string { return e.Msg }
 
+// PanicError is a recovered panic from a verdict computation: the
+// compute pool converts an engine panic into this error instead of
+// letting it kill the process, so one poisoned request costs its
+// caller a 500 — not the daemon. The serving layer counts these as
+// panics_recovered on /stats.
+type PanicError struct {
+	Val any // the recovered panic value
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sortnets: verdict compute panicked: %v", e.Val)
+}
+
 // Batch is a slice of Requests submitted as one round trip — the wire
 // unit of the batch-first request model. Over HTTP it is encoded as
 // NDJSON: one Request per line on POST /do with Content-Type

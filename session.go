@@ -214,7 +214,7 @@ func (s *Session) Workers() int {
 // startPool lazily spins up the compute pool: a Session used only
 // through the typed conveniences never spawns a goroutine.
 func (s *Session) startPool() *pool {
-	s.poolOnce.Do(func() { s.pool = newPool(s.Workers()) })
+	s.poolOnce.Do(func() { s.pool = newPool(s.Workers(), func() { s.stats.panics.Add(1) }) })
 	return s.pool
 }
 
@@ -303,6 +303,7 @@ type sessionCounters struct {
 	minset  opCounters
 	unknown opCounters // requests naming no known op (counted, then rejected)
 	batch   batchCounters
+	panics  atomic.Int64 // compute panics recovered by the pool (*PanicError)
 }
 
 // batchCounters observe the DoBatch pipeline: how many batches and
@@ -375,12 +376,15 @@ type BatchStats struct {
 }
 
 // SessionStats is the Stats snapshot: per-operation counters, batch
-// pipeline counters, cache occupancy, and the resolved pool size.
+// pipeline counters, cache occupancy, the resolved pool size, and the
+// count of compute panics the pool recovered into *PanicError (each
+// cost one caller an error, not the process its life).
 type SessionStats struct {
 	Ops     map[string]OpStats `json:"ops"`
 	Batch   BatchStats         `json:"batch"`
 	Cache   CacheStats         `json:"cache"`
 	Workers int                `json:"workers"`
+	Panics  int64              `json:"panics"`
 }
 
 // Stats returns a point-in-time snapshot of all counters.
@@ -400,6 +404,7 @@ func (s *Session) Stats() SessionStats {
 			Groups:  s.stats.batch.groups.Load(),
 		},
 		Workers: s.Workers(),
+		Panics:  s.stats.panics.Load(),
 	}
 	if s.results != nil {
 		st.Cache = CacheStats{
