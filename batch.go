@@ -279,11 +279,11 @@ func (s *Session) resolveEntry(e *batchEntry) error {
 func (s *Session) doResolved(ctx context.Context, e *batchEntry) (*Verdict, error) {
 	switch e.op {
 	case OpVerify:
-		return s.doVerifyResolved(ctx, e.ctrs, e.w, e.digest, e.p, e.req.Exhaustive)
+		return s.doVerifyResolved(ctx, e.ctrs, e.req, e.w, e.digest, e.p, e.req.Exhaustive)
 	case OpFaults:
-		return s.doFaultsResolved(ctx, e.ctrs, e.w, e.digest, e.p, e.mode)
+		return s.doFaultsResolved(ctx, e.ctrs, e.req, e.w, e.digest, e.p, e.mode)
 	default:
-		return s.doMinsetResolved(ctx, e.ctrs, e.w, e.digest, e.p, e.mode, e.req.Exact)
+		return s.doMinsetResolved(ctx, e.ctrs, e.req, e.w, e.digest, e.p, e.mode, e.req.Exact)
 	}
 }
 
@@ -308,26 +308,51 @@ func (s *Session) computeGroup(ctx context.Context, members []*batchEntry, verdi
 	// are deterministic — and distinct batches rarely align anyway).
 	key := "!group|" + strconv.FormatInt(s.uncached.Add(1), 10)
 	_, _, err := s.startPool().do(ctx, key, func(cctx context.Context) (*Verdict, error) {
-		for _, m := range members {
+		group = make([]*Verdict, len(members))
+		// Cluster fill: a member whose verdict a sibling shard already
+		// caches is adopted from the peer and drops out of the engine
+		// pass — same validation and cache fill as the per-request
+		// pipeline's hook (stream overrides skip it, see withPeerFill).
+		rest := make([]int, 0, len(members))
+		for i, m := range members {
 			m.ctrs.misses.Add(1)
-			m.ctrs.computes.Add(1)
+			if s.fill != nil && s.stream == nil {
+				if v, ok := s.peerProbe(cctx, m.req, OpVerify, m.digest); ok {
+					group[i] = v
+					if s.results != nil && m.key != "" {
+						s.results.Add(m.key, v)
+					}
+					continue
+				}
+			}
+			rest = append(rest, i)
+		}
+		if len(rest) == 0 {
+			return nil, nil
+		}
+		for _, i := range rest {
+			members[i].ctrs.computes.Add(1)
 		}
 		s.stats.batch.groups.Add(1)
-		s.stats.batch.grouped.Add(int64(len(members)))
+		s.stats.batch.grouped.Add(int64(len(rest)))
 		if s.computeHook != nil {
 			s.computeHook()
 		}
-		evs, err := eval.RunManyCtx(cctx, progs, s.binaryTests(p), verify.JudgeFor(p))
+		restProgs := make([]*eval.Program, len(rest))
+		for k, i := range rest {
+			restProgs[k] = progs[i]
+		}
+		evs, err := eval.RunManyCtx(cctx, restProgs, s.binaryTests(p), verify.JudgeFor(p))
 		if err != nil {
 			return nil, err
 		}
-		group = make([]*Verdict, len(members))
-		for i, m := range members {
+		for k, i := range rest {
+			m := members[i]
 			group[i] = checkVerdict(m.digest, p.Name(), false, Result{
-				Holds:          evs[i].Holds,
-				TestsRun:       evs[i].TestsRun,
-				Counterexample: evs[i].In,
-				Output:         evs[i].Out,
+				Holds:          evs[k].Holds,
+				TestsRun:       evs[k].TestsRun,
+				Counterexample: evs[k].In,
+				Output:         evs[k].Out,
 			})
 			if s.results != nil && m.key != "" {
 				s.results.Add(m.key, group[i])

@@ -1,0 +1,432 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sortnets"
+	"sortnets/internal/serve"
+)
+
+// testNets is a pool of distinct valid networks for routing tests;
+// their canonical digests spread over the ring.
+func testNets(n int) []string {
+	pairs := [][2]int{{1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}}
+	nets := make([]string, 0, n)
+	for i := 0; len(nets) < n; i++ {
+		a, b := pairs[i%len(pairs)], pairs[(i/len(pairs))%len(pairs)]
+		nets = append(nets, fmt.Sprintf("n=4: [%d,%d][%d,%d]", a[0], a[1], b[0], b[1]))
+	}
+	return nets[:n]
+}
+
+// taggedHandler answers /do with a verdict whose digest names the
+// backend, echoing the request ID — enough to see which shard served
+// which entry. NDJSON bodies get one tagged BatchVerdict per line.
+func taggedHandler(tag string, hits *atomic.Int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
+		if hits != nil {
+			hits.Add(1)
+		}
+		if r.Header.Get("Content-Type") == "application/x-ndjson" {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			dec := json.NewDecoder(r.Body)
+			var out []byte
+			for {
+				var req sortnets.Request
+				if err := dec.Decode(&req); err != nil {
+					break
+				}
+				out = sortnets.AppendBatchVerdict(out, &sortnets.BatchVerdict{
+					ID:      req.ID,
+					Verdict: &sortnets.Verdict{ID: req.ID, Op: "verify", Digest: tag + ":" + req.ID},
+				})
+				out = append(out, '\n')
+			}
+			w.Write(out)
+			return
+		}
+		var req sortnets.Request
+		json.NewDecoder(r.Body).Decode(&req)
+		json.NewEncoder(w).Encode(&sortnets.Verdict{ID: req.ID, Op: "verify", Digest: tag + ":" + req.ID})
+	})
+}
+
+// TestPoolShardRoutingOwner: with WithShardRouting every Do of a given
+// network lands on the ring owner of its canonical digest — the same
+// backend every time — and distinct networks spread over the cluster.
+func TestPoolShardRoutingOwner(t *testing.T) {
+	urls := make([]string, 3)
+	servers := make([]*httptest.Server, 3)
+	for i := range servers {
+		servers[i] = httptest.NewServer(taggedHandler("s"+strconv.Itoa(i), nil))
+		defer servers[i].Close()
+		urls[i] = servers[i].URL
+	}
+	tagFor := make(map[string]string, 3)
+	for i, u := range urls {
+		tagFor[u] = "s" + strconv.Itoa(i)
+	}
+
+	p, err := NewPool(urls, WithHealthInterval(0), WithShardRouting(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	used := map[string]bool{}
+	for _, net := range testNets(12) {
+		req := sortnets.Request{Network: net}
+		key, ok := req.ShardKey()
+		if !ok {
+			t.Fatalf("network %q has no shard key", net)
+		}
+		wantTag := tagFor[p.ring.Owner(key)]
+		for round := 0; round < 3; round++ {
+			v, err := p.Do(context.Background(), req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := v.Digest; got != wantTag+":" {
+				t.Fatalf("network %q round %d served by %q, want owner %s", net, round, got, wantTag)
+			}
+		}
+		used[wantTag] = true
+	}
+	if len(used) < 2 {
+		t.Errorf("12 distinct networks all owned by one shard — ring not spreading: %v", used)
+	}
+	if st := p.Stats(); st.Routed != 36 || st.Unrouted != 0 {
+		t.Errorf("routed=%d unrouted=%d, want 36/0", st.Routed, st.Unrouted)
+	}
+}
+
+// TestPoolShardRoutingUnroutable: a request whose network cannot be
+// resolved client-side carries no key and still works via round-robin.
+func TestPoolShardRoutingUnroutable(t *testing.T) {
+	srv := httptest.NewServer(taggedHandler("s0", nil))
+	defer srv.Close()
+	p, err := NewPool([]string{srv.URL}, WithHealthInterval(0), WithShardRouting(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if _, err := p.Do(context.Background(), sortnets.Request{Network: "not a network"}); err != nil {
+		t.Fatalf("unroutable request must still round-robin: %v", err)
+	}
+	if st := p.Stats(); st.Unrouted != 1 || st.Routed != 0 {
+		t.Errorf("routed=%d unrouted=%d, want 0/1", st.Routed, st.Unrouted)
+	}
+}
+
+// TestPoolShardRoutingFailover: when the owner shard is down, the
+// request fails over along the ring walk to the next replica — the
+// normal breaker/backoff machinery, just with ring order.
+func TestPoolShardRoutingFailover(t *testing.T) {
+	net := testNets(1)[0]
+	key, _ := (&sortnets.Request{Network: net}).ShardKey()
+
+	urls := make([]string, 3)
+	servers := make([]*httptest.Server, 3)
+	var deadHits atomic.Int64
+	// Build the ring the pool will build to learn the owner, then make
+	// exactly that backend dead.
+	for i := range servers {
+		i := i
+		servers[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "down", http.StatusInternalServerError)
+		}))
+		defer servers[i].Close()
+		urls[i] = servers[i].URL
+	}
+	p, err := NewPool(urls, WithHealthInterval(0), WithShardRouting(0),
+		WithBackoff(time.Millisecond, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	replicas := p.ring.Replicas(key)
+	owner, second := replicas[0], replicas[1]
+	for i, u := range urls {
+		i := i
+		handler := taggedHandler("s"+strconv.Itoa(i), nil)
+		if u == owner {
+			handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				deadHits.Add(1)
+				http.Error(w, "down", http.StatusInternalServerError)
+			})
+		}
+		servers[i].Config.Handler = handler
+	}
+	secondTag := ""
+	for i, u := range urls {
+		if u == second {
+			secondTag = "s" + strconv.Itoa(i)
+		}
+	}
+
+	v, err := p.Do(context.Background(), sortnets.Request{Network: net})
+	if err != nil {
+		t.Fatalf("Do with a dead owner: %v", err)
+	}
+	if v.Digest != secondTag+":" {
+		t.Fatalf("served by %q, want the ring's second replica %s", v.Digest, secondTag)
+	}
+	if deadHits.Load() != 1 {
+		t.Errorf("dead owner hit %d times, want exactly 1 (then ring failover)", deadHits.Load())
+	}
+	if st := p.Stats(); st.Failovers < 1 {
+		t.Errorf("stats %+v: want at least one failover", st)
+	}
+}
+
+// TestPoolShardBatchSplitMerge: DoBatch under routing splits the batch
+// by owner shard, runs the sub-batches concurrently, and re-merges the
+// verdicts index-aligned; each backend sees only its own entries.
+func TestPoolShardBatchSplitMerge(t *testing.T) {
+	urls := make([]string, 3)
+	servers := make([]*httptest.Server, 3)
+	var hits [3]atomic.Int64
+	for i := range servers {
+		servers[i] = httptest.NewServer(taggedHandler("s"+strconv.Itoa(i), &hits[i]))
+		defer servers[i].Close()
+		urls[i] = servers[i].URL
+	}
+	tagFor := make(map[string]string, 3)
+	for i, u := range urls {
+		tagFor[u] = "s" + strconv.Itoa(i)
+	}
+
+	p, err := NewPool(urls, WithHealthInterval(0), WithShardRouting(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	nets := testNets(12)
+	reqs := make([]sortnets.Request, len(nets))
+	for i, n := range nets {
+		reqs[i] = sortnets.Request{ID: strconv.Itoa(i), Network: n}
+	}
+	vs, err := p.DoBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatalf("DoBatch: %v", err)
+	}
+	owners := map[string]bool{}
+	for i := range reqs {
+		key, ok := reqs[i].ShardKey()
+		if !ok {
+			t.Fatalf("entry %d has no shard key", i)
+		}
+		want := tagFor[p.ring.Owner(key)] + ":" + reqs[i].ID
+		if vs[i] == nil || vs[i].Digest != want {
+			t.Errorf("entry %d = %+v, want digest %s (owner-served, index-aligned)", i, vs[i], want)
+		}
+		owners[p.ring.Owner(key)] = true
+	}
+	// Each participating shard saw exactly one sub-batch round trip.
+	var total int64
+	for i := range hits {
+		total += hits[i].Load()
+	}
+	if int(total) != len(owners) {
+		t.Errorf("%d round trips over %d owner shards, want one sub-batch each", total, len(owners))
+	}
+}
+
+// TestHedgeKeepsPrimaryRetryAfterFloor is the regression test for the
+// hedged-read floor bug: the primary sheds with Retry-After: 2, the
+// hedge fails later with NO floor, and the floor returned must be the
+// MAX across attempts (2s) — not the hedge's 0, which would erase the
+// primary's explicit request for air.
+func TestHedgeKeepsPrimaryRetryAfterFloor(t *testing.T) {
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(20 * time.Millisecond) // answer after the hedge launches
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, `{"error":"saturated"}`, http.StatusTooManyRequests)
+	}))
+	defer primary.Close()
+	hedge := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(60 * time.Millisecond) // answer after the primary's 429
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer hedge.Close()
+
+	p, err := NewPool([]string{primary.URL, hedge.URL},
+		WithHealthInterval(0), WithHedge(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	_, floor, err := p.sendHedged(context.Background(), p.backends[0], nil,
+		sortnets.Request{Network: "n=2: [1,2]"}, 0)
+	if err == nil {
+		t.Fatal("both sends failed; sendHedged must return an error")
+	}
+	if floor != 2*time.Second {
+		t.Fatalf("floor = %v, want the primary's 2s Retry-After (max across attempts)", floor)
+	}
+	if st := p.Stats(); st.Hedges != 1 {
+		t.Errorf("stats %+v: want exactly one hedge", st)
+	}
+}
+
+// TestHedgeFloorReachesBackoff drives the same scenario through Do
+// with a fake clock (the sleepFn seam): the backoff before the retry
+// must be floored by the primary's Retry-After even though the
+// hedge's failure arrived last.
+func TestHedgeFloorReachesBackoff(t *testing.T) {
+	var pCalls, hCalls atomic.Int64
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if pCalls.Add(1) == 1 {
+			time.Sleep(20 * time.Millisecond)
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, `{"error":"saturated"}`, http.StatusTooManyRequests)
+			return
+		}
+		json.NewEncoder(w).Encode(&sortnets.Verdict{Op: "verify", Digest: "d-recovered"})
+	}))
+	defer primary.Close()
+	hedge := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hCalls.Add(1) == 1 {
+			time.Sleep(60 * time.Millisecond)
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(&sortnets.Verdict{Op: "verify", Digest: "d-recovered"})
+	}))
+	defer hedge.Close()
+
+	p, err := NewPool([]string{primary.URL, hedge.URL},
+		WithHealthInterval(0), WithHedge(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var floors []time.Duration
+	p.sleepFn = func(ctx context.Context, attempt int, floor time.Duration) error {
+		floors = append(floors, floor) // fake clock: record, never block
+		return nil
+	}
+
+	v, err := p.Do(context.Background(), sortnets.Request{Network: "n=2: [1,2]"})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if v.Digest != "d-recovered" {
+		t.Fatalf("digest %q, want d-recovered", v.Digest)
+	}
+	if len(floors) == 0 || floors[0] != 2*time.Second {
+		t.Fatalf("backoff floors %v, want the first retry floored at 2s", floors)
+	}
+}
+
+// TestDoBatchCancelMidRetryKeepsWonVerdicts is the regression test for
+// the cancel-mid-retry bug: a batch whose first round lands some
+// verdicts and requeues a shed entry, then is cancelled during the
+// backoff, must return the won verdicts as partial results inside the
+// BatchError contract — not discard them behind a bare (nil, err).
+func TestDoBatchCancelMidRetryKeepsWonVerdicts(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		dec := json.NewDecoder(r.Body)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		var out []byte
+		for {
+			var req sortnets.Request
+			if err := dec.Decode(&req); err != nil {
+				break
+			}
+			line := sortnets.BatchVerdict{ID: req.ID}
+			if req.ID == "b" {
+				line.Error = &sortnets.RequestError{Status: http.StatusTooManyRequests, Msg: "shed"}
+			} else {
+				line.Verdict = &sortnets.Verdict{ID: req.ID, Op: "verify", Digest: "d-" + req.ID}
+			}
+			out = sortnets.AppendBatchVerdict(out, &line)
+			out = append(out, '\n')
+		}
+		w.Write(out)
+	}))
+	defer srv.Close()
+
+	p, err := NewPool([]string{srv.URL}, WithHealthInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.sleepFn = func(ctx context.Context, attempt int, floor time.Duration) error {
+		return context.Canceled // the caller's ctx dies during the backoff
+	}
+
+	vs, err := p.DoBatch(context.Background(), []sortnets.Request{
+		{ID: "a", Network: "n=2: [1,2]"},
+		{ID: "b", Network: "n=2: [1,2]"},
+	})
+	var be *sortnets.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *sortnets.BatchError carrying the partial results", err)
+	}
+	if vs == nil || vs[0] == nil || vs[0].Digest != "d-a" {
+		t.Fatalf("won verdict discarded: vs = %v, want index 0 to keep d-a", vs)
+	}
+	if vs[1] != nil || be.Errs[1] == nil {
+		t.Errorf("cancelled entry: verdict %v err %v, want nil verdict + error", vs[1], be.Errs[1])
+	}
+	if be.Errs[0] != nil {
+		t.Errorf("won entry carries error %v, want nil", be.Errs[0])
+	}
+}
+
+// TestRetryAfterRoundTrip pins the server's Retry-After rendering to
+// the client's floor parser: for every positive hint the parsed floor
+// must cover the full hint (round UP, never to "0" — the historical
+// truncation bug turned sub-second hints into no floor at all).
+func TestRetryAfterRoundTrip(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		secs int
+	}{
+		{0, 0},
+		{-time.Second, 0},
+		{time.Nanosecond, 1},
+		{time.Millisecond, 1},
+		{500 * time.Millisecond, 1}, // the regression: truncation said 0
+		{999 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1001 * time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{2500 * time.Millisecond, 3},
+	}
+	for _, tc := range cases {
+		secs := serve.RetryAfterSeconds(tc.d)
+		if secs != tc.secs {
+			t.Errorf("RetryAfterSeconds(%v) = %d, want %d", tc.d, secs, tc.secs)
+			continue
+		}
+		resp := &http.Response{Header: http.Header{}}
+		if secs > 0 {
+			resp.Header.Set("Retry-After", strconv.Itoa(secs))
+		}
+		floor := retryAfter(resp)
+		if tc.d > 0 && floor < tc.d {
+			t.Errorf("hint %v round-tripped to floor %v — client would retry too early", tc.d, floor)
+		}
+		if tc.d > 0 && floor == 0 {
+			t.Errorf("hint %v round-tripped to NO floor", tc.d)
+		}
+	}
+}

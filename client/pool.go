@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sortnets"
+	"sortnets/internal/ring"
 )
 
 // Pool is the resilient face of the one request model: a
@@ -35,6 +36,15 @@ import (
 // verdicts, and only the failed remainder is re-sent — so one shed
 // line in a 256-entry batch costs one small follow-up round trip,
 // not a re-computation of the world.
+//
+// Cluster plane (WithShardRouting): the backends become the member
+// set of a consistent-hash ring keyed on each request's canonical
+// digest (Request.ShardKey), so every client routes a given network
+// to the same owner shard and the cluster's verdict caches partition
+// instead of duplicating. Failover reuses the exact machinery above —
+// the ring only reorders preference (owner first, then its ring
+// successors), and DoBatch splits a batch by owner and re-merges the
+// verdicts index-aligned.
 type Pool struct {
 	backends []*backend
 	cfg      poolConfig
@@ -43,15 +53,23 @@ type Pool struct {
 	rngMu   sync.Mutex
 	rng     *rand.Rand // jitter source
 	now     func() time.Time
+	sleepFn func(ctx context.Context, attempt int, floor time.Duration) error // p.sleep; swappable fake clock for tests
 	probeWG sync.WaitGroup
 	stop    chan struct{}
 	stopped sync.Once
+
+	ring    *ring.Ring          // nil unless WithShardRouting
+	byURL   map[string]*backend // ring member URL -> backend
+	keyMu   sync.Mutex
+	keyMemo map[string]string // network text -> shard key ("" = unroutable)
 
 	retries     atomic.Int64 // re-sent attempts (beyond each first try)
 	failovers   atomic.Int64 // retries that switched backend
 	hedges      atomic.Int64 // speculative second sends launched
 	hedgeWins   atomic.Int64 // hedges whose response was used
 	unavailable atomic.Int64 // 429/503 responses observed
+	routed      atomic.Int64 // requests routed by digest to their owner shard
+	unrouted    atomic.Int64 // requests with no shard key (malformed), round-robined
 }
 
 type backend struct {
@@ -77,6 +95,8 @@ type poolConfig struct {
 	hedgeDelay       time.Duration
 	attemptTimeout   time.Duration
 	seed             int64
+	shardRouting     bool
+	shardVnodes      int
 }
 
 // PoolOption configures a Pool.
@@ -137,6 +157,20 @@ func WithJitterSeed(seed int64) PoolOption {
 	return func(c *poolConfig) { c.seed = seed }
 }
 
+// WithShardRouting turns the pool into a cluster client: the backend
+// URLs become a consistent-hash ring and each request is sent to the
+// shard owning its canonical digest, falling back to the next ring
+// replica through the normal breaker/backoff path when the owner is
+// down. Requests whose network cannot be resolved client-side carry
+// no key and stay round-robin. vnodes <= 0 selects ring.DefaultVnodes.
+//
+// The backend URL LIST is the ring membership: every client and every
+// sortnetd -peers flag must name the same set (order-insensitive) for
+// the cluster's caches to partition cleanly.
+func WithShardRouting(vnodes int) PoolOption {
+	return func(c *poolConfig) { c.shardRouting, c.shardVnodes = true, vnodes }
+}
+
 // NewPool builds a Pool over the given sortnetd base URLs and starts
 // its health prober (stop it with Close).
 func NewPool(urls []string, opts ...PoolOption) (*Pool, error) {
@@ -171,6 +205,7 @@ func NewPool(urls []string, opts ...PoolOption) (*Pool, error) {
 		now:  time.Now,
 		stop: make(chan struct{}),
 	}
+	p.sleepFn = p.sleep
 	for _, u := range urls {
 		var copts []Option
 		if cfg.hc != nil {
@@ -182,11 +217,103 @@ func NewPool(urls []string, opts ...PoolOption) (*Pool, error) {
 			br:  newBreaker(cfg.breakerThreshold, cfg.breakerCooldown),
 		})
 	}
+	if cfg.shardRouting {
+		p.byURL = make(map[string]*backend, len(p.backends))
+		for _, b := range p.backends {
+			p.byURL[b.url] = b
+		}
+		p.ring = ring.New(urls, cfg.shardVnodes)
+		p.keyMemo = make(map[string]string)
+	}
 	if cfg.probeInterval > 0 {
 		p.probeWG.Add(1)
 		go p.probeLoop()
 	}
 	return p, nil
+}
+
+// keyMemoCap bounds the text -> digest memo; a full memo is dropped
+// wholesale (the working set of a load generator or proxy cycles).
+const keyMemoCap = 8192
+
+// shardKeyFor resolves the request's routing key, memoizing by network
+// text (the overwhelmingly common wire form; comparator-form requests
+// just resolve each time).
+func (p *Pool) shardKeyFor(req *sortnets.Request) (string, bool) {
+	memoable := req.Network != "" && req.Comparators == nil && req.Lines == 0
+	if memoable {
+		p.keyMu.Lock()
+		k, ok := p.keyMemo[req.Network]
+		p.keyMu.Unlock()
+		if ok {
+			return k, k != ""
+		}
+	}
+	k, ok := req.ShardKey()
+	if memoable {
+		p.keyMu.Lock()
+		if len(p.keyMemo) >= keyMemoCap {
+			p.keyMemo = make(map[string]string)
+		}
+		p.keyMemo[req.Network] = k // "" records an unroutable network
+		p.keyMu.Unlock()
+	}
+	return k, ok
+}
+
+// preferFor computes the request's failover preference order — the
+// ring walk from its digest, mapped to backends — or nil when routing
+// is off or the request has no key (then round-robin applies).
+func (p *Pool) preferFor(req *sortnets.Request) []*backend {
+	if p.ring == nil {
+		return nil
+	}
+	key, ok := p.shardKeyFor(req)
+	if !ok {
+		p.unrouted.Add(1)
+		return nil
+	}
+	p.routed.Add(1)
+	return p.backendsFor(p.ring.Replicas(key))
+}
+
+func (p *Pool) backendsFor(urls []string) []*backend {
+	out := make([]*backend, 0, len(urls))
+	for _, u := range urls {
+		if b := p.byURL[u]; b != nil {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// pickPrefer is pick with a preference order: the first breaker-open
+// non-avoided backend in prefer, else (all breakers shut) the first
+// non-avoided one, else the owner — mirroring pick's "always return
+// SOMETHING so a forced attempt doubles as a probe" contract.
+func (p *Pool) pickPrefer(prefer []*backend, avoid *backend) *backend {
+	now := p.now()
+	for pass := 0; pass < 2; pass++ {
+		for _, b := range prefer {
+			if b == avoid && len(prefer) > 1 {
+				continue
+			}
+			if pass == 0 && !b.br.Allow(now) {
+				continue
+			}
+			return b
+		}
+	}
+	return prefer[0]
+}
+
+// pickFor dispatches to the ring preference order when one exists,
+// else plain round-robin.
+func (p *Pool) pickFor(prefer []*backend, avoid *backend) *backend {
+	if len(prefer) > 0 {
+		return p.pickPrefer(prefer, avoid)
+	}
+	return p.pick(avoid)
 }
 
 // Pool implements sortnets.Doer.
@@ -337,29 +464,31 @@ func (p *Pool) sendOne(ctx context.Context, b *backend, req sortnets.Request, at
 	return v, floor, err
 }
 
-// Do renders one verdict through the pool: pick a healthy backend,
-// send, and on a retryable failure back off and fail over — the
-// request is idempotent, so re-sending is always safe. With hedging
-// enabled, a slow primary is raced by a second backend.
+// Do renders one verdict through the pool: pick a backend (the
+// digest's owner shard under WithShardRouting, round-robin
+// otherwise), send, and on a retryable failure back off and fail
+// over — the request is idempotent, so re-sending is always safe.
+// With hedging enabled, a slow primary is raced by a second backend.
 func (p *Pool) Do(ctx context.Context, req sortnets.Request) (*sortnets.Verdict, error) {
 	var lastErr error
 	var prev *backend
 	var floor time.Duration
+	prefer := p.preferFor(&req)
 	for attempt := 0; attempt < p.cfg.maxAttempts; attempt++ {
 		if attempt > 0 {
 			p.retries.Add(1)
-			if err := p.sleep(ctx, attempt, floor); err != nil {
+			if err := p.sleepFn(ctx, attempt, floor); err != nil {
 				return nil, err
 			}
 		}
-		b := p.pick(prev)
+		b := p.pickFor(prefer, prev)
 		if prev != nil && b != prev {
 			p.failovers.Add(1)
 		}
 		var v *sortnets.Verdict
 		var err error
 		if p.cfg.hedgeDelay > 0 {
-			v, floor, err = p.sendHedged(ctx, b, req, attempt)
+			v, floor, err = p.sendHedged(ctx, b, prefer, req, attempt)
 		} else {
 			v, floor, err = p.sendOne(ctx, b, req, attempt)
 		}
@@ -378,10 +507,14 @@ func (p *Pool) Do(ctx context.Context, req sortnets.Request) (*sortnets.Verdict,
 }
 
 // sendHedged races the primary against one speculative send to a
-// second healthy backend, launched if the primary hasn't answered
-// within the hedge delay. First usable answer wins; the loser is
-// cancelled through the shared context.
-func (p *Pool) sendHedged(ctx context.Context, primary *backend, req sortnets.Request, attempt int) (*sortnets.Verdict, time.Duration, error) {
+// second healthy backend (the next ring replica when routing is on),
+// launched if the primary hasn't answered within the hedge delay.
+// First usable answer wins; the loser is cancelled through the shared
+// context. When every send fails, the returned floor is the MAX
+// Retry-After observed across them: a hedge that fails cheaply (floor
+// 0) must not erase the primary's 429 hint, or the next backoff would
+// hammer a backend that explicitly asked for air.
+func (p *Pool) sendHedged(ctx context.Context, primary *backend, prefer []*backend, req sortnets.Request, attempt int) (*sortnets.Verdict, time.Duration, error) {
 	type result struct {
 		v     *sortnets.Verdict
 		floor time.Duration
@@ -402,25 +535,29 @@ func (p *Pool) sendHedged(ctx context.Context, primary *backend, req sortnets.Re
 	timer := time.NewTimer(p.cfg.hedgeDelay)
 	defer timer.Stop()
 	var lastErr result
+	var maxFloor time.Duration
 	for {
 		select {
 		case <-timer.C:
-			if hb := p.pick(primary); hb != primary {
+			if hb := p.pickFor(prefer, primary); hb != primary {
 				p.hedges.Add(1)
 				launch(hb)
 				outstanding++
 			}
 		case r := <-ch:
 			outstanding--
+			if r.floor > maxFloor {
+				maxFloor = r.floor
+			}
 			if r.err == nil || !retryable(r.err) {
 				if r.err == nil && r.from != primary {
 					p.hedgeWins.Add(1)
 				}
-				return r.v, r.floor, r.err
+				return r.v, maxFloor, r.err
 			}
 			lastErr = r
 			if outstanding == 0 {
-				return nil, lastErr.floor, lastErr.err
+				return nil, maxFloor, lastErr.err
 			}
 		case <-ctx.Done():
 			return nil, 0, ctx.Err()
@@ -444,11 +581,91 @@ func entryRetryable(err error) bool {
 // entries that already have verdicts keep them, and only the failed
 // remainder is re-sent (to the next healthy backend) each round. The
 // result keeps Session.DoBatch's contract — index-aligned with reqs,
-// per-entry failures inside a *sortnets.BatchError.
+// per-entry failures inside a *sortnets.BatchError; a cancellation
+// mid-retry returns the verdicts already won the same way rather than
+// discarding them.
+//
+// Under WithShardRouting the batch is first SPLIT by owner shard:
+// each entry goes to the shard owning its digest (unroutable entries
+// form a round-robin group), the per-owner sub-batches run
+// concurrently through the same partial-retry machinery, and the
+// verdicts re-merge index-aligned.
 func (p *Pool) DoBatch(ctx context.Context, reqs []sortnets.Request) ([]*sortnets.Verdict, error) {
 	if len(reqs) == 0 {
 		return []*sortnets.Verdict{}, nil
 	}
+	if p.ring == nil {
+		return p.doBatchPrefer(ctx, reqs, nil)
+	}
+
+	type group struct {
+		prefer []*backend
+		idxs   []int
+	}
+	groups := make(map[string]*group) // owner URL; "" = unroutable
+	var order []string                // deterministic send order
+	for i := range reqs {
+		owner := ""
+		if key, ok := p.shardKeyFor(&reqs[i]); ok {
+			owner = p.ring.Owner(key)
+			p.routed.Add(1)
+		} else {
+			p.unrouted.Add(1)
+		}
+		g := groups[owner]
+		if g == nil {
+			g = &group{}
+			if owner != "" {
+				g.prefer = p.backendsFor(p.ring.Successors(owner))
+			}
+			groups[owner] = g
+			order = append(order, owner)
+		}
+		g.idxs = append(g.idxs, i)
+	}
+	if len(order) == 1 {
+		return p.doBatchPrefer(ctx, reqs, groups[order[0]].prefer)
+	}
+
+	// Disjoint index sets: each goroutine writes only its own slots.
+	out := make([]*sortnets.Verdict, len(reqs))
+	finalErrs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for _, owner := range order {
+		g := groups[owner]
+		wg.Add(1)
+		go func(g *group) {
+			defer wg.Done()
+			sub := make([]sortnets.Request, len(g.idxs))
+			for k, idx := range g.idxs {
+				sub[k] = reqs[idx]
+			}
+			vs, err := p.doBatchPrefer(ctx, sub, g.prefer)
+			var be *sortnets.BatchError
+			switch {
+			case err == nil:
+				for k, idx := range g.idxs {
+					out[idx] = vs[k]
+				}
+			case errors.As(err, &be):
+				for k, idx := range g.idxs {
+					out[idx], finalErrs[idx] = vs[k], be.Errs[k]
+				}
+			default:
+				for _, idx := range g.idxs {
+					finalErrs[idx] = err
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	return p.finishBatch(ctx, out, finalErrs)
+}
+
+// doBatchPrefer is the single-destination batch loop: all of reqs go
+// to one backend per round (preferring the ring walk in prefer when
+// non-nil), with per-entry partial retry across rounds.
+func (p *Pool) doBatchPrefer(ctx context.Context, reqs []sortnets.Request, prefer []*backend) ([]*sortnets.Verdict, error) {
 	out := make([]*sortnets.Verdict, len(reqs))
 	finalErrs := make([]error, len(reqs))
 	pending := make([]int, len(reqs))
@@ -458,15 +675,22 @@ func (p *Pool) DoBatch(ctx context.Context, reqs []sortnets.Request) ([]*sortnet
 	var lastErr error
 	var prev *backend
 	var floor time.Duration
+	won := 0 // verdicts landed in out
 	sub := make([]sortnets.Request, 0, len(reqs))
 	for attempt := 0; attempt < p.cfg.maxAttempts && len(pending) > 0; attempt++ {
 		if attempt > 0 {
 			p.retries.Add(1)
-			if err := p.sleep(ctx, attempt, floor); err != nil {
-				return nil, err
+			if err := p.sleepFn(ctx, attempt, floor); err != nil {
+				// Cancelled mid-backoff: verdicts already won are real —
+				// surface them as partial results, not a bare error.
+				if won == 0 {
+					return nil, err
+				}
+				lastErr = err
+				break
 			}
 		}
-		b := p.pick(prev)
+		b := p.pickFor(prefer, prev)
 		if prev != nil && b != prev {
 			p.failovers.Add(1)
 		}
@@ -491,6 +715,7 @@ func (p *Pool) DoBatch(ctx context.Context, reqs []sortnets.Request) ([]*sortnet
 			for k, idx := range pending {
 				out[idx], finalErrs[idx] = vs[k], nil
 			}
+			won += len(pending)
 			pending = pending[:0]
 		case errors.As(err, &be):
 			// A healthy response with per-entry outcomes: keep the
@@ -501,6 +726,7 @@ func (p *Pool) DoBatch(ctx context.Context, reqs []sortnets.Request) ([]*sortnet
 				switch {
 				case be.Errs[k] == nil:
 					out[idx], finalErrs[idx] = vs[k], nil
+					won++
 				case entryRetryable(be.Errs[k]):
 					finalErrs[idx] = be.Errs[k]
 					next = append(next, idx)
@@ -512,19 +738,37 @@ func (p *Pool) DoBatch(ctx context.Context, reqs []sortnets.Request) ([]*sortnet
 			lastErr, prev = err, b
 		default:
 			floor = p.observe(b, err)
-			if ctxErr := ctx.Err(); ctxErr != nil {
-				return nil, ctxErr
-			}
 			lastErr, prev = err, b
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				if won == 0 {
+					return nil, ctxErr
+				}
+				break
+			}
 		}
 	}
-	failed := false
 	for _, idx := range pending {
 		if finalErrs[idx] == nil {
 			finalErrs[idx] = lastErr
 		}
 	}
+	return p.finishBatch(ctx, out, finalErrs)
+}
+
+// finishBatch applies the BatchError contract: entries that never got
+// a verdict or a typed error are stamped (ctx error or a wrapped
+// transport failure as 502), and the pair is returned as partial
+// results iff anything failed.
+func (p *Pool) finishBatch(ctx context.Context, out []*sortnets.Verdict, finalErrs []error) ([]*sortnets.Verdict, error) {
+	failed := false
 	for i := range finalErrs {
+		if out[i] == nil && finalErrs[i] == nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				finalErrs[i] = ctxErr
+			} else {
+				finalErrs[i] = errors.New("client: batch entry unresolved")
+			}
+		}
 		if finalErrs[i] != nil {
 			// Wrap non-Request errors so BatchError consumers get the
 			// typed per-entry shape they already handle.
@@ -560,6 +804,8 @@ type PoolStats struct {
 	Hedges      int64          `json:"hedges"`
 	HedgeWins   int64          `json:"hedge_wins"`
 	Unavailable int64          `json:"unavailable"`
+	Routed      int64          `json:"routed,omitempty"`   // digest-routed requests (WithShardRouting)
+	Unrouted    int64          `json:"unrouted,omitempty"` // requests with no shard key
 }
 
 // Stats snapshots the pool.
@@ -570,6 +816,8 @@ func (p *Pool) Stats() PoolStats {
 		Hedges:      p.hedges.Load(),
 		HedgeWins:   p.hedgeWins.Load(),
 		Unavailable: p.unavailable.Load(),
+		Routed:      p.routed.Load(),
+		Unrouted:    p.unrouted.Load(),
 	}
 	now := p.now()
 	for _, b := range p.backends {

@@ -1,0 +1,230 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"sortnets/internal/chaos"
+	"sortnets/internal/serve"
+)
+
+// startCluster brings up n sortnetd shards wired as a full peer mesh:
+// every shard's -peers names all its siblings. The listeners are bound
+// BEFORE the services are built so each Config.Peers can carry the
+// real sibling URLs.
+func startCluster(t *testing.T, n int, cacheSize int) ([]*serve.Service, []string) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	svcs := make([]*serve.Service, n)
+	srvs := make([]*http.Server, n)
+	for i := range svcs {
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		svcs[i] = serve.NewService(serve.Config{
+			Workers:     1,
+			CacheSize:   cacheSize,
+			ShardID:     fmt.Sprintf("s%d", i),
+			Peers:       peers,
+			PeerTimeout: time.Second,
+		})
+		srvs[i] = &http.Server{Handler: svcs[i].Handler()}
+		go srvs[i].Serve(lns[i])
+	}
+	t.Cleanup(func() {
+		for _, srv := range srvs {
+			srv.Close()
+		}
+		for _, s := range svcs {
+			s.Close()
+		}
+	})
+	return svcs, urls
+}
+
+// sumClusterStats folds the shards' /stats into the totals the
+// cluster-mode assertions live on.
+func sumClusterStats(svcs []*serve.Service) (computes, peerHits, fillServed int64) {
+	for _, s := range svcs {
+		st := s.Stats()
+		computes += st.Endpoints["verify"].Computes
+		peerHits += st.Peer.Hits
+		fillServed += st.Peer.FillServed
+	}
+	return
+}
+
+// TestClusterSmokeLoad is the CI cluster smoke step, asserting the
+// scaling MECHANISM of digest sharding (wall-clock scaling needs
+// cores; CI has one):
+//
+// Phase 1 — routed: every distinct network computes on exactly ONE
+// shard, so the cluster-wide compute total equals the distinct count.
+// That partition IS the near-linear scaling claim: each shard does
+// 1/n of the compute work with no duplication.
+//
+// Phase 2 — the same workload unrouted (round-robin, the worst case):
+// off-owner misses adopt the owner's verdict through peer fill, the
+// compute total does NOT grow, and the checksum is byte-identical to
+// the routed run.
+func TestClusterSmokeLoad(t *testing.T) {
+	svcs, urls := startCluster(t, 3, 256)
+
+	cfg := loadCfg{targets: urls, requests: 48, concurrency: 4,
+		n: 6, size: 8, distinct: 48, batch: 8, cluster: true, seed: 7}
+
+	var routed strings.Builder
+	if err := loadRun(context.Background(), &routed, cfg); err != nil {
+		t.Fatalf("routed run: %v\n%s", err, routed.String())
+	}
+	out := routed.String()
+	if !strings.Contains(out, " 0 failed") {
+		t.Fatalf("routed run had failures:\n%s", out)
+	}
+	if !strings.Contains(out, "cluster: 48 routed by digest, 0 unroutable") {
+		t.Fatalf("missing or wrong cluster routing line:\n%s", out)
+	}
+	want := extractChecksum(t, out)
+	computes, _, _ := sumClusterStats(svcs)
+	if computes != 48 {
+		t.Fatalf("cluster-wide computes = %d for 48 distinct networks, want exactly 48 (no duplicated work)", computes)
+	}
+	// The partition must actually spread: with 48 networks over a
+	// 3-member ring, no shard owns everything.
+	for i, s := range svcs {
+		if c := s.Stats().Endpoints["verify"].Computes; c == 48 {
+			t.Errorf("shard %d computed all 48 networks — routing did not partition", i)
+		}
+	}
+
+	// Phase 2: same seed, routing OFF — every off-owner miss must be
+	// answered by peer fill, not recomputed.
+	unroutedCfg := cfg
+	unroutedCfg.cluster = false
+	unroutedCfg.batch = 1
+	var rr strings.Builder
+	if err := loadRun(context.Background(), &rr, unroutedCfg); err != nil {
+		t.Fatalf("round-robin run: %v\n%s", err, rr.String())
+	}
+	out = rr.String()
+	if !strings.Contains(out, " 0 failed") {
+		t.Fatalf("round-robin run had failures:\n%s", out)
+	}
+	if got := extractChecksum(t, out); got != want {
+		t.Fatalf("checksum diverged between routed and round-robin runs: %s vs %s", got, want)
+	}
+	computes, peerHits, fillServed := sumClusterStats(svcs)
+	if computes != 48 {
+		t.Errorf("cluster-wide computes grew to %d after the unrouted pass, want still 48 (peer fill, not recompute)", computes)
+	}
+	if peerHits == 0 || fillServed == 0 {
+		t.Errorf("peer fill never fired: hits=%d served=%d", peerHits, fillServed)
+	}
+}
+
+// TestClusterChaosCampaign is the cluster acceptance run: a routed
+// load over 3 shards with one shard KILLED and restored mid-run must
+// finish with zero failed requests and a verdict checksum identical
+// to the fault-free run — the dead shard's traffic fails over along
+// the ring, and the surviving shards adopt its cached verdicts
+// through peer fill instead of recomputing.
+//
+// Client traffic flows through per-shard chaos proxies; the peer mesh
+// uses the real service URLs, so cache fill keeps working while a
+// shard's public face is down (exactly the deployment shape: the fill
+// plane is shard-to-shard, not routed through the load balancer).
+func TestClusterChaosCampaign(t *testing.T) {
+	svcs, urls := startCluster(t, 3, 256)
+
+	cfg := loadCfg{targets: urls, requests: 600, concurrency: 4,
+		n: 6, size: 8, distinct: 12, batch: 8, cluster: true, seed: 99}
+
+	// Fault-free reference run: also warms each owner's cache, so the
+	// chaos run's failovers have something to peer-fill from.
+	var ref strings.Builder
+	if err := loadRun(context.Background(), &ref, cfg); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, ref.String())
+	}
+	if !strings.Contains(ref.String(), " 0 failed") {
+		t.Fatalf("reference run had failures:\n%s", ref.String())
+	}
+	want := extractChecksum(t, ref.String())
+
+	// Chaos run: same seed through per-shard fault proxies, with one
+	// shard's proxy killed once it carries traffic and restored
+	// mid-run. (Which shard owns what depends on the ring over this
+	// run's ephemeral ports, so the victim is picked by observed
+	// traffic, not by index.)
+	proxies := make([]*chaos.Proxy, len(urls))
+	proxied := make([]string, len(urls))
+	for i, u := range urls {
+		p, err := chaos.New(hostport(u), chaos.Plan{Seed: 5, Latency: 2 * time.Millisecond, LatencyProb: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		proxies[i], proxied[i] = p, p.URL()
+	}
+	chaosCfg := cfg
+	chaosCfg.targets = proxied
+	var out strings.Builder
+	done := make(chan error, 1)
+	go func() { done <- loadRun(context.Background(), &out, chaosCfg) }()
+
+	var victim *chaos.Proxy
+	deadline := time.Now().Add(5 * time.Second)
+	for victim == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("no shard ever saw traffic")
+		}
+		for _, p := range proxies {
+			if p.Stats().Conns >= 1 {
+				victim = p
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	victim.Kill()
+	time.Sleep(80 * time.Millisecond)
+	victim.Restore()
+
+	if err := <-done; err != nil {
+		t.Fatalf("chaos run: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, " 0 failed") {
+		t.Fatalf("chaos run lost requests:\n%s", s)
+	}
+	if got := extractChecksum(t, s); got != want {
+		t.Fatalf("verdict checksum diverged under chaos: %s vs fault-free %s\n%s", got, want, s)
+	}
+	// The campaign must have bitten (the kill forced retries) AND the
+	// fill plane must have carried cached verdicts between shards.
+	m := regexp.MustCompile(`pool: (\d+) retries`).FindStringSubmatch(s)
+	if m == nil || m[1] == "0" {
+		t.Errorf("kill/restore drew no retries — campaign did not exercise failover:\n%s", s)
+	}
+	_, peerHits, _ := sumClusterStats(svcs)
+	if peerHits == 0 {
+		t.Errorf("no peer fills fired — off-owner misses recomputed instead of adopting:\n%s", s)
+	}
+}

@@ -98,6 +98,7 @@ func main() {
 	size := flag.Int("size", 19, "load mode: comparators per random network")
 	distinct := flag.Int("distinct", 32, "load mode: distinct networks cycled through (fewer = more cache hits)")
 	batch := flag.Int("batch", 1, "load mode: requests per round trip (1 = single-shot POSTs, >1 = NDJSON batches via DoBatch)")
+	cluster := flag.Bool("cluster", false, "load mode: treat the -load URLs as a digest-sharded cluster and route each request to its owner shard")
 	seed := flag.Int64("seed", 1, "load mode: random-network seed")
 	timeout := flag.Duration("timeout", 0, "load mode: overall deadline (0 = none); expiring aborts in-flight requests")
 	chaosSpec := flag.String("chaos", "", "load mode: fault plan proxied in front of every backend, e.g. 'latency=5ms@0.5,reset@0.02,partial@0.2'")
@@ -128,6 +129,7 @@ func main() {
 			size:        *size,
 			distinct:    *distinct,
 			batch:       *batch,
+			cluster:     *cluster,
 			seed:        *seed,
 			chaosSpec:   *chaosSpec,
 			chaosSeed:   *chaosSeed,
@@ -186,7 +188,8 @@ type loadCfg struct {
 	concurrency int
 	n, size     int
 	distinct    int
-	batch       int // 1 = single-shot, > 1 = NDJSON batches of this size
+	batch       int  // 1 = single-shot, > 1 = NDJSON batches of this size
+	cluster     bool // route each request to its digest-owner shard
 	seed        int64
 	chaosSpec   string // non-empty: proxy every target through this fault plan
 	chaosSeed   int64
@@ -289,7 +292,11 @@ func loadRun(ctx context.Context, out io.Writer, cfg loadCfg) error {
 		}()
 	}
 
-	pool, err := client.NewPool(endpoints, client.WithJitterSeed(cfg.seed))
+	popts := []client.PoolOption{client.WithJitterSeed(cfg.seed)}
+	if cfg.cluster {
+		popts = append(popts, client.WithShardRouting(0))
+	}
+	pool, err := client.NewPool(endpoints, popts...)
 	if err != nil {
 		return err
 	}
@@ -419,6 +426,24 @@ func loadRun(ctx context.Context, out io.Writer, cfg loadCfg) error {
 	pst := pool.Stats()
 	fmt.Fprintf(out, "pool: %d retries, %d failovers, %d unavailable, %d hedges (%d won)\n",
 		pst.Retries, pst.Failovers, pst.Unavailable, pst.Hedges, pst.HedgeWins)
+	if cfg.cluster {
+		// The shard-distribution line: under digest routing each
+		// backend's share of requests IS the ring's partition of the
+		// workload (failover traffic aside).
+		var total int64
+		for _, b := range pst.Backends {
+			total += b.Requests
+		}
+		fmt.Fprintf(out, "cluster: %d routed by digest, %d unroutable (round-robin)\n",
+			pst.Routed, pst.Unrouted)
+		for _, b := range pst.Backends {
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(b.Requests) / float64(total)
+			}
+			fmt.Fprintf(out, "cluster shard %s: %d requests (%.1f%%)\n", b.URL, b.Requests, pct)
+		}
+	}
 	for _, b := range pst.Backends {
 		fmt.Fprintf(out, "pool backend %s: %s, %d requests, %d failures, %d/%d probes failed\n",
 			b.URL, b.State, b.Requests, b.Failures, b.ProbeFails, b.Probes)

@@ -45,6 +45,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -66,6 +67,9 @@ func main() {
 	computeTimeout := flag.Duration("compute-timeout", 0, "per-request compute deadline (504 past it); 0 disables")
 	drainGrace := flag.Duration("drain-grace", 250*time.Millisecond, "on SIGTERM: lame-duck window between failing readiness and closing the listener")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "on SIGTERM: hard deadline for in-flight work before connections are cut")
+	shardID := flag.String("shard-id", "", "this node's name in a cluster (the loop-prevention hop marker on peer probes); set it whenever -peers is")
+	peers := flag.String("peers", "", "comma-separated sibling shard base URLs consulted fill-only on every verdict-cache miss; empty disables the peer plane")
+	peerTimeout := flag.Duration("peer-timeout", 100*time.Millisecond, "budget for one miss's whole peer consultation (all peers together)")
 	flag.Parse()
 
 	if *lanes != 0 {
@@ -83,6 +87,9 @@ func main() {
 		MaxInflight:    *maxInflight,
 		QueueWait:      *queueWait,
 		ComputeTimeout: *computeTimeout,
+		ShardID:        *shardID,
+		Peers:          splitPeers(*peers),
+		PeerTimeout:    *peerTimeout,
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -130,6 +137,10 @@ func run(ln net.Listener, cfg serve.Config, opts drainOptions, drain <-chan stru
 	defer svc.Close()
 	logf("sortnetd: listening on %s (workers=%d, cache=%d entries, max-lines=%d, lanes=%d)",
 		ln.Addr(), svc.Stats().Workers, cfg.CacheSize, cfg.MaxLines, eval.KernelLanes())
+	if len(cfg.Peers) > 0 {
+		logf("sortnetd: cluster shard %q, peer fill from %v (budget %v per miss)",
+			cfg.ShardID, cfg.Peers, cfg.PeerTimeout)
+	}
 	if cfg.StreamTabDir != "" {
 		logStreamTables(cfg.StreamTabDir, logf)
 	}
@@ -173,6 +184,18 @@ func run(ln net.Listener, cfg serve.Config, opts drainOptions, drain <-chan stru
 		return nil
 	}
 	return err
+}
+
+// splitPeers parses the -peers flag: comma-separated base URLs,
+// blanks dropped so trailing commas are harmless.
+func splitPeers(s string) []string {
+	var urls []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			urls = append(urls, p)
+		}
+	}
+	return urls
 }
 
 // logStreamTables reports at startup which persisted test-stream

@@ -1,0 +1,139 @@
+// Package ring is the cluster's consistent-hash ring: it maps a
+// canonical network digest (internal/canon's sha256 — already stable
+// across processes, architectures, and time) to the shard that owns
+// it. Every participant — each sortnetd's peer plane and every
+// client.Pool — builds the ring independently from the same member
+// list and lands on the same owner, so routing needs no coordination
+// service: the digest IS the routing key, the ring IS the directory.
+//
+// Virtual nodes smooth the split: each member is hashed onto the ring
+// at DefaultVnodes points, so ownership shares stay near 1/N and a
+// member's departure redistributes only its own arc (keys owned by
+// surviving members never move — the property the verdict caches rely
+// on).
+package ring
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVnodes is the virtual-node count per member used when New is
+// given vnodes <= 0. 128 points per member keeps the max/min ownership
+// ratio under ~1.3 for small clusters without making lookup tables
+// noticeable.
+const DefaultVnodes = 128
+
+// Ring is an immutable consistent-hash ring. Safe for concurrent use.
+type Ring struct {
+	members []string // sorted, deduplicated
+	points  []point  // sorted by hash (ties by member index)
+}
+
+type point struct {
+	hash   uint64
+	member int // index into members
+}
+
+// New builds a ring over the given members (shard base URLs or IDs).
+// The member ORDER does not matter: the list is sorted and
+// deduplicated first, so two processes configured with the same set in
+// any order build identical rings. vnodes <= 0 selects DefaultVnodes.
+// An empty member list yields a ring whose Owner returns "".
+func New(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	uniq := sorted[:0]
+	for i, m := range sorted {
+		if i == 0 || m != sorted[i-1] {
+			uniq = append(uniq, m)
+		}
+	}
+	r := &Ring{members: uniq, points: make([]point, 0, len(uniq)*vnodes)}
+	for mi, m := range r.members {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash64(m + "#" + strconv.Itoa(v)), mi})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Members returns the sorted, deduplicated member list the ring was
+// built over. Callers must not mutate it.
+func (r *Ring) Members() []string { return r.members }
+
+// Owner returns the member owning key — the first ring point at or
+// clockwise after the key's hash — or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.members[r.points[r.at(key)].member]
+}
+
+// Replicas returns every member ordered by the key's ring walk: the
+// owner first, then each further member in the order its first point
+// is encountered clockwise. This is the failover preference order for
+// the key — deterministic, and distinct keys spread their second
+// choices over the whole cluster instead of all spilling onto one
+// scapegoat.
+func (r *Ring) Replicas(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.members))
+	seen := make([]bool, len(r.members))
+	for i, start := 0, r.at(key); i < len(r.points) && len(out) < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}
+
+// Successors returns the member list rotated to start at m (which must
+// be a member; otherwise the sorted list is returned unrotated). It is
+// the cheap owner-first preference order for a whole GROUP of keys
+// sharing one owner, where a per-key Replicas walk would differ per
+// key: deterministic and owner-first is what failover needs.
+func (r *Ring) Successors(m string) []string {
+	i := sort.SearchStrings(r.members, m)
+	if i >= len(r.members) || r.members[i] != m {
+		return r.members
+	}
+	out := make([]string, 0, len(r.members))
+	out = append(out, r.members[i:]...)
+	return append(out, r.members[:i]...)
+}
+
+// at returns the index of the first point at or after key's hash,
+// wrapping past the top of the ring.
+func (r *Ring) at(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// hash64 is FNV-1a — stable across Go versions and platforms, which
+// is the whole point: ring placement must never depend on process
+// state (maphash seeds, map iteration, pointer values).
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

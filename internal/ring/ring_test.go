@@ -1,0 +1,130 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func digests(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%064x", rand.New(rand.NewSource(int64(i))).Uint64())
+	}
+	return out
+}
+
+// TestRingDeterministicAcrossMemberOrder: the ring is a pure function
+// of the member SET — clients and servers configured with the same
+// shards in different orders must route identically.
+func TestRingDeterministicAcrossMemberOrder(t *testing.T) {
+	a := New([]string{"http://s1", "http://s2", "http://s3"}, 0)
+	b := New([]string{"http://s3", "http://s1", "http://s2"}, 0)
+	c := New([]string{"http://s2", "http://s3", "http://s1", "http://s1"}, 0) // dup collapses
+	if !reflect.DeepEqual(a.Members(), b.Members()) || !reflect.DeepEqual(a.Members(), c.Members()) {
+		t.Fatalf("member lists differ: %v %v %v", a.Members(), b.Members(), c.Members())
+	}
+	for _, k := range digests(500) {
+		if a.Owner(k) != b.Owner(k) || a.Owner(k) != c.Owner(k) {
+			t.Fatalf("owner diverged for %s: %s %s %s", k, a.Owner(k), b.Owner(k), c.Owner(k))
+		}
+		if !reflect.DeepEqual(a.Replicas(k), b.Replicas(k)) {
+			t.Fatalf("replica walk diverged for %s", k)
+		}
+	}
+}
+
+// TestRingReplicas: owner-first, all members exactly once.
+func TestRingReplicas(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	r := New(members, 64)
+	for _, k := range digests(200) {
+		reps := r.Replicas(k)
+		if len(reps) != len(members) {
+			t.Fatalf("want %d replicas, got %v", len(members), reps)
+		}
+		if reps[0] != r.Owner(k) {
+			t.Fatalf("replicas[0]=%s != owner %s", reps[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, m := range reps {
+			if seen[m] {
+				t.Fatalf("duplicate member %s in %v", m, reps)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// TestRingBalance: with default vnodes no member's ownership share
+// strays badly from 1/N.
+func TestRingBalance(t *testing.T) {
+	members := []string{"http://10.0.0.1:8080", "http://10.0.0.2:8080", "http://10.0.0.3:8080"}
+	r := New(members, 0)
+	counts := map[string]int{}
+	keys := digests(6000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	fair := len(keys) / len(members)
+	for m, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("member %s owns %d of %d keys (fair share %d): ring unbalanced %v",
+				m, c, len(keys), fair, counts)
+		}
+	}
+}
+
+// TestRingMinimalRemap: removing one member must not move any key
+// owned by a survivor — the property that keeps sibling verdict
+// caches warm through membership changes.
+func TestRingMinimalRemap(t *testing.T) {
+	full := New([]string{"a", "b", "c"}, 0)
+	without := New([]string{"a", "b"}, 0)
+	moved := 0
+	keys := digests(2000)
+	for _, k := range keys {
+		was := full.Owner(k)
+		now := without.Owner(k)
+		if was != "c" && now != was {
+			t.Fatalf("key %s moved %s -> %s though its owner survived", k, was, now)
+		}
+		if was == "c" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by the removed member — test has no teeth")
+	}
+}
+
+// TestRingSuccessors: rotation starting at the member, all members
+// once; unknown member falls back to the sorted list.
+func TestRingSuccessors(t *testing.T) {
+	r := New([]string{"b", "c", "a"}, 8)
+	if got := r.Successors("b"); !reflect.DeepEqual(got, []string{"b", "c", "a"}) {
+		t.Errorf("Successors(b) = %v", got)
+	}
+	if got := r.Successors("a"); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("Successors(a) = %v", got)
+	}
+	if got := r.Successors("zzz"); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("Successors(unknown) = %v", got)
+	}
+}
+
+// TestRingEmpty: degenerate rings don't panic.
+func TestRingEmpty(t *testing.T) {
+	r := New(nil, 0)
+	if o := r.Owner("x"); o != "" {
+		t.Errorf("empty ring owner = %q", o)
+	}
+	if reps := r.Replicas("x"); reps != nil {
+		t.Errorf("empty ring replicas = %v", reps)
+	}
+	one := New([]string{"solo"}, 0)
+	if o := one.Owner("x"); o != "solo" {
+		t.Errorf("single ring owner = %q", o)
+	}
+}

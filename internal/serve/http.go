@@ -99,6 +99,12 @@ func (s *Service) endpoint(op string, w http.ResponseWriter, r *http.Request) {
 	if r.Header.Get("X-Sortnetd-Retry") != "" {
 		s.retriesSeen.Add(1)
 	}
+	if r.Header.Get(fillHeader) != "" {
+		// A sibling shard's fill-only cache probe (peer.go): answered
+		// from the cache or 404, never computed, never gated.
+		s.serveFill(op, w, r)
+		return
+	}
 	if op == "" && ndjsonContentType(r) {
 		s.serveNDJSON(w, r)
 		return
@@ -125,7 +131,7 @@ func (s *Service) endpoint(op string, w http.ResponseWriter, r *http.Request) {
 		var re *sortnets.RequestError
 		switch {
 		case errors.Is(err, errShed):
-			w.Header().Set("Retry-After", strconv.Itoa(int(shedRetryAfter/time.Second)))
+			w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds(shedRetryAfter)))
 			writeError(w, http.StatusTooManyRequests,
 				fmt.Sprintf("server saturated: %d requests in flight; retry after %v", s.cfg.MaxInflight, shedRetryAfter))
 		case errors.As(err, &re):
@@ -161,11 +167,29 @@ func (s *Service) readiness(w http.ResponseWriter) {
 	case s.draining.Load():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 	case s.inflight.Load() >= int64(s.cfg.MaxInflight):
-		w.Header().Set("Retry-After", strconv.Itoa(int(shedRetryAfter/time.Second)))
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds(shedRetryAfter)))
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "overloaded"})
 	default:
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	}
+}
+
+// RetryAfterSeconds renders a backoff hint as Retry-After
+// delta-seconds, rounding UP with a floor of one second. The header
+// has whole-second granularity, so the historical int(d/time.Second)
+// truncation turned any sub-second hint into "0" — which clients
+// parse as NO floor, defeating the hint exactly when the server most
+// wanted breathing room. Exported so the client's floor parser can be
+// round-trip tested against it.
+func RetryAfterSeconds(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

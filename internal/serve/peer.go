@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"sortnets"
+)
+
+// The peer cache-fill plane of cluster mode.
+//
+// Outgoing: when sortnetd runs with -peers, the Session's verdict-
+// cache misses consult the sibling shards through peerFill (installed
+// as sortnets.WithPeerFill) before paying the compute. The whole
+// consultation shares ONE short budget (Config.PeerTimeout) — peer
+// fill is an optimization, never a stall — and single-flight comes
+// from the Session's coalescing: concurrent identical misses cost one
+// probe round. Under digest routing a fill hit is the common case the
+// moment traffic arrives off-owner (a failover, a hedge, a
+// round-robin client): the owner computed it already.
+//
+// Incoming: a probe is a normal POST /do carrying the X-Sortnetd-Fill
+// header (the wire constants mirror sortnets/client, which this
+// package cannot import — client's tests import serve). serveFill
+// answers it from Session.Lookup — the cache-only read path — or
+// 404s. It NEVER computes and NEVER probes further, so fill traffic
+// is structurally loop-free no matter how the peer graph is
+// (mis)configured; as a belt-and-braces check, a probe whose
+// X-Sortnetd-Peer hop marker names THIS shard is refused outright (a
+// peer list pointing a shard at itself). Fill probes skip the
+// admission gate: a saturated shard can still answer cache reads,
+// which is exactly when its siblings need them.
+
+const (
+	fillHeader = "X-Sortnetd-Fill" // = client.FillHeader
+	peerHeader = "X-Sortnetd-Peer" // = client.PeerHeader
+)
+
+// defaultPeerTimeout bounds one miss's whole peer consultation when
+// Config.PeerTimeout is unset. Local-network round trips for a cache
+// read are sub-millisecond; 100ms absorbs a GC pause or SYN retry
+// without ever making fill the slow path next to a real compute.
+const defaultPeerTimeout = 100 * time.Millisecond
+
+// peerTransport bounds the phases of a probe that can hang on a dead
+// peer; the per-consultation context does the rest.
+var peerTransport = &http.Transport{
+	DialContext:           (&net.Dialer{Timeout: 2 * time.Second, KeepAlive: 30 * time.Second}).DialContext,
+	TLSHandshakeTimeout:   2 * time.Second,
+	ResponseHeaderTimeout: 5 * time.Second,
+	MaxIdleConnsPerHost:   16,
+	IdleConnTimeout:       90 * time.Second,
+}
+
+// peerPlane is the Service's cluster-fill state and counters.
+type peerPlane struct {
+	urls    []string // peer base URLs, trailing slash trimmed
+	hc      *http.Client
+	timeout time.Duration
+
+	hits   atomic.Int64 // outgoing probes answered with a verdict
+	misses atomic.Int64 // outgoing probes answered 404
+	errors atomic.Int64 // outgoing probes that failed (dead peer, timeout)
+
+	fillServed atomic.Int64 // incoming probes answered from the cache
+	fillMisses atomic.Int64 // incoming probes answered 404
+	fillLoops  atomic.Int64 // incoming probes refused by the hop marker
+}
+
+// initPeers wires the outgoing fill plane from the Config.
+func (s *Service) initPeers() {
+	if len(s.cfg.Peers) == 0 {
+		return
+	}
+	s.peer.timeout = s.cfg.PeerTimeout
+	if s.peer.timeout <= 0 {
+		s.peer.timeout = defaultPeerTimeout
+	}
+	s.peer.hc = s.cfg.PeerHTTPClient
+	if s.peer.hc == nil {
+		s.peer.hc = &http.Client{Transport: peerTransport}
+	}
+	for _, u := range s.cfg.Peers {
+		s.peer.urls = append(s.peer.urls, strings.TrimRight(u, "/"))
+	}
+}
+
+// peerFill is the Session's cluster fill hook: probe each peer in
+// configured order under one shared budget, adopt the first verdict.
+// ctx is the Session's compute context (detached from any one caller
+// — it outlives an individual disconnect while waiters remain), so
+// the timeout here is the only thing bounding the consultation.
+func (s *Service) peerFill(ctx context.Context, req sortnets.Request) (*sortnets.Verdict, bool) {
+	pctx, cancel := context.WithTimeout(ctx, s.peer.timeout)
+	defer cancel()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, false
+	}
+	for _, u := range s.peer.urls {
+		v, ok, err := s.fillProbe(pctx, u, payload)
+		switch {
+		case err != nil:
+			s.peer.errors.Add(1)
+			if pctx.Err() != nil {
+				return nil, false // budget spent; compute locally
+			}
+		case ok:
+			s.peer.hits.Add(1)
+			return v, true
+		default:
+			s.peer.misses.Add(1)
+		}
+	}
+	return nil, false
+}
+
+// fillProbe sends one fill-only probe. ok=false with a nil error is a
+// peer cache miss — a normal outcome, not a failure.
+func (s *Service) fillProbe(ctx context.Context, baseURL string, payload []byte) (*sortnets.Verdict, bool, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/do", bytes.NewReader(payload))
+	if err != nil {
+		return nil, false, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpReq.Header.Set(fillHeader, "1")
+	if s.cfg.ShardID != "" {
+		httpReq.Header.Set(peerHeader, s.cfg.ShardID)
+	}
+	resp, err := s.peer.hc.Do(httpReq)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes*8))
+	if err != nil {
+		return nil, false, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var v sortnets.Verdict
+		if err := json.Unmarshal(body, &v); err != nil {
+			return nil, false, fmt.Errorf("undecodable fill verdict from %s: %w", baseURL, err)
+		}
+		return &v, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("fill probe to %s: status %d", baseURL, resp.StatusCode)
+	}
+}
+
+// serveFill answers an incoming fill-only probe from the verdict
+// cache. Reached from endpoint() before the admission gate and before
+// the NDJSON switch — probes are always single-shot JSON.
+func (s *Service) serveFill(op string, w http.ResponseWriter, r *http.Request) {
+	if from := r.Header.Get(peerHeader); from != "" && s.cfg.ShardID != "" && from == s.cfg.ShardID {
+		s.peer.fillLoops.Add(1)
+		writeError(w, http.StatusLoopDetected, fmt.Sprintf(
+			"peer fill loop: probe carries this shard's id %q (a peer list points a shard at itself)", from))
+		return
+	}
+	var req sortnets.Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad fill probe body: %v", err))
+		return
+	}
+	if op != "" {
+		req.Op = op
+	}
+	v, ok := s.sess.Lookup(req)
+	if !ok {
+		s.peer.fillMisses.Add(1)
+		writeError(w, http.StatusNotFound, "fill miss")
+		return
+	}
+	s.peer.fillServed.Add(1)
+	body, err := sortnets.MarshalVerdict(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Sortnetd-Cache", v.Source)
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// PeerSnapshot is the /stats "peer" section: the cluster fill plane
+// from both sides — outgoing probes this shard sent on its own misses
+// (peer_hits / peer_misses / peer_errors) and incoming probes it
+// answered for siblings (fill_served / fill_misses / fill_loops).
+type PeerSnapshot struct {
+	ShardID    string   `json:"shard_id,omitempty"`
+	Peers      []string `json:"peers,omitempty"`
+	Hits       int64    `json:"peer_hits"`
+	Misses     int64    `json:"peer_misses"`
+	Errors     int64    `json:"peer_errors"`
+	FillServed int64    `json:"fill_served"`
+	FillMisses int64    `json:"fill_misses"`
+	FillLoops  int64    `json:"fill_loops"`
+}
+
+func (s *Service) peerSnapshot() PeerSnapshot {
+	return PeerSnapshot{
+		ShardID:    s.cfg.ShardID,
+		Peers:      s.peer.urls,
+		Hits:       s.peer.hits.Load(),
+		Misses:     s.peer.misses.Load(),
+		Errors:     s.peer.errors.Load(),
+		FillServed: s.peer.fillServed.Load(),
+		FillMisses: s.peer.fillMisses.Load(),
+		FillLoops:  s.peer.fillLoops.Load(),
+	}
+}

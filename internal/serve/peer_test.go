@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"sortnets"
+)
+
+// fillPost sends a fill-only cache probe the way a sibling shard
+// would: POST /do + the fill header, with from as the hop marker.
+func fillPost(t *testing.T, url string, req sortnets.Request, from string) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, url+"/do", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpReq.Header.Set(fillHeader, "1")
+	if from != "" {
+		httpReq.Header.Set(peerHeader, from)
+	}
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+// TestFillEndpointMissHitIdentity: a fill probe for an uncached
+// network answers 404 without computing; once the verdict is cached a
+// probe answers 200 with a body byte-identical to the original — the
+// property that makes adopting a peer's verdict always safe.
+func TestFillEndpointMissHitIdentity(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, ShardID: "s0"})
+
+	req := sortnets.Request{Network: sorter4}
+	resp, body := fillPost(t, ts.URL, req, "s1")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cold fill probe: status %d (%s), want 404 — a probe must never compute", resp.StatusCode, body)
+	}
+	if ep := s.Stats().Endpoints["verify"]; ep.Computes != 0 {
+		t.Fatalf("fill probe triggered %d computes, want 0", ep.Computes)
+	}
+
+	// A real request computes and caches the verdict...
+	resp, want := post(t, ts.URL+"/do", req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("real request: status %d: %s", resp.StatusCode, want)
+	}
+
+	// ...and the probe now replays it byte-identically.
+	resp, got := fillPost(t, ts.URL, req, "s1")
+	if resp.StatusCode != 200 {
+		t.Fatalf("warm fill probe: status %d (%s), want 200", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fill body diverged from the original verdict:\n fill: %s\n real: %s", got, want)
+	}
+	if resp.Header.Get("X-Sortnetd-Cache") != "hit" {
+		t.Errorf("fill response cache header %q, want hit", resp.Header.Get("X-Sortnetd-Cache"))
+	}
+	ps := s.peerSnapshot()
+	if ps.FillMisses != 1 || ps.FillServed != 1 {
+		t.Errorf("fill counters %+v, want 1 miss + 1 served", ps)
+	}
+}
+
+// TestFillEndpointCanonicalSharing: a probe for a REORDERED writing of
+// a cached circuit still hits — fill lookups go through the same
+// canonical digest as everything else.
+func TestFillEndpointCanonicalSharing(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	if resp, body := post(t, ts.URL+"/do", sortnets.Request{Network: sorter4}); resp.StatusCode != 200 {
+		t.Fatalf("warm-up: status %d: %s", resp.StatusCode, body)
+	}
+	resp, body := fillPost(t, ts.URL, sortnets.Request{Network: sorter4Reordered}, "s1")
+	if resp.StatusCode != 200 {
+		t.Fatalf("probe for the reordered circuit: status %d (%s), want a canonical hit", resp.StatusCode, body)
+	}
+}
+
+// TestFillEndpointRefusesOwnHopMarker: a probe carrying THIS shard's
+// id means a peer list points a shard at itself; it is refused with
+// 508 instead of answered.
+func TestFillEndpointRefusesOwnHopMarker(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, ShardID: "s0"})
+	resp, body := fillPost(t, ts.URL, sortnets.Request{Network: sorter4}, "s0")
+	if resp.StatusCode != http.StatusLoopDetected {
+		t.Fatalf("self-probe: status %d (%s), want 508", resp.StatusCode, body)
+	}
+	if ps := s.peerSnapshot(); ps.FillLoops != 1 {
+		t.Errorf("fill_loops = %d, want 1", ps.FillLoops)
+	}
+}
+
+// TestPeerFillEndToEnd: shard B has the verdict, shard A gets the
+// request cold — A's miss consults B fill-only, adopts the verdict
+// WITHOUT computing, and serves bytes identical to B's. The /stats
+// counters attribute the hit on A and the serve on B.
+func TestPeerFillEndToEnd(t *testing.T) {
+	sB, tsB := newTestServer(t, Config{Workers: 1, ShardID: "sB"})
+	respB, wantBody := post(t, tsB.URL+"/do", sortnets.Request{Network: sorter4})
+	if respB.StatusCode != 200 {
+		t.Fatalf("warming B: status %d: %s", respB.StatusCode, wantBody)
+	}
+
+	sA, tsA := newTestServer(t, Config{
+		Workers: 1, ShardID: "sA", Peers: []string{tsB.URL}, PeerTimeout: time.Second,
+	})
+	respA, gotBody := post(t, tsA.URL+"/do", sortnets.Request{Network: sorter4})
+	if respA.StatusCode != 200 {
+		t.Fatalf("request to A: status %d: %s", respA.StatusCode, gotBody)
+	}
+	if !bytes.Equal(gotBody, wantBody) {
+		t.Fatalf("peer-filled verdict diverged:\n A: %s\n B: %s", gotBody, wantBody)
+	}
+	if ep := sA.Stats().Endpoints["verify"]; ep.Computes != 0 {
+		t.Errorf("A computed %d times despite the peer fill, want 0", ep.Computes)
+	}
+	if ps := sA.peerSnapshot(); ps.Hits != 1 || ps.Errors != 0 {
+		t.Errorf("A peer counters %+v, want exactly one hit", ps)
+	}
+	if ps := sB.peerSnapshot(); ps.FillServed != 1 {
+		t.Errorf("B fill counters %+v, want one probe served", ps)
+	}
+
+	// A's adopted verdict is now A's own cache entry: the next request
+	// is a local hit, no second probe.
+	respA2, _ := post(t, tsA.URL+"/do", sortnets.Request{Network: sorter4})
+	if respA2.Header.Get("X-Sortnetd-Cache") != "hit" {
+		t.Errorf("second request to A: cache %q, want hit", respA2.Header.Get("X-Sortnetd-Cache"))
+	}
+	if ps := sA.peerSnapshot(); ps.Hits != 1 {
+		t.Errorf("A probed again for a cached verdict: %+v", ps)
+	}
+}
+
+// TestPeerFillMissComputesLocally: when every peer misses too, the
+// shard computes locally — fill is an optimization, never a
+// correctness dependency — and the misses are counted.
+func TestPeerFillMissComputesLocally(t *testing.T) {
+	_, tsB := newTestServer(t, Config{Workers: 1, ShardID: "sB"})
+	sA, tsA := newTestServer(t, Config{
+		Workers: 1, ShardID: "sA", Peers: []string{tsB.URL}, PeerTimeout: time.Second,
+	})
+	resp, body := post(t, tsA.URL+"/do", sortnets.Request{Network: sorter4})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ep := sA.Stats().Endpoints["verify"]; ep.Computes != 1 {
+		t.Errorf("A computes = %d, want 1 (peer missed, computed locally)", ep.Computes)
+	}
+	if ps := sA.peerSnapshot(); ps.Misses != 1 || ps.Hits != 0 {
+		t.Errorf("A peer counters %+v, want one miss", ps)
+	}
+}
+
+// TestPeerFillDeadPeerDegrades: a dead peer costs one failed probe
+// inside the budget, then the shard computes locally. No request
+// fails because the cluster plane is sick.
+func TestPeerFillDeadPeerDegrades(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // connection refused from here on
+	sA, tsA := newTestServer(t, Config{
+		Workers: 1, ShardID: "sA", Peers: []string{dead.URL}, PeerTimeout: 200 * time.Millisecond,
+	})
+	resp, body := post(t, tsA.URL+"/do", sortnets.Request{Network: sorter4})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s — a dead peer must not fail the request", resp.StatusCode, body)
+	}
+	if ep := sA.Stats().Endpoints["verify"]; ep.Computes != 1 {
+		t.Errorf("A computes = %d, want 1", ep.Computes)
+	}
+	if ps := sA.peerSnapshot(); ps.Errors != 1 {
+		t.Errorf("A peer counters %+v, want one error", ps)
+	}
+}
+
+// TestPeerFillStatsWire: the peer section rides /stats as JSON with
+// the documented counter names.
+func TestPeerFillStatsWire(t *testing.T) {
+	_, tsB := newTestServer(t, Config{Workers: 1, ShardID: "sB"})
+	_, tsA := newTestServer(t, Config{
+		Workers: 1, ShardID: "sA", Peers: []string{tsB.URL}, PeerTimeout: time.Second,
+	})
+	if resp, body := post(t, tsA.URL+"/do", sortnets.Request{Network: sorter4}); resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	resp, err := http.Get(tsA.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Peer struct {
+			ShardID string   `json:"shard_id"`
+			Peers   []string `json:"peers"`
+			Misses  int64    `json:"peer_misses"`
+		} `json:"peer"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Peer.ShardID != "sA" || len(snap.Peer.Peers) != 1 || snap.Peer.Misses != 1 {
+		t.Errorf("/stats peer section = %+v, want shard sA, one peer, one miss", snap.Peer)
+	}
+}

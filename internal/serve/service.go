@@ -13,6 +13,7 @@
 package serve
 
 import (
+	"net/http"
 	"sync/atomic"
 	"time"
 
@@ -56,6 +57,19 @@ type Config struct {
 	// OnCompute, when set (tests only), runs on the Session's pool
 	// worker immediately before each underlying computation.
 	OnCompute func()
+	// ShardID names this node in a cluster. It is stamped on outgoing
+	// peer probes as the loop-prevention hop marker (client.PeerHeader)
+	// and echoed on /stats. Optional — but set it whenever Peers is.
+	ShardID string
+	// Peers are sibling shard base URLs consulted fill-only (in this
+	// order) on every verdict-cache miss before computing locally.
+	// Empty disables the peer plane. See peer.go for the protocol.
+	Peers []string
+	// PeerTimeout bounds ONE miss's whole peer consultation (all peers
+	// together); ≤ 0 means 100ms.
+	PeerTimeout time.Duration
+	// PeerHTTPClient substitutes the probes' *http.Client (tests).
+	PeerHTTPClient *http.Client
 }
 
 // Service adapts HTTP to a sortnets.Session. Beyond decoding and
@@ -79,6 +93,9 @@ type Service struct {
 	retriesSeen     atomic.Int64 // requests carrying a client retry marker
 	handlerPanics   atomic.Int64 // panics recovered on the handler goroutine
 	computeTimeouts atomic.Int64 // requests answered 504 by ComputeTimeout
+
+	// Cluster fill plane (peer.go): sibling probes in both directions.
+	peer peerPlane
 }
 
 // NewService builds and starts a service; Close releases its
@@ -103,7 +120,6 @@ func NewService(cfg Config) *Service {
 	}
 	s := &Service{
 		cfg:    cfg,
-		sess:   sortnets.NewSession(opts...),
 		tables: tables,
 		httpRejected: map[string]*atomic.Int64{
 			sortnets.OpVerify: new(atomic.Int64),
@@ -111,6 +127,13 @@ func NewService(cfg Config) *Service {
 			sortnets.OpMinset: new(atomic.Int64),
 		},
 	}
+	// The fill hook closes over s, so peers wire up before the Session
+	// is built (the hook is only ever invoked by Session computes).
+	s.initPeers()
+	if len(s.peer.urls) > 0 {
+		opts = append(opts, sortnets.WithPeerFill(s.peerFill))
+	}
+	s.sess = sortnets.NewSession(opts...)
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = 8 * s.sess.Workers()
 		if cfg.MaxInflight < 64 {
@@ -193,6 +216,7 @@ type StatsSnapshot struct {
 	Workers     int                         `json:"workers"`
 	PooledBytes int64                       `json:"pooled_bytes"`
 	Resilience  ResilienceSnapshot          `json:"resilience"`
+	Peer        PeerSnapshot                `json:"peer"`
 }
 
 // Stats returns a point-in-time snapshot: the Session's counters
@@ -235,5 +259,6 @@ func (s *Service) Stats() StatsSnapshot {
 			ComputeTimeouts: s.computeTimeouts.Load(),
 			Draining:        s.draining.Load(),
 		},
+		Peer: s.peerSnapshot(),
 	}
 }

@@ -225,6 +225,29 @@ func lineLimitError(n, limit int) error {
 	return badRequest("network has %d lines, service limit is %d", n, limit)
 }
 
+// shardKeyLineCap is ShardKey's line-count cap. Routing must accept
+// anything some server might (each server enforces its OWN configured
+// cap on arrival), so this only guards the resolver against absurd
+// allocation — far beyond any deployed -max-lines.
+const shardKeyLineCap = 1 << 16
+
+// ShardKey returns the request's cluster routing key: the canonical
+// digest of its network, the same internal/canon sha256 every
+// sortnetd caches verdicts under. It is a pure function of the
+// network's behavior (text form, comparator form, and any layer
+// reordering of the same circuit all yield one digest), so every
+// client and shard derives the same owner with no coordination.
+// ok is false when the network cannot be resolved (malformed,
+// tangled, oversized); such requests have no stable key — route them
+// anywhere and let the owning shard reject them properly.
+func (r *Request) ShardKey() (key string, ok bool) {
+	_, digest, err := r.resolve(shardKeyLineCap)
+	if err != nil {
+		return "", false
+	}
+	return digest, true
+}
+
 // propertyFor maps the request's property name to a verify.Property.
 func propertyFor(name string, n, k int) (verify.Property, error) {
 	switch name {

@@ -64,6 +64,7 @@ type Session struct {
 	stream        func(Property) VecIterator
 	tables        *streamtab.Dir
 	computeHook   func()
+	fill          func(ctx context.Context, req Request) (*Verdict, bool)
 
 	results  *lru[any]           // verdict cache: key → *Verdict or typed result
 	progs    *lru[*eval.Program] // digest → compiled healthy program
@@ -136,6 +137,25 @@ func WithStreamTables(d *streamtab.Dir) Option {
 // immediately before each underlying Do computation — an
 // instrumentation/test seam (hold it open to observe coalescing).
 func WithComputeHook(fn func()) Option { return func(s *Session) { s.computeHook = fn } }
+
+// WithPeerFill installs the cluster's cache-fill hook: on a verdict-
+// cache miss for a wire Request, fill is consulted BEFORE computing
+// locally. Returning (v, true) adopts v as the verdict — it is cached
+// and replayed exactly as a computed one (verdicts are deterministic,
+// so a peer's bytes and a local compute's bytes are the same bytes).
+// Returning false falls through to the local compute.
+//
+// The hook runs inside the coalescing pool's registered call, so
+// concurrent identical misses trigger at most ONE fill consultation
+// (single-flight comes from the same inflight table that already
+// guarantees one compute). The context it receives is the compute
+// context — detached from any one caller, cancelled only when every
+// waiter is gone — so the hook must bound its own network budget.
+// Typed conveniences and explicit stream overrides never consult the
+// hook; internal/serve installs it when sortnetd runs with -peers.
+func WithPeerFill(fill func(ctx context.Context, req Request) (*Verdict, bool)) Option {
+	return func(s *Session) { s.fill = fill }
+}
 
 // NewSession builds a Session. The zero configuration — automatic
 // pool size, 4096 verdict entries, line caps 20/12, ByProperty fault
@@ -484,21 +504,23 @@ func (s *Session) doVerify(ctx context.Context, req *Request, ctrs *opCounters) 
 	if err != nil {
 		return nil, err
 	}
-	return s.doVerifyResolved(ctx, ctrs, w, digest, p, req.Exhaustive)
+	return s.doVerifyResolved(ctx, ctrs, req, w, digest, p, req.Exhaustive)
 }
 
 // doVerifyResolved is doVerify past resolution — the entry point
 // DoBatch uses for verify entries it has already canonicalized (and
 // decided not to group), so a batch never parses a network twice.
-func (s *Session) doVerifyResolved(ctx context.Context, ctrs *opCounters, w *network.Network, digest string, p verify.Property, exhaustive bool) (*Verdict, error) {
+// req is the original wire request (for the cluster fill hook); nil
+// on surfaces with no wire form.
+func (s *Session) doVerifyResolved(ctx context.Context, ctrs *opCounters, req *Request, w *network.Network, digest string, p verify.Property, exhaustive bool) (*Verdict, error) {
 	key := s.verifyKey(digest, p.Name(), exhaustive)
-	return s.cached(ctx, ctrs, key, func(cctx context.Context) (*Verdict, error) {
+	return s.cached(ctx, ctrs, key, s.withPeerFill(ctrs, req, OpVerify, digest, func(cctx context.Context) (*Verdict, error) {
 		r, err := s.checkProgram(cctx, s.program(digest, w), p, exhaustive)
 		if err != nil {
 			return nil, err
 		}
 		return checkVerdict(digest, p.Name(), exhaustive, r), nil
-	})
+	}))
 }
 
 // The cache keys are plain concatenations (byte-identical to the
@@ -626,13 +648,13 @@ func (s *Session) doFaults(ctx context.Context, req *Request, ctrs *opCounters) 
 	if err != nil {
 		return nil, err
 	}
-	return s.doFaultsResolved(ctx, ctrs, w, digest, p, mode)
+	return s.doFaultsResolved(ctx, ctrs, req, w, digest, p, mode)
 }
 
 // doFaultsResolved is doFaults past resolution (see doVerifyResolved).
-func (s *Session) doFaultsResolved(ctx context.Context, ctrs *opCounters, w *network.Network, digest string, p verify.Property, mode faults.DetectMode) (*Verdict, error) {
+func (s *Session) doFaultsResolved(ctx context.Context, ctrs *opCounters, req *Request, w *network.Network, digest string, p verify.Property, mode faults.DetectMode) (*Verdict, error) {
 	key := faultsKey(digest, p, mode)
-	return s.cached(ctx, ctrs, key, func(cctx context.Context) (*Verdict, error) {
+	return s.cached(ctx, ctrs, key, s.withPeerFill(ctrs, req, OpFaults, digest, func(cctx context.Context) (*Verdict, error) {
 		rep, err := faults.MeasureCtx(cctx, w, s.program(digest, w), faults.Enumerate(w), s.binaryTestsFactory(p), mode)
 		if err != nil {
 			return nil, err
@@ -644,7 +666,7 @@ func (s *Session) doFaultsResolved(ctx context.Context, ctrs *opCounters, w *net
 			Detected:   rep.Detected,
 			Coverage:   rep.Coverage(),
 		}}, nil
-	})
+	}))
 }
 
 // minsetNodeBudget caps the exact hitting-set branch and bound per
@@ -657,13 +679,13 @@ func (s *Session) doMinset(ctx context.Context, req *Request, ctrs *opCounters) 
 	if err != nil {
 		return nil, err
 	}
-	return s.doMinsetResolved(ctx, ctrs, w, digest, p, mode, req.Exact)
+	return s.doMinsetResolved(ctx, ctrs, req, w, digest, p, mode, req.Exact)
 }
 
 // doMinsetResolved is doMinset past resolution (see doVerifyResolved).
-func (s *Session) doMinsetResolved(ctx context.Context, ctrs *opCounters, w *network.Network, digest string, p verify.Property, mode faults.DetectMode, exactReq bool) (*Verdict, error) {
+func (s *Session) doMinsetResolved(ctx context.Context, ctrs *opCounters, req *Request, w *network.Network, digest string, p verify.Property, mode faults.DetectMode, exactReq bool) (*Verdict, error) {
 	key := minsetKey(digest, p, mode, exactReq)
-	return s.cached(ctx, ctrs, key, func(cctx context.Context) (*Verdict, error) {
+	return s.cached(ctx, ctrs, key, s.withPeerFill(ctrs, req, OpMinset, digest, func(cctx context.Context) (*Verdict, error) {
 		m, err := faults.DetectionMatrixCtx(cctx, w, s.program(digest, w), faults.Enumerate(w), s.binaryTestsFactory(p), mode)
 		if err != nil {
 			return nil, err
@@ -694,7 +716,108 @@ func (s *Session) doMinsetResolved(ctx context.Context, ctrs *opCounters, w *net
 			mv.Tests = append(mv.Tests, m.Tests[t].String())
 		}
 		return &Verdict{Op: OpMinset, Digest: digest, Property: p.Name(), Minset: mv}, nil
-	})
+	}))
+}
+
+// withPeerFill wraps a compute closure with the cluster fill hook:
+// probe the peers first, adopt a valid answer, else compute locally.
+// The compute counter and hook live HERE, on the local branch, so an
+// adopted verdict is a miss that cost no compute — the property the
+// cluster's "sum of per-shard computes == distinct work" accounting
+// rests on. Fill is skipped without a hook, without a wire request to
+// forward, or under a stream override (an overridden stream's
+// verdicts are not the peers' verdicts). Runs inside the pooled call,
+// so the cache re-check, the cache fill, and single-flight all apply
+// unchanged.
+func (s *Session) withPeerFill(ctrs *opCounters, req *Request, op, digest string, compute func(context.Context) (*Verdict, error)) func(context.Context) (*Verdict, error) {
+	counted := func(cctx context.Context) (*Verdict, error) {
+		ctrs.computes.Add(1)
+		if s.computeHook != nil {
+			s.computeHook()
+		}
+		return compute(cctx)
+	}
+	if s.fill == nil || req == nil || s.stream != nil {
+		return counted
+	}
+	return func(cctx context.Context) (*Verdict, error) {
+		if v, ok := s.peerProbe(cctx, req, op, digest); ok {
+			return v, nil
+		}
+		return counted(cctx)
+	}
+}
+
+// peerProbe runs one fill consultation and validates the answer: a
+// peer's verdict is adopted only if it is for the same operation and
+// the same canonical digest (a confused or stale peer must never
+// poison the cache). The adopted copy is stripped of correlation and
+// provenance — it enters the cache exactly as a computed verdict
+// would.
+func (s *Session) peerProbe(cctx context.Context, req *Request, op, digest string) (*Verdict, bool) {
+	if s.fill == nil || req == nil {
+		return nil, false
+	}
+	probe := *req
+	probe.ID = ""
+	probe.Op = op
+	v, ok := s.fill(cctx, probe)
+	if !ok || v == nil || v.Op != op || v.Digest != digest {
+		return nil, false
+	}
+	cp := *v
+	cp.ID, cp.Source = "", ""
+	return &cp, true
+}
+
+// Lookup is the fill-only read path of the cluster: it reports the
+// verdict cached for req — resolving and key-building exactly like Do
+// — WITHOUT computing, coalescing, or consulting peers, and without
+// touching the op counters. sortnetd answers X-Sortnetd-Fill probes
+// from it, which is what makes peer fill structurally loop-free: a
+// probe can only ever read a sibling's cache, never start work there.
+func (s *Session) Lookup(req Request) (*Verdict, bool) {
+	if s.results == nil {
+		return nil, false
+	}
+	op := req.Op
+	if op == "" {
+		op = OpVerify
+	}
+	var key string
+	switch op {
+	case OpVerify:
+		w, digest, err := s.resolveRequest(&req, s.maxLines)
+		if err != nil {
+			return nil, false
+		}
+		p, err := propertyFor(req.Property, w.N, req.K)
+		if err != nil {
+			return nil, false
+		}
+		key = s.verifyKey(digest, p.Name(), req.Exhaustive)
+	case OpFaults, OpMinset:
+		_, digest, p, mode, err := s.faultArgs(&req)
+		if err != nil {
+			return nil, false
+		}
+		if op == OpFaults {
+			key = faultsKey(digest, p, mode)
+		} else {
+			key = minsetKey(digest, p, mode, req.Exact)
+		}
+	default:
+		return nil, false
+	}
+	if key == "" {
+		return nil, false
+	}
+	if v, ok := s.results.Get(key); ok {
+		if verdict, ok := v.(*Verdict); ok {
+			return withSource(verdict, "hit"), true
+		}
+	}
+	return nil, false
 }
 
 // cached runs the cache → coalesce → compute pipeline for one Do
@@ -735,10 +858,9 @@ func (s *Session) pooled(ctx context.Context, ctrs *opCounters, key string, cach
 				return v.(*Verdict), nil
 			}
 		}
-		ctrs.computes.Add(1)
-		if s.computeHook != nil {
-			s.computeHook()
-		}
+		// The compute counter and hook fire inside compute itself (the
+		// withPeerFill wrapper): a peer-filled verdict is a miss that
+		// cost no local compute.
 		v, err := compute(cctx)
 		if err == nil && s.results != nil && cacheable {
 			// Fill the cache on the pool worker, before the in-flight
