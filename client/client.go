@@ -358,6 +358,8 @@ var batchScratchPool = sync.Pool{New: func() any {
 // readResponseLine appends one newline-terminated response line
 // (without the newline) to buf. A non-nil error means the stream is
 // done; any partial final line is still returned.
+//
+//sortnets:hotpath
 func readResponseLine(br *bufio.Reader, buf []byte) ([]byte, error) {
 	for {
 		frag, err := br.ReadSlice('\n')

@@ -145,7 +145,7 @@ func main() {
 
 func run(out io.Writer, sigma string, quiet bool) error {
 	if sigma == "" {
-		return fmt.Errorf("missing -sigma (or -load for the load generator)")
+		return errors.New("missing -sigma (or -load for the load generator)")
 	}
 	v, err := bitvec.FromString(sigma)
 	if err != nil {
@@ -254,13 +254,13 @@ func hostport(base string) string {
 // echoes each server's /stats.
 func loadRun(ctx context.Context, out io.Writer, cfg loadCfg) error {
 	if len(cfg.targets) == 0 {
-		return fmt.Errorf("need at least one -load URL")
+		return errors.New("need at least one -load URL")
 	}
 	if cfg.requests < 1 || cfg.concurrency < 1 || cfg.distinct < 1 || cfg.batch < 1 {
-		return fmt.Errorf("need positive -requests, -concurrency, -distinct, -batch")
+		return errors.New("need positive -requests, -concurrency, -distinct, -batch")
 	}
 	if cfg.n < 2 {
-		return fmt.Errorf("-n must be at least 2")
+		return errors.New("-n must be at least 2")
 	}
 	rng := rand.New(rand.NewSource(cfg.seed))
 	nets := make([]string, cfg.distinct)

@@ -25,6 +25,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -140,7 +141,7 @@ func parseBench(out string) (map[string]Metrics, error) {
 		marks[name] = m
 	}
 	if len(marks) == 0 {
-		return nil, fmt.Errorf("no benchmark lines found in go test output")
+		return nil, errors.New("no benchmark lines found in go test output")
 	}
 	return marks, nil
 }

@@ -26,6 +26,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -115,7 +116,7 @@ func run(n, height int, prop string, k int, inputs string, limit int, show bool,
 			acc = search.SelectorAccepts(k)
 		case "merger":
 			if n%2 != 0 {
-				return fmt.Errorf("merger needs even n")
+				return errors.New("merger needs even n")
 			}
 			acc = search.MergerAccepts
 		default:
@@ -140,7 +141,7 @@ func run(n, height int, prop string, k int, inputs string, limit int, show bool,
 			acc = search.PermSelectorAccepts(k)
 		case "merger":
 			if n%2 != 0 {
-				return fmt.Errorf("merger needs even n")
+				return errors.New("merger needs even n")
 			}
 			acc = search.PermMergerAccepts
 		default:

@@ -27,6 +27,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -58,7 +59,7 @@ func main() {
 
 func run(out io.Writer, netFile, prop string, k int, inputs string, workers int, timeout time.Duration, exhaustive, diagram, analyze bool) (int, error) {
 	if netFile == "" {
-		return 0, fmt.Errorf("missing -net")
+		return 0, errors.New("missing -net")
 	}
 	var data []byte
 	var err error
@@ -110,7 +111,7 @@ func run(out io.Writer, netFile, prop string, k int, inputs string, workers int,
 	switch inputs {
 	case "perm":
 		if exhaustive {
-			return 0, fmt.Errorf("-exhaustive applies to the binary input model only")
+			return 0, errors.New("-exhaustive applies to the binary input model only")
 		}
 		r, err := sess.CheckPerms(ctx, w, p)
 		if err != nil {

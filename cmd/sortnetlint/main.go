@@ -1,0 +1,173 @@
+// Command sortnetlint runs the sortnets project's analyzer suite
+// (internal/lint): five project-specific checks that machine-enforce
+// the engine's hand-kept invariants — per-block context cancellation
+// (ctxloop), allocation-free hot paths (hotalloc), sync.Pool hygiene
+// (poolsafe), atomic counter discipline (atomicfield), and wire-codec
+// completeness (wirestrict).
+//
+// Usage:
+//
+//	go run ./cmd/sortnetlint [-json] [packages]
+//
+// With no arguments it lints ./... from the current directory. Any
+// diagnostic exits 1; load/type failures exit 2. Findings judged
+// false positives are suppressed in the source with
+// `//lint:ignore <analyzer> <reason>` on (or above) the flagged line.
+//
+// The binary also speaks go vet's vettool protocol, so the suite can
+// ride the vet driver and its caching:
+//
+//	go build -o sortnetlint ./cmd/sortnetlint
+//	go vet -vettool=$(pwd)/sortnetlint ./...
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sortnets/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("sortnetlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	version := fs.String("V", "", "version flag for the go vet driver")
+	fs.Bool("flags", false, "describe flags in JSON (go vet driver handshake)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// go vet driver handshake: -V=full prints an identity line used
+	// for the build cache key; -flags asks for the flag schema. The
+	// driver requires the "devel" form to end in a buildID=<hex> field
+	// (the content hash of this executable), so vet results are
+	// invalidated when the tool changes.
+	if *version != "" {
+		id, err := executableHash()
+		if err != nil {
+			fmt.Fprintf(stderr, "sortnetlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "sortnetlint version devel %s buildID=%s\n", strings.Join(analyzerNames(), ","), id)
+		return 0
+	}
+	if hasFlag(args, "-flags") {
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	// Vettool mode: the vet driver passes exactly one *.cfg argument
+	// describing a single compilation unit.
+	if len(patterns) == 1 && strings.HasSuffix(patterns[0], ".cfg") {
+		return runVetUnit(patterns[0], stdout, stderr)
+	}
+
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "sortnetlint: %v\n", err)
+		return 2
+	}
+	var all []lint.Diagnostic
+	for _, pkg := range pkgs {
+		if terr := pkg.TypeErrorsJoined(); terr != nil {
+			fmt.Fprintf(stderr, "sortnetlint: %s: type errors (results may be partial):\n%v\n", pkg.ImportPath, terr)
+		}
+		diags, err := lint.RunAnalyzers(pkg, lint.All())
+		if err != nil {
+			fmt.Fprintf(stderr, "sortnetlint: %v\n", err)
+			return 2
+		}
+		all = append(all, diags...)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diagJSON(all)); err != nil {
+			fmt.Fprintf(stderr, "sortnetlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range all {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(stderr, "sortnetlint: %d finding(s)\n", len(all))
+		return 1
+	}
+	return 0
+}
+
+type jsonDiag struct {
+	Pos      string `json:"posn"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func diagJSON(diags []lint.Diagnostic) []jsonDiag {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{Pos: d.Pos.String(), Analyzer: d.Analyzer, Message: d.Message})
+	}
+	return out
+}
+
+// executableHash content-hashes this binary for the vet driver's
+// cache key.
+func executableHash() (string, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return "", err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func analyzerNames() []string {
+	var names []string
+	for _, a := range lint.All() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+func firstLine(s string) string {
+	line, _, _ := strings.Cut(s, "\n")
+	return line
+}
+
+func hasFlag(args []string, name string) bool {
+	for _, a := range args {
+		if a == name || strings.HasPrefix(a, name+"=") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs the CLI entry with stdout/stderr redirected to temp
+// files and returns the exit code and both streams.
+func capture(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	outF, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errF, err := os.CreateTemp(t.TempDir(), "err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code = run(args, outF, errF)
+	return code, slurp(t, outF), slurp(t, errF)
+}
+
+func slurp(t *testing.T, f *os.File) string {
+	t.Helper()
+	b, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestListFlag(t *testing.T) {
+	code, out, _ := capture(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, name := range []string{"ctxloop", "hotalloc", "poolsafe", "atomicfield", "wirestrict"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestVetHandshake(t *testing.T) {
+	code, out, _ := capture(t, "-V=full")
+	if code != 0 {
+		t.Fatalf("-V=full exited %d", code)
+	}
+	fields := strings.Fields(strings.TrimSpace(out))
+	// The go vet driver requires: <name> version devel ... buildID=<id>.
+	if len(fields) < 4 || fields[1] != "version" || fields[2] != "devel" ||
+		!strings.HasPrefix(fields[len(fields)-1], "buildID=") {
+		t.Fatalf("-V=full output does not satisfy the vet driver: %q", out)
+	}
+
+	code, out, _ = capture(t, "-flags")
+	if code != 0 || strings.TrimSpace(out) != "[]" {
+		t.Fatalf("-flags: exit %d, output %q; want 0 and []", code, out)
+	}
+}
+
+// TestDirectModeClean lints the whole module in-process: HEAD must be
+// clean (the same invariant TestRepoClean asserts from inside the
+// lint package, here through the CLI path).
+func TestDirectModeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list over the module; skipped in -short")
+	}
+	code, out, stderr := capture(t, "sortnets/...")
+	if code != 0 {
+		t.Fatalf("sortnetlint sortnets/... exited %d\nstdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+}
+
+// TestVetTool builds the binary and drives it through the real
+// `go vet -vettool` protocol against a throwaway module: a module
+// with a violation must fail vet, and fixing it must pass.
+func TestVetTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and runs go vet; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "sortnetlint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building sortnetlint: %v\n%s", err, out)
+	}
+
+	mod := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(mod, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module vetprobe\n\ngo 1.22\n")
+	write("probe.go", `package vetprobe
+
+import "fmt"
+
+func Probe() error {
+	return fmt.Errorf("constant message")
+}
+`)
+	vet := func() (int, string) {
+		cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+		cmd.Dir = mod
+		cmd.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=")
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return 0, string(out)
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode(), string(out)
+		}
+		t.Fatalf("go vet: %v\n%s", err, out)
+		return -1, ""
+	}
+
+	code, out := vet()
+	if code == 0 {
+		t.Fatalf("go vet -vettool passed a module with a hotalloc violation:\n%s", out)
+	}
+	if !strings.Contains(out, "hotalloc") {
+		t.Fatalf("vet failure does not name the analyzer:\n%s", out)
+	}
+
+	write("probe.go", `package vetprobe
+
+import "errors"
+
+func Probe() error {
+	return errors.New("constant message")
+}
+`)
+	if code, out := vet(); code != 0 {
+		t.Fatalf("go vet -vettool failed a clean module (exit %d):\n%s", code, out)
+	}
+}

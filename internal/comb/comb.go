@@ -7,6 +7,7 @@
 package comb
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/big"
@@ -15,7 +16,7 @@ import (
 
 // ErrOverflow is returned by the int64 variants when the exact value
 // does not fit in an int64.
-var ErrOverflow = fmt.Errorf("comb: value overflows int64")
+var ErrOverflow = errors.New("comb: value overflows int64")
 
 // Binomial returns C(n,k) as an int64, or ErrOverflow if the exact
 // value does not fit. Out-of-range k yields 0.

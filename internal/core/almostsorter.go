@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"sortnets/internal/bitvec"
@@ -32,7 +33,7 @@ import (
 // ErrSorted is returned when an almost-sorter is requested for a sorted
 // string, for which no such network can exist (every network maps a
 // sorted input to itself).
-var ErrSorted = fmt.Errorf("core: no almost-sorter exists for a sorted string")
+var ErrSorted = errors.New("core: no almost-sorter exists for a sorted string")
 
 // AlmostSorter returns the Lemma 2.1 network H_σ: a network on σ.N
 // lines that sorts every binary input except σ. It returns ErrSorted if

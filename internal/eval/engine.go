@@ -256,6 +256,8 @@ func newBlock(n int) *block {
 
 // judgeLanes loads k stream vectors, evaluates them, and judges them.
 // It returns the rejected-lane mask (masked to the k occupied lanes).
+//
+//sortnets:hotpath
 func (e *Engine) judgeLanes(b *block, k int, judge Judge) uint64 {
 	for i := 0; i < k; i++ {
 		b.words[i] = b.lanes[i].Bits
@@ -283,6 +285,7 @@ func (e *Engine) verdictFrom(b *block, bad uint64, tests int) Verdict {
 	return Verdict{Holds: false, TestsRun: tests, In: b.lanes[lane], Out: b.out.Lane(lane)}
 }
 
+//sortnets:ctxloop
 func (e *Engine) runSeq(ctx context.Context, it bitvec.Iterator, judge Judge) (Verdict, error) {
 	b := newBlock(e.p.n)
 	tests := 0
@@ -313,6 +316,7 @@ func (e *Engine) runSeq(ctx context.Context, it bitvec.Iterator, judge Judge) (V
 	}
 }
 
+//sortnets:ctxloop
 func (e *Engine) runPool(ctx context.Context, it bitvec.Iterator, judge Judge, workers int) (Verdict, error) {
 	if workers < 1 {
 		workers = 1
@@ -403,6 +407,8 @@ func (e *Engine) Sweep(it bitvec.Iterator, judge Judge, visit func(offset int, r
 }
 
 // SweepCtx is Sweep under a context, checked once per 64-lane block.
+//
+//sortnets:ctxloop
 func (e *Engine) SweepCtx(ctx context.Context, it bitvec.Iterator, judge Judge, visit func(offset int, rejected uint64)) (int, error) {
 	if e.p.n > network.LanesPerBatch {
 		panic(fmt.Sprintf("eval: Sweep needs n ≤ 64, program has %d lines", e.p.n))
@@ -475,6 +481,8 @@ func (e *Engine) RunUniverseCtx(ctx context.Context, judge Judge) (Verdict, erro
 // universeRange sweeps inputs [from, to) in 64-lane blocks; from must
 // be a multiple of 64 (or 0). On failure TestsRun is the count swept
 // within this range up to and including the failing block.
+//
+//sortnets:ctxloop
 func (e *Engine) universeRange(ctx context.Context, judge Judge, from, to uint64) (Verdict, error) {
 	n := e.p.n
 	in := network.NewBatch(n)
@@ -514,7 +522,8 @@ func (e *Engine) universeRange(ctx context.Context, judge Judge, from, to uint64
 // universePool shards the universe into contiguous slabs handed to
 // NumCPU-bounded workers; the first failure (lowest slab) wins. The
 // slab size is a multiple of every kernel width, so slab boundaries
-// stay block-aligned at any W.
+// stay block-aligned at any W. (No ctxloop annotation: the loop and
+// its per-claim ctx check live in ForEachUntilCtx.)
 func (e *Engine) universePool(ctx context.Context, judge Judge, W, workers int) (Verdict, error) {
 	n := e.p.n
 	total := uint64(bitvec.Universe(n))
@@ -563,6 +572,8 @@ var laneMasks = [6]uint64{
 
 // loadConsecutive fills the batch with inputs base..base+k-1 (base a
 // multiple of 64) without per-lane transposition.
+//
+//sortnets:hotpath
 func loadConsecutive(b *network.Batch, base uint64, k int) {
 	for i := 0; i < b.N; i++ {
 		if i < 6 {
@@ -635,6 +646,7 @@ func (c *wideChain) Next() (widevec.Vec, bool) {
 	return c.tail.Next()
 }
 
+//sortnets:ctxloop
 func (e *Engine) runWideSeq(ctx context.Context, it WideIterator, accepts func(in, out widevec.Vec) bool) (WideVerdict, error) {
 	tests := 0
 	for {
@@ -655,6 +667,7 @@ func (e *Engine) runWideSeq(ctx context.Context, it WideIterator, accepts func(i
 
 const wideChunk = 64
 
+//sortnets:ctxloop
 func (e *Engine) runWidePool(ctx context.Context, it WideIterator, accepts func(in, out widevec.Vec) bool, workers int) (WideVerdict, error) {
 	if workers < 1 {
 		workers = 1
@@ -732,6 +745,8 @@ feed:
 // afterwards a[i] bit j equals the old a[j] bit i. This is how the
 // engine turns 64 stream vectors into the per-line word layout in
 // 64·log₂64 word ops instead of 64·n single-bit inserts.
+//
+//sortnets:hotpath
 func transpose64(a *[64]uint64) {
 	m := uint64(0x00000000FFFFFFFF)
 	for j := uint(32); j != 0; j >>= 1 {

@@ -36,6 +36,8 @@ func ForEachUntil(n, workers int, fn func(i int) bool) int {
 // claiming new indices once the context is cancelled. When a hit was
 // found before cancellation was observed it is returned with a nil
 // error; otherwise a cancelled run returns (-1, ctx.Err()).
+//
+//sortnets:ctxloop
 func ForEachUntilCtx(ctx context.Context, n, workers int, fn func(i int) bool) (int, error) {
 	workers = Workers(workers)
 	if workers > n {

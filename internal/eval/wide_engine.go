@@ -81,6 +81,8 @@ func putWideBlock(b *wideBlock) {
 // wide kernel, and judges them; b.bad holds the rejected-lane mask
 // (masked to the k occupied lanes). It reports whether any lane was
 // rejected.
+//
+//sortnets:hotpath
 func (e *Engine) judgeLanesWide(b *wideBlock, k int, judge Judge) bool {
 	W := b.W
 	for i := 0; i < k; i++ {
@@ -134,6 +136,7 @@ func firstLane(mask []uint64) int {
 	return -1
 }
 
+//sortnets:ctxloop
 func (e *Engine) runSeqWide(ctx context.Context, it bitvec.Iterator, judge Judge, W int) (Verdict, error) {
 	b := getWideBlock(e.p.n, W)
 	defer putWideBlock(b)
@@ -176,6 +179,7 @@ func (e *Engine) runSeqWide(ctx context.Context, it bitvec.Iterator, judge Judge
 	}
 }
 
+//sortnets:ctxloop
 func (e *Engine) runPoolWide(ctx context.Context, it bitvec.Iterator, judge Judge, W, workers int) (Verdict, error) {
 	if workers < 1 {
 		workers = 1
@@ -269,6 +273,8 @@ func (e *Engine) universeRangeW(ctx context.Context, judge Judge, from, to uint6
 
 // universeRangeWide sweeps inputs [from, to) in 64·W-lane blocks,
 // loading consecutive inputs wholesale exactly like loadConsecutive.
+//
+//sortnets:ctxloop
 func (e *Engine) universeRangeWide(ctx context.Context, judge Judge, from, to uint64, W int) (Verdict, error) {
 	n := e.p.n
 	blockLanes := uint64(64 * W)
@@ -314,9 +320,12 @@ func (e *Engine) universeRangeWide(ctx context.Context, judge Judge, from, to ui
 // base..base+k-1 (base a multiple of 64·W). Input bits below 6 repeat
 // the fixed 64-lane masks in every word; bit i ≥ 6 of word g is
 // constant across the word, set iff (base + 64g) has it.
+//
+//sortnets:hotpath
 func loadConsecutiveWide(b *network.WideBatch, base uint64, k int) {
 	W := b.W
 	if base%uint64(64*W) != 0 {
+		//lint:ignore hotalloc misuse-guard panic preamble; formats only on programmer error, never on the serving path
 		panic(fmt.Sprintf("eval: wide universe base %d not a multiple of %d", base, 64*W))
 	}
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicField enforces the counter discipline behind /stats and
+// SessionStats: a struct field that is accessed through sync/atomic
+// anywhere in the package must be accessed atomically everywhere —
+// one plain `s.count++` racing an atomic.AddInt64(&s.count, 1) is a
+// data race the race detector only catches if a test happens to
+// interleave it. Keyed composite literals (construction before
+// publication) are exempt.
+//
+// It also checks 64-bit alignment: a raw int64/uint64 field used with
+// the sync/atomic functions must sit at an 8-byte-aligned offset
+// under 32-bit layout rules, or the first atomic access panics on
+// 386/arm (the sync/atomic bugs section). The typed atomic.Int64 /
+// atomic.Uint64 wrappers align themselves and are always safe — they
+// are also immune to the mixed-access race by construction, which is
+// why this repo's counters use them; this analyzer is the fence that
+// keeps any future raw-word counter honest.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic must be accessed atomically everywhere and 64-bit fields must stay aligned",
+	Run:  runAtomicField,
+}
+
+// atomicFns maps sync/atomic function names to the index of their
+// addressed operand (always 0 for the Add/Load/Store/Swap/CAS
+// families).
+func isAtomicAccessor(name string) bool {
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if rest, ok := strings.CutPrefix(name, prefix); ok {
+			switch rest {
+			case "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: fields addressed by sync/atomic calls, and the selector
+	// nodes already sanctioned by being that call's operand.
+	atomicFields := make(map[*types.Var]bool)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, fnName := calleePkgPath(pass.Info, call)
+			if pkgPath != "sync/atomic" || !isAtomicAccessor(fnName) || len(call.Args) == 0 {
+				return true
+			}
+			if fld, sel := addressedField(pass.Info, call.Args[0]); fld != nil {
+				atomicFields[fld] = true
+				sanctioned[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other access to those fields must itself be the
+	// operand of an atomic call.
+	for _, f := range pass.Files {
+		// Keys of keyed composite literals initialize, not access.
+		litKeys := make(map[*ast.Ident]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if kv, ok := n.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					litKeys[id] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			s, ok := pass.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			fld, ok := s.Obj().(*types.Var)
+			if !ok || !atomicFields[fld] || litKeys[sel.Sel] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"field %s is written with sync/atomic elsewhere in this package but accessed non-atomically here; mixed access is a data race",
+				fld.Name())
+			return true
+		})
+	}
+
+	// Pass 3: 32-bit alignment of raw 64-bit atomic fields.
+	checkAlignment(pass, atomicFields)
+	return nil
+}
+
+// addressedField resolves &x.f (or a *int64-typed field passed by
+// value is NOT a field access of f itself) to the struct field being
+// atomically accessed.
+func addressedField(info *types.Info, arg ast.Expr) (*types.Var, *ast.SelectorExpr) {
+	unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || unary.Op.String() != "&" {
+		return nil, nil
+	}
+	sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, nil
+	}
+	fld, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	return fld, sel
+}
+
+// checkAlignment verifies each atomically accessed 64-bit field is
+// 8-byte aligned under 32-bit (GOARCH=386) struct layout.
+func checkAlignment(pass *Pass, atomicFields map[*types.Var]bool) {
+	sizes32 := types.SizesFor("gc", "386")
+	if sizes32 == nil {
+		return
+	}
+	seen := make(map[*types.Struct]bool)
+	for fld := range atomicFields {
+		if !is64Bit(fld.Type()) {
+			continue
+		}
+		owner := owningStruct(pass.Pkg, fld)
+		if owner == nil || seen[owner] {
+			continue
+		}
+		seen[owner] = true
+		fields := make([]*types.Var, owner.NumFields())
+		for i := 0; i < owner.NumFields(); i++ {
+			fields[i] = owner.Field(i)
+		}
+		offsets := sizes32.Offsetsof(fields)
+		for i, f := range fields {
+			if atomicFields[f] && is64Bit(f.Type()) && offsets[i]%8 != 0 {
+				pass.Reportf(f.Pos(),
+					"atomically accessed 64-bit field %s sits at offset %d under 32-bit layout; move it to the front of the struct (or pad) so sync/atomic does not fault on 386/arm",
+					f.Name(), offsets[i])
+			}
+		}
+	}
+}
+
+// is64Bit reports whether t is a raw 64-bit integer.
+func is64Bit(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int64, types.Uint64:
+		return true
+	}
+	return false
+}
+
+// owningStruct finds the struct type declaring fld by scanning the
+// package's named types (fields don't link back to their struct in
+// go/types).
+func owningStruct(pkg *types.Package, fld *types.Var) *types.Struct {
+	var found *types.Struct
+	scope := pkg.Scope()
+	var visit func(t types.Type)
+	seen := make(map[types.Type]bool)
+	visit = func(t types.Type) {
+		if t == nil || seen[t] || found != nil {
+			return
+		}
+		seen[t] = true
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == fld {
+				found = st
+				return
+			}
+			visit(st.Field(i).Type())
+		}
+	}
+	for _, name := range scope.Names() {
+		if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
+			visit(tn.Type())
+		}
+	}
+	return found
+}

@@ -1,0 +1,322 @@
+// Package lint is sortnets' project-specific static-analysis suite:
+// a small go/analysis-shaped framework plus the analyzers that
+// machine-enforce the invariants the engine and serve layers are
+// hand-built around — per-block context cancellation, allocation-free
+// hot paths, pool hygiene, atomic counter discipline, and wire-codec
+// completeness. CHANGES.md documents these contracts prose-first;
+// this package is the executable form, run on every change by
+// cmd/sortnetlint and CI, so a refactor that silently drops one of
+// them fails fast instead of waiting for a fuzz/chaos/-race campaign
+// to trip over the regression.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, Diagnostic) but is built on the standard library only —
+// go/parser + go/types over export data produced by `go list
+// -export` — so the suite needs no module dependencies and runs in
+// hermetic build environments. Analyzers written against it port to
+// the real go/analysis API mechanically if the dependency ever lands.
+//
+// # Annotations
+//
+//   - `//sortnets:hotpath` in a function's doc block opts it into the
+//     hotalloc allocation denylist.
+//   - `//sortnets:ctxloop` in a function's doc block asserts its loop
+//     observes context cancellation (ctx.Err/ctx.Done inside a loop).
+//
+// # Suppressions
+//
+// A finding judged a false positive is silenced with a comment on the
+// flagged line (or the line above):
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The analyzer name may be a comma-separated list or "all". The
+// reason is mandatory: a suppression without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. It mirrors
+// golang.org/x/tools/go/analysis.Analyzer in shape.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore suppressions.
+	Name string
+	// Doc is the analyzer's documentation: first line is a one-line
+	// summary.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings
+	// through pass.Report/Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer run over one package: the syntax, the
+// type information, and the diagnostic sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	Sizes    types.Sizes
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full sortnetlint suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{CtxLoop, HotAlloc, PoolSafe, AtomicField, WireStrict}
+}
+
+// RunAnalyzers applies the analyzers to pkg, filters suppressed
+// findings, and returns the surviving diagnostics sorted by position.
+// Analyzer errors (not findings) are returned as-is.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Sizes:    pkg.Sizes,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	diags = applySuppressions(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	names  []string // analyzer names, or ["all"]
+	reason string
+	pos    token.Position
+}
+
+// applySuppressions drops diagnostics silenced by a //lint:ignore
+// comment on their line or the line above, and reports suppressions
+// that are missing their mandatory reason.
+func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// byLine[file][line] — a suppression covers its own line and the
+	// one below it (trailing comment vs. comment-above styles).
+	byLine := make(map[string]map[int]suppression)
+	var malformed []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) == 0 {
+					malformed = append(malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  "malformed //lint:ignore: want `//lint:ignore <analyzer> <reason>`",
+					})
+					continue
+				}
+				s := suppression{names: strings.Split(fields[0], ","), pos: pos}
+				if len(fields) > 1 {
+					s.reason = strings.Join(fields[1:], " ")
+				}
+				if s.reason == "" {
+					malformed = append(malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  "//lint:ignore needs a reason: why is this finding a false positive?",
+					})
+					continue
+				}
+				m := byLine[pos.Filename]
+				if m == nil {
+					m = make(map[int]suppression)
+					byLine[pos.Filename] = m
+				}
+				m[pos.Line] = s
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		s, ok := byLine[d.Pos.Filename][d.Pos.Line]
+		if !ok {
+			s, ok = byLine[d.Pos.Filename][d.Pos.Line-1]
+		}
+		if ok && suppresses(s, d.Analyzer) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return append(kept, malformed...)
+}
+
+func suppresses(s suppression, analyzer string) bool {
+	for _, n := range s.names {
+		if n == analyzer || n == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// --- shared AST/type helpers used by the analyzers ----------------------
+
+// hasDirective reports whether the function's doc block carries the
+// given //sortnets:* directive (exact line match, leading-comment
+// form). Directives must sit in the doc block immediately above the
+// declaration.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// callee resolves the called function or method of a call expression,
+// or nil for indirect calls, conversions and builtins.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Package-qualified call: pkg.F.
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// calleePkgPath returns the defining package path of a call's callee,
+// or "" when unresolvable or a builtin/universe function.
+func calleePkgPath(info *types.Info, call *ast.CallExpr) (path, name string) {
+	fn := callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isByteSlice reports whether t's underlying type is []byte.
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// rootObj digs the leftmost named object out of an lvalue-ish
+// expression: x, x[i], x.f, (*x).f, &x → the object for x (or the
+// selected field for pure selector chains where the base is not an
+// identifier). Used to give pools and pooled variables an identity.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return info.ObjectOf(v)
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// funcBodies yields every function body in the file with its
+// enclosing declaration info: top-level functions and methods. Bodies
+// of function literals are walked as part of their enclosing
+// declaration.
+func funcDecls(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}

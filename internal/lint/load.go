@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// The loader: a stdlib-only stand-in for go/packages. It shells out
+// to `go list -deps -export -json` once — the go tool compiles every
+// package (build-cached) and hands back per-package export-data
+// paths — then parses only the target packages' sources and
+// type-checks them against the export data through the gc importer.
+// That is the same division of labor as go vet's unitchecker driver:
+// syntax for the packages under analysis, compiled summaries for
+// everything below them, and zero network or module downloads.
+
+// A Package is one loaded, type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	Sizes      types.Sizes
+	// TypeErrors holds type-checking problems (go/types soft errors
+	// included). Analyzers still run — their results may be partial.
+	TypeErrors []error
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Error      *struct{ Err string }
+}
+
+// Load lists, parses and type-checks the packages matching patterns
+// (run from dir; "" means the current directory). Only matched
+// packages are returned; their dependencies are consumed as export
+// data. Test files are not included — the suite lints the shipping
+// code.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=Dir,ImportPath,Standard,DepOnly,GoFiles,CgoFiles,Export,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v: %s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Error != nil && len(t.GoFiles) == 0 {
+			return nil, fmt.Errorf("%s: %s", t.ImportPath, t.Error.Err)
+		}
+		pkg, err := typecheck(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typecheck parses and type-checks one listed package. Cgo files are
+// fed through as-is (this module has none; if one appears its
+// C-dependent parts surface as soft type errors, not a hard failure).
+func typecheck(fset *token.FileSet, imp types.Importer, t listedPkg) (*Package, error) {
+	var files []*ast.File
+	var softErrs []error
+	for _, name := range append(append([]string{}, t.GoFiles...), t.CgoFiles...) {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", t.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    sizes,
+		Error:    func(err error) { softErrs = append(softErrs, err) },
+	}
+	tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil && tpkg == nil {
+		return nil, fmt.Errorf("%s: %w", t.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: t.ImportPath,
+		Dir:        t.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		Sizes:      sizes,
+		TypeErrors: softErrs,
+	}, nil
+}
+
+// TypeErrorsJoined collapses a package's soft type errors into one
+// error, or nil.
+func (p *Package) TypeErrorsJoined() error {
+	if len(p.TypeErrors) == 0 {
+		return nil
+	}
+	return errors.Join(p.TypeErrors...)
+}

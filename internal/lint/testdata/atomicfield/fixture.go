@@ -1,0 +1,59 @@
+// Package fixture exercises the atomicfield analyzer: mixed
+// atomic/plain access to the same field, the keyed-literal exemption,
+// and 64-bit alignment under 32-bit layout.
+package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// readRace reads c.hits without the atomic load that every other
+// access site uses.
+func (c *counters) readRace() int64 {
+	return c.hits // want `accessed non-atomically here`
+}
+
+// readOK uses the atomic load: sanctioned.
+func (c *counters) readOK() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// construct initializes via a keyed literal before publication:
+// exempt.
+func construct() *counters {
+	return &counters{hits: 0, misses: 0}
+}
+
+// plainOnly is never touched by sync/atomic, so plain access is fine.
+func (c *counters) plainOnly() int64 {
+	c.misses++
+	return c.misses
+}
+
+// misaligned puts an atomically accessed int64 at offset 4 under
+// 32-bit layout (bool at 0, int64 aligned to 4 on 386).
+type misaligned struct {
+	ready bool
+	n     int64 // want `offset 4 under 32-bit layout`
+}
+
+func (m *misaligned) add() {
+	atomic.AddInt64(&m.n, 1)
+}
+
+// typed uses the self-aligning wrapper: nothing to check.
+type typed struct {
+	ready bool
+	n     atomic.Int64
+}
+
+func (t *typed) add() {
+	t.n.Add(1)
+}

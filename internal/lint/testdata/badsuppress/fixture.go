@@ -1,0 +1,12 @@
+// Package fixture holds a suppression with no reason: the comment is
+// itself reported and does NOT silence the finding below it. Checked
+// by explicit assertions in lint_test.go (the diagnostic lands on the
+// comment's own line, where a want comment cannot sit).
+package fixture
+
+import "fmt"
+
+func missingReason() error {
+	//lint:ignore hotalloc
+	return fmt.Errorf("static message")
+}

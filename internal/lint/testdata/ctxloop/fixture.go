@@ -1,0 +1,106 @@
+// Package fixture exercises the ctxloop analyzer. It is checked under
+// an in-scope import path (internal/eval), so the sibling-bypass and
+// ctx-forwarding rules apply in addition to the annotation rule.
+package fixture
+
+import "context"
+
+// goodLoop consults ctx inside the loop: the annotated contract holds.
+//
+//sortnets:ctxloop
+func goodLoop(ctx context.Context, n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return s
+		}
+		s += i
+	}
+	return s
+}
+
+// goodSelect consults ctx through the Done channel inside the loop.
+//
+//sortnets:ctxloop
+func goodSelect(ctx context.Context, work chan int) int {
+	s := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return s
+		case v := <-work:
+			s += v
+		}
+	}
+}
+
+// hoisted checks the context once, outside the loop — the per-block
+// contract the annotation asserts does not hold.
+//
+//sortnets:ctxloop
+func hoisted(ctx context.Context, n int) int { // want `no loop consults the context`
+	if ctx.Err() != nil {
+		return 0
+	}
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+//sortnets:ctxloop
+func noLoop(ctx context.Context) error { // want `contains no for loop`
+	return ctx.Err()
+}
+
+//sortnets:ctxloop
+func noCtx(n int) int { // want `no context.Context parameter`
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+// Work / WorkCtx model a non-ctx entry point with a Ctx sibling.
+func Work(n int) int { return n }
+
+func WorkCtx(ctx context.Context, n int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// bypass drops from context-carrying code into the non-ctx entry
+// point, severing the cancellation chain.
+func bypass(ctx context.Context, n int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return Work(n), nil // want `WorkCtx exists`
+}
+
+// forwarded calls the Ctx sibling: nothing to flag.
+func forwarded(ctx context.Context, n int) (int, error) {
+	return WorkCtx(ctx, n)
+}
+
+// dropped loops without ever consulting or forwarding its context.
+func dropped(ctx context.Context, n int) int { // want `never consults or forwards`
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+// unused declares its intent: a blank context is exempt.
+func unused(_ context.Context, n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}

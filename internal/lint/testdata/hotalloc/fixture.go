@@ -1,0 +1,81 @@
+// Package fixture exercises the hotalloc analyzer: denylisted calls
+// and allocating conversions inside //sortnets:hotpath functions, and
+// the everywhere-applicable constant-format rule.
+package fixture
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// hotJSON violates the codec contract outright.
+//
+//sortnets:hotpath
+func hotJSON(v any) []byte {
+	b, _ := json.Marshal(v) // want `calls encoding/json.Marshal`
+	return b
+}
+
+//sortnets:hotpath
+func hotFmt(n int) string {
+	return fmt.Sprintf("%d", n) // want `calls fmt.Sprintf`
+}
+
+//sortnets:hotpath
+func hotItoa(dst []byte, n int) []byte {
+	s := strconv.Itoa(n) // want `strconv.Itoa`
+	return append(dst, s...)
+}
+
+// hotAppend uses the append-style strconv forms: allowed.
+//
+//sortnets:hotpath
+func hotAppend(dst []byte, n int) []byte {
+	return strconv.AppendInt(dst, int64(n), 10)
+}
+
+//sortnets:hotpath
+func hotStringConv(b []byte) string {
+	return string(b) // want `converts \[\]byte to string`
+}
+
+//sortnets:hotpath
+func hotBytesConv(s string) []byte {
+	return []byte(s) // want `converts string to \[\]byte`
+}
+
+// hotConstConv converts a constant: folded at compile time, free.
+//
+//sortnets:hotpath
+func hotConstConv() []byte {
+	return []byte("header")
+}
+
+//sortnets:hotpath
+func hotConcat(a, b string) string {
+	return a + b // want `concatenates strings`
+}
+
+// coldFmt carries no annotation: the denylist does not apply.
+func coldFmt(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+// constFmt formats only constants — same string every call, wherever
+// it runs.
+func constFmt() string {
+	return fmt.Sprintf("limit %d bytes", 1<<20) // want `formats only constants`
+}
+
+func constErr() error {
+	return fmt.Errorf("bad input") // want `errors.New`
+}
+
+// varFmt has a run-time argument: fine.
+func varFmt(n int) string {
+	return fmt.Sprintf("limit %d bytes", n)
+}
+
+// precomputed runs once at init — the recommended fix, exempt.
+var precomputed = fmt.Sprintf("limit %d bytes", 1<<20)

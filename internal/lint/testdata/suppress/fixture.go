@@ -1,0 +1,26 @@
+// Package fixture exercises the suppression path: findings silenced
+// by a documented //lint:ignore on the flagged line or the line
+// above. The fixture expects zero diagnostics — a weakened
+// suppression matcher fails it with unexpected findings.
+package fixture
+
+import "fmt"
+
+func commentAbove() error {
+	//lint:ignore hotalloc fixture: exercising the comment-above suppression form
+	return fmt.Errorf("static message")
+}
+
+func trailing() error {
+	return fmt.Errorf("static message") //lint:ignore hotalloc fixture: exercising the trailing suppression form
+}
+
+func listForm() error {
+	//lint:ignore hotalloc,ctxloop fixture: a comma-separated analyzer list suppresses each named analyzer
+	return fmt.Errorf("static message")
+}
+
+func allForm() error {
+	//lint:ignore all fixture: the catch-all form suppresses every analyzer
+	return fmt.Errorf("static message")
+}

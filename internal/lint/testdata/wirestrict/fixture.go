@@ -1,0 +1,75 @@
+// Package fixture exercises the wirestrict analyzer: keyed-literal
+// enforcement on json-tagged structs and codec field coverage for
+// hand-rolled encoder/decoder pairs, including the parent-chain
+// fallback for sections encoded inline.
+package fixture
+
+type Ping struct {
+	ID   string `json:"id"`
+	Seq  int    `json:"seq"`
+	Note string `json:"note"` // want `missing from encoder AppendPing`
+}
+
+// AppendPing hand-encodes Ping but forgot the "note" field.
+func AppendPing(dst []byte, p *Ping) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = append(dst, p.ID...)
+	dst = append(dst, `,"seq":`...)
+	dst = appendInt(dst, p.Seq)
+	return append(dst, '}')
+}
+
+// UnmarshalPingLine covers every field.
+func UnmarshalPingLine(data []byte, p *Ping) error {
+	for _, key := range []string{"id", "seq", "note"} {
+		_ = key
+	}
+	_ = data
+	return nil
+}
+
+// Reply embeds a section struct encoded inline by the parent codec.
+type Reply struct {
+	ID   string `json:"id"`
+	Echo *Echo  `json:"echo,omitempty"`
+}
+
+type Echo struct {
+	Text  string `json:"text"`
+	Times int    `json:"times"` // want `missing from encoder AppendReply`
+}
+
+// AppendReply encodes Reply and its Echo section inline, but dropped
+// "times"; the parent-chain fallback attributes the miss to it.
+func AppendReply(dst []byte, r *Reply) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = append(dst, r.ID...)
+	if r.Echo != nil {
+		dst = append(dst, `,"echo":{"text":`...)
+		dst = append(dst, r.Echo.Text...)
+		dst = append(dst, '}')
+	}
+	return append(dst, '}')
+}
+
+// Plain has no json tags: not a wire struct, positional literals and
+// absent codecs are fine.
+type Plain struct {
+	A, B int
+}
+
+func mkPlain() Plain {
+	return Plain{1, 2}
+}
+
+func mkKeyed() Ping {
+	return Ping{ID: "a", Seq: 1, Note: "x"}
+}
+
+func mkUnkeyed() Ping {
+	return Ping{"a", 1, "x"} // want `unkeyed composite literal`
+}
+
+func appendInt(dst []byte, n int) []byte {
+	return append(dst, byte('0'+n%10))
+}

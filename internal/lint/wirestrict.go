@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// WireStrict defends the wire contract (PRs 4–6): the JSON tags on
+// the Request/Verdict family ARE the wire format, and the hand-rolled
+// codec in wire.go must know every field of every wire type.
+//
+// Two rules:
+//
+//  1. Wire structs — any struct with json-tagged fields — are
+//     constructed with keyed literals only. A positional literal
+//     compiles silently through a field insertion or reorder and
+//     ships wrong bytes; a keyed literal turns the same change into
+//     a compile error or an honest zero value.
+//
+//  2. Codec completeness: for a wire struct with a hand-rolled
+//     encoder (Append<T> / append<T>) or decoder (Unmarshal<T>Line /
+//     <t>Into), every json tag must appear as a field-name string
+//     literal in that function — or, for section structs encoded
+//     inline by their parent (CheckVerdict inside AppendVerdict's
+//     tree), in the parent's codec function. Adding a field to
+//     Request without teaching AppendRequest AND UnmarshalRequestLine
+//     is a diagnostic, not silent codec drift discovered by a
+//     differential fuzzer three PRs later.
+var WireStrict = &Analyzer{
+	Name: "wirestrict",
+	Doc:  "wire structs use keyed literals; hand-rolled codec functions must cover every json-tagged field",
+	Run:  runWireStrict,
+}
+
+func runWireStrict(pass *Pass) error {
+	checkKeyedLiterals(pass)
+	checkCodecCoverage(pass)
+	return nil
+}
+
+// jsonTags returns the struct's wire field names (json tags, options
+// stripped; untagged and "-" fields excluded), keyed by field index.
+func jsonTags(st *types.Struct) map[int]string {
+	var tags map[int]string
+	for i := 0; i < st.NumFields(); i++ {
+		tag := reflect.StructTag(st.Tag(i)).Get("json")
+		if tag == "" || tag == "-" {
+			continue
+		}
+		name, _, _ := strings.Cut(tag, ",")
+		if name == "" {
+			name = st.Field(i).Name()
+		}
+		if tags == nil {
+			tags = make(map[int]string)
+		}
+		tags[i] = name
+	}
+	return tags
+}
+
+// checkKeyedLiterals flags positional composite literals of any
+// json-tagged struct, wherever the struct is declared.
+func checkKeyedLiterals(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || len(lit.Elts) == 0 {
+				return true
+			}
+			tv, ok := pass.Info.Types[lit]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			t := tv.Type
+			if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			st, ok := t.Underlying().(*types.Struct)
+			if !ok || jsonTags(st) == nil {
+				return true
+			}
+			if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+				pass.Reportf(lit.Pos(),
+					"unkeyed composite literal of wire struct %s: positional fields silently misencode after any field insertion or reorder; use keyed fields",
+					types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+			}
+			return true
+		})
+	}
+}
+
+// codecFns indexes this package's hand-rolled codec functions by
+// their lowercased name.
+type codecIndex struct {
+	pass *Pass
+	fns  map[string]*ast.FuncDecl
+	// litCache caches the string literals found in a function body.
+	lits map[*ast.FuncDecl]map[string]bool
+}
+
+func newCodecIndex(pass *Pass) *codecIndex {
+	ci := &codecIndex{pass: pass, fns: make(map[string]*ast.FuncDecl), lits: make(map[*ast.FuncDecl]map[string]bool)}
+	for _, fd := range funcDecls(pass.Files) {
+		ci.fns[strings.ToLower(fd.Name.Name)] = fd
+	}
+	return ci
+}
+
+// encoderFor / decoderFor find the codec function for type name t
+// ("Request" → AppendRequest / UnmarshalRequestLine or requestInto).
+func (ci *codecIndex) encoderFor(t string) *ast.FuncDecl {
+	return ci.fns["append"+strings.ToLower(t)]
+}
+
+func (ci *codecIndex) decoderFor(t string) *ast.FuncDecl {
+	lt := strings.ToLower(t)
+	if fd := ci.fns["unmarshal"+lt+"line"]; fd != nil {
+		return fd
+	}
+	return ci.fns[lt+"into"]
+}
+
+// mentions reports whether fd's body contains tag as a field-name
+// string literal: a literal exactly equal to the tag, or one
+// containing the quoted form `"tag"` (the appenders write composite
+// fragments like `"check":`).
+func (ci *codecIndex) mentions(fd *ast.FuncDecl, tag string) bool {
+	lits := ci.lits[fd]
+	if lits == nil {
+		lits = make(map[string]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			bl, ok := n.(*ast.BasicLit)
+			if !ok || bl.Kind != token.STRING {
+				return true
+			}
+			if tv, ok := ci.pass.Info.Types[bl]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				lits[constant.StringVal(tv.Value)] = true
+			}
+			return true
+		})
+		ci.lits[fd] = lits
+	}
+	if lits[tag] {
+		return true
+	}
+	quoted := `"` + tag + `"`
+	for l := range lits {
+		if strings.Contains(l, quoted) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCodecCoverage enforces rule 2 over the wire structs declared
+// in this package.
+func checkCodecCoverage(pass *Pass) {
+	ci := newCodecIndex(pass)
+
+	// Wire structs declared here, with their type names and specs.
+	type wireType struct {
+		name string
+		st   *types.Struct
+		tags map[int]string
+	}
+	var wires []wireType
+	byName := make(map[string]*types.Struct)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		if tags := jsonTags(st); tags != nil {
+			wires = append(wires, wireType{name: name, st: st, tags: tags})
+			byName[name] = st
+		}
+	}
+
+	// parentOf[name] = wire structs that embed name as a field type
+	// (value, pointer or slice) — the inline-codec fallback chain.
+	parentOf := make(map[string][]string)
+	for _, w := range wires {
+		for i := 0; i < w.st.NumFields(); i++ {
+			ft := w.st.Field(i).Type()
+			for {
+				switch t := ft.(type) {
+				case *types.Pointer:
+					ft = t.Elem()
+					continue
+				case *types.Slice:
+					ft = t.Elem()
+					continue
+				}
+				break
+			}
+			if named, ok := ft.(*types.Named); ok {
+				child := named.Obj().Name()
+				if _, isWire := byName[child]; isWire && child != w.name {
+					parentOf[child] = append(parentOf[child], w.name)
+				}
+			}
+		}
+	}
+
+	// codecOf resolves the encoder/decoder for a type, walking up the
+	// parent chain (bounded) when the type has no codec of its own.
+	codecOf := func(t string, find func(string) *ast.FuncDecl) *ast.FuncDecl {
+		seen := map[string]bool{}
+		queue := []string{t}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			if seen[cur] {
+				continue
+			}
+			seen[cur] = true
+			if fd := find(cur); fd != nil {
+				return fd
+			}
+			queue = append(queue, parentOf[cur]...)
+		}
+		return nil
+	}
+
+	for _, w := range wires {
+		enc := codecOf(w.name, ci.encoderFor)
+		dec := codecOf(w.name, ci.decoderFor)
+		if enc == nil && dec == nil {
+			continue // not a hand-rolled wire family (stats payloads etc.)
+		}
+		for i, tag := range w.tags {
+			fld := w.st.Field(i)
+			if enc != nil && !ci.mentions(enc, tag) {
+				pass.Reportf(fld.Pos(),
+					"wire field %s.%s (json %q) is missing from encoder %s: the hand-rolled codec would silently drop it",
+					w.name, fld.Name(), tag, enc.Name.Name)
+			}
+			if dec != nil && !ci.mentions(dec, tag) {
+				pass.Reportf(fld.Pos(),
+					"wire field %s.%s (json %q) is missing from decoder %s: the hand-rolled codec would silently ignore it",
+					w.name, fld.Name(), tag, dec.Name.Name)
+			}
+		}
+	}
+}

@@ -218,7 +218,7 @@ func (st *behaviorStore) failureMasks(ctx context.Context, n int, accepts Accept
 		workers = st.count/minChunk + 1
 	}
 	locals := make([][]uint64, workers)
-	eval.ForEach(workers, workers, func(w int) {
+	err := eval.ForEachCtx(ctx, workers, workers, func(w int) {
 		lo := st.count * w / workers
 		hi := st.count * (w + 1) / workers
 		seen := make(map[uint64]struct{}, 64)
@@ -242,7 +242,7 @@ func (st *behaviorStore) failureMasks(ctx context.Context, n int, accepts Accept
 		}
 		locals[w] = out
 	})
-	if err := ctx.Err(); err != nil {
+	if err != nil {
 		return nil, err
 	}
 	seen := make(map[uint64]struct{}, 256)

@@ -209,7 +209,7 @@ func (st *behaviorStore) permFailureRows(ctx context.Context, n int, accepts Per
 		workers = st.count/minChunk + 1
 	}
 	locals := make([][]maskRow, workers)
-	eval.ForEach(workers, workers, func(w int) {
+	err := eval.ForEachCtx(ctx, workers, workers, func(w int) {
 		lo := st.count * w / workers
 		hi := st.count * (w + 1) / workers
 		// Dedupe keys: one uint64 when the rank universe fits a word
@@ -279,7 +279,7 @@ func (st *behaviorStore) permFailureRows(ctx context.Context, n int, accepts Per
 		}
 		locals[w] = out
 	})
-	if err := ctx.Err(); err != nil {
+	if err != nil {
 		return nil, err
 	}
 	rows := locals[0]

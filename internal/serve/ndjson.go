@@ -170,6 +170,15 @@ type chunkLine struct {
 // first line, then keeps sweeping lines while the reader has buffered
 // bytes, up to maxChunkLines. done reports end of body (EOF or a read
 // error — either way the connection has no more requests).
+// lineTooLongErr is the fixed per-line 400 for oversized lines. The
+// message never varies, so one shared error serves every rejection
+// instead of formatting (and allocating) it per line — the line-length
+// rejection path is client-drivable at line rate.
+var lineTooLongErr = &sortnets.RequestError{
+	Status: http.StatusBadRequest,
+	Msg:    fmt.Sprintf("request line exceeds %d bytes", maxLineBytes),
+}
+
 func (s *Service) readChunk(sc *connScratch) (done bool) {
 	sc.chunk = sc.chunk[:0]
 	for len(sc.chunk) < maxChunkLines {
@@ -181,10 +190,7 @@ func (s *Service) readChunk(sc *connScratch) (done bool) {
 		sc.line, tooLong, err = readLine(sc.br, sc.line[:0], maxLineBytes)
 		if tooLong {
 			s.rejected("")
-			sc.chunk = append(sc.chunk, chunkLine{err: &sortnets.RequestError{
-				Status: http.StatusBadRequest,
-				Msg:    fmt.Sprintf("request line exceeds %d bytes", maxLineBytes),
-			}})
+			sc.chunk = append(sc.chunk, chunkLine{err: lineTooLongErr})
 			continue
 		}
 		if len(bytes.TrimSpace(sc.line)) > 0 {
@@ -307,6 +313,8 @@ func wholeBatchError(err error) *sortnets.RequestError {
 // to their newline but reported tooLong with no content, so the
 // stream can continue at the next line. err is non-nil at end of
 // body; a final unterminated line is still returned.
+//
+//sortnets:hotpath
 func readLine(br *bufio.Reader, buf []byte, max int) (line []byte, tooLong bool, err error) {
 	line = buf
 	for {

@@ -33,6 +33,8 @@ const hexDigits = "0123456789abcdef"
 // with ", \ and control characters escaped, <, > and & HTML-escaped
 // to < forms, invalid UTF-8 escaped as �, and U+2028 /
 // U+2029 escaped.
+//
+//sortnets:hotpath
 func appendJSONString(dst []byte, s string) []byte {
 	dst = append(dst, '"')
 	start := 0
@@ -97,6 +99,8 @@ var jsonSafe = func() (t [utf8.RuneSelf]bool) {
 // appendJSONFloat appends encoding/json's float rendering: shortest
 // form, 'f' format inside [1e-6, 1e21), 'e' with a trimmed exponent
 // outside.
+//
+//sortnets:hotpath
 func appendJSONFloat(dst []byte, f float64) []byte {
 	abs := math.Abs(f)
 	format := byte('f')
@@ -115,6 +119,8 @@ func appendJSONFloat(dst []byte, f float64) []byte {
 
 // fieldSep appends the separator before a field: '{' for the first,
 // ',' after.
+//
+//sortnets:hotpath
 func fieldSep(dst []byte, first *bool) []byte {
 	if *first {
 		*first = false
@@ -123,6 +129,7 @@ func fieldSep(dst []byte, first *bool) []byte {
 	return append(dst, ',')
 }
 
+//sortnets:hotpath
 func appendStringField(dst []byte, first *bool, name, v string) []byte {
 	dst = fieldSep(dst, first)
 	dst = append(dst, '"')
@@ -131,6 +138,7 @@ func appendStringField(dst []byte, first *bool, name, v string) []byte {
 	return appendJSONString(dst, v)
 }
 
+//sortnets:hotpath
 func appendIntField(dst []byte, first *bool, name string, v int) []byte {
 	dst = fieldSep(dst, first)
 	dst = append(dst, '"')
@@ -139,6 +147,7 @@ func appendIntField(dst []byte, first *bool, name string, v int) []byte {
 	return strconv.AppendInt(dst, int64(v), 10)
 }
 
+//sortnets:hotpath
 func appendBoolField(dst []byte, first *bool, name string, v bool) []byte {
 	dst = fieldSep(dst, first)
 	dst = append(dst, '"')
@@ -151,6 +160,8 @@ func appendBoolField(dst []byte, first *bool, name string, v bool) []byte {
 // json.Marshal(r), and returns the extended buffer. The client's
 // NDJSON encoder uses it to build batch bodies without per-line
 // reflection.
+//
+//sortnets:hotpath
 func AppendRequest(dst []byte, r *Request) []byte {
 	first := true
 	if r.ID != "" {
@@ -203,6 +214,8 @@ func AppendRequest(dst []byte, r *Request) []byte {
 
 // AppendVerdict appends the JSON encoding of v, byte-identical to
 // json.Marshal(v) (and therefore to MarshalVerdict).
+//
+//sortnets:hotpath
 func AppendVerdict(dst []byte, v *Verdict) []byte {
 	first := true
 	if v.ID != "" {
@@ -229,6 +242,7 @@ func AppendVerdict(dst []byte, v *Verdict) []byte {
 	return append(dst, '}')
 }
 
+//sortnets:hotpath
 func appendCheckVerdict(dst []byte, c *CheckVerdict) []byte {
 	first := true
 	if c.Exhaustive {
@@ -245,6 +259,7 @@ func appendCheckVerdict(dst []byte, c *CheckVerdict) []byte {
 	return append(dst, '}')
 }
 
+//sortnets:hotpath
 func appendFaultsVerdict(dst []byte, f *FaultsVerdict) []byte {
 	first := true
 	dst = appendStringField(dst, &first, "mode", f.Mode)
@@ -257,6 +272,7 @@ func appendFaultsVerdict(dst []byte, f *FaultsVerdict) []byte {
 	return append(dst, '}')
 }
 
+//sortnets:hotpath
 func appendMinsetVerdict(dst []byte, m *MinsetVerdict) []byte {
 	first := true
 	dst = appendStringField(dst, &first, "mode", m.Mode)
@@ -285,6 +301,8 @@ func appendMinsetVerdict(dst []byte, m *MinsetVerdict) []byte {
 
 // AppendBatchVerdict appends the JSON encoding of one NDJSON response
 // line, byte-identical to json.Marshal(bv).
+//
+//sortnets:hotpath
 func AppendBatchVerdict(dst []byte, bv *BatchVerdict) []byte {
 	first := true
 	if bv.ID != "" {
