@@ -397,6 +397,7 @@ func readResponseLine(br *bufio.Reader, buf []byte) ([]byte, error) {
 // gets batch throughput and a slow one per-request latency.
 func (c *Client) Stream(ctx context.Context, next func() (sortnets.Request, bool), on func(sortnets.BatchVerdict) error) error {
 	pr, pw := io.Pipe()
+	//lint:ignore goroutineleak deliberately unawaited (doc above): the producer exits on pipe close, and waiting on it could hang the caller inside next()
 	go func() {
 		enc := json.NewEncoder(pw)
 		for {

@@ -49,6 +49,7 @@ type Pool struct {
 	backends []*backend
 	cfg      poolConfig
 
+	//lint:ignore statscover rr is the round-robin cursor, not telemetry: its value is a rotation position with no operator meaning
 	rr      atomic.Uint64 // round-robin cursor
 	rngMu   sync.Mutex
 	rng     *rand.Rand // jitter source
@@ -440,10 +441,17 @@ func (p *Pool) observe(b *backend, err error) (floor time.Duration) {
 		return ua.RetryAfter
 	}
 	var re *sortnets.RequestError
-	if errors.As(err, &re) && re.Status < 500 && re.Status != http.StatusTooManyRequests {
-		// A semantic rejection is a HEALTHY backend: the wire worked.
-		b.br.Success()
-		return 0
+	if errors.As(err, &re) {
+		if re.Status < 500 && re.Status != http.StatusTooManyRequests {
+			// A semantic rejection is a HEALTHY backend: the wire worked.
+			b.br.Success()
+			return 0
+		}
+		b.failures.Add(1)
+		b.br.Failure(p.now())
+		// NDJSON per-line backpressure has no headers; the typed
+		// error's retry_after field is the hint carrier there.
+		return time.Duration(re.RetryAfter) * time.Second
 	}
 	b.failures.Add(1)
 	b.br.Failure(p.now())
@@ -563,6 +571,17 @@ func (p *Pool) sendHedged(ctx context.Context, primary *backend, prefer []*backe
 			return nil, 0, ctx.Err()
 		}
 	}
+}
+
+// lineFloor is the backoff floor a per-entry batch error carries:
+// the typed error's retry_after field, the headerless counterpart of
+// the single-shot path's Retry-After header.
+func lineFloor(err error) time.Duration {
+	var re *sortnets.RequestError
+	if errors.As(err, &re) {
+		return time.Duration(re.RetryAfter) * time.Second
+	}
+	return 0
 }
 
 // entryRetryable reports whether a per-entry batch error may be cured
@@ -719,8 +738,12 @@ func (p *Pool) doBatchPrefer(ctx context.Context, reqs []sortnets.Request, prefe
 			pending = pending[:0]
 		case errors.As(err, &be):
 			// A healthy response with per-entry outcomes: keep the
-			// successes, requeue only the transient failures.
+			// successes, requeue only the transient failures. The
+			// NDJSON path has no headers, so a requeued line's
+			// retry_after field is the backoff hint; the largest one
+			// floors the next round's sleep.
 			p.observe(b, nil)
+			floor = 0
 			next := pending[:0]
 			for k, idx := range pending {
 				switch {
@@ -730,6 +753,9 @@ func (p *Pool) doBatchPrefer(ctx context.Context, reqs []sortnets.Request, prefe
 				case entryRetryable(be.Errs[k]):
 					finalErrs[idx] = be.Errs[k]
 					next = append(next, idx)
+					if f := lineFloor(be.Errs[k]); f > floor {
+						floor = f
+					}
 				default:
 					finalErrs[idx] = be.Errs[k]
 				}

@@ -1,0 +1,121 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sortnets"
+)
+
+// TestObserveRequestErrorClassification pins the retry-contract rules
+// observe() implements: a semantic 4xx (the caller's own bad request)
+// is a HEALTHY backend — breaker Success, no failure counted, no
+// backoff floor — while typed backpressure (429/503/504) counts as a
+// backend failure and surfaces the error's retry_after field as the
+// floor for the next backoff. These are the client-side invariants
+// the retrycontract analyzer enforces statically.
+func TestObserveRequestErrorClassification(t *testing.T) {
+	p, err := NewPool([]string{"http://127.0.0.1:0"}, WithHealthInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	b := p.backends[0]
+
+	// Prime the breaker to one failure short of opening: a semantic
+	// rejection must RESET the consecutive count, not extend it.
+	for i := 0; i < p.cfg.breakerThreshold-1; i++ {
+		b.br.Failure(p.now())
+	}
+	floor := p.observe(b, &sortnets.RequestError{Status: http.StatusBadRequest, Msg: "bad network"})
+	if floor != 0 {
+		t.Errorf("semantic 400: floor = %v, want 0", floor)
+	}
+	if got := b.failures.Load(); got != 0 {
+		t.Errorf("semantic 400 counted as backend failure: failures = %d", got)
+	}
+	for i := 0; i < p.cfg.breakerThreshold-1; i++ {
+		if !b.br.Allow(p.now()) {
+			t.Fatalf("breaker opened after %d failures post-reset: the 400 did not reset the count", i)
+		}
+		b.br.Failure(p.now())
+	}
+
+	// Typed backpressure: failure counted, retry_after becomes the
+	// backoff floor in whole seconds.
+	b.br.Success()
+	if floor := p.observe(b, &sortnets.RequestError{Status: http.StatusTooManyRequests, RetryAfter: 2}); floor != 2*time.Second {
+		t.Errorf("429 retry_after=2: floor = %v, want 2s", floor)
+	}
+	if floor := p.observe(b, &sortnets.RequestError{Status: http.StatusServiceUnavailable, RetryAfter: 1}); floor != time.Second {
+		t.Errorf("503 retry_after=1: floor = %v, want 1s", floor)
+	}
+	if floor := p.observe(b, &sortnets.RequestError{Status: http.StatusGatewayTimeout, RetryAfter: 1}); floor != time.Second {
+		t.Errorf("504 retry_after=1: floor = %v, want 1s", floor)
+	}
+	if got := b.failures.Load(); got != 3 {
+		t.Errorf("backpressure failures = %d, want 3", got)
+	}
+	// A hintless 5xx still fails the backend, just with no floor.
+	if floor := p.observe(b, &sortnets.RequestError{Status: http.StatusInternalServerError}); floor != 0 {
+		t.Errorf("hintless 500: floor = %v, want 0", floor)
+	}
+}
+
+// TestBatchRetryAfterFloorsBackoff drives the hint end to end through
+// DoBatch's partial-retry loop with a fake clock (the sleepFn seam):
+// a per-line 429 whose retry_after says 3 must floor the backoff
+// before the re-send at 3s — the NDJSON path has no headers, so the
+// typed error field is the only carrier.
+func TestBatchRetryAfterFloorsBackoff(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
+		var line sortnets.BatchVerdict
+		if calls.Add(1) == 1 {
+			line = sortnets.BatchVerdict{ID: "a", Error: &sortnets.RequestError{
+				Status: http.StatusTooManyRequests, Msg: "saturated", RetryAfter: 3,
+			}}
+		} else {
+			line = sortnets.BatchVerdict{ID: "a", Verdict: &sortnets.Verdict{ID: "a", Op: "verify", Digest: "d-batch"}}
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		out := sortnets.AppendBatchVerdict(nil, &line)
+		w.Write(append(out, '\n'))
+	}))
+	defer srv.Close()
+
+	p, err := NewPool([]string{srv.URL},
+		WithHealthInterval(0), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var floors []time.Duration
+	p.sleepFn = func(ctx context.Context, attempt int, floor time.Duration) error {
+		floors = append(floors, floor) // fake clock: record, never block
+		return nil
+	}
+
+	vs, err := p.DoBatch(context.Background(), []sortnets.Request{{ID: "a", Network: "n=4: [1,2][3,4][1,3][2,4][2,3]"}})
+	if err != nil {
+		t.Fatalf("DoBatch after one shed round: %v", err)
+	}
+	if len(vs) != 1 || vs[0] == nil || vs[0].Digest != "d-batch" {
+		t.Fatalf("verdicts %+v, want the retried entry's verdict", vs)
+	}
+	if len(floors) != 1 {
+		t.Fatalf("sleepFn called %d times, want 1 (one retry round)", len(floors))
+	}
+	if floors[0] != 3*time.Second {
+		t.Errorf("backoff floor = %v, want 3s from the line's retry_after", floors[0])
+	}
+}

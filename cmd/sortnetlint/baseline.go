@@ -1,0 +1,95 @@
+package main
+
+// The baseline ratchet: a committed JSON inventory of tolerated
+// findings. CI runs `sortnetlint -baseline lint.baseline.json ./...`,
+// so a finding recorded there doesn't fail the build — but any NEW
+// finding does, and deleting entries is the only direction the file
+// is meant to move. Entries match on (file, analyzer, message), never
+// line numbers: a tolerated finding shouldn't come back to life
+// because someone added an import twenty lines above it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"sortnets/internal/lint"
+)
+
+// baselineFile is the on-disk shape, findings in canonical order so
+// -write-baseline output diffs cleanly.
+type baselineFile struct {
+	Version  int             `json:"version"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+type baselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func (e baselineEntry) key() string { return e.File + "\x00" + e.Analyzer + "\x00" + e.Message }
+
+func entryOf(d lint.Diagnostic) baselineEntry {
+	return baselineEntry{File: d.Pos.Filename, Analyzer: d.Analyzer, Message: d.Message}
+}
+
+// loadBaseline reads a baseline file into a tolerance set. A missing
+// file is an empty baseline, so bootstrapping CI needs no special
+// case.
+func loadBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[string]bool{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if bf.Version != 1 {
+		return nil, fmt.Errorf("baseline %s: unsupported version %d", path, bf.Version)
+	}
+	set := make(map[string]bool, len(bf.Findings))
+	for _, e := range bf.Findings {
+		set[e.key()] = true
+	}
+	return set, nil
+}
+
+// saveBaseline writes the current findings (already sorted and
+// relativized by the caller) as a baseline.
+func saveBaseline(path string, diags []lint.Diagnostic) error {
+	bf := baselineFile{Version: 1, Findings: []baselineEntry{}}
+	seen := make(map[string]bool)
+	for _, d := range diags {
+		e := entryOf(d)
+		if seen[e.key()] {
+			continue
+		}
+		seen[e.key()] = true
+		bf.Findings = append(bf.Findings, e)
+	}
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// filterBaselined splits diags into (new, toleratedCount).
+func filterBaselined(diags []lint.Diagnostic, base map[string]bool) ([]lint.Diagnostic, int) {
+	kept := diags[:0]
+	tolerated := 0
+	for _, d := range diags {
+		if base[entryOf(d).key()] {
+			tolerated++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, tolerated
+}

@@ -38,7 +38,10 @@ func TestListFlag(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list exited %d", code)
 	}
-	for _, name := range []string{"ctxloop", "hotalloc", "poolsafe", "atomicfield", "wirestrict"} {
+	for _, name := range []string{
+		"ctxloop", "hotalloc", "poolsafe", "atomicfield", "wirestrict",
+		"goroutineleak", "lockorder", "retrycontract", "statscover",
+	} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
 		}
@@ -73,6 +76,95 @@ func TestDirectModeClean(t *testing.T) {
 	code, out, stderr := capture(t, "sortnets/...")
 	if code != 0 {
 		t.Fatalf("sortnetlint sortnets/... exited %d\nstdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+}
+
+// TestFixAndBaseline drives the -fix and baseline-ratchet paths
+// against a throwaway module: -fix rewrites the fixable finding in
+// place and leaves the unfixable one; -write-baseline records what
+// remains; -baseline tolerates exactly that, while a new finding
+// still fails the run.
+func TestFixAndBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list over a throwaway module; skipped in -short")
+	}
+	mod := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(mod, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module fixprobe\n\ngo 1.22\n")
+	write("probe.go", `package fixprobe
+
+import "fmt"
+
+func Const() error {
+	return fmt.Errorf("wrapped nothing")
+}
+
+func Banner() string {
+	return fmt.Sprintf("static banner")
+}
+`)
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(mod); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(cwd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	// Both findings present: the run fails.
+	if code, _, stderr := capture(t, "./..."); code != 1 {
+		t.Fatalf("unfixed module: exit %d, want 1\nstderr:\n%s", code, stderr)
+	}
+
+	// -fix resolves the Errorf (rewritten to errors.New) but not the
+	// Sprintf, which has no mechanical fix.
+	code, _, stderr := capture(t, "-fix", "./...")
+	if code != 1 {
+		t.Fatalf("-fix: exit %d, want 1 (Sprintf finding remains)\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "rewrote") {
+		t.Fatalf("-fix did not report a rewrite:\n%s", stderr)
+	}
+	src, err := os.ReadFile(filepath.Join(mod, "probe.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), `errors.New("wrapped nothing")`) || strings.Contains(string(src), "fmt.Errorf") {
+		t.Fatalf("-fix did not rewrite the Errorf:\n%s", src)
+	}
+
+	// Ratchet: record the surviving finding, then tolerate it.
+	base := filepath.Join(mod, "lint.baseline.json")
+	if code, _, stderr := capture(t, "-write-baseline", base, "./..."); code != 0 {
+		t.Fatalf("-write-baseline: exit %d\nstderr:\n%s", code, stderr)
+	}
+	if code, _, stderr := capture(t, "-baseline", base, "./..."); code != 0 {
+		t.Fatalf("baselined run: exit %d, want 0\nstderr:\n%s", code, stderr)
+	} else if !strings.Contains(stderr, "tolerated") {
+		t.Fatalf("baselined run did not report tolerated findings:\n%s", stderr)
+	}
+
+	// A NEW finding is not hidden by the baseline.
+	write("extra.go", `package fixprobe
+
+import "fmt"
+
+func Extra() string {
+	return fmt.Sprintf("another banner")
+}
+`)
+	if code, _, stderr := capture(t, "-baseline", base, "./..."); code != 1 {
+		t.Fatalf("new finding under baseline: exit %d, want 1\nstderr:\n%s", code, stderr)
 	}
 }
 

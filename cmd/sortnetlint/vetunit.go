@@ -2,14 +2,23 @@ package main
 
 // go vet's vettool protocol: the driver compiles each package, writes
 // a JSON config describing the compilation unit (sources, the import
-// map, and export-data files for every dependency), and invokes the
-// tool with that one *.cfg path. The tool type-checks the unit from
-// the supplied files — no `go list`, no network — runs its analyzers,
-// prints findings to stderr, and exits 2 when it found any, which the
-// driver surfaces as a vet failure. This mirrors the subset of
-// x/tools' unitchecker protocol the go command actually exercises for
-// diagnostics-only tools (sortnetlint exports no facts).
-
+// map, export-data files for every dependency, and the dependencies'
+// fact files), and invokes the tool with that one *.cfg path. The
+// tool type-checks the unit from the supplied files — no `go list`,
+// no network — runs its analyzers, prints findings to stderr, and
+// exits 2 when it found any, which the driver surfaces as a vet
+// failure.
+//
+// Facts ride the protocol's .vetx files: PackageVetx maps each
+// dependency to the fact file its own analysis run produced, and
+// VetxOutput is where this unit must write its facts. The store
+// merges every dependency's facts before analysis and serializes the
+// union afterwards, which gives the interprocedural analyzers
+// (goroutineleak, lockorder, statscover) the same dependency-ordered
+// flow the direct loader provides in-process. Analyzers therefore run
+// even for VetxOnly units — the driver asks for facts only, so the
+// diagnostics are computed-and-dropped, but the exported facts must
+// exist for the units upstream.
 import (
 	"encoding/json"
 	"fmt"
@@ -33,6 +42,7 @@ type vetConfig struct {
 	GoFiles     []string
 	ImportMap   map[string]string
 	PackageFile map[string]string
+	PackageVetx map[string]string
 	VetxOnly    bool
 	VetxOutput  string
 
@@ -50,15 +60,18 @@ func runVetUnit(cfgPath string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "sortnetlint: parsing %s: %v\n", cfgPath, err)
 		return 2
 	}
-	// The driver expects a facts file even from fact-free tools.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fmt.Fprintf(stderr, "sortnetlint: %v\n", err)
-			return 2
+
+	// Merge the dependencies' facts. Vetx files from older tool
+	// versions (or the empty files fact-free tools write) are skipped,
+	// not fatal — analysis degrades to package-local, same as a cold
+	// cache.
+	facts := lint.NewFacts()
+	for _, vetx := range cfg.PackageVetx {
+		b, err := os.ReadFile(vetx)
+		if err != nil || len(b) == 0 {
+			continue
 		}
-	}
-	if cfg.VetxOnly {
-		return 0
+		_ = facts.UnmarshalJSON(b)
 	}
 
 	fset := token.NewFileSet()
@@ -108,11 +121,28 @@ func runVetUnit(cfgPath string, stdout, stderr *os.File) int {
 		Info:       info,
 		Sizes:      sizes,
 	}
-	diags, err := lint.RunAnalyzers(pkg, lint.All())
+	diags, err := lint.RunAnalyzersFacts(pkg, lint.All(), facts)
 	if err != nil {
 		fmt.Fprintf(stderr, "sortnetlint: %v\n", err)
 		return 2
 	}
+
+	// The driver requires the facts file even when the store is empty.
+	if cfg.VetxOutput != "" {
+		payload, err := facts.MarshalJSON()
+		if err != nil {
+			fmt.Fprintf(stderr, "sortnetlint: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
+			fmt.Fprintf(stderr, "sortnetlint: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
 	for _, d := range diags {
 		fmt.Fprintf(stderr, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
 	}

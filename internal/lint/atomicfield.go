@@ -23,9 +23,17 @@ import (
 // why this repo's counters use them; this analyzer is the fence that
 // keeps any future raw-word counter honest.
 var AtomicField = &Analyzer{
-	Name: "atomicfield",
-	Doc:  "fields accessed via sync/atomic must be accessed atomically everywhere and 64-bit fields must stay aligned",
-	Run:  runAtomicField,
+	Name:    "atomicfield",
+	Doc:     "fields accessed via sync/atomic must be accessed atomically everywhere and 64-bit fields must stay aligned",
+	Version: "2", // 2: exports per-field facts for lockorder/statscover
+	Run:     runAtomicField,
+}
+
+// atomicFieldFact marks a raw field as atomically accessed; lockorder
+// (atomic-under-mutex mixing) and statscover (counter surfacing)
+// consume it cross-package.
+type atomicFieldFact struct {
+	Atomic bool `json:"atomic"`
 }
 
 // atomicFns maps sync/atomic function names to the index of their
@@ -64,6 +72,11 @@ func runAtomicField(pass *Pass) error {
 			}
 			return true
 		})
+	}
+	for fld := range atomicFields {
+		if sym := FieldSymbol(pass.Pkg, fld); sym != "" {
+			pass.ExportFact(sym, atomicFieldFact{Atomic: true})
+		}
 	}
 	if len(atomicFields) == 0 {
 		return nil

@@ -1,0 +1,379 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// The dataflow core: a statement-granularity control-flow graph over
+// the parsed (and go/types-resolved) bodies, plus the def-use helpers
+// the flow-sensitive analyzers share. It is deliberately lightweight —
+// no SSA, no values, just "which statements can run after which" —
+// because the properties the suite proves (a Failure call reachable
+// from a semantic-4xx branch, a goroutine launch with no join on any
+// path, a lock held across a call) are reachability questions, not
+// value questions. Analyzers that outgrow it port to x/tools/go/cfg
+// mechanically; the Block/Succs shape is the same.
+
+// A Block is a straight-line run of statements with explicit
+// successor edges. Cond expressions of if/for/switch live in the
+// block that evaluates them.
+type Block struct {
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// A CFG is one function body's control-flow graph. Entry is the
+// first block; blocks with no successors end the function (return,
+// panic-free fallthrough, or a terminal branch).
+type CFG struct {
+	Entry  *Block
+	Blocks []*Block
+
+	// stmtBlock maps every recorded statement (and recorded cond
+	// expression) to its block.
+	stmtBlock map[ast.Node]*Block
+}
+
+// BuildCFG builds the graph for one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	c := &CFG{stmtBlock: make(map[ast.Node]*Block)}
+	entry := c.newBlock()
+	c.Entry = entry
+	c.buildStmts(entry, body.List, nil, nil)
+	return c
+}
+
+func (c *CFG) newBlock() *Block {
+	b := &Block{}
+	c.Blocks = append(c.Blocks, b)
+	return b
+}
+
+func (c *CFG) add(b *Block, n ast.Node) {
+	b.Nodes = append(b.Nodes, n)
+	c.stmtBlock[n] = b
+}
+
+func link(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// buildStmts threads stmts through cur, returning the block control
+// falls out of (nil when every path returned or broke away).
+// brk/cont are the innermost loop/switch targets for unlabeled
+// break/continue; labeled branches are handled best-effort by
+// treating them like their unlabeled forms.
+func (c *CFG) buildStmts(cur *Block, stmts []ast.Stmt, brk, cont *Block) *Block {
+	for _, s := range stmts {
+		if cur == nil {
+			// Unreachable code after a terminal statement: give it its
+			// own island so its nodes still map to a block.
+			cur = c.newBlock()
+		}
+		cur = c.buildStmt(cur, s, brk, cont)
+	}
+	return cur
+}
+
+func (c *CFG) buildStmt(cur *Block, s ast.Stmt, brk, cont *Block) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return c.buildStmts(cur, s.List, brk, cont)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.add(cur, s.Init)
+		}
+		if s.Cond != nil {
+			c.add(cur, s.Cond)
+		}
+		thenB := c.newBlock()
+		link(cur, thenB)
+		thenEnd := c.buildStmts(thenB, s.Body.List, brk, cont)
+		join := c.newBlock()
+		link(thenEnd, join)
+		if s.Else != nil {
+			elseB := c.newBlock()
+			link(cur, elseB)
+			elseEnd := c.buildStmt(elseB, s.Else, brk, cont)
+			link(elseEnd, join)
+		} else {
+			link(cur, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.add(cur, s.Init)
+		}
+		head := c.newBlock()
+		link(cur, head)
+		if s.Cond != nil {
+			c.add(head, s.Cond)
+		}
+		exit := c.newBlock()
+		post := c.newBlock()
+		if s.Post != nil {
+			c.add(post, s.Post)
+		}
+		link(post, head)
+		bodyB := c.newBlock()
+		link(head, bodyB)
+		if s.Cond != nil {
+			link(head, exit) // cond false
+		}
+		bodyEnd := c.buildStmts(bodyB, s.Body.List, exit, post)
+		link(bodyEnd, post)
+		return exit
+
+	case *ast.RangeStmt:
+		head := c.newBlock()
+		c.add(head, s.X)
+		link(cur, head)
+		exit := c.newBlock()
+		link(head, exit) // range exhausted
+		bodyB := c.newBlock()
+		link(head, bodyB)
+		bodyEnd := c.buildStmts(bodyB, s.Body.List, exit, head)
+		link(bodyEnd, head)
+		return exit
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.buildBranching(cur, s, cont)
+
+	case *ast.ReturnStmt:
+		c.add(cur, s)
+		return nil
+
+	case *ast.BranchStmt:
+		c.add(cur, s)
+		switch s.Tok {
+		case token.BREAK:
+			link(cur, brk)
+			return nil
+		case token.CONTINUE:
+			link(cur, cont)
+			return nil
+		case token.GOTO:
+			return nil // no label resolution; treat as terminal
+		}
+		return cur // fallthrough: the next case body follows anyway
+
+	case *ast.LabeledStmt:
+		return c.buildStmt(cur, s.Stmt, brk, cont)
+
+	default:
+		c.add(cur, s)
+		return cur
+	}
+}
+
+// buildBranching handles switch/type-switch/select: each clause body
+// is a block from the header, all joining after the statement.
+func (c *CFG) buildBranching(cur *Block, s ast.Stmt, cont *Block) *Block {
+	var clauses []ast.Stmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.add(cur, s.Init)
+		}
+		if s.Tag != nil {
+			c.add(cur, s.Tag)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.add(cur, s.Init)
+		}
+		c.add(cur, s.Assign)
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	join := c.newBlock()
+	for _, cl := range clauses {
+		var body []ast.Stmt
+		clB := c.newBlock()
+		link(cur, clB)
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.add(clB, e)
+			}
+			if cl.List == nil {
+				hasDefault = true
+			}
+			body = cl.Body
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				c.add(clB, cl.Comm)
+			} else {
+				hasDefault = true
+			}
+			body = cl.Body
+		}
+		end := c.buildStmts(clB, body, join, cont)
+		link(end, join)
+	}
+	if !hasDefault || len(clauses) == 0 {
+		link(cur, join) // no case matched (or empty switch)
+	}
+	return join
+}
+
+// BlockOf returns the block holding the innermost recorded statement
+// enclosing pos, or nil. Expressions map through their statement.
+func (c *CFG) BlockOf(n ast.Node) *Block { return c.stmtBlock[n] }
+
+// Reachable returns the set of blocks reachable from b, b included.
+func (c *CFG) Reachable(b *Block) map[*Block]bool {
+	seen := make(map[*Block]bool)
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if b == nil || seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(b)
+	return seen
+}
+
+// ReachableFrom reports whether target can execute after the blocks
+// in reach: some recorded node of a reachable block contains target
+// by position. (A function literal's body maps to the statement that
+// holds the literal — the core treats a closure as executing where it
+// is written, which over-approximates exactly the way a lint wants.)
+func ReachableFrom(c *CFG, reach map[*Block]bool, target ast.Node) bool {
+	for b := range reach {
+		for _, n := range b.Nodes {
+			if n.Pos() <= target.Pos() && target.End() <= n.End() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- def-use helpers ----------------------------------------------------
+
+// definingAssign finds the statement in fn's body that defines or
+// first assigns obj (":=", "=", or var decl), or nil.
+func definingAssign(info *types.Info, body ast.Node, obj types.Object) ast.Expr {
+	var rhs ast.Expr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if rhs != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, l := range n.Lhs {
+				id, ok := l.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if info.Defs[id] == obj || info.Uses[id] == obj {
+					if i < len(n.Rhs) {
+						rhs = n.Rhs[i]
+					} else if len(n.Rhs) == 1 {
+						rhs = n.Rhs[0]
+					}
+					return false
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				if info.Defs[id] == obj && i < len(n.Values) {
+					rhs = n.Values[i]
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return rhs
+}
+
+// chanMakeCap resolves obj's defining expression inside body to a
+// `make(chan T, N)` call and returns N (0 for unbuffered make with
+// two args... capacity constant required). ok is false when obj is
+// not defined by a make(chan) with a constant capacity in body.
+func chanMakeCap(info *types.Info, body ast.Node, obj types.Object) (capN int64, ok bool) {
+	rhs := definingAssign(info, body, obj)
+	if rhs == nil {
+		return 0, false
+	}
+	call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
+	if !isCall {
+		return 0, false
+	}
+	if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); !isIdent || id.Name != "make" {
+		return 0, false
+	}
+	if len(call.Args) < 1 {
+		return 0, false
+	}
+	argT := info.Types[call.Args[0]].Type
+	if argT == nil {
+		return 0, false
+	}
+	if _, isChan := argT.Underlying().(*types.Chan); !isChan {
+		return 0, false
+	}
+	if len(call.Args) == 1 {
+		return 0, true // unbuffered
+	}
+	tv, okTV := info.Types[call.Args[1]]
+	if !okTV || tv.Value == nil {
+		return 0, false
+	}
+	n, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	if !exact {
+		return 0, false
+	}
+	return n, true
+}
+
+// selectorObj resolves a selector (or plain ident) used as a sync
+// primitive handle to a stable object: the FIELD var for x.f (stable
+// across the package's functions), the variable itself for plain
+// idents. Returns nil for anything else (map/slice elements, calls).
+func selectorObj(info *types.Info, e ast.Expr) types.Object {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(v)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[v]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		return info.ObjectOf(v.Sel)
+	case *ast.StarExpr:
+		return selectorObj(info, v.X)
+	case *ast.UnaryExpr:
+		return selectorObj(info, v.X)
+	}
+	return nil
+}
+
+// funcDeclOf maps the package's *types.Func objects to their
+// declarations, so intra-package interprocedural checks can chase a
+// call into its body.
+func funcDeclOf(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	m := make(map[*types.Func]*ast.FuncDecl)
+	for _, fd := range funcDecls(pass.Files) {
+		if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+			m[fn] = fd
+		}
+	}
+	return m
+}

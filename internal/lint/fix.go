@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// The -fix applier: SuggestedFixes are byte-offset edits, so applying
+// them is pure text surgery — no reformatting, no AST printing, no
+// churn outside the edited ranges. Edits are applied per file from
+// the end backwards (offsets stay valid), identical edits from
+// multiple findings are deduplicated (two constant-format findings in
+// one file both asking for the same import insertion), and any two
+// edits that truly overlap abort the whole file rather than guess.
+
+// ApplyFixes applies every suggested fix in diags to the files on
+// disk and returns the files it rewrote. Conflicting edits are an
+// error; nothing is written when any file's edits conflict.
+func ApplyFixes(diags []Diagnostic) (changed []string, err error) {
+	contents, err := applyFixesToBytes(diags, nil)
+	if err != nil {
+		return nil, err
+	}
+	for f := range contents {
+		changed = append(changed, f)
+	}
+	sort.Strings(changed)
+	for _, f := range changed {
+		if err := os.WriteFile(f, contents[f], 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return changed, nil
+}
+
+// DryRunFixes computes the post-fix contents without writing,
+// returning filename → new bytes. read overrides file reading in
+// tests; nil means os.ReadFile.
+func DryRunFixes(diags []Diagnostic, read func(string) ([]byte, error)) (map[string][]byte, error) {
+	return applyFixesToBytes(diags, read)
+}
+
+func applyFixesToBytes(diags []Diagnostic, read func(string) ([]byte, error)) (map[string][]byte, error) {
+	if read == nil {
+		read = os.ReadFile
+	}
+	byFile := make(map[string][]TextEdit)
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			for _, e := range fix.Edits {
+				byFile[e.Filename] = append(byFile[e.Filename], e)
+			}
+		}
+	}
+	out := make(map[string][]byte, len(byFile))
+	for file, edits := range byFile {
+		src, err := read(file)
+		if err != nil {
+			return nil, fmt.Errorf("lint: applying fixes: %w", err)
+		}
+		fixed, changed, err := applyEdits(src, edits)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", file, err)
+		}
+		if changed {
+			out[file] = fixed
+		}
+	}
+	return out, nil
+}
+
+// applyEdits applies edits to src. Exact-duplicate edits collapse;
+// overlapping distinct edits are an error.
+func applyEdits(src []byte, edits []TextEdit) ([]byte, bool, error) {
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].Start != edits[j].Start {
+			return edits[i].Start < edits[j].Start
+		}
+		if edits[i].End != edits[j].End {
+			return edits[i].End < edits[j].End
+		}
+		return edits[i].NewText < edits[j].NewText
+	})
+	dedup := edits[:0]
+	for i, e := range edits {
+		if i > 0 && e == edits[i-1] {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	edits = dedup
+	for i := 1; i < len(edits); i++ {
+		prev, cur := edits[i-1], edits[i]
+		// Two pure insertions at the same offset are allowed (applied
+		// in sorted order); a replacement overlapping anything is not.
+		if cur.Start < prev.End {
+			return nil, false, fmt.Errorf("conflicting fixes at offsets %d and %d", prev.Start, cur.Start)
+		}
+	}
+	if len(edits) == 0 {
+		return src, false, nil
+	}
+	var out []byte
+	last := 0
+	for _, e := range edits {
+		if e.Start < last || e.End > len(src) || e.Start > e.End {
+			return nil, false, fmt.Errorf("edit range [%d,%d) out of bounds (len %d)", e.Start, e.End, len(src))
+		}
+		out = append(out, src[last:e.Start]...)
+		out = append(out, e.NewText...)
+		last = e.End
+	}
+	out = append(out, src[last:]...)
+	return out, true, nil
+}
+
+// importEdit returns the edit that adds path to file's imports, or
+// nil when file already imports it. The edit appends to the first
+// import group (or inserts a new import declaration after the package
+// clause when the file has none), matching gofmt's layout for a
+// grouped stdlib import.
+func importEdit(p *Pass, file *ast.File, path string) *TextEdit {
+	for _, imp := range file.Imports {
+		if v, err := strconv.Unquote(imp.Path.Value); err == nil && v == path {
+			return nil
+		}
+	}
+	for _, d := range file.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Lparen.IsValid() && len(gd.Specs) > 0 {
+			// Grouped import: insert in sorted position.
+			for _, spec := range gd.Specs {
+				is := spec.(*ast.ImportSpec)
+				if v, err := strconv.Unquote(is.Path.Value); err == nil && v > path && is.Name == nil {
+					e := p.InsertBefore(is.Pos(), strconv.Quote(path)+"\n\t")
+					return &e
+				}
+			}
+			e := p.InsertBefore(gd.Rparen, "\t"+strconv.Quote(path)+"\n")
+			return &e
+		}
+		// Single ungrouped import: add another import line after it.
+		e := p.InsertBefore(gd.End()+1, "import "+strconv.Quote(path)+"\n")
+		return &e
+	}
+	// No imports at all: insert after the package clause line.
+	e := p.InsertBefore(file.Name.End()+1, "\nimport "+strconv.Quote(path)+"\n")
+	return &e
+}

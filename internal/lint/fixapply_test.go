@@ -1,0 +1,121 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sortnets/internal/lint"
+)
+
+// TestHotAllocFix applies the Errorf→errors.New autofix to the
+// fixdemo fixture (dry-run) and checks the rewrite: both call sites
+// rewritten, the errors import added exactly once, and fmt left alone
+// (pruning unused imports is out of the fixer's scope).
+func TestHotAllocFix(t *testing.T) {
+	dir := filepath.Join("testdata", "fixdemo")
+	_, diags := runDir(t, dir, "sortnets/testdata/fixdemo", lint.HotAlloc)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 constant-format findings, got %d: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if len(d.Fixes) == 0 {
+			t.Fatalf("finding carries no fix: %s", d)
+		}
+	}
+	out, err := lint.DryRunFixes(diags, nil)
+	if err != nil {
+		t.Fatalf("DryRunFixes: %v", err)
+	}
+	file := filepath.Join(dir, "fixdemo.go")
+	fixed, ok := out[file]
+	if !ok {
+		t.Fatalf("no fixed content for %s (got %v)", file, keys(out))
+	}
+	got := string(fixed)
+	if n := strings.Count(got, `errors.New("`); n != 2 {
+		t.Errorf("want 2 errors.New rewrites, got %d:\n%s", n, got)
+	}
+	if strings.Contains(got, "fmt.Errorf") {
+		t.Errorf("fmt.Errorf survived the fix:\n%s", got)
+	}
+	if n := strings.Count(got, `import "errors"`); n != 1 {
+		t.Errorf("want the errors import added exactly once (both findings dedup to one edit), got %d:\n%s", n, got)
+	}
+	if !strings.Contains(got, `import "fmt"`) {
+		t.Errorf("fix must not touch the existing fmt import:\n%s", got)
+	}
+}
+
+// TestRetryContractFix applies the serve-side fixes: the bare
+// emission gains a Header().Set line and the hintless RequestError
+// literal gains RetryAfter.
+func TestRetryContractFix(t *testing.T) {
+	dir := filepath.Join("testdata", "retrycontract", "serve")
+	_, diags := runDir(t, dir, "sortnets/testdata/retrycontract/serve", lint.RetryContract)
+	out, err := lint.DryRunFixes(diags, nil)
+	if err != nil {
+		t.Fatalf("DryRunFixes: %v", err)
+	}
+	fixed, ok := out[filepath.Join(dir, "serve.go")]
+	if !ok {
+		t.Fatalf("no fixed content for serve.go (got %v)", keys(out))
+	}
+	got := string(fixed)
+	if !strings.Contains(got, "w.Header().Set(\"Retry-After\", \"1\")\n\tw.WriteHeader(429)") {
+		t.Errorf("bare emission did not gain the Set line:\n%s", got)
+	}
+	if !strings.Contains(got, `&RequestError{Status: 429, Msg: "overloaded", RetryAfter: 1}`) {
+		t.Errorf("hintless RequestError literal did not gain RetryAfter:\n%s", got)
+	}
+	// Already-hinted sites must be untouched: still exactly one
+	// RetryAfter per originally-hinted literal.
+	if strings.Contains(got, "RetryAfter: 1, RetryAfter") {
+		t.Errorf("fix doubled an existing RetryAfter:\n%s", got)
+	}
+}
+
+// TestApplyEditsSemantics pins the edit-application contract through
+// DryRunFixes with an in-memory file: exact duplicates collapse,
+// same-offset insertions both apply in sorted order, and genuinely
+// overlapping edits abort with an error.
+func TestApplyEditsSemantics(t *testing.T) {
+	read := func(string) ([]byte, error) { return []byte("hello world"), nil }
+	diag := func(edits ...lint.TextEdit) lint.Diagnostic {
+		return lint.Diagnostic{Fixes: []lint.SuggestedFix{{Edits: edits}}}
+	}
+	replace := lint.TextEdit{Filename: "f.go", Start: 0, End: 5, NewText: "goodbye"}
+
+	out, err := lint.DryRunFixes([]lint.Diagnostic{diag(replace), diag(replace)}, read)
+	if err != nil {
+		t.Fatalf("duplicate edits must collapse, got error: %v", err)
+	}
+	if got := string(out["f.go"]); got != "goodbye world" {
+		t.Errorf("duplicate edits: got %q, want %q", got, "goodbye world")
+	}
+
+	insA := lint.TextEdit{Filename: "f.go", Start: 5, End: 5, NewText: "A"}
+	insB := lint.TextEdit{Filename: "f.go", Start: 5, End: 5, NewText: "B"}
+	out, err = lint.DryRunFixes([]lint.Diagnostic{diag(insA), diag(insB)}, read)
+	if err != nil {
+		t.Fatalf("same-offset insertions must both apply, got error: %v", err)
+	}
+	if got := string(out["f.go"]); got != "helloAB world" {
+		t.Errorf("same-offset insertions: got %q, want %q", got, "helloAB world")
+	}
+
+	overlap := lint.TextEdit{Filename: "f.go", Start: 3, End: 8, NewText: "x"}
+	if _, err = lint.DryRunFixes([]lint.Diagnostic{diag(replace), diag(overlap)}, read); err == nil {
+		t.Fatalf("overlapping distinct edits must error")
+	} else if !strings.Contains(err.Error(), "conflicting") {
+		t.Errorf("overlap error should say conflicting, got: %v", err)
+	}
+}
+
+func keys(m map[string][]byte) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/types"
 	"strings"
 )
@@ -31,9 +32,10 @@ import (
 // package-level var (or use errors.New). Beyond the waste, such sites
 // are usually per-request error paths a client can drive at line rate.
 var HotAlloc = &Analyzer{
-	Name: "hotalloc",
-	Doc:  "//sortnets:hotpath functions must not call allocating denylist functions (encoding/json, fmt, string conversions, …)",
-	Run:  runHotAlloc,
+	Name:    "hotalloc",
+	Doc:     "//sortnets:hotpath functions must not call allocating denylist functions (encoding/json, fmt, string conversions, …)",
+	Version: "2", // 2: constant-format Errorf findings carry an errors.New autofix
+	Run:     runHotAlloc,
 }
 
 const hotPathDirective = "//sortnets:hotpath"
@@ -61,33 +63,72 @@ func runHotAlloc(pass *Pass) error {
 // so the formatting (and its allocation) belongs in a package-level
 // var, not on the call path. Package-level var initializers are
 // exempt: running the format once at init IS the recommended fix.
+//
+// The single-argument verb-free Errorf form carries an autofix:
+// fmt.Errorf("msg") is errors.New("msg") exactly, so -fix rewrites
+// the callee and adds the errors import if missing. (-fix does not
+// prune a now-unused fmt import; gofmt-adjacent tooling or the
+// compiler error makes that removal obvious.)
 func checkConstantFormat(pass *Pass) {
-	for _, fd := range funcDecls(pass.Files) {
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok || call.Ellipsis.IsValid() {
-				return true
+	for _, file := range pass.Files {
+		file := file
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
 			}
-			pkgPath, fnName := calleePkgPath(pass.Info, call)
-			if pkgPath != "fmt" || (fnName != "Sprintf" && fnName != "Errorf") {
-				return true
-			}
-			for _, arg := range call.Args {
-				tv, ok := pass.Info.Types[arg]
-				if !ok || tv.Value == nil {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || call.Ellipsis.IsValid() {
 					return true
 				}
-			}
-			advice := "precompute it in a package-level var"
-			if fnName == "Errorf" {
-				advice = "use errors.New (or a package-level error var)"
-			}
-			pass.Reportf(call.Pos(),
-				"fmt.%s formats only constants and returns the same value on every call; %s",
-				fnName, advice)
-			return true
-		})
+				pkgPath, fnName := calleePkgPath(pass.Info, call)
+				if pkgPath != "fmt" || (fnName != "Sprintf" && fnName != "Errorf") {
+					return true
+				}
+				for _, arg := range call.Args {
+					tv, ok := pass.Info.Types[arg]
+					if !ok || tv.Value == nil {
+						return true
+					}
+				}
+				if fnName == "Errorf" {
+					if fix, ok := errorsNewFix(pass, file, call); ok {
+						pass.ReportFix(call.Pos(), fix,
+							"fmt.Errorf formats only constants and returns the same value on every call; use errors.New (or a package-level error var)")
+						return true
+					}
+					pass.Reportf(call.Pos(),
+						"fmt.Errorf formats only constants and returns the same value on every call; use errors.New (or a package-level error var)")
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"fmt.Sprintf formats only constants and returns the same value on every call; precompute it in a package-level var")
+				return true
+			})
+		}
 	}
+}
+
+// errorsNewFix builds the Errorf→errors.New rewrite when the call is
+// the single-argument form whose constant string contains no format
+// verb (so the text passes through unchanged).
+func errorsNewFix(pass *Pass, file *ast.File, call *ast.CallExpr) (SuggestedFix, bool) {
+	if len(call.Args) != 1 {
+		return SuggestedFix{}, false
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return SuggestedFix{}, false
+	}
+	if strings.ContainsRune(constant.StringVal(tv.Value), '%') {
+		return SuggestedFix{}, false
+	}
+	edits := []TextEdit{pass.Edit(call.Fun.Pos(), call.Fun.End(), "errors.New")}
+	if imp := importEdit(pass, file, "errors"); imp != nil {
+		edits = append(edits, *imp)
+	}
+	return SuggestedFix{Message: "replace with errors.New", Edits: edits}, true
 }
 
 func checkHotBody(pass *Pass, fd *ast.FuncDecl) {

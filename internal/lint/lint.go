@@ -52,13 +52,19 @@ type Analyzer struct {
 	// Doc is the analyzer's documentation: first line is a one-line
 	// summary.
 	Doc string
+	// Version participates in the vet driver's cache key (-V=full):
+	// bump it when the analyzer's rules change so stale `go vet`
+	// results are invalidated even though the tool binary may hash
+	// identically in unusual build setups.
+	Version string
 	// Run applies the analyzer to one package, reporting findings
 	// through pass.Report/Reportf.
 	Run func(pass *Pass) error
 }
 
 // A Pass provides one analyzer run over one package: the syntax, the
-// type information, and the diagnostic sink.
+// type information, the cross-package fact store, and the diagnostic
+// sink.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
@@ -66,15 +72,43 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 	Sizes    types.Sizes
+	// Dir is the package's source directory on disk (empty in
+	// fixture-driven tests without one); statscover walks up from it
+	// to find the governing README.md.
+	Dir string
+	// Facts carries cross-package summaries; packages are analyzed in
+	// dependency order, so facts exported by a dependency are visible
+	// here. See facts.go.
+	Facts *Facts
 
 	diags *[]Diagnostic
 }
 
-// A Diagnostic is one finding, positioned and attributed.
+// A TextEdit replaces the half-open byte range [Start, End) of
+// Filename with NewText. Offsets are file byte offsets (token.Position
+// .Offset), so edits survive being serialized to JSON and applied by
+// a different process.
+type TextEdit struct {
+	Filename string `json:"file"`
+	Start    int    `json:"start"`
+	End      int    `json:"end"`
+	NewText  string `json:"new"`
+}
+
+// A SuggestedFix is one mechanical resolution of a finding, applied
+// by `sortnetlint -fix`.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// A Diagnostic is one finding, positioned and attributed, optionally
+// carrying mechanical fixes.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Fixes    []SuggestedFix
 }
 
 func (d Diagnostic) String() string {
@@ -90,15 +124,53 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the full sortnetlint suite in stable order.
-func All() []*Analyzer {
-	return []*Analyzer{CtxLoop, HotAlloc, PoolSafe, AtomicField, WireStrict}
+// ReportFix records a finding at pos carrying one suggested fix.
+func (p *Pass) ReportFix(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Fixes:    []SuggestedFix{fix},
+	})
 }
 
-// RunAnalyzers applies the analyzers to pkg, filters suppressed
-// findings, and returns the surviving diagnostics sorted by position.
-// Analyzer errors (not findings) are returned as-is.
+// Edit builds a TextEdit replacing [pos, end) with newText, resolving
+// token positions to byte offsets.
+func (p *Pass) Edit(pos, end token.Pos, newText string) TextEdit {
+	from, to := p.Fset.Position(pos), p.Fset.Position(end)
+	return TextEdit{Filename: from.Filename, Start: from.Offset, End: to.Offset, NewText: newText}
+}
+
+// InsertBefore builds a TextEdit inserting newText at pos.
+func (p *Pass) InsertBefore(pos token.Pos, newText string) TextEdit {
+	at := p.Fset.Position(pos)
+	return TextEdit{Filename: at.Filename, Start: at.Offset, End: at.Offset, NewText: newText}
+}
+
+// All returns the full sortnetlint suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		CtxLoop, HotAlloc, PoolSafe, AtomicField, WireStrict,
+		GoroutineLeak, LockOrder, RetryContract, StatsCover,
+	}
+}
+
+// RunAnalyzers applies the analyzers to pkg with a fresh fact store —
+// the single-package form. Whole-program checks (lockorder cycles,
+// cross-package joins) need RunAnalyzersFacts with a store shared
+// across a dependency-ordered package walk.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunAnalyzersFacts(pkg, analyzers, NewFacts())
+}
+
+// RunAnalyzersFacts applies the analyzers to pkg against a shared
+// fact store, filters suppressed findings, and returns the surviving
+// diagnostics sorted by position. Analyzer errors (not findings) are
+// returned as-is.
+func RunAnalyzersFacts(pkg *Package, analyzers []*Analyzer, facts *Facts) ([]Diagnostic, error) {
+	if facts == nil {
+		facts = NewFacts()
+	}
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -108,6 +180,8 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
 			Sizes:    pkg.Sizes,
+			Dir:      pkg.Dir,
+			Facts:    facts,
 			diags:    &diags,
 		}
 		if err := a.Run(pass); err != nil {
@@ -115,20 +189,33 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 	}
 	diags = applySuppressions(pkg, diags)
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i].Pos, diags[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Column != b.Column {
-			return a.Column < b.Column
-		}
-		return diags[i].Analyzer < diags[j].Analyzer
-	})
+	sort.Slice(diags, func(i, j int) bool { return lessDiag(diags[i], diags[j]) })
 	return diags, nil
+}
+
+// lessDiag is the one position ordering every output path shares
+// (per-package results, the merged -json stream, baseline files), so
+// CI artifacts diff reproducibly.
+func lessDiag(a, b Diagnostic) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	if a.Analyzer != b.Analyzer {
+		return a.Analyzer < b.Analyzer
+	}
+	return a.Message < b.Message
+}
+
+// SortDiagnostics sorts a merged diagnostic stream into the canonical
+// order (stable across runs and platforms).
+func SortDiagnostics(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool { return lessDiag(diags[i], diags[j]) })
 }
 
 // suppression is one parsed //lint:ignore comment.

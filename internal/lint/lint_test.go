@@ -48,6 +48,46 @@ func TestWireStrict(t *testing.T) {
 	linttest.Run(t, filepath.Join("testdata", "wirestrict"), "sortnets/testdata/wirestrict", lint.WireStrict)
 }
 
+// TestGoroutineLeak: the fixture import path ends in /client, so
+// every launch is in scope; each function demonstrates one join
+// evidence class or its absence.
+func TestGoroutineLeak(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "goroutineleak", "client"), "sortnets/testdata/goroutineleak/client", lint.GoroutineLeak)
+}
+
+// TestLockOrder runs atomicfield first so the discipline-mixing rule
+// has the per-field facts it consumes.
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "lockorder"), "sortnets/testdata/lockorder", lint.AtomicField, lint.LockOrder)
+}
+
+func TestRetryContractServe(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "retrycontract", "serve"), "sortnets/testdata/retrycontract/serve", lint.RetryContract)
+}
+
+func TestRetryContractClient(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "retrycontract", "client"), "sortnets/testdata/retrycontract/client", lint.RetryContract)
+}
+
+// TestStatsCover: the fixture directory carries its own README.md,
+// so rule B's nearest-README walk stops there instead of reaching the
+// repo's.
+func TestStatsCover(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "statscover", "serve"), "sortnets/testdata/statscover/serve", lint.AtomicField, lint.StatsCover)
+}
+
+// TestCrossPackageFacts drives the two-package fixture in dependency
+// order with one shared fact store: the client half's judgements — a
+// launch excused by dep's ctx-bounded fact, a lock cycle that only
+// exists in the union of both packages' edges — depend on facts this
+// file cannot see.
+func TestCrossPackageFacts(t *testing.T) {
+	linttest.RunPkgs(t, []linttest.FixturePkg{
+		{Dir: filepath.Join("testdata", "xfacts", "dep"), ImportPath: "sortnets/testdata/xfacts/dep"},
+		{Dir: filepath.Join("testdata", "xfacts", "client"), ImportPath: "sortnets/testdata/xfacts/client"},
+	}, lint.GoroutineLeak, lint.LockOrder)
+}
+
 // TestSuppressions: documented //lint:ignore comments (both
 // placements, list and all forms) silence the finding entirely.
 func TestSuppressions(t *testing.T) {
@@ -92,11 +132,15 @@ func TestRepoClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("no packages loaded")
 	}
+	// One shared fact store across the dependency-ordered package list,
+	// exactly like the sortnetlint CLI: the interprocedural analyzers
+	// only see their cross-package facts this way.
+	facts := lint.NewFacts()
 	for _, pkg := range pkgs {
 		if terr := pkg.TypeErrorsJoined(); terr != nil {
 			t.Errorf("%s: type errors: %v", pkg.ImportPath, terr)
 		}
-		diags, err := lint.RunAnalyzers(pkg, lint.All())
+		diags, err := lint.RunAnalyzersFacts(pkg, lint.All(), facts)
 		if err != nil {
 			t.Fatalf("%s: %v", pkg.ImportPath, err)
 		}

@@ -10,7 +10,11 @@
 // Fixtures are plain Go packages under testdata (ignored by the go
 // tool), parsed and type-checked directly; they may import only the
 // standard library, which the default importer resolves without build
-// steps or network.
+// steps or network. RunPkgs lints several fixture packages in
+// dependency order against one shared fact store — the way the real
+// loader drives the suite — so cross-package facts (goroutineleak's
+// ctx-bounded summaries, lockorder's acquisition edges) are testable
+// with a two-package fixture.
 package linttest
 
 import (
@@ -37,17 +41,55 @@ import (
 // test errors.
 func Run(t *testing.T, dir, importPath string, analyzers ...*lint.Analyzer) {
 	t.Helper()
-	pkg, err := LoadFixture(dir, importPath)
-	if err != nil {
-		t.Fatalf("loading fixture %s: %v", dir, err)
-	}
-	diags, err := lint.RunAnalyzers(pkg, analyzers)
-	if err != nil {
-		t.Fatalf("running analyzers on %s: %v", dir, err)
-	}
-	wants := collectWants(t, pkg)
+	RunPkgs(t, []FixturePkg{{Dir: dir, ImportPath: importPath}}, analyzers...)
+}
 
-	// Match each diagnostic to an unconsumed want on its line.
+// FixturePkg names one package of a multi-package fixture run.
+type FixturePkg struct {
+	Dir        string
+	ImportPath string
+}
+
+// RunPkgs lints the fixture packages in order against one shared
+// fact store. Each package is type-checked with its predecessors
+// importable under their fixture import paths, so a later fixture
+// can `import "fixture/dep"` and the analyzers see the same
+// dependency-ordered fact flow the real loader provides. Want
+// comments are checked across all packages.
+func RunPkgs(t *testing.T, pkgs []FixturePkg, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	deps := make(map[string]*types.Package)
+	// One stdlib importer for the whole run: importer.Default() caches
+	// per instance, and type identity across fixture packages (dep's
+	// context.Context IS the client's) requires the shared cache.
+	fallback := importer.Default()
+	facts := lint.NewFacts()
+	var loaded []*lint.Package
+	var diags []lint.Diagnostic
+	for _, fp := range pkgs {
+		pkg, err := loadFixture(fp.Dir, fp.ImportPath, deps, fallback)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", fp.Dir, err)
+		}
+		deps[fp.ImportPath] = pkg.Types
+		ds, err := lint.RunAnalyzersFacts(pkg, analyzers, facts)
+		if err != nil {
+			t.Fatalf("running analyzers on %s: %v", fp.Dir, err)
+		}
+		loaded = append(loaded, pkg)
+		diags = append(diags, ds...)
+	}
+	checkWants(t, loaded, diags)
+}
+
+// checkWants matches each diagnostic to an unconsumed want on its
+// line and reports both unexpected diagnostics and unmatched wants.
+func checkWants(t *testing.T, pkgs []*lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	var wants []want
+	for _, pkg := range pkgs {
+		wants = append(wants, collectWants(t, pkg)...)
+	}
 	type key struct {
 		file string
 		line int
@@ -86,6 +128,25 @@ func posOf(d lint.Diagnostic) string {
 // package under the given import path. Fixtures may import only the
 // standard library.
 func LoadFixture(dir, importPath string) (*lint.Package, error) {
+	return loadFixture(dir, importPath, nil, importer.Default())
+}
+
+// fixtureImporter resolves previously loaded fixture packages by
+// import path and falls back to the default (standard library)
+// importer for everything else.
+type fixtureImporter struct {
+	pkgs     map[string]*types.Package
+	fallback types.Importer
+}
+
+func (fi fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.pkgs[path]; ok {
+		return p, nil
+	}
+	return fi.fallback.Import(path)
+}
+
+func loadFixture(dir, importPath string, deps map[string]*types.Package, fallback types.Importer) (*lint.Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -114,7 +175,10 @@ func LoadFixture(dir, importPath string) (*lint.Package, error) {
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
 	sizes := types.SizesFor("gc", runtime.GOARCH)
-	conf := types.Config{Importer: importer.Default(), Sizes: sizes}
+	conf := types.Config{
+		Importer: fixtureImporter{pkgs: deps, fallback: fallback},
+		Sizes:    sizes,
+	}
 	tpkg, err := conf.Check(importPath, fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("typecheck: %w", err)

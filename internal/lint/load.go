@@ -15,7 +15,6 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
-	"sort"
 	"strings"
 )
 
@@ -93,7 +92,10 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			targets = append(targets, p)
 		}
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	// Keep go list's encounter order: -deps emits dependencies before
+	// dependents, and the facts mechanism (facts.go) relies on target
+	// packages being analyzed in that order so a dependency's exported
+	// facts are visible when its importers run. Do NOT sort here.
 
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {

@@ -1,0 +1,14 @@
+// Package fixdemo is the -fix applier's fixture: the findings here
+// exist to have their suggested fixes applied by TestHotAllocFix, so
+// the file carries no want comments and is loaded only by that test.
+package fixdemo
+
+import "fmt"
+
+func constErr() error {
+	return fmt.Errorf("sort network misconfigured")
+}
+
+func constErrAgain() error {
+	return fmt.Errorf("second constant message")
+}

@@ -1,0 +1,106 @@
+// Package client exercises goroutineleak. The fixture import path
+// ends in /client, putting every go statement in scope; each launch
+// below demonstrates one evidence class (or its absence).
+package client
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func work2() error { return nil }
+
+// leakyLit launches a literal nothing ever joins.
+func leakyLit() {
+	go func() { // want "goroutine has no provable join"
+		work()
+	}()
+}
+
+// leakyNamed launches a named function whose body proves nothing.
+func leakyNamed() {
+	go work() // want "goroutine has no provable join"
+}
+
+// wgJoined pairs the launch with Add/Done/Wait on one WaitGroup.
+func wgJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// bufferedDone sends completion into a channel made with capacity 1
+// in the launching function: the send can never block, so the
+// goroutine always terminates.
+func bufferedDone() {
+	done := make(chan struct{}, 1)
+	go func() {
+		work()
+		done <- struct{}{}
+	}()
+}
+
+// receivedDone is the classic done-channel join: the launcher
+// receives what the goroutine sends.
+func receivedDone() error {
+	done := make(chan error)
+	go func() {
+		done <- work2()
+	}()
+	return <-done
+}
+
+// unbufferedUnreceived sends on an unbuffered channel nobody ever
+// receives from: the send blocks forever, which is the leak.
+func unbufferedUnreceived() {
+	dead := make(chan struct{})
+	go func() { // want "goroutine has no provable join"
+		work()
+		dead <- struct{}{}
+	}()
+}
+
+// ctxBounded dies with its context.
+func ctxBounded(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		work()
+	}()
+}
+
+// factBounded launches a declared function whose own body is
+// ctx-bounded — judged through the fact this very pass exported.
+func factBounded(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+			work()
+		}
+	}
+}
+
+// detached is a deliberate fire-and-forget: the suppression's reason
+// is the reviewable artifact.
+func detached() {
+	//lint:ignore goroutineleak the pipe writer unblocks it on close; waiting here could deadlock the reader
+	go work()
+}
+
+// wrongName suppresses a different analyzer, which must not silence
+// the finding.
+func wrongName() {
+	//lint:ignore hotalloc misdirected suppression
+	go work() // want "goroutine has no provable join"
+}

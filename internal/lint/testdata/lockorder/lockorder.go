@@ -1,0 +1,101 @@
+// Package lockorder exercises the lock-graph analyzer inside one
+// package: ordering cycles (direct and through a callee's acquisition
+// summary), recursive locks, instance-vs-symbol discrimination, and
+// atomic-under-mutex discipline mixing (which needs atomicfield's
+// facts, so the fixture runs both analyzers).
+package lockorder
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type server struct {
+	mu    sync.Mutex
+	other sync.Mutex
+	hits  int64
+}
+
+// abPath acquires mu then other.
+func (s *server) abPath() {
+	s.mu.Lock()
+	s.other.Lock() // want "closes a lock-order cycle"
+	s.other.Unlock()
+	s.mu.Unlock()
+}
+
+// baPath acquires them in the reverse order: together with abPath the
+// graph has a cycle, and both closing edges are reported.
+func (s *server) baPath() {
+	s.other.Lock()
+	s.mu.Lock() // want "closes a lock-order cycle"
+	s.mu.Unlock()
+	s.other.Unlock()
+}
+
+// recursive re-locks a mutex this goroutine provably already holds
+// (same symbol AND same instance).
+func (s *server) recursive() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mu.Lock() // want "recursive acquisition"
+}
+
+// transfer holds the SAME symbol on two DIFFERENT instances: that is
+// instance-ordered (by caller convention), not symbol-ordered, so it
+// is neither an edge nor a recursive lock.
+func transfer(a, b *server) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// observe keeps hits on the sync/atomic discipline so atomicfield
+// exports its fact.
+func (s *server) observe() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// flush touches the atomic counter while holding the mutex: the lock
+// protects nothing there, and one regime must own the field.
+func (s *server) flush() {
+	s.mu.Lock()
+	atomic.AddInt64(&s.hits, 1) // want "atomic access to .* while holding"
+	s.mu.Unlock()
+}
+
+// scoped is the same shape deliberately: the suppression's reason is
+// the reviewable artifact.
+func (s *server) scoped() {
+	s.mu.Lock()
+	//lint:ignore lockorder warm-up increment races harmlessly with flush; the lock is for the map below
+	atomic.AddInt64(&s.hits, 1)
+	s.mu.Unlock()
+}
+
+type registry struct {
+	regMu  sync.Mutex
+	itemMu sync.Mutex
+}
+
+func (r *registry) lockItem() {
+	r.itemMu.Lock()
+	r.itemMu.Unlock()
+}
+
+// item2reg acquires itemMu then regMu directly.
+func (r *registry) item2reg() {
+	r.itemMu.Lock()
+	r.regMu.Lock() // want "closes a lock-order cycle"
+	r.regMu.Unlock()
+	r.itemMu.Unlock()
+}
+
+// scan closes the cycle WITHOUT touching itemMu syntactically: the
+// edge comes from lockItem's acquisition summary at the call site.
+func (r *registry) scan() {
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	r.lockItem() // want "closes a lock-order cycle"
+}

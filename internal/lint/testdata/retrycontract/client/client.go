@@ -1,0 +1,66 @@
+// Package client exercises the client half of retrycontract: a
+// function that classifies *RequestError outcomes and feeds a breaker
+// must guard on re.Status < 500, and the guard's true branch must not
+// reach Failure().
+package client
+
+import (
+	"errors"
+	"net/http"
+)
+
+type RequestError struct {
+	Status     int
+	RetryAfter int
+}
+
+func (e *RequestError) Error() string { return "request error" }
+
+type breaker struct{}
+
+func (b *breaker) Failure() {}
+func (b *breaker) Success() {}
+
+func recordSemantic() {}
+
+// unguarded counts every typed error as backend failure: a caller's
+// own 4xx can open the breaker on a healthy backend.
+func unguarded(b *breaker, err error) {
+	var re *RequestError
+	if errors.As(err, &re) {
+		b.Failure() // want `breaker Failure\(\) is fed \*RequestError outcomes with no semantic guard`
+	}
+}
+
+// guarded returns on the semantic branch before the breaker sees it.
+func guarded(b *breaker, err error) {
+	var re *RequestError
+	if errors.As(err, &re) {
+		if re.Status < 500 && re.Status != http.StatusTooManyRequests {
+			b.Success()
+			return
+		}
+	}
+	b.Failure()
+}
+
+// leaky has the guard but falls through it: the semantic branch still
+// reaches the breaker.
+func leaky(b *breaker, err error) {
+	var re *RequestError
+	if errors.As(err, &re) && re.Status < 500 {
+		recordSemantic()
+	}
+	b.Failure() // want `Failure\(\) is reachable from the semantic-4xx branch`
+}
+
+// adminReset trips the breaker on purpose; the suppression carries
+// the why.
+func adminReset(b *breaker, err error) {
+	var re *RequestError
+	if !errors.As(err, &re) {
+		return
+	}
+	//lint:ignore retrycontract operator-forced trip: the admin endpoint opens the breaker deliberately
+	b.Failure()
+}

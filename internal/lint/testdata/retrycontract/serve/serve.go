@@ -1,0 +1,90 @@
+// Package serve exercises the serve half of retrycontract: constant
+// 429/503/504 emissions must have a Retry-After Set reachable-from on
+// the CFG, and RequestError literals with those statuses must carry
+// the typed hint.
+package serve
+
+import "net/http"
+
+// RequestError mirrors the shape the analyzer recognizes: a named
+// RequestError carrying Status and RetryAfter.
+type RequestError struct {
+	Status     int
+	Msg        string
+	RetryAfter int
+}
+
+func (e *RequestError) Error() string { return e.Msg }
+
+// bare writes the backpressure status with no hint anywhere.
+func bare(w http.ResponseWriter) {
+	w.WriteHeader(429) // want "429 response is written without a Retry-After header"
+}
+
+// hinted sets the header first; the named constant still resolves to
+// a constant 503.
+func hinted(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(http.StatusServiceUnavailable)
+}
+
+// partial hints only one branch, but the post-join write is reachable
+// from the Set — some-path semantics, deliberately not flagged.
+func partial(w http.ResponseWriter, degraded bool) {
+	if degraded {
+		w.Header().Set("Retry-After", "2")
+	}
+	w.WriteHeader(503)
+}
+
+// branchMiss hints the primary path only; the fallback emission is on
+// a path no Set reaches.
+func branchMiss(w http.ResponseWriter, primary bool) {
+	if primary {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(503)
+		return
+	}
+	w.WriteHeader(503) // want "503 response is written without a Retry-After header"
+}
+
+// writeError is the helper form: a ResponseWriter parameter makes its
+// call sites emissions when a constant backpressure status flows in.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.WriteHeader(status)
+	_, _ = w.Write([]byte(msg))
+}
+
+func shed(w http.ResponseWriter) {
+	writeError(w, 503, "shed") // want "503 response is written without a Retry-After header"
+}
+
+func shedHinted(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, 504, "upstream deadline")
+}
+
+// semantic statuses owe no hint.
+func rejected(w http.ResponseWriter) {
+	writeError(w, 400, "malformed cube")
+}
+
+// overload builds the typed error without the hint: 0 decodes as
+// "none" on the wire.
+func overload() error {
+	return &RequestError{Status: 429, Msg: "overloaded"} // want "RequestError with status 429 carries no RetryAfter"
+}
+
+func overloadHinted() error {
+	return &RequestError{Status: 429, Msg: "overloaded", RetryAfter: 1}
+}
+
+func badRequest() error {
+	return &RequestError{Status: 400, Msg: "bad cube"}
+}
+
+// teapot is a deliberate exception, documented where it is made.
+func teapot(w http.ResponseWriter) {
+	//lint:ignore retrycontract the CDN strips Retry-After on this route; the hint rides in the body
+	w.WriteHeader(429)
+}

@@ -1,0 +1,28 @@
+// Package client is the consumer half of the cross-package facts
+// fixture: its judgements depend on facts the dep package exported —
+// goroutineleak's ctx-bounded summary and lockorder's acquisition
+// edges — not on anything visible in this file alone.
+package client
+
+import (
+	"context"
+
+	"sortnets/testdata/xfacts/dep"
+)
+
+// launch gets dep.Watch for free (its fact says ctx-bounded) and must
+// still flag dep.Spin, whose body this package cannot see and whose
+// fact does not exist.
+func launch(ctx context.Context) {
+	go dep.Watch(ctx)
+	go dep.Spin(ctx) // want "goroutine has no provable join"
+}
+
+// reversed takes dep's locks in the opposite order to dep.LockAB.
+// The cycle only exists in the union of both packages' edges.
+func reversed() {
+	dep.MuB.Lock()
+	dep.MuA.Lock() // want "closes a lock-order cycle"
+	dep.MuA.Unlock()
+	dep.MuB.Unlock()
+}

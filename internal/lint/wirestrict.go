@@ -31,9 +31,10 @@ import (
 //     is a diagnostic, not silent codec drift discovered by a
 //     differential fuzzer three PRs later.
 var WireStrict = &Analyzer{
-	Name: "wirestrict",
-	Doc:  "wire structs use keyed literals; hand-rolled codec functions must cover every json-tagged field",
-	Run:  runWireStrict,
+	Name:    "wirestrict",
+	Doc:     "wire structs use keyed literals; hand-rolled codec functions must cover every json-tagged field",
+	Version: "1",
+	Run:     runWireStrict,
 }
 
 func runWireStrict(pass *Pass) error {

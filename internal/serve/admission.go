@@ -30,6 +30,11 @@ var errShed = errors.New("serve: admission gate full")
 // retries promptly.
 const shedRetryAfter = 1 * time.Second
 
+// drainRetryAfter is the Retry-After hint on draining readiness: the
+// process is going away, so the hint is the handoff scale (balancer
+// re-resolve, deploy overlap), not the momentary shed backoff.
+const drainRetryAfter = 5 * time.Second
+
 // acquire takes one in-flight slot, waiting at most the configured
 // queue-wait. It returns errShed when the service is saturated (the
 // caller should be shed) or ctx.Err() when the caller left the queue.
@@ -134,6 +139,9 @@ func (s *Service) mapComputeErr(reqCtx, computeCtx context.Context, err error) e
 		return &sortnets.RequestError{
 			Status: http.StatusGatewayTimeout,
 			Msg:    "verdict exceeded the server's compute deadline of " + s.cfg.ComputeTimeout.String(),
+			// The request was legal, just expensive: a retry meets warm
+			// caches, so the hint is the shed backoff, not the deadline.
+			RetryAfter: RetryAfterSeconds(shedRetryAfter),
 		}
 	}
 	return err

@@ -135,6 +135,9 @@ func (s *Service) endpoint(op string, w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusTooManyRequests,
 				fmt.Sprintf("server saturated: %d requests in flight; retry after %v", s.cfg.MaxInflight, shedRetryAfter))
 		case errors.As(err, &re):
+			if re.RetryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(re.RetryAfter))
+			}
 			writeError(w, re.Status, re.Msg)
 		case r.Context().Err() != nil:
 			// Client gone or client deadline hit: the write is
@@ -165,6 +168,7 @@ func (s *Service) endpoint(op string, w http.ResponseWriter, r *http.Request) {
 func (s *Service) readiness(w http.ResponseWriter) {
 	switch {
 	case s.draining.Load():
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds(drainRetryAfter)))
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 	case s.inflight.Load() >= int64(s.cfg.MaxInflight):
 		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds(shedRetryAfter)))

@@ -298,8 +298,9 @@ func wholeBatchError(err error) *sortnets.RequestError {
 	switch {
 	case errors.Is(err, errShed):
 		return &sortnets.RequestError{
-			Status: http.StatusTooManyRequests,
-			Msg:    "server saturated; retry after " + shedRetryAfter.String(),
+			Status:     http.StatusTooManyRequests,
+			Msg:        "server saturated; retry after " + shedRetryAfter.String(),
+			RetryAfter: RetryAfterSeconds(shedRetryAfter),
 		}
 	case errors.As(err, &re):
 		return re

@@ -238,8 +238,48 @@ func TestComputeTimeout504(t *testing.T) {
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status %d (%s), want 504", resp.StatusCode, body)
 	}
+	// The request was legal, just expensive: the 504 must hint a
+	// retry, or the client pool backs off with no floor.
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("504 response carries no Retry-After header")
+	}
 	if got := s.Stats().Resilience.ComputeTimeouts; got != 1 {
 		t.Errorf("compute_timeouts = %d, want 1", got)
+	}
+	// Give the stalled worker time to finish before Close.
+	time.Sleep(200 * time.Millisecond)
+}
+
+// TestNDJSONComputeTimeoutRetryAfter: the NDJSON path has no headers,
+// so a per-line 504 must carry the backoff hint in the typed error's
+// retry_after field — that is what the client pool's observe() reads
+// as its backoff floor.
+func TestNDJSONComputeTimeoutRetryAfter(t *testing.T) {
+	svc := NewService(Config{
+		Workers:        1,
+		ComputeTimeout: 20 * time.Millisecond,
+		OnCompute:      func() { time.Sleep(150 * time.Millisecond) },
+	})
+	defer svc.Close()
+	lines := postNDJSONBody(t, svc, []byte(`{"id":"a","network":"`+sorter4+`"}`))
+	if len(lines) != 1 {
+		t.Fatalf("%d response lines, want 1: %+v", len(lines), lines)
+	}
+	e := lines[0].Error
+	if e == nil || lines[0].Verdict != nil {
+		t.Fatalf("want an error line, got %+v", lines[0])
+	}
+	if e.Status != http.StatusGatewayTimeout {
+		t.Fatalf("line error status %d (%s), want 504", e.Status, e.Msg)
+	}
+	if e.RetryAfter < 1 {
+		t.Errorf("per-line 504 retry_after = %d, want >= 1 (the headerless hint carrier)", e.RetryAfter)
+	}
+	// The hint must survive the zero-alloc wire encoder too.
+	var out []byte
+	out = sortnets.AppendBatchVerdict(out, &lines[0])
+	if !bytes.Contains(out, []byte(`"retry_after":`)) {
+		t.Errorf("wire encoding drops retry_after: %s", out)
 	}
 	// Give the stalled worker time to finish before Close.
 	time.Sleep(200 * time.Millisecond)
@@ -272,6 +312,16 @@ func TestReadinessDraining(t *testing.T) {
 	}
 	if code, m := get("/healthz"); code != http.StatusServiceUnavailable || m["status"] != "draining" {
 		t.Fatalf("draining readiness = %d %v, want 503 draining", code, m)
+	}
+	// Draining readiness hints the handoff scale, not the shed
+	// backoff: drainRetryAfter is 5s, so the header is "5".
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if ra := resp.Header.Get("Retry-After"); ra != "5" {
+			t.Errorf("draining Retry-After = %q, want %q", ra, "5")
+		}
 	}
 	if !s.Stats().Resilience.Draining {
 		t.Error("stats must report draining")

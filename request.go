@@ -117,9 +117,17 @@ type MinsetVerdict struct {
 // are the NDJSON per-line error form ({"status":400,"error":"..."});
 // the single-request JSON endpoints keep their historical
 // {"error":"..."} body with the status on the HTTP response line.
+//
+// RetryAfter is the backpressure hint, in whole seconds, for the
+// statuses that promise one (429, 503, 504): when to try again. Over
+// HTTP it doubles as the Retry-After header; on NDJSON lines — which
+// have no per-line headers — this field is the only carrier, so
+// backpressure emitters must populate it (the retrycontract analyzer
+// enforces this). Zero means "no hint" and is omitted from the wire.
 type RequestError struct {
-	Status int    `json:"status"`
-	Msg    string `json:"error"`
+	Status     int    `json:"status"`
+	Msg        string `json:"error"`
+	RetryAfter int    `json:"retry_after,omitempty"`
 }
 
 func (e *RequestError) Error() string { return e.Msg }

@@ -319,6 +319,10 @@ func AppendBatchVerdict(dst []byte, bv *BatchVerdict) []byte {
 		dst = strconv.AppendInt(dst, int64(bv.Error.Status), 10)
 		dst = append(dst, `,"error":`...)
 		dst = appendJSONString(dst, bv.Error.Msg)
+		if bv.Error.RetryAfter != 0 {
+			dst = append(dst, `,"retry_after":`...)
+			dst = strconv.AppendInt(dst, int64(bv.Error.RetryAfter), 10)
+		}
 		dst = append(dst, '}')
 	}
 	if bv.Source != "" {
@@ -967,6 +971,8 @@ func UnmarshalBatchVerdictLine(data []byte, bv *BatchVerdict) error {
 					return c.intInto(&e.Status)
 				case strings.EqualFold(key, "error"):
 					return c.stringInto(&e.Msg)
+				case strings.EqualFold(key, "retry_after"):
+					return c.intInto(&e.RetryAfter)
 				}
 				return c.skipValue()
 			})

@@ -127,7 +127,7 @@ func randomBatchVerdict(rng *rand.Rand) BatchVerdict {
 		v := randomVerdict(rng)
 		bv.Verdict = &v
 	} else {
-		bv.Error = &RequestError{Status: 400 + rng.Intn(100), Msg: trickyString(rng)}
+		bv.Error = &RequestError{Status: 400 + rng.Intn(100), Msg: trickyString(rng), RetryAfter: rng.Intn(3)}
 	}
 	if rng.Intn(2) == 0 {
 		bv.Source = []string{"hit", "miss", "coalesced"}[rng.Intn(3)]
